@@ -1,0 +1,73 @@
+//! Criterion benchmarks for the models: Joint-WB forward pass, one
+//! training step (forward + backward), a Dual-Distill step, and beam-search
+//! inference.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use wb_bench::{experiment_dataset, model_config, phrase_bank_inputs, DistillSetting, Scale};
+use wb_core::{
+    DistillConfig, DistillParts, DualDistill, Generator, JointGenerationTeacher, JointModel,
+    JointVariant, PhraseBank, TeacherCache, TrainableModel,
+};
+use wb_nn::EmbedderKind;
+use wb_tensor::Graph;
+
+fn bench_joint_wb(c: &mut Criterion) {
+    let d = experiment_dataset(Scale::Tiny);
+    let mc = model_config(&d);
+    let model = JointModel::new(JointVariant::JointWb, mc, 0);
+    let ex = &d.examples[0];
+
+    c.bench_function("joint_wb_forward", |b| {
+        b.iter(|| {
+            let mut g = Graph::new(model.params(), false, 0);
+            black_box(model.forward(&mut g, ex, &ex.topic_target));
+        });
+    });
+
+    c.bench_function("joint_wb_train_step", |b| {
+        b.iter(|| {
+            let mut g = Graph::new(model.params(), true, 0);
+            let loss = model.loss(&mut g, 0, ex);
+            black_box(g.backward(loss));
+        });
+    });
+
+    c.bench_function("joint_wb_beam_search", |b| {
+        b.iter(|| black_box(model.generate(ex)));
+    });
+}
+
+fn bench_distill_step(c: &mut Criterion) {
+    let d = experiment_dataset(Scale::Tiny);
+    let setting = DistillSetting::new(&d, 3, 7);
+    let mc = model_config(&d);
+    let teacher = JointModel::new(JointVariant::JointWb, mc, 0);
+    let view = JointGenerationTeacher(&teacher);
+    let idx: Vec<usize> = setting.split.train.iter().copied().take(4).collect();
+    let cache = TeacherCache::build(&view, &d.examples, &idx, 2.0);
+    let bank = PhraseBank::build(&view, &phrase_bank_inputs(&d, &setting.seen));
+    let student = Generator::new(EmbedderKind::Static, false, mc, 9);
+    let dd = DualDistill::new(
+        student,
+        cache,
+        bank,
+        DistillConfig::default(),
+        DistillParts::dual(),
+        1,
+    );
+    let ex = &d.examples[idx[0]];
+    c.bench_function("dual_distill_step", |b| {
+        b.iter(|| {
+            let mut g = Graph::new(dd.params(), true, 0);
+            let loss = dd.loss(&mut g, 0, ex);
+            black_box(g.backward(loss));
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_joint_wb, bench_distill_step
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion micro-benchmarks for the `wb-tensor` substrate: matmul shapes
+//! used by the models, softmax, and a full forward+backward tape.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use wb_tensor::{Graph, Initializer, Params, Tensor};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &(m, k, n) in &[(128usize, 20usize, 20usize), (128, 20, 64), (32, 32, 1600)] {
+        let a = Tensor::full(&[m, k], 0.5);
+        let b = Tensor::full(&[k, n], 0.25);
+        group.bench_function(format!("{m}x{k}x{n}"), |bench| {
+            bench.iter(|| black_box(a.matmul(&b, false, false)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let t = Tensor::full(&[128, 128], 0.1);
+    c.bench_function("softmax_128x128", |b| {
+        b.iter(|| black_box(t.softmax_rows(2.0)));
+    });
+}
+
+fn bench_tape_forward_backward(c: &mut Criterion) {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let mut params = Params::new();
+    let w1 = params.add_init("w1", &[64, 64], Initializer::XavierUniform, &mut rng);
+    let w2 = params.add_init("w2", &[64, 64], Initializer::XavierUniform, &mut rng);
+    let x = Tensor::full(&[32, 64], 0.1);
+    c.bench_function("mlp_tape_fwd_bwd_32x64", |b| {
+        b.iter(|| {
+            let mut g = Graph::new(&params, true, 1);
+            let xv = g.input(x.clone());
+            let w1v = g.param(w1);
+            let h = g.matmul(xv, w1v);
+            let h = g.tanh(h);
+            let w2v = g.param(w2);
+            let y = g.matmul(h, w2v);
+            let loss = g.mean_all(y);
+            black_box(g.backward(loss));
+        });
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_softmax, bench_tape_forward_backward);
+criterion_main!(benches);

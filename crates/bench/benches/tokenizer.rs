@@ -1,0 +1,50 @@
+//! Criterion benchmarks for the text pipeline: normalisation, WordPiece
+//! encoding and document chunking throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use wb_text::{normalize, split_sentences, ChunkConfig, EncodedDoc, WordPiece, WordPieceConfig};
+
+fn sample_text() -> String {
+    let sentence =
+        "discover the best deep learning books, price : $ 40.13 , free shipping today.\n";
+    sentence.repeat(100)
+}
+
+fn bench_normalize(c: &mut Criterion) {
+    let text = sample_text();
+    let mut group = c.benchmark_group("text");
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    group.bench_function("normalize", |b| {
+        b.iter(|| black_box(normalize(&text)));
+    });
+    group.finish();
+}
+
+fn bench_wordpiece_encode(c: &mut Criterion) {
+    let text = sample_text();
+    let wp = WordPiece::train([text.as_str()].into_iter(), WordPieceConfig::default());
+    let mut group = c.benchmark_group("text");
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    group.bench_function("wordpiece_encode", |b| {
+        b.iter(|| black_box(wp.encode(&text)));
+    });
+    group.finish();
+}
+
+fn bench_document_encoding(c: &mut Criterion) {
+    let text = sample_text();
+    let wp = WordPiece::train([text.as_str()].into_iter(), WordPieceConfig::default());
+    let sentences = split_sentences(&text);
+    c.bench_function("encoded_doc_512", |b| {
+        b.iter(|| {
+            black_box(EncodedDoc::from_sentences(
+                &sentences,
+                &wp,
+                ChunkConfig::scaled(512, 128),
+            ))
+        });
+    });
+}
+
+criterion_group!(benches, bench_normalize, bench_wordpiece_encode, bench_document_encoding);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Ablation studies for the design choices DESIGN.md calls out beyond the
+//! paper's own tables:
+//!
+//! 1. **Beam width** — the paper uses beam 200 / depth 4; how much does
+//!    width matter at our scale? (EM at widths 1/2/4/8.)
+//! 2. **Markov dependency** (eq. 13) — section prediction accuracy with and
+//!    without the `j−1`/`j+1` neighbourhood.
+//! 3. **Distillation temperature γ** — unseen-domain EM of a Dual-Distill
+//!    student at γ ∈ {1, 2, 4} (the paper fixes γ = 2).
+//!
+//! Run: `cargo run --release -p wb-bench --bin ablations`
+
+use wb_bench::*;
+use wb_core::{
+    train, TrainableModel, DistillConfig, DistillParts, DualDistill, Generator, JointGenerationTeacher,
+    JointModel, JointVariant, PhraseBank, TeacherCache,
+};
+use wb_eval::{ResultTable, SectionScores};
+use wb_nn::EmbedderKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("Ablations at scale {}", scale.name());
+    let d = timed("dataset", || experiment_dataset(scale));
+    let setting = DistillSetting::new(&d, scale.n_unseen(), 7);
+    let split = &setting.split;
+    let mc = model_config(&d);
+    let tc_ctx = train_config_contextual(scale);
+    let pre = pretrain_for(&d, &mc, &split.train, scale);
+
+    // --- 1. Beam width ---
+    let joint = timed("Joint-WB (for beam sweep)", || {
+        let mut m = JointModel::new(JointVariant::JointWb, mc, 1);
+        pre.warm_start(&mut m, EmbedderKind::BertSum);
+        train(&mut m, &d.examples, &split.train, tc_ctx);
+        m
+    });
+    let mut beam_table = ResultTable::new(
+        &format!("Ablation: beam width (Joint-WB, scale {})", scale.name()),
+        &["Beam", "EM", "RM"],
+    );
+    for beam in [1usize, 2, 4, 8] {
+        // Rebuild a model view with a different beam by cloning parameters
+        // into an identically-shaped model whose config differs only in beam.
+        let mut cfg_b = mc;
+        cfg_b.beam = beam;
+        let mut m = JointModel::new(JointVariant::JointWb, cfg_b, 1);
+        m.params_mut().copy_from(joint.params());
+        let (s, _) = eval_generation(&d, &split.test, |ex| m.generate(ex));
+        beam_table.push_metrics(&beam.to_string(), &[Some(s.em()), Some(s.rm())]);
+    }
+    save_table(&beam_table, "ablation_beam_width");
+
+    // --- 2. Markov dependency in the section predictor ---
+    let mut markov_table = ResultTable::new(
+        &format!("Ablation: Markov dependency in P (scale {})", scale.name()),
+        &["Section predictor", "accuracy", "F1 (extraction)", "EM (generation)"],
+    );
+    for (name, markov) in [("Markov (j-1, j+1)", true), ("independent (self only)", false)] {
+        let mut cfg_m = mc;
+        cfg_m.markov_sections = markov;
+        let m = timed(name, || {
+            let mut m = JointModel::new(JointVariant::JointWb, cfg_m, 1);
+            pre.warm_start(&mut m, EmbedderKind::BertSum);
+            train(&mut m, &d.examples, &split.train, tc_ctx);
+            m
+        });
+        let mut sec = SectionScores::default();
+        for &i in &split.test {
+            let ex = &d.examples[i];
+            if let Some(pred) = m.predict_sections(ex) {
+                sec.update(&pred, &ex.informative);
+            }
+        }
+        let ext = eval_extraction(&d, &split.test, |ex| m.predict_tags(ex));
+        let (gen, _) = eval_generation(&d, &split.test, |ex| m.generate(ex));
+        markov_table.push_metrics(
+            name,
+            &[Some(sec.accuracy()), Some(ext.f1()), Some(gen.em())],
+        );
+    }
+    save_table(&markov_table, "ablation_markov_dependency");
+
+    // --- 3. Distillation temperature ---
+    let teacher = timed("teacher for gamma sweep", || {
+        let mut t = JointModel::new(JointVariant::JointWb, mc, 1);
+        pre.warm_start(&mut t, EmbedderKind::BertSum);
+        train(&mut t, &d.examples, &setting.seen_train, tc_ctx);
+        t
+    });
+    let view = JointGenerationTeacher(&teacher);
+    let bank = PhraseBank::build(&view, &phrase_bank_inputs(&d, &setting.seen));
+    let mut gamma_table = ResultTable::new(
+        &format!("Ablation: softmax temperature gamma in Dual-Distill (scale {})", scale.name()),
+        &["gamma", "Unseen EM", "Seen EM"],
+    );
+    for gamma in [1.0f32, 2.0, 4.0] {
+        let dc = DistillConfig { gamma, ..Default::default() };
+        let cache = TeacherCache::build(&view, &d.examples, &split.train, gamma);
+        let student = timed(&format!("gamma {gamma}"), || {
+            let mut s = Generator::new(EmbedderKind::Static, false, mc, 9);
+            pre.warm_start(&mut s, EmbedderKind::Static);
+            let s = s;
+            let mut dd = DualDistill::new(s, cache, bank.clone(), dc, DistillParts::dual(), 3)
+                .with_seen_topics(&setting.seen);
+            train(&mut dd, &d.examples, &split.train, train_config(scale));
+            dd.into_student()
+        });
+        let (unseen, _) =
+            eval_generation(&d, &setting.test_unseen, |ex| student.generate(ex));
+        let (seen, _) = eval_generation(&d, &setting.test_seen, |ex| student.generate(ex));
+        gamma_table.push_metrics(
+            &format!("{gamma}"),
+            &[Some(unseen.em()), Some(seen.em())],
+        );
+    }
+    save_table(&gamma_table, "ablation_gamma");
+}

@@ -1,0 +1,51 @@
+//! Runs the complete experiment suite (every table and figure) in sequence
+//! and writes all results under `results/`. Equivalent to invoking each
+//! binary separately; one entry point for full reproduction runs.
+//!
+//! Run: `WB_SCALE=small cargo run --release -p wb-bench --bin all_experiments`
+
+use std::process::Command;
+
+const EXPERIMENTS: [&str; 12] = [
+    "dataset_quality",
+    "table4_distill_topic",
+    "table5_teachers",
+    "table6_extraction_baselines",
+    "table7_generation_baselines",
+    "table8_9_joint",
+    "table10_human_eval",
+    "sensitivity_study",
+    "ablations",
+    "attribute_breakdown",
+    "multilevel_extension",
+    "complexity_check",
+];
+
+fn main() {
+    let exe_dir = std::env::current_exe()
+        .expect("current exe path")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    let t0 = std::time::Instant::now();
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        println!("\n================ {name} ================");
+        let status = Command::new(exe_dir.join(name))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
+        if !status.success() {
+            eprintln!("{name} FAILED with {status}");
+            failures.push(name);
+        }
+    }
+    println!(
+        "\nAll experiments finished in {:.1} min; {} failure(s).",
+        t0.elapsed().as_secs_f32() / 60.0,
+        failures.len()
+    );
+    if !failures.is_empty() {
+        eprintln!("failed: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,51 @@
+//! Per-attribute-kind analysis of extraction quality — an extension beyond
+//! the paper's aggregate P/R/F1: numeric attributes (price/salary/fee, a
+//! `<digit>` after a strong cue) should be far easier than name-like
+//! attributes built from topic-specific vocabulary, and the category
+//! attribute sits in between.
+//!
+//! Run: `cargo run --release -p wb-bench --bin attribute_breakdown`
+
+use wb_bench::*;
+use wb_core::{train, JointModel, JointVariant};
+use wb_eval::{bio_to_spans, KindBreakdown, ResultTable};
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("Attribute breakdown at scale {}", scale.name());
+    let d = timed("dataset", || experiment_dataset(scale));
+    let split = d.split(7);
+    let mc = model_config(&d);
+    let pre = pretrain_for(&d, &mc, &split.train, scale);
+
+    let model = timed("Joint-WB", || {
+        let mut m = JointModel::new(JointVariant::JointWb, mc, 1);
+        pre.warm_start(&mut m, wb_nn::EmbedderKind::BertSum);
+        train(&mut m, &d.examples, &split.train, train_config_contextual(scale));
+        m
+    });
+
+    let mut breakdown = KindBreakdown::new();
+    for &i in &split.test {
+        let ex = &d.examples[i];
+        let predicted = bio_to_spans(&model.predict_tags(ex));
+        let gold: Vec<(&str, usize, usize)> =
+            ex.attr_spans.iter().map(|&(k, s, e)| (k.name(), s, e)).collect();
+        breakdown.update(&predicted, &gold);
+    }
+
+    let mut table = ResultTable::new(
+        &format!("Extraction F1 per attribute kind (Joint-WB, scale {})", scale.name()),
+        &["Attribute kind", "P", "R", "F1", "support"],
+    );
+    for (kind, scores) in breakdown.iter() {
+        table.push_row(vec![
+            kind.to_string(),
+            format!("{:.2}", scores.precision()),
+            format!("{:.2}", scores.recall()),
+            format!("{:.2}", scores.f1()),
+            (scores.tp + scores.fn_).to_string(),
+        ]);
+    }
+    save_table(&table, "attribute_breakdown");
+}

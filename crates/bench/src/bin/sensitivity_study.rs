@@ -1,0 +1,101 @@
+//! §IV-D model sensitivity — 300 synthetic webpages built by concatenating
+//! two real pages of different topics at 50-50 / 70-30 / 30-70 length
+//! proportions. The paper observes Joint-WB predicts from the content that
+//! appears *first*, while the distilled models follow the *larger* portion.
+//!
+//! Run: `cargo run --release -p wb-bench --bin sensitivity_study`
+
+use wb_bench::*;
+use wb_core::{
+    build_pairs, content_sensitivity, train, DistillConfig, DistillParts, DualDistill,
+    Generator, JointGenerationTeacher, JointModel, JointTeacherCache, JointVariant,
+    PhraseBank, TeacherCache, TriDistill,
+};
+use wb_eval::ResultTable;
+use wb_nn::EmbedderKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("Sensitivity study at scale {}", scale.name());
+    let d = timed("dataset", || experiment_dataset(scale));
+    let setting = DistillSetting::new(&d, scale.n_unseen(), 7);
+    let mc = model_config(&d);
+    let tc = train_config_contextual(scale);
+    let dc = DistillConfig::default();
+    let pre = pretrain_for(&d, &mc, &setting.seen_train, scale);
+
+    let n_pairs = if scale == Scale::Tiny { 40 } else { 300 };
+    let pairs = build_pairs(&d.examples, n_pairs, 5);
+    eprintln!("{} synthetic page pairs", pairs.len());
+
+    // Joint-WB without distillation.
+    let joint = timed("Joint-WB", || {
+        let mut m = JointModel::new(JointVariant::JointWb, mc, 1);
+        pre.warm_start(&mut m, EmbedderKind::BertSum);
+        train(&mut m, &d.examples, &setting.seen_train, tc);
+        m
+    });
+
+    // Dual-Distill and Tri-Distill students with Joint-WB as the teacher.
+    let gen_view = JointGenerationTeacher(&joint);
+    let cache = TeacherCache::build(&gen_view, &d.examples, &setting.split.train, dc.gamma);
+    let bank = PhraseBank::build(&gen_view, &phrase_bank_inputs(&d, &setting.seen));
+    let dual = timed("Dual-Distill student", || {
+        let mut s = Generator::new(EmbedderKind::Static, false, mc, 9);
+        pre.warm_start(&mut s, EmbedderKind::Static);
+        let mut dd = DualDistill::new(s, cache, bank.clone(), dc, DistillParts::dual(), 3)
+            .with_seen_topics(&setting.seen);
+        train(&mut dd, &d.examples, &setting.split.train, train_config(scale));
+        dd.into_student()
+    });
+    let tri = timed("Tri-Distill student", || {
+        let jcache =
+            JointTeacherCache::build(&joint, &d.examples, &setting.split.train, dc.gamma);
+        let mut student = JointModel::new(JointVariant::JointWb, mc, 9);
+        pre.warm_start(&mut student, EmbedderKind::BertSum);
+        let mut t = TriDistill::new(student, jcache, bank, dc, 3)
+            .with_seen_topics(&setting.seen);
+        train(&mut t, &d.examples, &setting.split.train, tc);
+        t.into_student()
+    });
+
+    let mut table = ResultTable::new(
+        &format!(
+            "Content sensitivity on synthetic concatenated webpages (scale {}): fraction of predictions following the FIRST vs the LARGER content",
+            scale.name()
+        ),
+        &["Model / proportion", "first%", "larger%", "neither%"],
+    );
+
+    for (label, prop) in [("50-50", 0.5), ("70-30", 0.7), ("30-70", 0.3)] {
+        let o = content_sensitivity(&d.examples, &pairs, prop, 11, |ex| joint.generate(ex));
+        table.push_metrics(
+            &format!("Joint-WB @ {label}"),
+            &[
+                Some(o.first_content * 100.0),
+                Some(o.larger_portion * 100.0),
+                Some(o.neither * 100.0),
+            ],
+        );
+        let o = content_sensitivity(&d.examples, &pairs, prop, 11, |ex| dual.generate(ex));
+        table.push_metrics(
+            &format!("Dual-Distill @ {label}"),
+            &[
+                Some(o.first_content * 100.0),
+                Some(o.larger_portion * 100.0),
+                Some(o.neither * 100.0),
+            ],
+        );
+        let o = content_sensitivity(&d.examples, &pairs, prop, 11, |ex| tri.generate(ex));
+        table.push_metrics(
+            &format!("Tri-Distill @ {label}"),
+            &[
+                Some(o.first_content * 100.0),
+                Some(o.larger_portion * 100.0),
+                Some(o.neither * 100.0),
+            ],
+        );
+    }
+
+    save_table(&table, "sensitivity_study");
+}

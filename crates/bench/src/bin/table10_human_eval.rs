@@ -1,0 +1,142 @@
+//! Table X — human evaluation of topic generation on 40 seen-domain and 40
+//! unseen-domain pages, scored 0/1/2 by a panel of ten (simulated) judges
+//! with Cohen's κ reported (the paper's volunteers reach κ > 0.83; see
+//! DESIGN.md §2 for the annotator-panel substitution).
+//!
+//! Run: `cargo run --release -p wb-bench --bin table10_human_eval`
+
+use wb_bench::*;
+use wb_core::{
+    train, DistillConfig, DistillParts, DualDistill, Generator, JointGenerationTeacher,
+    JointModel, JointTeacherCache, JointVariant, PhraseBank, TeacherCache, TriDistill,
+};
+use wb_corpus::Example;
+use wb_eval::{Panel, ResultTable};
+use wb_nn::EmbedderKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("Table X at scale {}", scale.name());
+    let d = timed("dataset", || experiment_dataset(scale));
+    let setting = DistillSetting::new(&d, scale.n_unseen(), 7);
+    let mc = model_config(&d);
+    let tc_ctx = train_config_contextual(scale);
+    let dc = DistillConfig::default();
+    let pre = pretrain_for(&d, &mc, &setting.seen_train, scale);
+
+    // 40 seen-domain + 40 unseen-domain evaluation pages (§IV-E).
+    let seen_pages: Vec<usize> = setting.test_seen.iter().copied().take(40).collect();
+    let unseen_pages: Vec<usize> = setting.test_unseen.iter().copied().take(40).collect();
+
+    let items = |indices: &[usize], gen: &(dyn Fn(&Example) -> Vec<u32> + Sync)| {
+        use rayon::prelude::*;
+        indices
+            .par_iter()
+            .map(|&i| {
+                let ex = &d.examples[i];
+                (gen(ex), ex.topic_target[..ex.topic_target.len() - 1].to_vec())
+            })
+            .collect::<Vec<_>>()
+    };
+
+    let mut table = ResultTable::new(
+        &format!(
+            "TABLE X: Average score of human evaluation for topic generation (10 judges, scale {})",
+            scale.name()
+        ),
+        &["Method", "Seen domains", "Unseen domains", "kappa seen", "kappa unseen"],
+    );
+
+    let mut add_row = |name: &str, gen: &(dyn Fn(&Example) -> Vec<u32> + Sync)| {
+        let mut panel_seen = Panel::new(10, 42, 0.03);
+        let mut panel_unseen = Panel::new(10, 43, 0.03);
+        let rs = panel_seen.evaluate(&items(&seen_pages, gen));
+        let ru = panel_unseen.evaluate(&items(&unseen_pages, gen));
+        table.push_metrics(
+            name,
+            &[Some(rs.mean), Some(ru.mean), Some(rs.kappa), Some(ru.kappa)],
+        );
+    };
+
+    // Baselines trained on seen topics only.
+    let bert_gen = timed("BERT->[Bi-LSTM,LSTM]", || {
+        let mut m = Generator::new(EmbedderKind::Bert, false, mc, 1);
+        pre.warm_start(&mut m, EmbedderKind::Bert);
+        train(&mut m, &d.examples, &setting.seen_train, tc_ctx);
+        m
+    });
+    add_row("BERT->[Bi-LSTM,LSTM]", &|ex| bert_gen.generate(ex));
+
+    let bertsum_gen = timed("BERTSUM->[Bi-LSTM,LSTM]", || {
+        let mut m = Generator::new(EmbedderKind::BertSum, false, mc, 1);
+        pre.warm_start(&mut m, EmbedderKind::BertSum);
+        train(&mut m, &d.examples, &setting.seen_train, tc_ctx);
+        m
+    });
+    add_row("BERTSUM->[Bi-LSTM,LSTM]", &|ex| bertsum_gen.generate(ex));
+
+    let naive = timed("Naive joint", || {
+        let mut m = JointModel::new(JointVariant::NaiveJoin, mc, 1);
+        pre.warm_start(&mut m, EmbedderKind::BertSum);
+        train(&mut m, &d.examples, &setting.seen_train, tc_ctx);
+        m
+    });
+    add_row("Naive joint", &|ex| naive.generate(ex));
+
+    let attboth = timed("Att-Extractor + Att-Generator", || {
+        let mut m = JointModel::new(JointVariant::AttBoth, mc, 1);
+        pre.warm_start(&mut m, EmbedderKind::BertSum);
+        train(&mut m, &d.examples, &setting.seen_train, tc_ctx);
+        m
+    });
+    add_row("Att-Extractor + Att-Generator", &|ex| attboth.generate(ex));
+
+    let pipboth = timed("Pip-Extractor + Pip-Generator", || {
+        let mut m = JointModel::new(JointVariant::PipBoth, mc, 1);
+        pre.warm_start(&mut m, EmbedderKind::BertSum);
+        train(&mut m, &d.examples, &setting.seen_train, tc_ctx);
+        m
+    });
+    add_row("Pip-Extractor + Pip-Generator", &|ex| pipboth.generate(ex));
+
+    // Distilled students from the Joint-WB teacher.
+    let teacher = timed("Joint-WB teacher", || {
+        let mut t = JointModel::new(JointVariant::JointWb, mc, 1);
+        pre.warm_start(&mut t, EmbedderKind::BertSum);
+        train(&mut t, &d.examples, &setting.seen_train, tc_ctx);
+        t
+    });
+    let gen_view = JointGenerationTeacher(&teacher);
+    let cache = TeacherCache::build(&gen_view, &d.examples, &setting.split.train, dc.gamma);
+    let bank = PhraseBank::build(&gen_view, &phrase_bank_inputs(&d, &setting.seen));
+
+    for (name, parts) in
+        [("ID only", DistillParts::id_only()), ("UD only", DistillParts::ud_only())]
+    {
+        let student = timed(name, || {
+            let mut s = Generator::new(EmbedderKind::Static, false, mc, 9);
+            pre.warm_start(&mut s, EmbedderKind::Static);
+            let s = s;
+            let mut dd = DualDistill::new(s, cache.clone(), bank.clone(), dc, parts, 3)
+                .with_seen_topics(&setting.seen);
+            train(&mut dd, &d.examples, &setting.split.train, train_config(scale));
+            dd.into_student()
+        });
+        add_row(name, &|ex| student.generate(ex));
+    }
+
+    let tri = timed("Tri-Distill", || {
+        let jcache =
+            JointTeacherCache::build(&teacher, &d.examples, &setting.split.train, dc.gamma);
+        let mut student = JointModel::new(JointVariant::JointWb, mc, 9);
+        pre.warm_start(&mut student, EmbedderKind::BertSum);
+        let mut t = TriDistill::new(student, jcache, bank.clone(), dc, 3)
+            .with_seen_topics(&setting.seen);
+        train(&mut t, &d.examples, &setting.split.train, tc_ctx);
+        t.into_student()
+    });
+    add_row("Tri-Distill (our proposed)", &|ex| tri.generate(ex));
+
+    table.push_metrics("Full score", &[Some(2.0), Some(2.0), None, None]);
+    save_table(&table, "table10_human_eval");
+}

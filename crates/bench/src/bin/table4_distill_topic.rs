@@ -1,0 +1,119 @@
+//! Table IV — topic generation with different distillation methods:
+//! No Distill / ID only / UD only / Dual-Distill, evaluated on unseen,
+//! seen and all domains (EM and RM). Joint-WB is the teacher (§IV-A7-i).
+//!
+//! Run: `cargo run --release -p wb-bench --bin table4_distill_topic`
+//! Scale with `WB_SCALE={tiny,small,full}`.
+
+use wb_bench::*;
+use wb_core::{
+    train, DistillConfig, DistillParts, DualDistill, Generator, JointGenerationTeacher,
+    JointModel, JointVariant, PhraseBank, TeacherCache,
+};
+use wb_eval::{mcnemar, ResultTable};
+use wb_nn::EmbedderKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("Table IV at scale {}", scale.name());
+    let d = timed("dataset", || experiment_dataset(scale));
+    let setting = DistillSetting::new(&d, scale.n_unseen(), 7);
+    let mc = model_config(&d);
+    let tc = train_config_contextual(scale);
+    let mut distill_cfg = DistillConfig::default();
+    if let Ok(k) = std::env::var("WB_KAPPA") {
+        distill_cfg.kappa = k.parse().expect("WB_KAPPA must be a float");
+    }
+
+    // Embedder pre-training over the *seen* training pages (the teacher's
+    // world), shared by teacher and students.
+    let pre = pretrain_for(&d, &mc, &setting.seen_train, scale);
+
+    // Teacher: Joint-WB pre-trained on seen topics only.
+    let teacher = timed("teacher (Joint-WB, seen topics)", || {
+        let mut t = JointModel::new(JointVariant::JointWb, mc, 1);
+        pre.warm_start(&mut t, EmbedderKind::BertSum);
+        train(&mut t, &d.examples, &setting.seen_train, tc);
+        t
+    });
+    let gen_view = JointGenerationTeacher(&teacher);
+
+    // Frozen-teacher caches over the full training set and the seen-topic
+    // phrase bank.
+    let cache = timed("teacher cache", || {
+        TeacherCache::build(&gen_view, &d.examples, &setting.split.train, distill_cfg.gamma)
+    });
+    let bank = PhraseBank::build(&gen_view, &phrase_bank_inputs(&d, &setting.seen));
+
+    // Students distilled on all topics with the three loss configurations.
+    let mut students = Vec::new();
+    for (name, parts) in [
+        ("ID only", DistillParts::id_only()),
+        ("UD only", DistillParts::ud_only()),
+        ("Dual-Distill", DistillParts::dual()),
+    ] {
+        let student = timed(name, || {
+            // Students are the smaller static-embedding architecture — the
+            // classic KD compression setting (teacher: Joint-WB on MiniBert).
+            let mut s = Generator::new(EmbedderKind::Static, false, mc, 9);
+            pre.warm_start(&mut s, EmbedderKind::Static);
+            let s = s;
+            let mut dd =
+                DualDistill::new(s, cache.clone(), bank.clone(), distill_cfg, parts, 3)
+                    .with_seen_topics(&setting.seen);
+            train(&mut dd, &d.examples, &setting.split.train, train_config(scale));
+            dd.into_student()
+        });
+        students.push((name, student));
+    }
+
+    let mut table = ResultTable::new(
+        &format!(
+            "TABLE IV: Topic generation with different distillation methods (scale {}, {} seen / {} unseen topics)",
+            scale.name(),
+            setting.seen.len(),
+            setting.unseen.len()
+        ),
+        &["Method", "Unseen EM", "Unseen RM", "Seen EM", "Seen RM", "All EM", "All RM"],
+    );
+
+    let mut row = |name: &str, gen: &(dyn Fn(&wb_corpus::Example) -> Vec<u32> + Sync)| {
+        let (unseen, unseen_exact) = eval_generation(&d, &setting.test_unseen, gen);
+        let (seen, _) = eval_generation(&d, &setting.test_seen, gen);
+        let (all, _) = eval_generation(&d, &setting.split.test, gen);
+        table.push_metrics(
+            name,
+            &[
+                Some(unseen.em()),
+                Some(unseen.rm()),
+                Some(seen.em()),
+                Some(seen.rm()),
+                Some(all.em()),
+                Some(all.rm()),
+            ],
+        );
+        unseen_exact
+    };
+
+    let teacher_ref = &teacher;
+    let no_distill = row("No Distill", &|ex| teacher_ref.generate(ex));
+    let mut dual_exact = Vec::new();
+    for (name, student) in &students {
+        let exact = row(name, &|ex| student.generate(ex));
+        if *name == "Dual-Distill" {
+            dual_exact = exact;
+        }
+    }
+
+    save_table(&table, "table4_distill_topic");
+
+    let test = mcnemar(&dual_exact, &no_distill);
+    println!(
+        "McNemar (Dual-Distill vs No Distill, unseen EM): b={} c={} chi2={:.3} p={:.4}{}",
+        test.b,
+        test.c,
+        test.chi2,
+        test.p_value,
+        if test.significant(0.05) { "  (significant at 0.05)" } else { "" }
+    );
+}

@@ -1,0 +1,263 @@
+//! Table V — distillation methods applied to different teacher models on
+//! *unseen domains*: BERT-Single (two single-task teachers), Naive-Join and
+//! Joint-WB, with No Distill / Dual-Distill / Pip-Distill / Tri-Distill
+//! rows. Reports EM for topic generation and F1 for attribute extraction.
+//!
+//! Run: `cargo run --release -p wb-bench --bin table5_teachers`
+
+use wb_bench::*;
+use wb_core::{
+    train, DistillConfig, DistillParts, DualDistill, Extractor, ExtractorPriors, Generator,
+    JointExtractionTeacher, JointGenerationTeacher, JointModel, JointTeacherCache,
+    JointVariant, PhraseBank, TeacherCache, TriDistill,
+};
+use wb_corpus::{Dataset, Example};
+use wb_eval::ResultTable;
+use wb_nn::EmbedderKind;
+
+/// Per-teacher results: `(method, EM, F1)` rows.
+struct Column {
+    teacher_name: &'static str,
+    rows: Vec<(String, Option<f64>, Option<f64>)>,
+}
+
+/// Replaces every example's `topic_target` with a generated topic — the
+/// prior-feeding step of Pip-Distill.
+fn with_generated_topics(
+    d: &Dataset,
+    gen: &(dyn Fn(&Example) -> Vec<u32> + Sync),
+) -> Vec<Example> {
+    use rayon::prelude::*;
+    d.examples
+        .par_iter()
+        .map(|ex| {
+            let mut out = ex.clone();
+            let mut topic = gen(ex);
+            topic.push(wb_text::EOS);
+            out.topic_target = topic;
+            out
+        })
+        .collect()
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("Table V at scale {}", scale.name());
+    let d = timed("dataset", || experiment_dataset(scale));
+    let setting = DistillSetting::new(&d, scale.n_unseen(), 7);
+    let mc = model_config(&d);
+    let tc = train_config_contextual(scale);
+    let dc = DistillConfig::default();
+    let pre = pretrain_for(&d, &mc, &setting.seen_train, scale);
+    let mut columns: Vec<Column> = Vec::new();
+
+    // Helper: distill a generation student + an extraction student from a
+    // pair of teacher views, then Pip-Distill the extraction student with
+    // the generation student's outputs as topic priors.
+    let run_dual_and_pip =
+        |gen_teacher: &(dyn wb_core::DistillTeacher + Sync),
+         ext_teacher: &(dyn wb_core::DistillTeacher + Sync),
+         col: &mut Column| {
+            let gen_cache =
+                TeacherCache::build(gen_teacher, &d.examples, &setting.split.train, dc.gamma);
+            let gen_bank =
+                PhraseBank::build(gen_teacher, &phrase_bank_inputs(&d, &setting.seen));
+            let gen_student = timed("dual generation student", || {
+                let mut s = Generator::new(EmbedderKind::Static, false, mc, 9);
+                pre.warm_start(&mut s, EmbedderKind::Static);
+                let s = s;
+                let mut dd = DualDistill::new(
+                    s,
+                    gen_cache,
+                    gen_bank.clone(),
+                    dc,
+                    DistillParts::dual(),
+                    3,
+                )
+                .with_seen_topics(&setting.seen);
+                train(&mut dd, &d.examples, &setting.split.train, train_config(scale));
+                dd.into_student()
+            });
+
+            let ext_cache =
+                TeacherCache::build(ext_teacher, &d.examples, &setting.split.train, dc.gamma);
+            let ext_bank =
+                PhraseBank::build(ext_teacher, &phrase_bank_inputs(&d, &setting.seen));
+            let ext_student = timed("dual extraction student", || {
+                let mut s = Extractor::new(
+                    EmbedderKind::Static,
+                    ExtractorPriors::default(),
+                    mc,
+                    9,
+                );
+                pre.warm_start(&mut s, EmbedderKind::Static);
+                let s = s;
+                let mut dd = DualDistill::new(
+                    s,
+                    ext_cache.clone(),
+                    ext_bank.clone(),
+                    dc,
+                    DistillParts::dual(),
+                    3,
+                )
+                .with_seen_topics(&setting.seen);
+                train(&mut dd, &d.examples, &setting.split.train, train_config(scale));
+                dd.into_student()
+            });
+
+            let (gen_scores, _) =
+                eval_generation(&d, &setting.test_unseen, |ex| gen_student.generate(ex));
+            let ext_scores =
+                eval_extraction(&d, &setting.test_unseen, |ex| ext_student.predict(ex));
+            col.rows.push((
+                "Dual-Distill".into(),
+                Some(gen_scores.em()),
+                Some(ext_scores.f1()),
+            ));
+
+            // Pip-Distill: feed the generation student's topics as priors to
+            // a topic-aware extraction student.
+            let gen_ref = &gen_student;
+            let piped = with_generated_topics(&d, &|ex| gen_ref.generate(ex));
+            let pip_student = timed("pip extraction student", || {
+                let mut s = Extractor::new(
+                    EmbedderKind::Static,
+                    ExtractorPriors { section: false, topic: true },
+                    mc,
+                    9,
+                );
+                pre.warm_start(&mut s, EmbedderKind::Static);
+                let s = s;
+                let mut dd = DualDistill::new(
+                    s,
+                    ext_cache,
+                    ext_bank,
+                    dc,
+                    DistillParts::dual(),
+                    3,
+                )
+                .with_seen_topics(&setting.seen);
+                train(&mut dd, &piped, &setting.split.train, train_config(scale));
+                dd.into_student()
+            });
+            let pip_scores = {
+                use rayon::prelude::*;
+                let per: Vec<_> = setting
+                    .test_unseen
+                    .par_iter()
+                    .map(|&i| {
+                        let ex = &piped[i];
+                        let pred = wb_eval::bio_to_spans(&pip_student.predict(ex));
+                        let gold: Vec<(usize, usize)> =
+                            ex.attr_spans.iter().map(|&(_, s, e)| (s, e)).collect();
+                        let mut s = wb_eval::ExtractionScores::default();
+                        s.update(&pred, &gold);
+                        s
+                    })
+                    .collect();
+                let mut total = wb_eval::ExtractionScores::default();
+                for s in &per {
+                    total.merge(s);
+                }
+                total
+            };
+            col.rows.push(("Pip-Distill".into(), None, Some(pip_scores.f1())));
+        };
+
+    // --- Column 1: BERT-Single teachers ---
+    {
+        let mut col = Column { teacher_name: "BERT-Single", rows: Vec::new() };
+        let gen_teacher = timed("BERT-Single generation teacher", || {
+            let mut t = Generator::new(EmbedderKind::BertSum, false, mc, 1);
+            pre.warm_start(&mut t, EmbedderKind::BertSum);
+            train(&mut t, &d.examples, &setting.seen_train, tc);
+            t
+        });
+        let ext_teacher = timed("BERT-Single extraction teacher", || {
+            let mut t =
+                Extractor::new(EmbedderKind::BertSum, ExtractorPriors::default(), mc, 1);
+            pre.warm_start(&mut t, EmbedderKind::BertSum);
+            train(&mut t, &d.examples, &setting.seen_train, tc);
+            t
+        });
+        let (gen_nd, _) =
+            eval_generation(&d, &setting.test_unseen, |ex| gen_teacher.generate(ex));
+        let ext_nd = eval_extraction(&d, &setting.test_unseen, |ex| ext_teacher.predict(ex));
+        col.rows.push(("No Distill".into(), Some(gen_nd.em()), Some(ext_nd.f1())));
+        run_dual_and_pip(&gen_teacher, &ext_teacher, &mut col);
+        col.rows.push(("Tri-Distill".into(), None, None)); // needs a joint teacher
+        columns.push(col);
+    }
+
+    // --- Columns 2 and 3: joint teachers ---
+    for (teacher_name, variant) in [
+        ("Naive-Join", JointVariant::NaiveJoin),
+        ("Joint-WB", JointVariant::JointWb),
+    ] {
+        let mut col = Column { teacher_name, rows: Vec::new() };
+        let teacher = timed(teacher_name, || {
+            let mut t = JointModel::new(variant, mc, 1);
+            pre.warm_start(&mut t, EmbedderKind::BertSum);
+            train(&mut t, &d.examples, &setting.seen_train, tc);
+            t
+        });
+        let (gen_nd, _) = eval_generation(&d, &setting.test_unseen, |ex| teacher.generate(ex));
+        let ext_nd = eval_extraction(&d, &setting.test_unseen, |ex| teacher.predict_tags(ex));
+        col.rows.push(("No Distill".into(), Some(gen_nd.em()), Some(ext_nd.f1())));
+
+        let gen_view = JointGenerationTeacher(&teacher);
+        let ext_view = JointExtractionTeacher(&teacher);
+        run_dual_and_pip(&gen_view, &ext_view, &mut col);
+
+        // Tri-Distill: a joint student distilled across both tasks.
+        let tri_student = timed("tri student", || {
+            let cache =
+                JointTeacherCache::build(&teacher, &d.examples, &setting.split.train, dc.gamma);
+            let bank = PhraseBank::build(&gen_view, &phrase_bank_inputs(&d, &setting.seen));
+            let mut student = JointModel::new(variant, mc, 9);
+            pre.warm_start(&mut student, EmbedderKind::BertSum);
+            let mut tri =
+                TriDistill::new(student, cache, bank, dc, 3).with_seen_topics(&setting.seen);
+            train(&mut tri, &d.examples, &setting.split.train, tc);
+            tri.into_student()
+        });
+        let (tri_gen, _) =
+            eval_generation(&d, &setting.test_unseen, |ex| tri_student.generate(ex));
+        let tri_ext =
+            eval_extraction(&d, &setting.test_unseen, |ex| tri_student.predict_tags(ex));
+        col.rows.push(("Tri-Distill".into(), Some(tri_gen.em()), Some(tri_ext.f1())));
+        columns.push(col);
+    }
+
+    // Assemble the table: columns (teacher, metric) × rows (method).
+    let mut header: Vec<String> = vec!["Method".into()];
+    for col in &columns {
+        header.push(format!("{} EM", col.teacher_name));
+        header.push(format!("{} F1", col.teacher_name));
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = ResultTable::new(
+        &format!(
+            "TABLE V: Performance on previously unseen domains with different teacher models (scale {})",
+            scale.name()
+        ),
+        &header_refs,
+    );
+    for method in ["No Distill", "Dual-Distill", "Pip-Distill", "Tri-Distill"] {
+        let mut metrics: Vec<Option<f64>> = Vec::new();
+        for col in &columns {
+            match col.rows.iter().find(|(m, _, _)| m == method) {
+                Some((_, em, f1)) => {
+                    metrics.push(*em);
+                    metrics.push(*f1);
+                }
+                None => {
+                    metrics.push(None);
+                    metrics.push(None);
+                }
+            }
+        }
+        table.push_metrics(method, &metrics);
+    }
+    save_table(&table, "table5_teachers");
+}

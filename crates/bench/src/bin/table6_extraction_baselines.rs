@@ -1,0 +1,70 @@
+//! Table VI — key attribute extraction on seen domains: single-task
+//! baselines (`{GloVe,BERT,BERTSUM} → Bi-LSTM`, plus `+prior section` /
+//! `+prior topic`) against Joint-WB. Reports precision / recall / F1.
+//!
+//! Run: `cargo run --release -p wb-bench --bin table6_extraction_baselines`
+
+use wb_bench::*;
+use wb_core::{train, Extractor, ExtractorPriors, JointModel, JointVariant};
+use wb_eval::ResultTable;
+use wb_nn::EmbedderKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("Table VI at scale {}", scale.name());
+    let d = timed("dataset", || experiment_dataset(scale));
+    let split = d.split(7);
+    let mc = model_config(&d);
+    let pre = pretrain_for(&d, &mc, &split.train, scale);
+
+    let mut table = ResultTable::new(
+        &format!("TABLE VI: Comparison with single-task models for key attribute extraction (scale {})", scale.name()),
+        &["Method", "P", "R", "F1"],
+    );
+
+    let rows: Vec<(&str, EmbedderKind, ExtractorPriors)> = vec![
+        ("GloVe->Bi-LSTM", EmbedderKind::Static, ExtractorPriors::default()),
+        ("BERT->Bi-LSTM", EmbedderKind::Bert, ExtractorPriors::default()),
+        ("BERTSUM->Bi-LSTM", EmbedderKind::BertSum, ExtractorPriors::default()),
+        (
+            "BERTSUM->Bi-LSTM +prior section",
+            EmbedderKind::BertSum,
+            ExtractorPriors { section: true, topic: false },
+        ),
+        (
+            "BERTSUM->Bi-LSTM +prior topic",
+            EmbedderKind::BertSum,
+            ExtractorPriors { section: false, topic: true },
+        ),
+    ];
+
+    for (name, kind, priors) in rows {
+        let model = timed(name, || {
+            let mut m = Extractor::new(kind, priors, mc, 1);
+            pre.warm_start(&mut m, kind);
+            let tc = if kind == EmbedderKind::Static {
+                train_config(scale)
+            } else {
+                train_config_contextual(scale)
+            };
+            train(&mut m, &d.examples, &split.train, tc);
+            m
+        });
+        let s = eval_extraction(&d, &split.test, |ex| model.predict(ex));
+        table.push_metrics(name, &[Some(s.precision()), Some(s.recall()), Some(s.f1())]);
+    }
+
+    let joint = timed("Joint-WB", || {
+        let mut m = JointModel::new(JointVariant::JointWb, mc, 1);
+        pre.warm_start(&mut m, EmbedderKind::BertSum);
+        train(&mut m, &d.examples, &split.train, train_config_contextual(scale));
+        m
+    });
+    let s = eval_extraction(&d, &split.test, |ex| joint.predict_tags(ex));
+    table.push_metrics(
+        "Joint-WB (our proposed)",
+        &[Some(s.precision()), Some(s.recall()), Some(s.f1())],
+    );
+
+    save_table(&table, "table6_extraction_baselines");
+}

@@ -1,0 +1,77 @@
+//! Table VII — topic generation on seen domains: single-task baselines
+//! (`{GloVe,BERT,BERTSUM} → [Bi-LSTM, LSTM]`, plus `+prior section`)
+//! against Joint-WB. Reports EM / RM plus McNemar vs the best baseline.
+//!
+//! Run: `cargo run --release -p wb-bench --bin table7_generation_baselines`
+
+use wb_bench::*;
+use wb_core::{train, Generator, JointModel, JointVariant};
+use wb_eval::{mcnemar, ResultTable};
+use wb_nn::EmbedderKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("Table VII at scale {}", scale.name());
+    let d = timed("dataset", || experiment_dataset(scale));
+    let split = d.split(7);
+    let mc = model_config(&d);
+    let pre = pretrain_for(&d, &mc, &split.train, scale);
+
+    let mut table = ResultTable::new(
+        &format!(
+            "TABLE VII: Comparison with single-task models for topic generation (scale {})",
+            scale.name()
+        ),
+        &["Method", "EM", "RM"],
+    );
+
+    let rows: Vec<(&str, EmbedderKind, bool)> = vec![
+        ("GloVe->[Bi-LSTM, LSTM]", EmbedderKind::Static, false),
+        ("BERT->[Bi-LSTM, LSTM]", EmbedderKind::Bert, false),
+        ("BERTSUM->[Bi-LSTM, LSTM]", EmbedderKind::BertSum, false),
+        ("BERTSUM->[Bi-LSTM, LSTM] +prior section", EmbedderKind::BertSum, true),
+    ];
+
+    let mut best_baseline: Option<(f64, Vec<bool>)> = None;
+    for (name, kind, prior_section) in rows {
+        let model = timed(name, || {
+            let mut m = Generator::new(kind, prior_section, mc, 1);
+            pre.warm_start(&mut m, kind);
+            let tc = if kind == EmbedderKind::Static {
+                train_config(scale)
+            } else {
+                train_config_contextual(scale)
+            };
+            train(&mut m, &d.examples, &split.train, tc);
+            m
+        });
+        let (s, exact) = eval_generation(&d, &split.test, |ex| model.generate(ex));
+        table.push_metrics(name, &[Some(s.em()), Some(s.rm())]);
+        if best_baseline.as_ref().map(|(em, _)| s.em() > *em).unwrap_or(true) {
+            best_baseline = Some((s.em(), exact));
+        }
+    }
+
+    let joint = timed("Joint-WB", || {
+        let mut m = JointModel::new(JointVariant::JointWb, mc, 1);
+        pre.warm_start(&mut m, EmbedderKind::BertSum);
+        train(&mut m, &d.examples, &split.train, train_config_contextual(scale));
+        m
+    });
+    let (s, joint_exact) = eval_generation(&d, &split.test, |ex| joint.generate(ex));
+    table.push_metrics("Joint-WB (our proposed)", &[Some(s.em()), Some(s.rm())]);
+
+    save_table(&table, "table7_generation_baselines");
+
+    if let Some((_, base_exact)) = best_baseline {
+        let t = mcnemar(&joint_exact, &base_exact);
+        println!(
+            "McNemar (Joint-WB vs best single-task baseline, EM): b={} c={} chi2={:.3} p={:.4}{}",
+            t.b,
+            t.c,
+            t.chi2,
+            t.p_value,
+            if t.significant(0.05) { "  (significant at 0.05)" } else { "" }
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Tables VIII and IX — the joint-model grid on seen domains: Naive-Join,
+//! Con-/Ave-/Att-Extractor, Att-Extractor+Att-Generator,
+//! Pip-Extractor+Pip-Generator and Joint-WB, reporting attribute extraction
+//! (P/R/F1, Table VIII) and topic generation (EM/RM, Table IX) from the
+//! *same* trained models.
+//!
+//! Run: `cargo run --release -p wb-bench --bin table8_9_joint`
+
+use wb_bench::*;
+use wb_core::{train, JointModel, JointVariant};
+use wb_eval::ResultTable;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("Tables VIII/IX at scale {}", scale.name());
+    let d = timed("dataset", || experiment_dataset(scale));
+    let split = d.split(7);
+    let mc = model_config(&d);
+    let tc = train_config_contextual(scale);
+    let pre = pretrain_for(&d, &mc, &split.train, scale);
+
+    let variants = [
+        JointVariant::NaiveJoin,
+        JointVariant::ConExtractor,
+        JointVariant::AveExtractor,
+        JointVariant::AttExtractor,
+        JointVariant::AttBoth,
+        JointVariant::PipBoth,
+        JointVariant::JointWb,
+    ];
+
+    let mut table8 = ResultTable::new(
+        &format!(
+            "TABLE VIII: Comparison with joint models for key attribute extraction (scale {})",
+            scale.name()
+        ),
+        &["Method", "P", "R", "F1"],
+    );
+    let mut table9 = ResultTable::new(
+        &format!(
+            "TABLE IX: Comparison with joint models for topic generation (scale {})",
+            scale.name()
+        ),
+        &["Method", "EM", "RM"],
+    );
+
+    for variant in variants {
+        let model = timed(variant.name(), || {
+            let mut m = JointModel::new(variant, mc, 1);
+            pre.warm_start(&mut m, wb_nn::EmbedderKind::BertSum);
+            train(&mut m, &d.examples, &split.train, tc);
+            m
+        });
+        let ext = eval_extraction(&d, &split.test, |ex| model.predict_tags(ex));
+        table8.push_metrics(
+            variant.name(),
+            &[Some(ext.precision()), Some(ext.recall()), Some(ext.f1())],
+        );
+        let (gen, _) = eval_generation(&d, &split.test, |ex| model.generate(ex));
+        table9.push_metrics(variant.name(), &[Some(gen.em()), Some(gen.rm())]);
+    }
+
+    save_table(&table8, "table8_joint_extraction");
+    save_table(&table9, "table9_joint_generation");
+}

@@ -1,0 +1,298 @@
+//! The user-facing Webpage Briefing API: feed HTML in, get the hierarchical
+//! brief out — the broad topic at the top, key attributes below it
+//! (Fig. 1 of the paper).
+
+use crate::joint::{JointModel, JointVariant};
+use crate::{ModelConfig, TrainConfig};
+use wb_corpus::{AttrKind, Dataset, Example, TopicId};
+use wb_eval::bio_to_spans;
+use wb_html::parse_document;
+use wb_text::{split_sentences, WordPiece, CLS};
+
+/// One extracted key attribute.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BriefAttribute {
+    /// Predicted attribute name (the paper's future-work extension: we
+    /// infer it from the cue phrase preceding the span; `"attribute"` when
+    /// no cue matches).
+    pub name: String,
+    /// The extracted value text.
+    pub value: String,
+}
+
+/// A hierarchical webpage brief, following the paper's Fig. 1: the broad
+/// topic at the top, then the high-level key attribute (a more precise
+/// category of the page), then the detailed key attributes.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Brief {
+    /// Level 1: the generated broad topic of the webpage.
+    pub topic: String,
+    /// Level 2: the high-level key attribute — the page's precise category,
+    /// when one of the extracted attributes was introduced by a category
+    /// cue.
+    pub category: Option<String>,
+    /// Level 3: the remaining detailed key attributes, in document order.
+    pub attributes: Vec<BriefAttribute>,
+    /// Sentence indices the model considers informative (when the model has
+    /// a section predictor).
+    pub informative_sentences: Vec<usize>,
+}
+
+impl Brief {
+    /// Renders the brief as the hierarchy shown in the paper's Fig. 1.
+    pub fn render(&self) -> String {
+        let mut out = format!("Topic: {}\n", self.topic);
+        if let Some(cat) = &self.category {
+            out.push_str(&format!("  Category: {cat}\n"));
+        }
+        for a in &self.attributes {
+            out.push_str(&format!("  - {}: {}\n", a.name, a.value));
+        }
+        out
+    }
+
+    /// Number of hierarchy levels present (1–3).
+    pub fn depth(&self) -> usize {
+        1 + usize::from(self.category.is_some()) + usize::from(!self.attributes.is_empty())
+    }
+}
+
+/// Errors from [`Briefer::brief_html`].
+#[derive(Debug)]
+pub enum BriefError {
+    /// The HTML could not be parsed.
+    Parse(wb_html::ParseError),
+    /// The page has no visible text to brief.
+    EmptyPage,
+}
+
+impl std::fmt::Display for BriefError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BriefError::Parse(e) => write!(f, "failed to parse page: {e}"),
+            BriefError::EmptyPage => write!(f, "page has no visible text"),
+        }
+    }
+}
+
+impl std::error::Error for BriefError {}
+
+/// Encodes raw sentences into an unlabelled [`Example`] for inference.
+pub fn encode_text(sentences: &[String], wp: &WordPiece) -> Example {
+    let mut tokens = Vec::new();
+    let mut cls_positions = Vec::new();
+    let mut sentence_of = Vec::new();
+    for (s_idx, sent) in sentences.iter().enumerate() {
+        cls_positions.push(tokens.len());
+        tokens.push(CLS);
+        sentence_of.push(s_idx);
+        for id in wp.encode(sent) {
+            tokens.push(id);
+            sentence_of.push(s_idx);
+        }
+    }
+    let n = tokens.len();
+    let m = cls_positions.len();
+    Example {
+        topic: TopicId(0),
+        tokens,
+        cls_positions,
+        sentence_of,
+        bio: vec![0; n],
+        informative: vec![false; m],
+        topic_target: vec![wb_text::EOS],
+        attr_spans: Vec::new(),
+    }
+}
+
+/// A trained briefing pipeline: tokenizer + Joint-WB model.
+pub struct Briefer {
+    model: JointModel,
+    tokenizer: WordPiece,
+}
+
+impl Briefer {
+    /// Trains a Joint-WB model on a dataset's training split.
+    pub fn train(dataset: &Dataset, train_cfg: TrainConfig, seed: u64) -> Briefer {
+        let model_cfg = ModelConfig::scaled(dataset.tokenizer.vocab().len());
+        Self::train_with(dataset, model_cfg, train_cfg, seed)
+    }
+
+    /// Trains with an explicit model configuration.
+    pub fn train_with(
+        dataset: &Dataset,
+        model_cfg: ModelConfig,
+        train_cfg: TrainConfig,
+        seed: u64,
+    ) -> Briefer {
+        let mut model = JointModel::new(JointVariant::JointWb, model_cfg, seed);
+        let split = dataset.split(train_cfg.seed);
+        crate::trainer::train(&mut model, &dataset.examples, &split.train, train_cfg);
+        Briefer { model, tokenizer: dataset.tokenizer.clone() }
+    }
+
+    /// Wraps an already-trained joint model.
+    pub fn from_model(model: JointModel, tokenizer: WordPiece) -> Briefer {
+        Briefer { model, tokenizer }
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &JointModel {
+        &self.model
+    }
+
+    /// Briefs a raw HTML page.
+    pub fn brief_html(&self, html: &str) -> Result<Brief, BriefError> {
+        let dom = parse_document(html).map_err(BriefError::Parse)?;
+        let text = wb_html::visible_text(&dom);
+        let sentences = split_sentences(&text);
+        if sentences.is_empty() {
+            return Err(BriefError::EmptyPage);
+        }
+        let ex = encode_text(&sentences, &self.tokenizer);
+        Ok(self.brief_example(&ex))
+    }
+
+    /// Briefs an already-encoded example.
+    pub fn brief_example(&self, ex: &Example) -> Brief {
+        let topic_ids = self.model.generate(ex);
+        let topic = self.tokenizer.decode_ids(&topic_ids).join(" ");
+        let tags = self.model.predict_tags(ex);
+        let mut category = None;
+        let mut attributes: Vec<BriefAttribute> = Vec::new();
+        for (s, e) in bio_to_spans(&tags) {
+            let value = self.tokenizer.decode_ids(&ex.tokens[s..e]).join(" ");
+            let name = infer_attribute_name(&self.tokenizer, ex, s);
+            // The category attribute is promoted to its own hierarchy level
+            // (the paper's "high-level key attribute").
+            if name == "category" && category.is_none() {
+                category = Some(value);
+            } else {
+                attributes.push(BriefAttribute { name, value });
+            }
+        }
+        let informative_sentences = self
+            .model
+            .predict_sections(ex)
+            .map(|flags| {
+                flags
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &f)| f)
+                    .map(|(i, _)| i)
+                    .collect()
+            })
+            .unwrap_or_default();
+        Brief { topic, category, attributes, informative_sentences }
+    }
+}
+
+/// Infers an attribute name from the cue words preceding a span — the
+/// paper's future-work extension ("we plan to predict attribute names for
+/// key attributes").
+fn infer_attribute_name(wp: &WordPiece, ex: &Example, span_start: usize) -> String {
+    let window_start = span_start.saturating_sub(4);
+    let before: Vec<String> = wp.decode_ids(&ex.tokens[window_start..span_start]);
+    let before_text = before.join(" ");
+    // All cue phrases from the taxonomy, matched by suffix.
+    for kind in ALL_KINDS {
+        let cue = kind.cue();
+        if before_text.ends_with(cue) || before_text.ends_with(cue.trim_end_matches(" $")) {
+            return kind.name().to_string();
+        }
+    }
+    "attribute".to_string()
+}
+
+const ALL_KINDS: [AttrKind; 22] = [
+    AttrKind::Category,
+    AttrKind::ItemName,
+    AttrKind::Maker,
+    AttrKind::Price,
+    AttrKind::Headline,
+    AttrKind::Author,
+    AttrKind::Date,
+    AttrKind::JobTitle,
+    AttrKind::Company,
+    AttrKind::Salary,
+    AttrKind::CourseName,
+    AttrKind::Instructor,
+    AttrKind::Fee,
+    AttrKind::Destination,
+    AttrKind::Hotel,
+    AttrKind::Condition,
+    AttrKind::Specialist,
+    AttrKind::Clinic,
+    AttrKind::PropertyName,
+    AttrKind::Agent,
+    AttrKind::EventName,
+    AttrKind::Venue,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wb_corpus::DatasetConfig;
+
+    #[test]
+    fn encode_text_structure() {
+        let d = Dataset::generate(&DatasetConfig::tiny());
+        let ex = encode_text(&["hello world .".into(), "more text .".into()], &d.tokenizer);
+        assert_eq!(ex.cls_positions.len(), 2);
+        assert_eq!(ex.tokens[0], CLS);
+        assert_eq!(ex.tokens.len(), ex.sentence_of.len());
+        assert_eq!(ex.tokens.len(), ex.bio.len());
+    }
+
+    #[test]
+    fn brief_renders_hierarchy() {
+        let b = Brief {
+            topic: "fiction goods shopping".into(),
+            category: Some("fiction".into()),
+            attributes: vec![
+                BriefAttribute { name: "price".into(), value: "<digit>".into() },
+                BriefAttribute { name: "maker".into(), value: "emma smith".into() },
+            ],
+            informative_sentences: vec![2, 3],
+        };
+        let r = b.render();
+        assert!(r.starts_with("Topic: fiction goods shopping"));
+        assert!(r.contains("  Category: fiction"));
+        assert!(r.contains("- price: <digit>"));
+        assert_eq!(b.depth(), 3);
+    }
+
+    #[test]
+    fn untrained_briefer_still_produces_well_formed_output() {
+        let d = Dataset::generate(&DatasetConfig::tiny());
+        let cfg = ModelConfig::scaled(d.tokenizer.vocab().len());
+        let model = JointModel::new(JointVariant::JointWb, cfg, 0);
+        let briefer = Briefer::from_model(model, d.tokenizer.clone());
+        let html = "<html><body><section><p>Great velcro books, price : $ 40.13 today.</p>\
+                    </section></body></html>";
+        let brief = briefer.brief_html(html).expect("briefing should succeed");
+        assert!(brief.topic.split(' ').count() <= cfg.max_topic_len);
+    }
+
+    #[test]
+    fn empty_page_is_an_error() {
+        let d = Dataset::generate(&DatasetConfig::tiny());
+        let cfg = ModelConfig::scaled(d.tokenizer.vocab().len());
+        let model = JointModel::new(JointVariant::JointWb, cfg, 0);
+        let briefer = Briefer::from_model(model, d.tokenizer.clone());
+        assert!(matches!(
+            briefer.brief_html("<html><head><title>x</title></head></html>"),
+            Err(BriefError::EmptyPage)
+        ));
+    }
+
+    #[test]
+    fn attribute_name_inference_matches_cues() {
+        let d = Dataset::generate(&DatasetConfig::tiny());
+        let ex = encode_text(&["special , price : $ 42 today .".into()], &d.tokenizer);
+        // Find the <digit> token (the 42).
+        let digit_id = d.tokenizer.vocab().id("<digit>").unwrap();
+        let pos = ex.tokens.iter().position(|&t| t == digit_id).unwrap();
+        assert_eq!(infer_attribute_name(&d.tokenizer, &ex, pos), "price");
+    }
+}

@@ -1,0 +1,269 @@
+//! Model checkpointing: save a trained model (architecture metadata +
+//! parameter store) to JSON and restore it exactly. Architectures are
+//! reconstructed from their configuration, then the parameter values are
+//! copied in — parameter *names* are checked, so loading into a mismatched
+//! architecture fails loudly instead of silently misassigning weights.
+
+use crate::extractor::{Extractor, ExtractorPriors};
+use crate::generator::Generator;
+use crate::joint::{JointModel, JointVariant};
+use crate::trainer::TrainableModel;
+use crate::ModelConfig;
+use std::io;
+use std::path::Path;
+use wb_nn::EmbedderKind;
+use wb_tensor::Params;
+use wb_text::WordPiece;
+
+/// Serialisable snapshot of any model in this crate.
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum Checkpoint {
+    /// A joint model.
+    Joint {
+        /// The joint variant.
+        variant: JointVariant,
+        /// Architecture configuration.
+        config: ModelConfig,
+        /// Parameter values.
+        params: Params,
+    },
+    /// A single-task extractor.
+    Extractor {
+        /// Embedding method.
+        kind: EmbedderKind,
+        /// Prior-knowledge inputs (`+prior section` / `+prior topic`).
+        section_prior: bool,
+        /// Topic prior flag.
+        topic_prior: bool,
+        /// Architecture configuration.
+        config: ModelConfig,
+        /// Parameter values.
+        params: Params,
+    },
+    /// A single-task generator.
+    Generator {
+        /// Embedding method.
+        kind: EmbedderKind,
+        /// `+prior section` flag.
+        section_prior: bool,
+        /// Architecture configuration.
+        config: ModelConfig,
+        /// Parameter values.
+        params: Params,
+    },
+    /// A full briefing pipeline: a joint model plus its tokenizer.
+    Briefer {
+        /// The joint variant.
+        variant: JointVariant,
+        /// Architecture configuration.
+        config: ModelConfig,
+        /// Parameter values.
+        params: Params,
+        /// The trained tokenizer.
+        tokenizer: WordPiece,
+    },
+}
+
+impl Checkpoint {
+    /// Writes the checkpoint as JSON.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let json = serde_json::to_string(self).map_err(io::Error::other)?;
+        std::fs::write(path, json)
+    }
+
+    /// Reads a checkpoint from JSON.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Checkpoint> {
+        let json = std::fs::read_to_string(path)?;
+        serde_json::from_str(&json).map_err(io::Error::other)
+    }
+}
+
+/// Errors when restoring a model from a checkpoint.
+#[derive(Debug)]
+pub enum RestoreError {
+    /// The checkpoint holds a different model kind.
+    WrongKind,
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::WrongKind => write!(f, "checkpoint holds a different model kind"),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+impl JointModel {
+    /// Snapshots this model.
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint::Joint {
+            variant: self.variant(),
+            config: *self.config(),
+            params: self.params().clone(),
+        }
+    }
+
+    /// Restores a joint model from a checkpoint.
+    pub fn from_checkpoint(ckpt: &Checkpoint) -> Result<JointModel, RestoreError> {
+        match ckpt {
+            Checkpoint::Joint { variant, config, params }
+            | Checkpoint::Briefer { variant, config, params, .. } => {
+                let mut m = JointModel::new(*variant, *config, 0);
+                m.params_mut().copy_from(params);
+                Ok(m)
+            }
+            _ => Err(RestoreError::WrongKind),
+        }
+    }
+}
+
+impl Extractor {
+    /// Snapshots this model. The prior flags must be supplied by the caller
+    /// because they are construction-time choices.
+    pub fn checkpoint(&self, kind: EmbedderKind, priors: ExtractorPriors) -> Checkpoint {
+        Checkpoint::Extractor {
+            kind,
+            section_prior: priors.section,
+            topic_prior: priors.topic,
+            config: *self.config(),
+            params: self.params().clone(),
+        }
+    }
+
+    /// Restores an extractor from a checkpoint.
+    pub fn from_checkpoint(ckpt: &Checkpoint) -> Result<Extractor, RestoreError> {
+        match ckpt {
+            Checkpoint::Extractor { kind, section_prior, topic_prior, config, params } => {
+                let mut m = Extractor::new(
+                    *kind,
+                    ExtractorPriors { section: *section_prior, topic: *topic_prior },
+                    *config,
+                    0,
+                );
+                m.params_mut().copy_from(params);
+                Ok(m)
+            }
+            _ => Err(RestoreError::WrongKind),
+        }
+    }
+}
+
+impl Generator {
+    /// Snapshots this model.
+    pub fn checkpoint(&self, kind: EmbedderKind, section_prior: bool) -> Checkpoint {
+        Checkpoint::Generator {
+            kind,
+            section_prior,
+            config: *self.config(),
+            params: self.params().clone(),
+        }
+    }
+
+    /// Restores a generator from a checkpoint.
+    pub fn from_checkpoint(ckpt: &Checkpoint) -> Result<Generator, RestoreError> {
+        match ckpt {
+            Checkpoint::Generator { kind, section_prior, config, params } => {
+                let mut m = Generator::new(*kind, *section_prior, *config, 0);
+                m.params_mut().copy_from(params);
+                Ok(m)
+            }
+            _ => Err(RestoreError::WrongKind),
+        }
+    }
+}
+
+impl crate::briefer::Briefer {
+    /// Snapshots the full briefing pipeline (model + tokenizer).
+    pub fn checkpoint(&self, tokenizer: &WordPiece) -> Checkpoint {
+        Checkpoint::Briefer {
+            variant: self.model().variant(),
+            config: *self.model().config(),
+            params: self.model().params().clone(),
+            tokenizer: tokenizer.clone(),
+        }
+    }
+
+    /// Restores a briefer from a checkpoint.
+    pub fn from_checkpoint(ckpt: &Checkpoint) -> Result<crate::briefer::Briefer, RestoreError> {
+        match ckpt {
+            Checkpoint::Briefer { tokenizer, .. } => {
+                let model = JointModel::from_checkpoint(ckpt)?;
+                Ok(crate::briefer::Briefer::from_model(model, tokenizer.clone()))
+            }
+            _ => Err(RestoreError::WrongKind),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wb_corpus::{Dataset, DatasetConfig};
+
+    fn tiny() -> Dataset {
+        Dataset::generate(&DatasetConfig::tiny())
+    }
+
+    #[test]
+    fn joint_checkpoint_roundtrips_predictions() {
+        let d = tiny();
+        let mc = ModelConfig::scaled(d.tokenizer.vocab().len());
+        let m = JointModel::new(JointVariant::JointWb, mc, 5);
+        let dir = std::env::temp_dir().join("wb_ckpt_joint.json");
+        m.checkpoint().save(&dir).unwrap();
+        let restored = JointModel::from_checkpoint(&Checkpoint::load(&dir).unwrap()).unwrap();
+        let ex = &d.examples[0];
+        assert_eq!(m.predict_tags(ex), restored.predict_tags(ex));
+        assert_eq!(m.generate(ex), restored.generate(ex));
+        let _ = std::fs::remove_file(dir);
+    }
+
+    #[test]
+    fn generator_checkpoint_roundtrips() {
+        let d = tiny();
+        let mc = ModelConfig::scaled(d.tokenizer.vocab().len());
+        let m = Generator::new(EmbedderKind::Static, true, mc, 5);
+        let ckpt = m.checkpoint(EmbedderKind::Static, true);
+        let restored = Generator::from_checkpoint(&ckpt).unwrap();
+        let ex = &d.examples[1];
+        assert_eq!(m.generate(ex), restored.generate(ex));
+    }
+
+    #[test]
+    fn extractor_checkpoint_roundtrips() {
+        let d = tiny();
+        let mc = ModelConfig::scaled(d.tokenizer.vocab().len());
+        let priors = ExtractorPriors { section: true, topic: false };
+        let m = Extractor::new(EmbedderKind::Bert, priors, mc, 5);
+        let ckpt = m.checkpoint(EmbedderKind::Bert, priors);
+        let restored = Extractor::from_checkpoint(&ckpt).unwrap();
+        let ex = &d.examples[2];
+        assert_eq!(m.predict(ex), restored.predict(ex));
+    }
+
+    #[test]
+    fn wrong_kind_is_rejected() {
+        let d = tiny();
+        let mc = ModelConfig::scaled(d.tokenizer.vocab().len());
+        let m = Generator::new(EmbedderKind::Static, false, mc, 5);
+        let ckpt = m.checkpoint(EmbedderKind::Static, false);
+        assert!(JointModel::from_checkpoint(&ckpt).is_err());
+        assert!(Extractor::from_checkpoint(&ckpt).is_err());
+    }
+
+    #[test]
+    fn briefer_checkpoint_roundtrips_briefs() {
+        let d = tiny();
+        let mc = ModelConfig::scaled(d.tokenizer.vocab().len());
+        let briefer = crate::briefer::Briefer::from_model(
+            JointModel::new(JointVariant::JointWb, mc, 5),
+            d.tokenizer.clone(),
+        );
+        let ckpt = briefer.checkpoint(&d.tokenizer);
+        let restored = crate::briefer::Briefer::from_checkpoint(&ckpt).unwrap();
+        let ex = &d.examples[0];
+        assert_eq!(briefer.brief_example(ex), restored.brief_example(ex));
+    }
+}

@@ -1,0 +1,170 @@
+//! Model and training hyperparameters.
+//!
+//! The paper's values (§IV-A5): LSTM hidden 108, dropout 0.2, Adam with
+//! β₁ = 0.9 / β₂ = 0.999, lr 0.1 with decay 0.1, clipping 0.1, 2,000 warm-up
+//! steps, batch 4–16, beam size 200 / depth 4, α = 0.1, γ = 2, λ = 0.1,
+//! μ = 1, ν = 2.25. The CPU-scale defaults shrink widths and the beam but
+//! keep every loss weight (see DESIGN.md §6).
+
+/// Architecture hyperparameters shared by all models.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ModelConfig {
+    /// Tokenizer vocabulary size.
+    pub vocab: usize,
+    /// Embedding width.
+    pub dim: usize,
+    /// LSTM hidden width per direction.
+    pub hidden: usize,
+    /// Decoder hidden width.
+    pub dec_hidden: usize,
+    /// Dropout rate (paper: 0.2).
+    pub dropout: f32,
+    /// Contextual-encoder sub-document length (paper: 512).
+    pub max_len: usize,
+    /// Number of transformer blocks in MiniBert.
+    pub bert_layers: usize,
+    /// Maximum decoded topic length including `[EOS]` (paper depth: 4).
+    pub max_topic_len: usize,
+    /// Beam width for inference (paper: 200; scaled default: 4).
+    pub beam: usize,
+    /// Whether the section predictor uses the Markov dependency mechanism
+    /// (eq. 13: sentence `j` looks at `j−1` and `j+1`). Disabled only by
+    /// the ablation study; the paper's model always uses it.
+    pub markov_sections: bool,
+}
+
+impl ModelConfig {
+    /// CPU-scale configuration used by tests and experiments.
+    pub fn scaled(vocab: usize) -> Self {
+        ModelConfig {
+            vocab,
+            dim: 20,
+            hidden: 16,
+            dec_hidden: 20,
+            dropout: 0.2,
+            max_len: 192,
+            bert_layers: 1,
+            max_topic_len: 6,
+            beam: 4,
+            markov_sections: true,
+        }
+    }
+
+    /// The paper's configuration (hidden 108, 512-token sub-documents,
+    /// beam 200/depth 4). Running this end-to-end requires hours of CPU
+    /// time; it exists so the full-scale protocol is expressible.
+    pub fn paper(vocab: usize) -> Self {
+        ModelConfig {
+            vocab,
+            dim: 108,
+            hidden: 108,
+            dec_hidden: 108,
+            dropout: 0.2,
+            max_len: 512,
+            bert_layers: 2,
+            max_topic_len: 4,
+            beam: 200,
+            markov_sections: true,
+        }
+    }
+}
+
+/// Training-loop hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Minibatch size (paper: 4 for document-level models, 16 for BERT).
+    pub batch_size: usize,
+    /// Base learning rate.
+    pub lr: f32,
+    /// Per-epoch learning-rate decay.
+    pub decay: f32,
+    /// Gradient clipping (global norm).
+    pub clip: f32,
+    /// Linear warm-up steps.
+    pub warmup: usize,
+    /// RNG seed (dropout masks, shuffling).
+    pub seed: u64,
+}
+
+impl TrainConfig {
+    /// CPU-scale defaults.
+    pub fn scaled(epochs: usize) -> Self {
+        TrainConfig {
+            epochs,
+            batch_size: 8,
+            lr: 0.02,
+            decay: 0.92,
+            clip: 1.0,
+            warmup: 8,
+            seed: 17,
+        }
+    }
+
+    /// The paper's settings (§IV-A5).
+    pub fn paper() -> Self {
+        TrainConfig {
+            epochs: 9,
+            batch_size: 4,
+            lr: 0.1,
+            decay: 0.1,
+            clip: 0.1,
+            warmup: 2000,
+            seed: 17,
+        }
+    }
+}
+
+/// Distillation loss weights (§IV-A5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistillConfig {
+    /// Weight of identification distillation in Dual-Distill (α = 0.1).
+    pub alpha: f32,
+    /// Softmax temperature (γ = 2); `γ²` scales understanding distillation.
+    pub gamma: f32,
+    /// Weight of the shared identification distillation in Tri-Distill
+    /// (λ = 0.1).
+    pub lambda: f32,
+    /// Weight of the attribute-extraction understanding distillation in
+    /// Tri-Distill (μ = 1).
+    pub mu: f32,
+    /// Weight of the topic-generation understanding distillation in
+    /// Tri-Distill (ν = 2.25).
+    pub nu: f32,
+    /// Global weight κ of the distillation terms relative to the hard-label
+    /// cross-entropy (the paper's eq. 10 omits the hard term; with it, the
+    /// soft terms must be scaled down or they dominate — tuned on dev).
+    pub kappa: f32,
+}
+
+impl Default for DistillConfig {
+    fn default() -> Self {
+        DistillConfig { alpha: 0.1, gamma: 2.0, lambda: 0.1, mu: 1.0, nu: 2.25, kappa: 0.02 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values_match_section_iv_a5() {
+        let m = ModelConfig::paper(30000);
+        assert_eq!(m.hidden, 108);
+        assert_eq!(m.max_len, 512);
+        assert_eq!(m.beam, 200);
+        assert_eq!(m.max_topic_len, 4);
+        let t = TrainConfig::paper();
+        assert_eq!(t.warmup, 2000);
+        assert!((t.lr - 0.1).abs() < 1e-9);
+        assert!((t.clip - 0.1).abs() < 1e-9);
+        let d = DistillConfig::default();
+        assert!((d.alpha - 0.1).abs() < 1e-9);
+        assert!((d.gamma - 2.0).abs() < 1e-9);
+        assert!((d.lambda - 0.1).abs() < 1e-9);
+        assert!((d.mu - 1.0).abs() < 1e-9);
+        assert!((d.nu - 2.25).abs() < 1e-9);
+        assert!(d.kappa > 0.0 && d.kappa <= 1.0);
+    }
+}

@@ -1,0 +1,463 @@
+//! Dataset assembly: pages → tokenised, labelled [`Example`]s with
+//! train/develop/test splits (80%-10%-10%, §IV-B/IV-C) and the seen/unseen
+//! topic protocol used by the distillation experiments.
+
+use crate::page::{generate_page, PageConfig, PageRecord};
+use crate::taxonomy::{AttrKind, Taxonomy, TopicId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use wb_text::{WordPiece, WordPieceConfig, CLS, EOS};
+
+/// BIO tag values used by the extractor.
+pub const TAG_O: u8 = 0;
+/// Beginning of an attribute span.
+pub const TAG_B: u8 = 1;
+/// Inside an attribute span.
+pub const TAG_I: u8 = 2;
+/// Number of BIO classes.
+pub const NUM_TAGS: usize = 3;
+
+/// One tokenised training/evaluation example.
+#[derive(Debug, Clone)]
+pub struct Example {
+    /// Topic of the source page.
+    pub topic: TopicId,
+    /// Token ids (unpadded; includes a `[CLS]` at every sentence start).
+    pub tokens: Vec<u32>,
+    /// Positions of sentence `[CLS]` tokens.
+    pub cls_positions: Vec<usize>,
+    /// Sentence index of every token.
+    pub sentence_of: Vec<usize>,
+    /// Per-token BIO tag.
+    pub bio: Vec<u8>,
+    /// Per-sentence informative label.
+    pub informative: Vec<bool>,
+    /// Target topic phrase token ids, terminated by `[EOS]`.
+    pub topic_target: Vec<u32>,
+    /// Ground-truth attribute spans as `(kind, start, end)` token ranges.
+    pub attr_spans: Vec<(AttrKind, usize, usize)>,
+}
+
+impl Example {
+    /// Number of sentences.
+    pub fn num_sentences(&self) -> usize {
+        self.cls_positions.len()
+    }
+}
+
+/// Encodes a [`PageRecord`] with a tokenizer. Word-level alignment is exact:
+/// each ground-truth word is tokenised independently and its pieces tagged.
+pub fn encode_page(page: &PageRecord, taxonomy: &Taxonomy, wp: &WordPiece) -> Example {
+    let mut tokens = Vec::new();
+    let mut cls_positions = Vec::new();
+    let mut sentence_of = Vec::new();
+    let mut bio = Vec::new();
+    let mut informative = Vec::new();
+    // (sentence, word) → token offset of the word's first piece.
+    let mut word_token_start: Vec<Vec<usize>> = Vec::new();
+
+    for (s_idx, sent) in page.sentences.iter().enumerate() {
+        cls_positions.push(tokens.len());
+        tokens.push(CLS);
+        sentence_of.push(s_idx);
+        bio.push(TAG_O);
+        informative.push(sent.informative);
+        let mut starts = Vec::with_capacity(sent.words.len());
+        for word in &sent.words {
+            starts.push(tokens.len());
+            for id in wp.encode(word) {
+                tokens.push(id);
+                sentence_of.push(s_idx);
+                bio.push(TAG_O);
+            }
+        }
+        // Sentinel: one-past-the-end for span arithmetic.
+        starts.push(tokens.len());
+        word_token_start.push(starts);
+    }
+
+    let mut attr_spans = Vec::new();
+    for m in &page.attributes {
+        let starts = &word_token_start[m.sentence];
+        let t_start = starts[m.word_start];
+        let t_end = starts[m.word_start + m.value.len()];
+        debug_assert!(t_end > t_start, "empty attribute span");
+        bio[t_start] = TAG_B;
+        for t in bio.iter_mut().take(t_end).skip(t_start + 1) {
+            *t = TAG_I;
+        }
+        attr_spans.push((m.kind, t_start, t_end));
+    }
+
+    let topic_spec = taxonomy.topic(page.topic);
+    let mut topic_target = Vec::new();
+    for word in &topic_spec.phrase {
+        topic_target.extend(wp.encode(word));
+    }
+    topic_target.push(EOS);
+
+    Example {
+        topic: page.topic,
+        tokens,
+        cls_positions,
+        sentence_of,
+        bio,
+        informative,
+        topic_target,
+        attr_spans,
+    }
+}
+
+/// Generation parameters for a whole dataset.
+#[derive(Debug, Clone)]
+pub struct DatasetConfig {
+    /// Seed for taxonomy, pages and tokenizer training.
+    pub seed: u64,
+    /// Subjects per family; total topics = 8 × this.
+    pub subjects_per_family: usize,
+    /// Pages generated per topic.
+    pub pages_per_topic: usize,
+    /// Page shape.
+    pub page: PageConfig,
+    /// Tokenizer training configuration.
+    pub wordpiece: WordPieceConfig,
+}
+
+impl DatasetConfig {
+    /// A small configuration for unit tests.
+    pub fn tiny() -> Self {
+        DatasetConfig {
+            seed: 7,
+            subjects_per_family: 2,
+            pages_per_topic: 6,
+            page: PageConfig::default(),
+            wordpiece: WordPieceConfig {
+                max_words: 4000,
+                max_pieces: 800,
+                min_word_freq: 1,
+                max_piece_len: 6,
+            },
+        }
+    }
+
+    /// The configuration used by the experiment harnesses (160 topics).
+    pub fn experiment(pages_per_topic: usize) -> Self {
+        DatasetConfig {
+            seed: 13,
+            subjects_per_family: 20,
+            pages_per_topic,
+            page: PageConfig::default(),
+            wordpiece: WordPieceConfig {
+                max_words: 9000,
+                max_pieces: 1500,
+                min_word_freq: 1,
+                max_piece_len: 6,
+            },
+        }
+    }
+}
+
+/// Index-based split of a dataset's examples.
+#[derive(Debug, Clone, Default)]
+pub struct Split {
+    /// Training example indices.
+    pub train: Vec<usize>,
+    /// Development example indices.
+    pub dev: Vec<usize>,
+    /// Test example indices.
+    pub test: Vec<usize>,
+}
+
+/// A generated corpus: taxonomy, tokenizer and encoded examples.
+pub struct Dataset {
+    /// The topic taxonomy.
+    pub taxonomy: Taxonomy,
+    /// The trained tokenizer (over *all* topics — the student always has
+    /// access to the new webpages' text, §I).
+    pub tokenizer: WordPiece,
+    /// All encoded examples.
+    pub examples: Vec<Example>,
+}
+
+impl Dataset {
+    /// Generates pages for every topic, trains the tokenizer and encodes.
+    pub fn generate(cfg: &DatasetConfig) -> Dataset {
+        let taxonomy = Taxonomy::build(cfg.seed, cfg.subjects_per_family);
+        // Per-topic independent RNG streams keep generation parallel and
+        // deterministic.
+        let pages: Vec<PageRecord> = taxonomy
+            .topics()
+            .par_iter()
+            .flat_map_iter(|topic| {
+                let mut rng =
+                    StdRng::seed_from_u64(cfg.seed ^ (topic.id.0 as u64).wrapping_mul(0x9E37_79B9));
+                (0..cfg.pages_per_topic)
+                    .map(|_| generate_page(topic, cfg.page, &mut rng))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+
+        let mut texts: Vec<String> = pages
+            .iter()
+            .map(|p| {
+                p.sentences.iter().map(|s| s.text()).collect::<Vec<_>>().join("\n")
+            })
+            .collect();
+        // The tokenizer is trained over the labelled dataset, which includes
+        // the topic-phrase labels — phrase words must be whole tokens or the
+        // generator would have to emit piece sequences the pages never show.
+        for topic in taxonomy.topics() {
+            for _ in 0..cfg.pages_per_topic {
+                texts.push(topic.phrase_text());
+            }
+        }
+        let tokenizer =
+            WordPiece::train(texts.iter().map(String::as_str), cfg.wordpiece);
+
+        let examples: Vec<Example> = pages
+            .par_iter()
+            .map(|p| encode_page(p, &taxonomy, &tokenizer))
+            .collect();
+
+        Dataset { taxonomy, tokenizer, examples }
+    }
+
+    /// 80/10/10 split stratified per topic (§IV-B: "randomly taken …
+    /// following 80%-10%-10% train-develop-test splits").
+    pub fn split(&self, seed: u64) -> Split {
+        let mut split = Split::default();
+        let mut by_topic: std::collections::BTreeMap<TopicId, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for (i, e) in self.examples.iter().enumerate() {
+            by_topic.entry(e.topic).or_default().push(i);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        for (_, mut idxs) in by_topic {
+            idxs.shuffle(&mut rng);
+            let n = idxs.len();
+            let n_dev = (n / 10).max(1).min(n.saturating_sub(2));
+            let n_test = n_dev;
+            let n_train = n.saturating_sub(n_dev + n_test);
+            split.train.extend(&idxs[..n_train]);
+            split.dev.extend(&idxs[n_train..n_train + n_dev]);
+            split.test.extend(&idxs[n_train + n_dev..]);
+        }
+        split
+    }
+
+    /// Partitions topic ids into `(seen, unseen)` with `n_unseen` held-out
+    /// topics chosen deterministically (§IV-B uses 140 seen / 20 unseen).
+    pub fn topic_partition(&self, n_unseen: usize, seed: u64) -> (Vec<TopicId>, Vec<TopicId>) {
+        let mut ids: Vec<TopicId> = self.taxonomy.topics().iter().map(|t| t.id).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        ids.shuffle(&mut rng);
+        let n_unseen = n_unseen.min(ids.len());
+        let unseen = ids.split_off(ids.len() - n_unseen);
+        (ids, unseen)
+    }
+
+    /// Filters example indices to the given topics.
+    pub fn restrict(&self, indices: &[usize], topics: &[TopicId]) -> Vec<usize> {
+        let set: std::collections::HashSet<TopicId> = topics.iter().copied().collect();
+        indices.iter().copied().filter(|&i| set.contains(&self.examples[i].topic)).collect()
+    }
+
+    /// Mean and standard deviation of example token lengths.
+    pub fn length_stats(&self) -> (f64, f64) {
+        let n = self.examples.len().max(1) as f64;
+        let mean = self.examples.iter().map(|e| e.tokens.len() as f64).sum::<f64>() / n;
+        let var = self
+            .examples
+            .iter()
+            .map(|e| {
+                let d = e.tokens.len() as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n;
+        (mean, var.sqrt())
+    }
+}
+
+/// Concatenates the contents of two pages for the §IV-D sensitivity study:
+/// `proportion` of the words come from `a` (taken from its start), the rest
+/// from `b`. Sentences are kept whole; labels follow their source page.
+pub fn concat_pages(a: &Example, b: &Example, proportion: f64, rng: &mut StdRng) -> Example {
+    assert!((0.0..=1.0).contains(&proportion), "proportion must be in [0,1]");
+    let _ = rng; // Reserved for future shuffling variants.
+    let take_a = ((a.tokens.len() as f64) * proportion) as usize;
+    let take_b = a.tokens.len().saturating_sub(take_a).min(b.tokens.len());
+
+    let mut out = Example {
+        topic: if proportion >= 0.5 { a.topic } else { b.topic },
+        tokens: Vec::new(),
+        cls_positions: Vec::new(),
+        sentence_of: Vec::new(),
+        bio: Vec::new(),
+        informative: Vec::new(),
+        topic_target: if proportion >= 0.5 {
+            a.topic_target.clone()
+        } else {
+            b.topic_target.clone()
+        },
+        attr_spans: Vec::new(),
+    };
+
+    let append = |src: &Example, limit: usize, out: &mut Example| {
+        let mut sentence_remap: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::new();
+        for s in 0..src.num_sentences() {
+            let (start, end) = {
+                let start = src.cls_positions[s];
+                let end =
+                    src.cls_positions.get(s + 1).copied().unwrap_or(src.tokens.len());
+                (start, end)
+            };
+            if end > limit {
+                break;
+            }
+            let new_s = out.informative.len();
+            sentence_remap.insert(s, new_s);
+            out.informative.push(src.informative[s]);
+            out.cls_positions.push(out.tokens.len());
+            let offset = out.tokens.len();
+            out.tokens.extend_from_slice(&src.tokens[start..end]);
+            out.bio.extend_from_slice(&src.bio[start..end]);
+            out.sentence_of.extend(std::iter::repeat_n(new_s, end - start));
+            for &(kind, s0, e0) in &src.attr_spans {
+                if s0 >= start && e0 <= end {
+                    out.attr_spans.push((kind, s0 - start + offset, e0 - start + offset));
+                }
+            }
+        }
+    };
+    append(a, take_a, &mut out);
+    append(b, take_b, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        Dataset::generate(&DatasetConfig::tiny())
+    }
+
+    #[test]
+    fn generates_expected_example_count() {
+        let d = tiny();
+        assert_eq!(d.examples.len(), 16 * 6);
+    }
+
+    #[test]
+    fn bio_tags_align_with_spans() {
+        let d = tiny();
+        for e in &d.examples {
+            assert_eq!(e.attr_spans.len(), 4);
+            for &(_, s, t) in &e.attr_spans {
+                assert_eq!(e.bio[s], TAG_B, "span start must be B");
+                assert!(e.bio[s + 1..t].iter().all(|&b| b == TAG_I));
+                if t < e.bio.len() {
+                    assert_ne!(e.bio[t], TAG_I, "span must end");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cls_positions_hold_cls_token() {
+        let d = tiny();
+        for e in &d.examples {
+            for &p in &e.cls_positions {
+                assert_eq!(e.tokens[p], CLS);
+            }
+            assert_eq!(e.informative.len(), e.num_sentences());
+        }
+    }
+
+    #[test]
+    fn topic_target_ends_with_eos_and_decodes_to_phrase() {
+        let d = tiny();
+        let e = &d.examples[0];
+        assert_eq!(*e.topic_target.last().unwrap(), EOS);
+        let words = d.tokenizer.decode_ids(&e.topic_target[..e.topic_target.len() - 1]);
+        let phrase = &d.taxonomy.topic(e.topic).phrase;
+        assert_eq!(&words, phrase);
+    }
+
+    #[test]
+    fn split_is_80_10_10_per_topic() {
+        let d = tiny();
+        let s = d.split(1);
+        assert_eq!(s.train.len() + s.dev.len() + s.test.len(), d.examples.len());
+        assert!(!s.dev.is_empty() && !s.test.is_empty());
+        // Disjoint.
+        let mut all: Vec<usize> =
+            s.train.iter().chain(&s.dev).chain(&s.test).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), d.examples.len());
+    }
+
+    #[test]
+    fn topic_partition_sizes() {
+        let d = tiny();
+        let (seen, unseen) = d.topic_partition(3, 5);
+        assert_eq!(seen.len(), 13);
+        assert_eq!(unseen.len(), 3);
+        let overlap: Vec<_> = seen.iter().filter(|t| unseen.contains(t)).collect();
+        assert!(overlap.is_empty());
+    }
+
+    #[test]
+    fn restrict_filters_by_topic() {
+        let d = tiny();
+        let s = d.split(1);
+        let (_, unseen) = d.topic_partition(3, 5);
+        let r = d.restrict(&s.test, &unseen);
+        assert!(r.iter().all(|&i| unseen.contains(&d.examples[i].topic)));
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = tiny();
+        let b = tiny();
+        assert_eq!(a.examples[5].tokens, b.examples[5].tokens);
+        assert_eq!(a.examples[5].bio, b.examples[5].bio);
+    }
+
+    #[test]
+    fn concat_pages_mixes_proportionally() {
+        let d = tiny();
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = &d.examples[0];
+        // Pick an example from a different topic.
+        let b = d.examples.iter().find(|e| e.topic != a.topic).unwrap();
+        let c = concat_pages(a, b, 0.7, &mut rng);
+        assert_eq!(c.topic, a.topic);
+        let c2 = concat_pages(a, b, 0.3, &mut rng);
+        assert_eq!(c2.topic, b.topic);
+        // Structure stays consistent.
+        for &p in &c.cls_positions {
+            assert_eq!(c.tokens[p], CLS);
+        }
+        assert_eq!(c.tokens.len(), c.bio.len());
+        assert_eq!(c.tokens.len(), c.sentence_of.len());
+        for &(_, s, t) in &c.attr_spans {
+            assert_eq!(c.bio[s], TAG_B);
+            assert!(t <= c.tokens.len());
+        }
+    }
+
+    #[test]
+    fn length_stats_positive() {
+        let d = tiny();
+        let (mean, std) = d.length_stats();
+        assert!(mean > 50.0, "mean {mean}");
+        assert!(std > 0.0);
+    }
+}

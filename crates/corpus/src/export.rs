@@ -1,0 +1,128 @@
+//! Corpus export/import: persist generated pages as `.html` files with a
+//! JSON label sidecar, so the synthetic dataset can be inspected, versioned
+//! or consumed by external tools — the on-disk shape a crawled dataset
+//! would have.
+
+use crate::page::{AttributeMention, PageRecord, SentenceRecord};
+use crate::taxonomy::TopicId;
+use std::io;
+use std::path::Path;
+use wb_html::parse_document;
+
+/// The label sidecar written next to each page.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct PageLabels {
+    /// Topic id of the page.
+    pub topic: usize,
+    /// The gold topic phrase.
+    pub topic_phrase: Vec<String>,
+    /// Per-sentence records (normalised words + informative flag).
+    pub sentences: Vec<SentenceRecord>,
+    /// Attribute mentions with exact offsets.
+    pub attributes: Vec<AttributeMention>,
+}
+
+/// Writes pages into `dir` as `page_<i>.html` + `page_<i>.json`.
+pub fn export_pages(
+    dir: impl AsRef<Path>,
+    pages: &[(PageRecord, Vec<String>)],
+) -> io::Result<()> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    for (i, (page, phrase)) in pages.iter().enumerate() {
+        std::fs::write(dir.join(format!("page_{i}.html")), page.dom.to_html())?;
+        let labels = PageLabels {
+            topic: page.topic.0,
+            topic_phrase: phrase.clone(),
+            sentences: page.sentences.clone(),
+            attributes: page.attributes.clone(),
+        };
+        std::fs::write(
+            dir.join(format!("page_{i}.json")),
+            serde_json::to_string_pretty(&labels).map_err(io::Error::other)?,
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads pages back from a directory written by [`export_pages`].
+pub fn import_pages(dir: impl AsRef<Path>) -> io::Result<Vec<(PageRecord, Vec<String>)>> {
+    let dir = dir.as_ref();
+    let mut out = Vec::new();
+    let mut i = 0;
+    loop {
+        let html_path = dir.join(format!("page_{i}.html"));
+        let json_path = dir.join(format!("page_{i}.json"));
+        if !html_path.exists() || !json_path.exists() {
+            break;
+        }
+        let html = std::fs::read_to_string(&html_path)?;
+        let dom = parse_document(&html)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let labels: PageLabels =
+            serde_json::from_str(&std::fs::read_to_string(&json_path)?)
+                .map_err(io::Error::other)?;
+        out.push((
+            PageRecord {
+                topic: TopicId(labels.topic),
+                sentences: labels.sentences,
+                attributes: labels.attributes,
+                dom,
+            },
+            labels.topic_phrase,
+        ));
+        i += 1;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::{generate_page, PageConfig};
+    use crate::taxonomy::Taxonomy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_pages(n: usize) -> Vec<(PageRecord, Vec<String>)> {
+        let tax = Taxonomy::build(0, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        (0..n)
+            .map(|i| {
+                let topic = &tax.topics()[i % tax.len()];
+                (generate_page(topic, PageConfig::default(), &mut rng), topic.phrase.clone())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let dir = std::env::temp_dir().join("wb_corpus_export_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let pages = sample_pages(3);
+        export_pages(&dir, &pages).unwrap();
+        let back = import_pages(&dir).unwrap();
+        assert_eq!(back.len(), 3);
+        for ((orig, phrase), (re, re_phrase)) in pages.iter().zip(&back) {
+            assert_eq!(orig.topic, re.topic);
+            assert_eq!(phrase, re_phrase);
+            assert_eq!(orig.sentences, re.sentences);
+            assert_eq!(orig.attributes, re.attributes);
+            // DOM text content survives the HTML roundtrip.
+            assert_eq!(
+                wb_html::visible_text(&orig.dom),
+                wb_html::visible_text(&re.dom)
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn import_of_empty_dir_is_empty() {
+        let dir = std::env::temp_dir().join("wb_corpus_export_empty");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(import_pages(&dir).unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,456 @@
+//! Synthetic webpage generation.
+//!
+//! Every page carries ground truth by construction: per-sentence
+//! informative/boilerplate labels, the topic phrase, and key-attribute
+//! mentions with exact word offsets. The DOM is assembled so that running
+//! the honest pipeline (`wb-html::visible_text` → `wb-text::normalize`)
+//! reproduces the generator's word sequence exactly — a property asserted by
+//! tests — which is how token-level supervision stays aligned.
+
+use crate::taxonomy::{
+    AttrKind, Family, TopicSpec, BOILERPLATE, FIRST_NAMES, LAST_NAMES,
+};
+use rand::rngs::StdRng;
+use rand::Rng;
+use wb_html::{Node, Tag};
+use wb_text::DIGIT_TOKEN;
+
+/// One ground-truth attribute mention.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AttributeMention {
+    /// The attribute kind.
+    pub kind: AttrKind,
+    /// The normalised value words (e.g. `["emma", "clarke"]` or
+    /// `["<digit>"]`).
+    pub value: Vec<String>,
+    /// Index of the sentence containing the mention.
+    pub sentence: usize,
+    /// Word offset of the value within that sentence.
+    pub word_start: usize,
+}
+
+/// One generated sentence with its ground-truth label.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SentenceRecord {
+    /// Normalised words (digits already replaced by `<digit>`).
+    pub words: Vec<String>,
+    /// Whether the sentence lies in an informative section.
+    pub informative: bool,
+}
+
+impl SentenceRecord {
+    /// The sentence as display text (words joined by spaces).
+    pub fn text(&self) -> String {
+        self.words.join(" ")
+    }
+}
+
+/// A fully labelled synthetic webpage.
+#[derive(Debug, Clone)]
+pub struct PageRecord {
+    /// The topic this page belongs to.
+    pub topic: crate::taxonomy::TopicId,
+    /// Sentences in document order.
+    pub sentences: Vec<SentenceRecord>,
+    /// Ground-truth attribute mentions (always 4, matching §IV-A1).
+    pub attributes: Vec<AttributeMention>,
+    /// The page DOM.
+    pub dom: Node,
+}
+
+impl PageRecord {
+    /// Total number of words across sentences.
+    pub fn num_words(&self) -> usize {
+        self.sentences.iter().map(|s| s.words.len()).sum()
+    }
+}
+
+/// Knobs for page generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PageConfig {
+    /// Number of informative sections (the attributes are spread over them).
+    pub informative_sections: usize,
+    /// Number of noisy, non-informative sections (ads/related links).
+    pub noise_sections: usize,
+    /// Extra topical filler sentences per informative section.
+    pub filler_sentences: usize,
+    /// Probability that a noise section contains a distractor pattern that
+    /// superficially resembles an attribute cue.
+    pub distractor_rate: f64,
+}
+
+impl Default for PageConfig {
+    fn default() -> Self {
+        PageConfig {
+            informative_sections: 2,
+            noise_sections: 2,
+            filler_sentences: 2,
+            distractor_rate: 0.5,
+        }
+    }
+}
+
+/// Generation context collecting sentences and mentions.
+struct Builder {
+    sentences: Vec<SentenceRecord>,
+    attributes: Vec<AttributeMention>,
+}
+
+impl Builder {
+    fn push_sentence(&mut self, words: Vec<String>, informative: bool) -> usize {
+        self.sentences.push(SentenceRecord { words, informative });
+        self.sentences.len() - 1
+    }
+}
+
+fn pick<'a>(rng: &mut StdRng, pool: &[&'a str]) -> &'a str {
+    pool[rng.gen_range(0..pool.len())]
+}
+
+fn pick_owned(rng: &mut StdRng, pool: &[String]) -> String {
+    pool[rng.gen_range(0..pool.len())].clone()
+}
+
+/// Generates the normalised value words for an attribute kind.
+fn attr_value(kind: AttrKind, topic: &TopicSpec, rng: &mut StdRng) -> Vec<String> {
+    if kind == AttrKind::Category {
+        return vec![topic.subject.clone()];
+    }
+    if kind.is_numeric() {
+        return vec![DIGIT_TOKEN.to_string()];
+    }
+    match kind {
+        AttrKind::Maker
+        | AttrKind::Author
+        | AttrKind::Instructor
+        | AttrKind::Specialist
+        | AttrKind::Agent
+        | AttrKind::Company => {
+            vec![pick(rng, FIRST_NAMES).to_string(), pick(rng, LAST_NAMES).to_string()]
+        }
+        _ => {
+            // Name-like values: two topic-specific vocabulary words.
+            let a = pick_owned(rng, &topic.vocab);
+            let mut b = pick_owned(rng, &topic.vocab);
+            while b == a && topic.vocab.len() > 1 {
+                b = pick_owned(rng, &topic.vocab);
+            }
+            vec![a, b]
+        }
+    }
+}
+
+/// The surface (display) form of a value: `<digit>` becomes an actual
+/// number so the DOM looks like a real page and the normaliser restores the
+/// token.
+fn surface(word: &str, rng: &mut StdRng) -> String {
+    if word == DIGIT_TOKEN {
+        format!("{}.{:02}", rng.gen_range(5..2500), rng.gen_range(0..100))
+    } else {
+        word.to_string()
+    }
+}
+
+/// Splits a cue phrase into normalised words (cues are already lowercase
+/// with punctuation space-separated).
+fn cue_words(kind: AttrKind) -> Vec<String> {
+    kind.cue().split_whitespace().map(str::to_string).collect()
+}
+
+/// Builds an attribute sentence: `[lead-in] cue value [tail] .`, recording
+/// the mention offset.
+fn attribute_sentence(
+    b: &mut Builder,
+    kind: AttrKind,
+    topic: &TopicSpec,
+    family: Family,
+    rng: &mut StdRng,
+) {
+    let mut words: Vec<String> = Vec::new();
+    if rng.gen_bool(0.5) {
+        words.push(pick(rng, family.content_words()).to_string());
+        if rng.gen_bool(0.5) {
+            words.push(pick(rng, &["today", "now", "available", "special"]).to_string());
+        }
+        words.push(",".to_string());
+    }
+    words.extend(cue_words(kind));
+    let value = attr_value(kind, topic, rng);
+    let word_start = words.len();
+    words.extend(value.iter().cloned());
+    if rng.gen_bool(0.4) {
+        words.push(",".to_string());
+        words.push(pick(rng, family.content_words()).to_string());
+    }
+    words.push(".".to_string());
+    let sentence = b.push_sentence(words, true);
+    b.attributes.push(AttributeMention { kind, value, sentence, word_start });
+}
+
+/// A topical sentence mixing the subject word, topic vocabulary and family
+/// content words — the signal the topic generator learns from.
+fn topical_sentence(topic: &TopicSpec, family: Family, rng: &mut StdRng) -> Vec<String> {
+    let mut words = vec![
+        pick(rng, &["explore", "discover", "browse", "find", "enjoy"]).to_string(),
+        pick(rng, &["the", "our", "top", "new"]).to_string(),
+    ];
+    words.push(topic.subject.clone());
+    words.push(pick_owned(rng, &topic.vocab));
+    words.push(pick(rng, &["and", "with", "plus"]).to_string());
+    words.push(pick(rng, family.content_words()).to_string());
+    words.push(pick(rng, family.content_words()).to_string());
+    words.push(".".to_string());
+    words
+}
+
+/// A boilerplate sentence built from the shared pool.
+fn boilerplate_sentence(rng: &mut StdRng, len: usize) -> Vec<String> {
+    let mut words: Vec<String> =
+        (0..len).map(|_| pick(rng, BOILERPLATE).to_string()).collect();
+    words.push(".".to_string());
+    words
+}
+
+/// A distractor in a noise section: a superficial cue-like pattern whose
+/// value is *not* a ground-truth attribute (e.g. an ad price).
+fn distractor_sentence(rng: &mut StdRng) -> Vec<String> {
+    let mut words = vec![
+        pick(rng, &["offer", "deal", "ad", "promo"]).to_string(),
+        ":".to_string(),
+        pick(rng, &["from", "only", "save"]).to_string(),
+        "$".to_string(),
+        DIGIT_TOKEN.to_string(),
+    ];
+    words.push(".".to_string());
+    words
+}
+
+/// Generates one labelled page for `topic`.
+pub fn generate_page(topic: &TopicSpec, cfg: PageConfig, rng: &mut StdRng) -> PageRecord {
+    let family = topic.family;
+    let mut b = Builder { sentences: Vec::new(), attributes: Vec::new() };
+    // Section index per sentence so DOM assembly can group them.
+    let mut section_of: Vec<usize> = Vec::new();
+    let mut section_kinds: Vec<SectionKind> = Vec::new();
+
+    let push_section =
+        |b: &mut Builder, section_of: &mut Vec<usize>, kinds: &mut Vec<SectionKind>,
+         kind: SectionKind, sentences: Vec<(Vec<String>, bool)>| {
+            let sid = kinds.len();
+            kinds.push(kind);
+            for (words, informative) in sentences {
+                b.push_sentence(words, informative);
+                section_of.push(sid);
+            }
+        };
+
+    // Navigation.
+    push_section(
+        &mut b,
+        &mut section_of,
+        &mut section_kinds,
+        SectionKind::Nav,
+        vec![(boilerplate_sentence(rng, 4), false)],
+    );
+    // Header (generic welcome, no topic leakage).
+    push_section(
+        &mut b,
+        &mut section_of,
+        &mut section_kinds,
+        SectionKind::Header,
+        vec![(
+            vec![
+                "welcome".into(),
+                "to".into(),
+                "our".into(),
+                "website".into(),
+                ".".into(),
+            ],
+            false,
+        )],
+    );
+
+    // Informative sections with the four attributes spread across them.
+    let kinds = family.attribute_kinds();
+    let sections = cfg.informative_sections.max(1);
+    for s in 0..sections {
+        let sid = section_kinds.len();
+        section_kinds.push(SectionKind::Informative);
+        // Leading topical sentence.
+        b.push_sentence(topical_sentence(topic, family, rng), true);
+        section_of.push(sid);
+        // This section's share of attributes.
+        for (i, &kind) in kinds.iter().enumerate() {
+            if i % sections == s {
+                attribute_sentence(&mut b, kind, topic, family, rng);
+                section_of.push(sid);
+            }
+        }
+        for _ in 0..cfg.filler_sentences {
+            b.push_sentence(topical_sentence(topic, family, rng), true);
+            section_of.push(sid);
+        }
+    }
+
+    // Noise sections.
+    for _ in 0..cfg.noise_sections {
+        let mut sentences = vec![(boilerplate_sentence(rng, 5), false)];
+        if rng.gen_bool(cfg.distractor_rate) {
+            sentences.push((distractor_sentence(rng), false));
+        }
+        push_section(
+            &mut b,
+            &mut section_of,
+            &mut section_kinds,
+            SectionKind::Aside,
+            sentences,
+        );
+    }
+
+    // Footer.
+    push_section(
+        &mut b,
+        &mut section_of,
+        &mut section_kinds,
+        SectionKind::Footer,
+        vec![(boilerplate_sentence(rng, 3), false)],
+    );
+
+    let dom = assemble_dom(&b.sentences, &section_of, &section_kinds, rng);
+    PageRecord { topic: topic.id, sentences: b.sentences, attributes: b.attributes, dom }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum SectionKind {
+    Nav,
+    Header,
+    Informative,
+    Aside,
+    Footer,
+}
+
+/// Assembles the DOM so `visible_text` → sentence split reproduces the
+/// sentences exactly (one `<p>` per sentence, display surface for digits).
+fn assemble_dom(
+    sentences: &[SentenceRecord],
+    section_of: &[usize],
+    section_kinds: &[SectionKind],
+    rng: &mut StdRng,
+) -> Node {
+    let mut section_children: Vec<Vec<Node>> = vec![Vec::new(); section_kinds.len()];
+    for (sent, &sid) in sentences.iter().zip(section_of) {
+        let display: Vec<String> = sent.words.iter().map(|w| surface(w, rng)).collect();
+        section_children[sid].push(Node::elem(Tag::P, vec![Node::text(display.join(" "))]));
+    }
+    let mut body = Vec::new();
+    for (kind, children) in section_kinds.iter().zip(section_children) {
+        let (tag, label) = match kind {
+            SectionKind::Nav => (Tag::Nav, "nav"),
+            SectionKind::Header => (Tag::Header, "header"),
+            SectionKind::Informative => (Tag::Section, "informative"),
+            SectionKind::Aside => (Tag::Aside, "noise"),
+            SectionKind::Footer => (Tag::Footer, "footer"),
+        };
+        body.push(Node::elem_attrs(tag, vec![("data-section", label)], children));
+    }
+    Node::elem(
+        Tag::Html,
+        vec![
+            Node::elem(Tag::Head, vec![
+                Node::elem(Tag::Title, vec![Node::text("page")]),
+                Node::elem(Tag::Script, vec![Node::text("var t = 1;")]),
+            ]),
+            Node::elem(Tag::Body, body),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taxonomy::Taxonomy;
+    use rand::SeedableRng;
+    use wb_text::normalize;
+
+    fn sample_page(seed: u64) -> (PageRecord, TopicSpec) {
+        let tax = Taxonomy::build(0, 2);
+        let topic = tax.topics()[3].clone();
+        let mut rng = StdRng::seed_from_u64(seed);
+        (generate_page(&topic, PageConfig::default(), &mut rng), topic)
+    }
+
+    #[test]
+    fn page_has_exactly_four_attributes() {
+        let (page, _) = sample_page(1);
+        assert_eq!(page.attributes.len(), 4);
+    }
+
+    #[test]
+    fn category_attribute_is_subject() {
+        let (page, topic) = sample_page(2);
+        let cat = page
+            .attributes
+            .iter()
+            .find(|a| a.kind == AttrKind::Category)
+            .expect("category present");
+        assert_eq!(cat.value, vec![topic.subject.clone()]);
+    }
+
+    #[test]
+    fn mention_offsets_are_correct() {
+        let (page, _) = sample_page(3);
+        for m in &page.attributes {
+            let words = &page.sentences[m.sentence].words;
+            assert_eq!(
+                &words[m.word_start..m.word_start + m.value.len()],
+                m.value.as_slice(),
+                "mention {m:?} misaligned in {words:?}"
+            );
+            assert!(page.sentences[m.sentence].informative);
+        }
+    }
+
+    #[test]
+    fn has_informative_and_boilerplate_sentences() {
+        let (page, _) = sample_page(4);
+        assert!(page.sentences.iter().any(|s| s.informative));
+        assert!(page.sentences.iter().any(|s| !s.informative));
+    }
+
+    #[test]
+    fn rendered_dom_normalizes_back_to_ground_truth_words() {
+        let (page, _) = sample_page(5);
+        let text = wb_html::visible_text(&page.dom);
+        let sentences = wb_text::split_sentences(&text);
+        assert_eq!(sentences.len(), page.sentences.len(), "sentence count mismatch");
+        for (rendered, truth) in sentences.iter().zip(&page.sentences) {
+            let words = normalize(rendered);
+            assert_eq!(words, truth.words, "rendered {rendered:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (a, _) = sample_page(9);
+        let (b, _) = sample_page(9);
+        assert_eq!(a.sentences, b.sentences);
+    }
+
+    #[test]
+    fn informative_sections_configurable() {
+        let tax = Taxonomy::build(0, 2);
+        let topic = tax.topics()[0].clone();
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = PageConfig { informative_sections: 4, ..PageConfig::default() };
+        let page = generate_page(&topic, cfg, &mut rng);
+        // Four leading topical sentences + four attribute sentences + filler.
+        let informative = page.sentences.iter().filter(|s| s.informative).count();
+        assert!(informative >= 8, "only {informative} informative sentences");
+    }
+
+    #[test]
+    fn page_is_content_rich_for_the_crawler() {
+        let (page, _) = sample_page(6);
+        assert_eq!(wb_html::classify_page(&page.dom), wb_html::PageKind::ContentRich);
+    }
+}

@@ -1,0 +1,456 @@
+//! The topic taxonomy replacing the Jasmine Directory + SWDE website lists
+//! (§IV-A1). 160 topics over eight domain families; each topic carries a
+//! three-token topic phrase (subject word + family kind + family suffix,
+//! matching the paper's average topic length of three tokens), its own
+//! content vocabulary, and an attribute schema inherited from the family.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The eight domain families. Attribute *kinds* are family-level, mirroring
+/// the paper's observation that "in a book shopping webpage, author, title
+/// and price are more likely to be key attributes, while in a recruitment
+/// webpage, key attributes are more likely to be job, company and salary".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[allow(missing_docs)]
+pub enum Family {
+    Shopping,
+    News,
+    Recruitment,
+    Education,
+    Travel,
+    Health,
+    RealEstate,
+    Events,
+}
+
+/// All families in a fixed order.
+pub const FAMILIES: [Family; 8] = [
+    Family::Shopping,
+    Family::News,
+    Family::Recruitment,
+    Family::Education,
+    Family::Travel,
+    Family::Health,
+    Family::RealEstate,
+    Family::Events,
+];
+
+impl Family {
+    /// The two family-level tokens of the topic phrase
+    /// (e.g. `fiction` + `books shopping`).
+    pub fn phrase_tail(self) -> [&'static str; 2] {
+        match self {
+            Family::Shopping => ["goods", "shopping"],
+            Family::News => ["news", "portal"],
+            Family::Recruitment => ["jobs", "listing"],
+            Family::Education => ["course", "catalog"],
+            Family::Travel => ["travel", "booking"],
+            Family::Health => ["health", "guide"],
+            Family::RealEstate => ["property", "listings"],
+            Family::Events => ["event", "tickets"],
+        }
+    }
+
+    /// The four attribute kinds of this family, in schema order.
+    pub fn attribute_kinds(self) -> [AttrKind; 4] {
+        match self {
+            Family::Shopping => {
+                [AttrKind::Category, AttrKind::ItemName, AttrKind::Maker, AttrKind::Price]
+            }
+            Family::News => {
+                [AttrKind::Category, AttrKind::Headline, AttrKind::Author, AttrKind::Date]
+            }
+            Family::Recruitment => {
+                [AttrKind::Category, AttrKind::JobTitle, AttrKind::Company, AttrKind::Salary]
+            }
+            Family::Education => {
+                [AttrKind::Category, AttrKind::CourseName, AttrKind::Instructor, AttrKind::Fee]
+            }
+            Family::Travel => {
+                [AttrKind::Category, AttrKind::Destination, AttrKind::Hotel, AttrKind::Price]
+            }
+            Family::Health => {
+                [AttrKind::Category, AttrKind::Condition, AttrKind::Specialist, AttrKind::Clinic]
+            }
+            Family::RealEstate => {
+                [AttrKind::Category, AttrKind::PropertyName, AttrKind::Agent, AttrKind::Price]
+            }
+            Family::Events => {
+                [AttrKind::Category, AttrKind::EventName, AttrKind::Venue, AttrKind::Price]
+            }
+        }
+    }
+
+    /// Family-level content vocabulary that appears in informative sections.
+    pub fn content_words(self) -> &'static [&'static str] {
+        match self {
+            Family::Shopping => &[
+                "buy", "order", "stock", "shipping", "discount", "sale", "brand", "quality",
+                "delivery", "warranty", "review", "rating", "bestseller", "edition", "bundle",
+            ],
+            Family::News => &[
+                "report", "breaking", "coverage", "story", "editor", "press", "headline",
+                "exclusive", "update", "analysis", "interview", "sources", "published",
+            ],
+            Family::Recruitment => &[
+                "hire", "career", "position", "apply", "resume", "benefits", "remote",
+                "experience", "interview", "vacancy", "fulltime", "team", "skills",
+            ],
+            Family::Education => &[
+                "learn", "study", "lecture", "semester", "enroll", "degree", "tutorial",
+                "assignment", "certificate", "campus", "faculty", "syllabus", "exam",
+            ],
+            Family::Travel => &[
+                "flight", "tour", "resort", "beach", "itinerary", "luggage", "visa",
+                "adventure", "cruise", "departure", "sightseeing", "reservation", "guidebook",
+            ],
+            Family::Health => &[
+                "symptom", "therapy", "diagnosis", "wellness", "nutrition", "patient",
+                "prevention", "recovery", "prescription", "screening", "consultation",
+            ],
+            Family::RealEstate => &[
+                "bedroom", "bathroom", "garage", "lease", "mortgage", "suburb", "inspection",
+                "acreage", "renovated", "auction", "tenant", "landlord", "frontage",
+            ],
+            Family::Events => &[
+                "concert", "festival", "lineup", "stage", "performance", "doors", "seating",
+                "headliner", "encore", "backstage", "matinee", "premiere", "soldout",
+            ],
+        }
+    }
+
+    /// Short family name for labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Shopping => "shopping",
+            Family::News => "news",
+            Family::Recruitment => "recruitment",
+            Family::Education => "education",
+            Family::Travel => "travel",
+            Family::Health => "health",
+            Family::RealEstate => "real-estate",
+            Family::Events => "events",
+        }
+    }
+}
+
+/// The kind of a key attribute. `Category` is always the topic's subject
+/// word; the others are value attributes with family-specific cue phrases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[allow(missing_docs)]
+pub enum AttrKind {
+    Category,
+    ItemName,
+    Maker,
+    Price,
+    Headline,
+    Author,
+    Date,
+    JobTitle,
+    Company,
+    Salary,
+    CourseName,
+    Instructor,
+    Fee,
+    Destination,
+    Hotel,
+    Condition,
+    Specialist,
+    Clinic,
+    PropertyName,
+    Agent,
+    EventName,
+    Venue,
+}
+
+impl AttrKind {
+    /// The human-readable attribute name (future work in the paper predicts
+    /// these; we carry them as ground truth).
+    pub fn name(self) -> &'static str {
+        match self {
+            AttrKind::Category => "category",
+            AttrKind::ItemName => "item",
+            AttrKind::Maker => "maker",
+            AttrKind::Price => "price",
+            AttrKind::Headline => "headline",
+            AttrKind::Author => "author",
+            AttrKind::Date => "date",
+            AttrKind::JobTitle => "job",
+            AttrKind::Company => "company",
+            AttrKind::Salary => "salary",
+            AttrKind::CourseName => "course",
+            AttrKind::Instructor => "instructor",
+            AttrKind::Fee => "fee",
+            AttrKind::Destination => "destination",
+            AttrKind::Hotel => "hotel",
+            AttrKind::Condition => "condition",
+            AttrKind::Specialist => "specialist",
+            AttrKind::Clinic => "clinic",
+            AttrKind::PropertyName => "property",
+            AttrKind::Agent => "agent",
+            AttrKind::EventName => "event",
+            AttrKind::Venue => "venue",
+        }
+    }
+
+    /// The cue phrase introducing this attribute in informative text.
+    /// Cues are family-level and therefore *seen* even for unseen topics —
+    /// this is what makes domain adaptation learnable.
+    pub fn cue(self) -> &'static str {
+        match self {
+            AttrKind::Category => "category :",
+            AttrKind::ItemName => "featured item :",
+            AttrKind::Maker => "made by",
+            AttrKind::Price => "price : $",
+            AttrKind::Headline => "top story :",
+            AttrKind::Author => "written by",
+            AttrKind::Date => "published on",
+            AttrKind::JobTitle => "open role :",
+            AttrKind::Company => "hiring company :",
+            AttrKind::Salary => "salary : $",
+            AttrKind::CourseName => "course title :",
+            AttrKind::Instructor => "taught by",
+            AttrKind::Fee => "tuition fee : $",
+            AttrKind::Destination => "destination :",
+            AttrKind::Hotel => "stay at",
+            AttrKind::Condition => "condition :",
+            AttrKind::Specialist => "consult with",
+            AttrKind::Clinic => "treated at",
+            AttrKind::PropertyName => "listing :",
+            AttrKind::Agent => "listed by",
+            AttrKind::EventName => "featured event :",
+            AttrKind::Venue => "held at",
+        }
+    }
+
+    /// True for purely numeric-valued attributes.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, AttrKind::Price | AttrKind::Salary | AttrKind::Fee | AttrKind::Date)
+    }
+}
+
+/// Where a topic's websites come from, mirroring the two dataset sources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Source {
+    /// Jasmine-Directory-style crawl (`D_jasm`, 153 topics in the paper).
+    Directory,
+    /// SWDE-style labelled pages (`D_swde`, 7 topics in the paper).
+    Swde,
+}
+
+/// Identifier of a topic within a [`Taxonomy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct TopicId(pub usize);
+
+/// One topic: a subject within a family, with its own vocabulary.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct TopicSpec {
+    /// The topic id (index in the taxonomy).
+    pub id: TopicId,
+    /// The domain family.
+    pub family: Family,
+    /// The topic-specific subject word (first token of the phrase).
+    pub subject: String,
+    /// The full three-token topic phrase.
+    pub phrase: Vec<String>,
+    /// Topic-specific content words used in item names and body text.
+    pub vocab: Vec<String>,
+    /// Dataset source this topic belongs to.
+    pub source: Source,
+}
+
+impl TopicSpec {
+    /// The topic phrase as a single string.
+    pub fn phrase_text(&self) -> String {
+        self.phrase.join(" ")
+    }
+}
+
+/// The full topic taxonomy.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Taxonomy {
+    topics: Vec<TopicSpec>,
+}
+
+/// Syllables used to mint pronounceable topic-specific pseudo-words. They
+/// stand in for the long tail of domain vocabulary (the paper's corpus has a
+/// 13M raw vocabulary); pseudo-words guarantee unseen topics really are
+/// lexically unseen.
+const ONSETS: [&str; 12] =
+    ["br", "cl", "dr", "fl", "gr", "k", "l", "m", "n", "pr", "st", "v"];
+const NUCLEI: [&str; 6] = ["a", "e", "i", "o", "u", "ay"];
+const CODAS: [&str; 8] = ["n", "r", "l", "s", "m", "t", "nd", "rk"];
+
+fn mint_word(rng: &mut StdRng, syllables: usize) -> String {
+    let mut w = String::new();
+    for _ in 0..syllables {
+        w.push_str(ONSETS[rng.gen_range(0..ONSETS.len())]);
+        w.push_str(NUCLEI[rng.gen_range(0..NUCLEI.len())]);
+        if rng.gen_bool(0.6) {
+            w.push_str(CODAS[rng.gen_range(0..CODAS.len())]);
+        }
+    }
+    w
+}
+
+impl Taxonomy {
+    /// Builds the default 160-topic taxonomy (8 families × 20 subjects):
+    /// 153 `Directory` topics and 7 `Swde` topics, matching the paper's
+    /// counts.
+    pub fn paper_scale(seed: u64) -> Self {
+        Self::build(seed, 20)
+    }
+
+    /// Builds a smaller taxonomy for tests (`subjects_per_family × 8`
+    /// topics; the last 7 are `Swde` when there are at least 8).
+    pub fn build(seed: u64, subjects_per_family: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut topics = Vec::new();
+        let total = subjects_per_family * FAMILIES.len();
+        let mut used = std::collections::HashSet::new();
+        for s in 0..subjects_per_family {
+            for &family in &FAMILIES {
+                let id = TopicId(topics.len());
+                let subject = loop {
+                    let w = mint_word(&mut rng, 2);
+                    if used.insert(w.clone()) {
+                        break w;
+                    }
+                };
+                let tail = family.phrase_tail();
+                let phrase =
+                    vec![subject.clone(), tail[0].to_string(), tail[1].to_string()];
+                let vocab: Vec<String> = (0..16)
+                    .map(|_| {
+                        let syllables = 1 + rng.gen_range(1..3);
+                        mint_word(&mut rng, syllables)
+                    })
+                    .collect();
+                let source = if topics.len() >= total.saturating_sub(7) {
+                    Source::Swde
+                } else {
+                    Source::Directory
+                };
+                topics.push(TopicSpec { id, family, subject, phrase, vocab, source });
+                let _ = s;
+            }
+        }
+        Taxonomy { topics }
+    }
+
+    /// All topics.
+    pub fn topics(&self) -> &[TopicSpec] {
+        &self.topics
+    }
+
+    /// A topic by id.
+    pub fn topic(&self, id: TopicId) -> &TopicSpec {
+        &self.topics[id.0]
+    }
+
+    /// Number of topics.
+    pub fn len(&self) -> usize {
+        self.topics.len()
+    }
+
+    /// True when there are no topics.
+    pub fn is_empty(&self) -> bool {
+        self.topics.is_empty()
+    }
+
+    /// Ids of topics from the given source.
+    pub fn by_source(&self, source: Source) -> Vec<TopicId> {
+        self.topics.iter().filter(|t| t.source == source).map(|t| t.id).collect()
+    }
+}
+
+/// Shared boilerplate vocabulary appearing in navigation, footers and ads
+/// across all sites — identical for seen and unseen domains.
+pub const BOILERPLATE: &[&str] = &[
+    "home", "login", "register", "contact", "about", "privacy", "terms", "copyright",
+    "subscribe", "newsletter", "menu", "search", "cart", "help", "faq", "sitemap",
+    "follow", "social", "cookies", "settings",
+];
+
+/// Person/company name pools shared across families (cue targets).
+pub const FIRST_NAMES: &[&str] = &[
+    "emma", "liam", "olivia", "noah", "ava", "mason", "sophia", "lucas", "mia", "ethan",
+    "harper", "logan", "ella", "james", "grace", "henry",
+];
+
+/// Surname pool.
+pub const LAST_NAMES: &[&str] = &[
+    "smith", "jones", "brown", "taylor", "wilson", "clarke", "walker", "hall", "young",
+    "king", "wright", "baker", "adams", "carter", "mitchell", "turner",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_has_160_topics_153_directory_7_swde() {
+        let t = Taxonomy::paper_scale(0);
+        assert_eq!(t.len(), 160);
+        assert_eq!(t.by_source(Source::Directory).len(), 153);
+        assert_eq!(t.by_source(Source::Swde).len(), 7);
+    }
+
+    #[test]
+    fn phrases_are_three_tokens() {
+        let t = Taxonomy::paper_scale(0);
+        assert!(t.topics().iter().all(|s| s.phrase.len() == 3));
+    }
+
+    #[test]
+    fn subjects_are_unique() {
+        let t = Taxonomy::paper_scale(0);
+        let mut subjects: Vec<&str> = t.topics().iter().map(|s| s.subject.as_str()).collect();
+        subjects.sort_unstable();
+        subjects.dedup();
+        assert_eq!(subjects.len(), 160);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = Taxonomy::build(7, 2);
+        let b = Taxonomy::build(7, 2);
+        assert_eq!(a.topics()[3].subject, b.topics()[3].subject);
+        assert_eq!(a.topics()[3].vocab, b.topics()[3].vocab);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Taxonomy::build(1, 2);
+        let b = Taxonomy::build(2, 2);
+        assert_ne!(
+            a.topics().iter().map(|t| t.subject.clone()).collect::<Vec<_>>(),
+            b.topics().iter().map(|t| t.subject.clone()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn every_family_has_category_first() {
+        for &f in &FAMILIES {
+            assert_eq!(f.attribute_kinds()[0], AttrKind::Category);
+        }
+    }
+
+    #[test]
+    fn attribute_cues_are_nonempty_and_distinct_per_family() {
+        for &f in &FAMILIES {
+            let kinds = f.attribute_kinds();
+            let cues: std::collections::HashSet<&str> =
+                kinds.iter().map(|k| k.cue()).collect();
+            assert_eq!(cues.len(), 4, "family {f:?} reuses a cue");
+        }
+    }
+
+    #[test]
+    fn small_taxonomy_source_split() {
+        let t = Taxonomy::build(0, 2); // 16 topics
+        assert_eq!(t.by_source(Source::Swde).len(), 7);
+        assert_eq!(t.by_source(Source::Directory).len(), 9);
+    }
+}

@@ -1,0 +1,167 @@
+//! Whole-website synthesis: one topic-coherent site with an index page,
+//! content-rich pages, media pages and cross-links — the unit the paper's
+//! structure-driven crawler [24] walks (1,500–2,000 content pages per site;
+//! scaled down here).
+
+use crate::page::{generate_page, PageConfig, PageRecord};
+use crate::taxonomy::TopicSpec;
+use rand::rngs::StdRng;
+use rand::Rng;
+use wb_html::{Node, Tag, Website};
+
+/// Website-generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WebsiteConfig {
+    /// Number of content-rich pages.
+    pub content_pages: usize,
+    /// Number of media pages (the crawler must skip them).
+    pub media_pages: usize,
+    /// Page shape for the content pages.
+    pub page: PageConfig,
+    /// Probability of a cross-link between two content pages.
+    pub cross_link_rate: f64,
+}
+
+impl Default for WebsiteConfig {
+    fn default() -> Self {
+        WebsiteConfig {
+            content_pages: 8,
+            media_pages: 1,
+            page: PageConfig::default(),
+            cross_link_rate: 0.3,
+        }
+    }
+}
+
+/// A generated website plus the labelled records of its content pages
+/// (index/media pages carry no labels — they are crawler chaff).
+pub struct GeneratedWebsite {
+    /// The site graph (page 0 is the index root).
+    pub site: Website,
+    /// `(page index in site, labelled record)` for every content page.
+    pub content: Vec<(usize, PageRecord)>,
+}
+
+/// Builds the hub/index page: many links, little text. Real index pages
+/// link far beyond the crawlable frontier (categories, pagination), so the
+/// hub always renders at least 24 anchors regardless of site size.
+fn index_page(n_links: usize) -> Node {
+    let n_links = n_links.max(24);
+    let anchors: Vec<Node> = (0..n_links)
+        .map(|i| {
+            Node::elem_attrs(
+                Tag::A,
+                vec![("href", &format!("/item/{i}") as &str)],
+                vec![Node::text(format!("item {i}"))],
+            )
+        })
+        .collect();
+    Node::elem(
+        Tag::Body,
+        vec![
+            Node::elem(Tag::Nav, vec![Node::text("home catalog contact")]),
+            Node::elem(Tag::Ul, anchors),
+        ],
+    )
+}
+
+/// Builds a media page (videos, no text to speak of).
+fn media_page(rng: &mut StdRng) -> Node {
+    let n = rng.gen_range(9..14);
+    Node::elem(Tag::Body, (0..n).map(|_| Node::elem(Tag::Video, vec![])).collect())
+}
+
+/// Generates a topic-coherent website.
+pub fn generate_website(
+    topic: &TopicSpec,
+    cfg: WebsiteConfig,
+    rng: &mut StdRng,
+) -> GeneratedWebsite {
+    let mut site = Website::default();
+    let root = site.add_page("/", index_page(cfg.content_pages + cfg.media_pages));
+
+    let mut content = Vec::with_capacity(cfg.content_pages);
+    let mut content_ids = Vec::new();
+    for i in 0..cfg.content_pages {
+        let record = generate_page(topic, cfg.page, rng);
+        let idx = site.add_page(&format!("/item/{i}"), record.dom.clone());
+        site.link(root, idx);
+        content_ids.push(idx);
+        content.push((idx, record));
+    }
+    for i in 0..cfg.media_pages {
+        let idx = site.add_page(&format!("/media/{i}"), media_page(rng));
+        site.link(root, idx);
+    }
+    // Cross-links between content pages ("related items").
+    for (a_pos, &a) in content_ids.iter().enumerate() {
+        for &b in content_ids.iter().skip(a_pos + 1) {
+            if rng.gen_bool(cfg.cross_link_rate) {
+                site.link(a, b);
+                site.link(b, a);
+            }
+        }
+    }
+    GeneratedWebsite { site, content }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taxonomy::Taxonomy;
+    use rand::SeedableRng;
+    use wb_html::{classify_page, crawl, CrawlConfig, PageKind};
+
+    fn build(seed: u64, cfg: WebsiteConfig) -> GeneratedWebsite {
+        let tax = Taxonomy::build(0, 2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        generate_website(&tax.topics()[2], cfg, &mut rng)
+    }
+
+    #[test]
+    fn site_structure_matches_config() {
+        let cfg = WebsiteConfig { content_pages: 5, media_pages: 2, ..Default::default() };
+        let w = build(1, cfg);
+        // Root + 5 content + 2 media.
+        assert_eq!(w.site.pages.len(), 8);
+        assert_eq!(w.content.len(), 5);
+    }
+
+    #[test]
+    fn crawler_keeps_exactly_the_content_pages() {
+        let cfg = WebsiteConfig { content_pages: 6, media_pages: 2, ..Default::default() };
+        let w = build(2, cfg);
+        let r = crawl(&w.site, CrawlConfig::default());
+        assert_eq!(r.content_pages.len(), 6);
+        assert_eq!(r.skipped_index, 1);
+        assert_eq!(r.skipped_media, 2);
+        let expected: Vec<usize> = w.content.iter().map(|(i, _)| *i).collect();
+        let mut got = r.content_pages.clone();
+        got.sort_unstable();
+        let mut exp = expected.clone();
+        exp.sort_unstable();
+        assert_eq!(got, exp);
+    }
+
+    #[test]
+    fn page_kinds_classified_correctly() {
+        let w = build(3, WebsiteConfig::default());
+        assert_eq!(classify_page(&w.site.pages[0].dom), PageKind::Index);
+        for (idx, _) in &w.content {
+            assert_eq!(classify_page(&w.site.pages[*idx].dom), PageKind::ContentRich);
+        }
+    }
+
+    #[test]
+    fn cross_links_are_bidirectional() {
+        let cfg = WebsiteConfig { content_pages: 6, cross_link_rate: 1.0, ..Default::default() };
+        let w = build(4, cfg);
+        for (a, _) in &w.content {
+            for (b, _) in &w.content {
+                if a != b {
+                    assert!(w.site.pages[*a].links.contains(b));
+                }
+            }
+        }
+    }
+}

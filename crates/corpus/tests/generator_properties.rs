@@ -1,0 +1,82 @@
+//! Property-based tests of the page generator: ground-truth alignment must
+//! hold for *every* page shape, not just the default configuration.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wb_corpus::{generate_page, PageConfig, Taxonomy};
+
+fn config_strategy() -> impl Strategy<Value = PageConfig> {
+    (1usize..5, 0usize..4, 0usize..4, 0.0f64..1.0).prop_map(
+        |(informative_sections, noise_sections, filler_sentences, distractor_rate)| PageConfig {
+            informative_sections,
+            noise_sections,
+            filler_sentences,
+            distractor_rate,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every generated page has exactly four attribute mentions whose word
+    /// offsets align with the sentence text, all inside informative
+    /// sentences.
+    #[test]
+    fn mentions_always_align(cfg in config_strategy(), seed in 0u64..500, topic_idx in 0usize..16) {
+        let tax = Taxonomy::build(0, 2);
+        let topic = &tax.topics()[topic_idx % tax.len()];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let page = generate_page(topic, cfg, &mut rng);
+        prop_assert_eq!(page.attributes.len(), 4);
+        for m in &page.attributes {
+            let words = &page.sentences[m.sentence].words;
+            prop_assert_eq!(
+                &words[m.word_start..m.word_start + m.value.len()],
+                m.value.as_slice()
+            );
+            prop_assert!(page.sentences[m.sentence].informative);
+        }
+    }
+
+    /// The rendered DOM reproduces the ground-truth word sequence exactly
+    /// for every configuration.
+    #[test]
+    fn dom_roundtrip_holds_for_all_shapes(cfg in config_strategy(), seed in 0u64..200) {
+        let tax = Taxonomy::build(0, 2);
+        let topic = &tax.topics()[(seed as usize) % tax.len()];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let page = generate_page(topic, cfg, &mut rng);
+        let text = wb_html::visible_text(&page.dom);
+        let sentences = wb_text::split_sentences(&text);
+        prop_assert_eq!(sentences.len(), page.sentences.len());
+        for (rendered, truth) in sentences.iter().zip(&page.sentences) {
+            prop_assert_eq!(wb_text::normalize(rendered), truth.words.clone());
+        }
+    }
+
+    /// Boilerplate is always present (nav/header/footer), so pages are
+    /// never pure signal — the extractor really has something to reject.
+    #[test]
+    fn pages_always_contain_boilerplate(cfg in config_strategy(), seed in 0u64..200) {
+        let tax = Taxonomy::build(0, 2);
+        let topic = &tax.topics()[3];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let page = generate_page(topic, cfg, &mut rng);
+        let boiler = page.sentences.iter().filter(|s| !s.informative).count();
+        prop_assert!(boiler >= 3, "only {} boilerplate sentences", boiler);
+    }
+
+    /// Generation is a pure function of (topic, config, rng seed).
+    #[test]
+    fn generation_is_deterministic(cfg in config_strategy(), seed in 0u64..100) {
+        let tax = Taxonomy::build(0, 2);
+        let topic = &tax.topics()[5];
+        let a = generate_page(topic, cfg, &mut StdRng::seed_from_u64(seed));
+        let b = generate_page(topic, cfg, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(a.sentences, b.sentences);
+        prop_assert_eq!(a.attributes, b.attributes);
+        prop_assert_eq!(a.dom, b.dom);
+    }
+}

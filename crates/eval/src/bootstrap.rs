@@ -1,0 +1,110 @@
+//! Bootstrap confidence intervals over per-example scores — used by the
+//! experiment harnesses to qualify the scaled-down runs' headline numbers
+//! (with hundreds rather than tens of thousands of test pages, interval
+//! width matters).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A two-sided percentile bootstrap interval.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Interval {
+    /// Point estimate (mean of the observed scores).
+    pub mean: f64,
+    /// Lower percentile bound.
+    pub lo: f64,
+    /// Upper percentile bound.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Half-width of the interval.
+    pub fn half_width(&self) -> f64 {
+        (self.hi - self.lo) / 2.0
+    }
+
+    /// Whether the interval contains a value.
+    pub fn contains(&self, v: f64) -> bool {
+        (self.lo..=self.hi).contains(&v)
+    }
+}
+
+/// Percentile bootstrap of the mean of `scores` (e.g. per-example 0/1
+/// exact-match outcomes or per-example F1), with `resamples` draws at the
+/// given `confidence` (e.g. 0.95).
+pub fn bootstrap_mean(scores: &[f64], resamples: usize, confidence: f64, seed: u64) -> Interval {
+    assert!(!scores.is_empty(), "bootstrap of zero scores");
+    assert!((0.0..1.0).contains(&(1.0 - confidence)), "confidence must be in (0,1)");
+    let n = scores.len();
+    let mean = scores.iter().sum::<f64>() / n as f64;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut means: Vec<f64> = (0..resamples)
+        .map(|_| {
+            let mut s = 0.0;
+            for _ in 0..n {
+                s += scores[rng.gen_range(0..n)];
+            }
+            s / n as f64
+        })
+        .collect();
+    means.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let alpha = (1.0 - confidence) / 2.0;
+    let lo_idx = ((resamples as f64) * alpha).floor() as usize;
+    let hi_idx = (((resamples as f64) * (1.0 - alpha)).ceil() as usize).min(resamples - 1);
+    Interval { mean, lo: means[lo_idx], hi: means[hi_idx] }
+}
+
+/// Bootstrap of an exact-match percentage from per-example booleans.
+pub fn bootstrap_percentage(outcomes: &[bool], resamples: usize, seed: u64) -> Interval {
+    let scores: Vec<f64> =
+        outcomes.iter().map(|&b| if b { 100.0 } else { 0.0 }).collect();
+    bootstrap_mean(&scores, resamples, 0.95, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_contains_true_mean_for_constant_data() {
+        let scores = vec![5.0; 50];
+        let iv = bootstrap_mean(&scores, 200, 0.95, 1);
+        assert_eq!(iv.mean, 5.0);
+        assert_eq!(iv.lo, 5.0);
+        assert_eq!(iv.hi, 5.0);
+        assert!(iv.contains(5.0));
+    }
+
+    #[test]
+    fn interval_narrows_with_more_data() {
+        let make = |n: usize| -> Vec<f64> {
+            (0..n).map(|i| if i % 2 == 0 { 0.0 } else { 100.0 }).collect()
+        };
+        let wide = bootstrap_mean(&make(10), 500, 0.95, 2);
+        let narrow = bootstrap_mean(&make(1000), 500, 0.95, 2);
+        assert!(narrow.half_width() < wide.half_width());
+    }
+
+    #[test]
+    fn percentage_bootstrap_brackets_the_rate() {
+        let outcomes: Vec<bool> = (0..200).map(|i| i % 4 != 0).collect(); // 75%
+        let iv = bootstrap_percentage(&outcomes, 500, 3);
+        assert!((iv.mean - 75.0).abs() < 1e-9);
+        assert!(iv.lo < 75.0 && 75.0 < iv.hi);
+        assert!(iv.half_width() < 15.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let scores: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let a = bootstrap_mean(&scores, 300, 0.95, 7);
+        let b = bootstrap_mean(&scores, 300, 0.95, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero scores")]
+    fn empty_scores_panic() {
+        let _ = bootstrap_mean(&[], 10, 0.95, 0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Per-attribute-kind extraction breakdown: the aggregate F1 of Table VI
+//! hides that numeric attributes (strong lexical cue + `<digit>` value) are
+//! far easier than name-like attributes built from topic vocabulary. The
+//! `attribute_breakdown` experiment reports F1 per kind.
+
+use crate::metrics::ExtractionScores;
+use std::collections::BTreeMap;
+
+/// Accumulates extraction scores keyed by an attribute-kind label.
+#[derive(Debug, Clone, Default)]
+pub struct KindBreakdown {
+    per_kind: BTreeMap<String, ExtractionScores>,
+}
+
+impl KindBreakdown {
+    /// An empty breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Updates with one example: predicted spans vs gold spans labelled by
+    /// kind. A predicted span counts for the kind of the gold span it
+    /// matches; unmatched predictions are charged to the kind of the
+    /// *nearest* gold span (by start offset) so precision degradation is
+    /// attributed somewhere meaningful.
+    pub fn update(&mut self, predicted: &[(usize, usize)], gold: &[(&str, usize, usize)]) {
+        // Recall/TP side: per-kind gold matching.
+        for &(kind, s, e) in gold {
+            let entry = self.per_kind.entry(kind.to_string()).or_default();
+            if predicted.contains(&(s, e)) {
+                entry.tp += 1;
+            } else {
+                entry.fn_ += 1;
+            }
+        }
+        // Precision side: false positives attributed to the nearest kind.
+        for &(ps, pe) in predicted {
+            if gold.iter().any(|&(_, s, e)| (s, e) == (ps, pe)) {
+                continue;
+            }
+            if let Some(&(kind, _, _)) = gold
+                .iter()
+                .min_by_key(|&&(_, s, _)| s.abs_diff(ps))
+            {
+                self.per_kind.entry(kind.to_string()).or_default().fp += 1;
+            } else {
+                self.per_kind.entry("(none)".to_string()).or_default().fp += 1;
+            }
+            let _ = pe;
+        }
+    }
+
+    /// Iterates `(kind, scores)` in kind order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &ExtractionScores)> {
+        self.per_kind.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// The scores for one kind, if present.
+    pub fn get(&self, kind: &str) -> Option<&ExtractionScores> {
+        self.per_kind.get(kind)
+    }
+
+    /// Merges another breakdown into this one.
+    pub fn merge(&mut self, other: &KindBreakdown) {
+        for (k, v) in &other.per_kind {
+            self.per_kind.entry(k.clone()).or_default().merge(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_kind_accounting() {
+        let mut b = KindBreakdown::new();
+        b.update(
+            &[(0, 2), (10, 11)],
+            &[("price", 0, 2), ("maker", 5, 7)],
+        );
+        // price: matched. maker: missed. The stray (10,11) is nearest to
+        // maker's span.
+        assert_eq!(b.get("price").unwrap().tp, 1);
+        assert_eq!(b.get("maker").unwrap().fn_, 1);
+        assert_eq!(b.get("maker").unwrap().fp, 1);
+        assert_eq!(b.get("price").unwrap().f1(), 100.0);
+    }
+
+    #[test]
+    fn no_gold_spans_charges_none_bucket() {
+        let mut b = KindBreakdown::new();
+        b.update(&[(3, 4)], &[]);
+        assert_eq!(b.get("(none)").unwrap().fp, 1);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = KindBreakdown::new();
+        a.update(&[(0, 1)], &[("price", 0, 1)]);
+        let mut b = KindBreakdown::new();
+        b.update(&[(0, 1)], &[("price", 0, 1)]);
+        a.merge(&b);
+        assert_eq!(a.get("price").unwrap().tp, 2);
+    }
+
+    #[test]
+    fn iteration_is_sorted_by_kind() {
+        let mut b = KindBreakdown::new();
+        b.update(&[], &[("zebra", 0, 1), ("apple", 2, 3)]);
+        let kinds: Vec<&str> = b.iter().map(|(k, _)| k).collect();
+        assert_eq!(kinds, vec!["apple", "zebra"]);
+    }
+}

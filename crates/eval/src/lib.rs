@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+//! # wb-eval
+//!
+//! Evaluation machinery for Webpage Briefing (§IV-A4 and §IV-E):
+//!
+//! * [`ExtractionScores`] — span-level precision/recall/F1 for key
+//!   attribute extraction, with [`bio_to_spans`] BIO decoding,
+//! * [`GenerationScores`] — exact-match (EM) and relaxed-match (RM) topic
+//!   generation scores,
+//! * [`mcnemar`] — McNemar's paired significance test,
+//! * [`cohens_kappa`] / [`panel_kappa`] — inter-annotator agreement,
+//! * [`Panel`] — the simulated annotator panel replacing human volunteers
+//!   (see DESIGN.md §2),
+//! * [`ResultTable`] — paper-style result-table formatting.
+//!
+//! ```
+//! use wb_eval::{bio_to_spans, ExtractionScores, GenerationScores, mcnemar};
+//!
+//! // Span F1 from BIO tags.
+//! let mut ext = ExtractionScores::default();
+//! ext.update(&bio_to_spans(&[0, 1, 2, 0]), &[(1, 3)]);
+//! assert_eq!(ext.f1(), 100.0);
+//!
+//! // EM/RM for topic generation.
+//! let mut gen = GenerationScores::default();
+//! gen.update(&[4, 7], &[4, 7]);
+//! assert_eq!(gen.em(), 100.0);
+//!
+//! // Paired significance.
+//! let t = mcnemar(&[true, true, false], &[true, false, false]);
+//! assert!(!t.significant(0.05));
+//! ```
+
+mod annotators;
+mod bootstrap;
+mod breakdown;
+mod metrics;
+mod stats;
+mod table;
+
+pub use annotators::{latent_score, majority_vote, Judge, Panel, PanelResult};
+pub use bootstrap::{bootstrap_mean, bootstrap_percentage, Interval};
+pub use breakdown::KindBreakdown;
+pub use metrics::{bio_to_spans, ExtractionScores, GenerationScores, SectionScores};
+pub use stats::{chi2_sf_1df, cohens_kappa, erfc, mcnemar, panel_kappa, McNemar};
+pub use table::ResultTable;

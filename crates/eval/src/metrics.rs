@@ -1,0 +1,262 @@
+//! Evaluation metrics (§IV-A4): span-level precision/recall/F1 for key
+//! attribute extraction, exact matching (EM) and relaxed matching (RM) for
+//! topic generation.
+
+/// Decodes BIO tags into `(start, end)` token spans. A span starts at `B`
+/// and extends over following `I`s; an `I` without a preceding `B` starts a
+/// span too (lenient decoding, standard for taggers).
+pub fn bio_to_spans(tags: &[u8]) -> Vec<(usize, usize)> {
+    const B: u8 = 1;
+    const I: u8 = 2;
+    let mut spans = Vec::new();
+    let mut start: Option<usize> = None;
+    for (i, &t) in tags.iter().enumerate() {
+        match t {
+            B => {
+                if let Some(s) = start.take() {
+                    spans.push((s, i));
+                }
+                start = Some(i);
+            }
+            I => {
+                if start.is_none() {
+                    start = Some(i);
+                }
+            }
+            _ => {
+                if let Some(s) = start.take() {
+                    spans.push((s, i));
+                }
+            }
+        }
+    }
+    if let Some(s) = start {
+        spans.push((s, tags.len()));
+    }
+    spans
+}
+
+/// Running counts for span-level precision/recall/F1.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ExtractionScores {
+    /// True positives (exactly matching spans).
+    pub tp: usize,
+    /// Predicted spans that match no gold span.
+    pub fp: usize,
+    /// Gold spans that were not predicted.
+    pub fn_: usize,
+}
+
+impl ExtractionScores {
+    /// Accumulates one example's predicted vs gold spans (exact match).
+    pub fn update(&mut self, predicted: &[(usize, usize)], gold: &[(usize, usize)]) {
+        let mut matched = vec![false; gold.len()];
+        for p in predicted {
+            match gold.iter().position(|g| g == p) {
+                Some(i) if !matched[i] => {
+                    matched[i] = true;
+                    self.tp += 1;
+                }
+                _ => self.fp += 1,
+            }
+        }
+        self.fn_ += matched.iter().filter(|&&m| !m).count();
+    }
+
+    /// Precision in percent.
+    pub fn precision(&self) -> f64 {
+        pct(self.tp, self.tp + self.fp)
+    }
+
+    /// Recall in percent.
+    pub fn recall(&self) -> f64 {
+        pct(self.tp, self.tp + self.fn_)
+    }
+
+    /// F1 in percent.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Merges counts from another accumulator.
+    pub fn merge(&mut self, other: &ExtractionScores) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+    }
+}
+
+fn pct(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        100.0 * num as f64 / den as f64
+    }
+}
+
+/// Running counts for EM/RM topic-generation scores.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GenerationScores {
+    /// Examples evaluated.
+    pub total: usize,
+    /// Exactly matching generations.
+    pub exact: usize,
+    /// Generations sharing ≥1 token with the ground truth.
+    pub relaxed: usize,
+}
+
+impl GenerationScores {
+    /// Accumulates one `(generated, gold)` pair of token-id sequences
+    /// (without `[EOS]`).
+    pub fn update(&mut self, generated: &[u32], gold: &[u32]) {
+        self.total += 1;
+        if generated == gold {
+            self.exact += 1;
+        }
+        if generated.iter().any(|t| gold.contains(t)) {
+            self.relaxed += 1;
+        }
+    }
+
+    /// Per-example EM outcomes are needed by McNemar's test; this reports
+    /// whether a single pair is an exact match.
+    pub fn is_exact(generated: &[u32], gold: &[u32]) -> bool {
+        generated == gold
+    }
+
+    /// Exact-match percentage.
+    pub fn em(&self) -> f64 {
+        pct(self.exact, self.total)
+    }
+
+    /// Relaxed-match percentage.
+    pub fn rm(&self) -> f64 {
+        pct(self.relaxed, self.total)
+    }
+
+    /// Merges counts from another accumulator.
+    pub fn merge(&mut self, other: &GenerationScores) {
+        self.total += other.total;
+        self.exact += other.exact;
+        self.relaxed += other.relaxed;
+    }
+}
+
+/// Accuracy of binary informative-section predictions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SectionScores {
+    /// Sentences evaluated.
+    pub total: usize,
+    /// Correct predictions.
+    pub correct: usize,
+}
+
+impl SectionScores {
+    /// Accumulates per-sentence predictions.
+    pub fn update(&mut self, predicted: &[bool], gold: &[bool]) {
+        assert_eq!(predicted.len(), gold.len(), "one prediction per sentence");
+        self.total += gold.len();
+        self.correct += predicted.iter().zip(gold).filter(|(p, g)| p == g).count();
+    }
+
+    /// Accuracy in percent.
+    pub fn accuracy(&self) -> f64 {
+        pct(self.correct, self.total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bio_decoding_basic() {
+        // O B I O B O
+        assert_eq!(bio_to_spans(&[0, 1, 2, 0, 1, 0]), vec![(1, 3), (4, 5)]);
+    }
+
+    #[test]
+    fn bio_decoding_adjacent_b() {
+        // B B I
+        assert_eq!(bio_to_spans(&[1, 1, 2]), vec![(0, 1), (1, 3)]);
+    }
+
+    #[test]
+    fn bio_decoding_trailing_span() {
+        assert_eq!(bio_to_spans(&[0, 0, 1, 2]), vec![(2, 4)]);
+    }
+
+    #[test]
+    fn bio_decoding_orphan_i() {
+        assert_eq!(bio_to_spans(&[2, 2, 0]), vec![(0, 2)]);
+    }
+
+    #[test]
+    fn extraction_counts() {
+        let mut s = ExtractionScores::default();
+        s.update(&[(0, 2), (5, 6)], &[(0, 2), (3, 4)]);
+        assert_eq!(s.tp, 1);
+        assert_eq!(s.fp, 1);
+        assert_eq!(s.fn_, 1);
+        assert!((s.precision() - 50.0).abs() < 1e-9);
+        assert!((s.recall() - 50.0).abs() < 1e-9);
+        assert!((s.f1() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extraction_duplicate_prediction_counts_once() {
+        let mut s = ExtractionScores::default();
+        s.update(&[(0, 2), (0, 2)], &[(0, 2)]);
+        assert_eq!(s.tp, 1);
+        assert_eq!(s.fp, 1);
+        assert_eq!(s.fn_, 0);
+    }
+
+    #[test]
+    fn extraction_empty_cases() {
+        let s = ExtractionScores::default();
+        assert_eq!(s.precision(), 0.0);
+        assert_eq!(s.f1(), 0.0);
+    }
+
+    #[test]
+    fn generation_em_rm() {
+        let mut s = GenerationScores::default();
+        s.update(&[1, 2, 3], &[1, 2, 3]); // exact
+        s.update(&[1, 9, 9], &[1, 2, 3]); // relaxed only
+        s.update(&[7, 8], &[1, 2, 3]); // neither
+        assert_eq!(s.total, 3);
+        assert!((s.em() - 33.333).abs() < 0.01);
+        assert!((s.rm() - 66.666).abs() < 0.01);
+    }
+
+    #[test]
+    fn exact_match_is_order_sensitive() {
+        assert!(!GenerationScores::is_exact(&[1, 2], &[2, 1]));
+        assert!(GenerationScores::is_exact(&[2, 1], &[2, 1]));
+    }
+
+    #[test]
+    fn section_accuracy() {
+        let mut s = SectionScores::default();
+        s.update(&[true, false, true], &[true, true, true]);
+        assert!((s.accuracy() - 66.666).abs() < 0.01);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = GenerationScores::default();
+        a.update(&[1], &[1]);
+        let mut b = GenerationScores::default();
+        b.update(&[2], &[3]);
+        a.merge(&b);
+        assert_eq!(a.total, 2);
+        assert_eq!(a.exact, 1);
+    }
+}

@@ -1,0 +1,200 @@
+//! Statistical tests used in §IV: McNemar's test for paired model
+//! comparisons ("McNemar's test of p < 0.05 is used to test whether the
+//! improvements are statistically significant") and Cohen's κ for
+//! inter-annotator agreement.
+
+/// Result of McNemar's test on paired binary outcomes.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct McNemar {
+    /// Cases model A was right and B wrong.
+    pub b: usize,
+    /// Cases model B was right and A wrong.
+    pub c: usize,
+    /// Continuity-corrected χ² statistic.
+    pub chi2: f64,
+    /// Two-sided p-value (χ² with 1 d.o.f.).
+    pub p_value: f64,
+}
+
+impl McNemar {
+    /// Whether the difference is significant at `alpha`.
+    pub fn significant(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Runs McNemar's test over paired per-example correctness vectors.
+///
+/// # Panics
+/// Panics when the vectors differ in length (the models must be evaluated
+/// on identical examples).
+pub fn mcnemar(a_correct: &[bool], b_correct: &[bool]) -> McNemar {
+    assert_eq!(a_correct.len(), b_correct.len(), "paired test requires equal lengths");
+    let mut b = 0usize; // A right, B wrong
+    let mut c = 0usize; // B right, A wrong
+    for (&x, &y) in a_correct.iter().zip(b_correct) {
+        match (x, y) {
+            (true, false) => b += 1,
+            (false, true) => c += 1,
+            _ => {}
+        }
+    }
+    let n = (b + c) as f64;
+    let chi2 = if n == 0.0 {
+        0.0
+    } else {
+        let d = (b as f64 - c as f64).abs() - 1.0;
+        (d.max(0.0)).powi(2) / n
+    };
+    McNemar { b, c, chi2, p_value: chi2_sf_1df(chi2) }
+}
+
+/// Survival function of the χ² distribution with one degree of freedom:
+/// `P(X > x) = erfc(sqrt(x/2))`.
+pub fn chi2_sf_1df(x: f64) -> f64 {
+    erfc((x / 2.0).sqrt())
+}
+
+/// Complementary error function (Abramowitz & Stegun 7.1.26, |ε| ≤ 1.5e-7).
+pub fn erfc(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))))
+        * (-x * x).exp();
+    if sign < 0.0 {
+        2.0 - y
+    } else {
+        y
+    }
+}
+
+/// Cohen's κ between two raters over categorical labels.
+///
+/// # Panics
+/// Panics when the label vectors differ in length or are empty.
+pub fn cohens_kappa(rater_a: &[u8], rater_b: &[u8]) -> f64 {
+    assert_eq!(rater_a.len(), rater_b.len(), "raters must label the same items");
+    assert!(!rater_a.is_empty(), "kappa of zero items");
+    let n = rater_a.len() as f64;
+    let categories: std::collections::BTreeSet<u8> =
+        rater_a.iter().chain(rater_b).copied().collect();
+    let observed =
+        rater_a.iter().zip(rater_b).filter(|(a, b)| a == b).count() as f64 / n;
+    let mut expected = 0.0;
+    for &cat in &categories {
+        let pa = rater_a.iter().filter(|&&x| x == cat).count() as f64 / n;
+        let pb = rater_b.iter().filter(|&&x| x == cat).count() as f64 / n;
+        expected += pa * pb;
+    }
+    if (1.0 - expected).abs() < 1e-12 {
+        1.0
+    } else {
+        (observed - expected) / (1.0 - expected)
+    }
+}
+
+/// Mean pairwise Cohen's κ over a panel of raters (the paper reports a
+/// single κ per evaluation aspect for five/ten volunteers).
+pub fn panel_kappa(raters: &[Vec<u8>]) -> f64 {
+    assert!(raters.len() >= 2, "panel needs at least two raters");
+    let mut sum = 0.0;
+    let mut pairs = 0;
+    for i in 0..raters.len() {
+        for j in i + 1..raters.len() {
+            sum += cohens_kappa(&raters[i], &raters[j]);
+            pairs += 1;
+        }
+    }
+    sum / pairs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mcnemar_identical_models_not_significant() {
+        let a = vec![true, false, true, true];
+        let r = mcnemar(&a, &a);
+        assert_eq!(r.b, 0);
+        assert_eq!(r.c, 0);
+        assert!(!r.significant(0.05));
+    }
+
+    #[test]
+    fn mcnemar_large_asymmetry_is_significant() {
+        // A right / B wrong on 30 cases, the reverse on 2.
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for _ in 0..30 {
+            a.push(true);
+            b.push(false);
+        }
+        for _ in 0..2 {
+            a.push(false);
+            b.push(true);
+        }
+        let r = mcnemar(&a, &b);
+        assert_eq!(r.b, 30);
+        assert_eq!(r.c, 2);
+        assert!(r.significant(0.05), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn mcnemar_small_difference_not_significant() {
+        let a = vec![true, false, true, false];
+        let b = vec![false, true, true, false];
+        let r = mcnemar(&a, &b);
+        assert!(!r.significant(0.05));
+    }
+
+    #[test]
+    fn chi2_sf_reference_values() {
+        // χ² = 3.841 ↔ p = 0.05 at 1 d.o.f.
+        assert!((chi2_sf_1df(3.841) - 0.05).abs() < 2e-3);
+        assert!((chi2_sf_1df(0.0) - 1.0).abs() < 1e-9);
+        assert!(chi2_sf_1df(10.83) < 0.0011);
+    }
+
+    #[test]
+    fn kappa_perfect_agreement() {
+        let a = vec![0, 1, 2, 1, 0];
+        assert!((cohens_kappa(&a, &a) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kappa_chance_agreement_near_zero() {
+        // Rater B's labels are independent of A's with matching marginals.
+        let a = vec![0, 0, 1, 1, 0, 0, 1, 1];
+        let b = vec![0, 1, 0, 1, 1, 0, 1, 0];
+        let k = cohens_kappa(&a, &b);
+        assert!(k.abs() < 0.3, "kappa {k}");
+    }
+
+    #[test]
+    fn kappa_textbook_example() {
+        // 2x2 example: observed agreement 0.8, expected 0.5 → κ = 0.6.
+        let a = vec![1, 1, 1, 1, 1, 0, 0, 0, 0, 0];
+        let b = vec![1, 1, 1, 1, 0, 1, 0, 0, 0, 0];
+        let k = cohens_kappa(&a, &b);
+        assert!((k - 0.6).abs() < 1e-9, "kappa {k}");
+    }
+
+    #[test]
+    fn panel_kappa_averages_pairs() {
+        let r1 = vec![0, 1, 2];
+        let r2 = vec![0, 1, 2];
+        let r3 = vec![0, 1, 2];
+        assert!((panel_kappa(&[r1, r2, r3]) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn erfc_reference_values() {
+        assert!((erfc(0.0) - 1.0).abs() < 1e-7);
+        assert!((erfc(1.0) - 0.157_299_2).abs() < 1e-5);
+        assert!((erfc(-1.0) - 1.842_700_8).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,127 @@
+//! Result-table formatting: the experiment harnesses print rows in the same
+//! layout as the paper's tables and serialise them for EXPERIMENTS.md.
+
+/// A result table: a caption, column headers and string rows.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct ResultTable {
+    /// Table caption (e.g. "TABLE IV: topic generation, distillation").
+    pub caption: String,
+    /// Column headers; the first column is the method name.
+    pub columns: Vec<String>,
+    /// Rows of cells, aligned with `columns`.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl ResultTable {
+    /// Creates an empty table.
+    pub fn new(caption: &str, columns: &[&str]) -> Self {
+        ResultTable {
+            caption: caption.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a row; cells beyond the column count are rejected.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row width must match header");
+        self.rows.push(cells);
+    }
+
+    /// Convenience: a method name plus f64 metric cells formatted to two
+    /// decimals (`None` renders as `-`, matching the paper's tables).
+    pub fn push_metrics(&mut self, method: &str, metrics: &[Option<f64>]) {
+        let mut cells = vec![method.to_string()];
+        cells.extend(metrics.iter().map(|m| match m {
+            Some(v) => format!("{v:.2}"),
+            None => "-".to_string(),
+        }));
+        self.push_row(cells);
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.caption);
+        out.push('\n');
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.columns, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as a GitHub-flavoured markdown table (for EXPERIMENTS.md).
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("**{}**\n\n", self.caption));
+        out.push_str(&format!("| {} |\n", self.columns.join(" | ")));
+        out.push_str(&format!("|{}|\n", self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+
+    /// Looks up a metric cell by method name and column header.
+    pub fn get(&self, method: &str, column: &str) -> Option<&str> {
+        let col = self.columns.iter().position(|c| c == column)?;
+        self.rows
+            .iter()
+            .find(|r| r[0] == method)
+            .map(|r| r[col].as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_renders() {
+        let mut t = ResultTable::new("TABLE T", &["Method", "EM", "RM"]);
+        t.push_metrics("Dual-Distill", &[Some(94.86), Some(96.1)]);
+        t.push_metrics("No Distill", &[Some(86.23), None]);
+        let text = t.render();
+        assert!(text.contains("Dual-Distill"));
+        assert!(text.contains("94.86"));
+        assert!(text.contains('-'));
+        let md = t.render_markdown();
+        assert!(md.starts_with("**TABLE T**"));
+        assert!(md.contains("| Dual-Distill | 94.86 | 96.10 |"));
+    }
+
+    #[test]
+    fn get_by_method_and_column() {
+        let mut t = ResultTable::new("T", &["Method", "F1"]);
+        t.push_metrics("A", &[Some(50.0)]);
+        assert_eq!(t.get("A", "F1"), Some("50.00"));
+        assert_eq!(t.get("B", "F1"), None);
+        assert_eq!(t.get("A", "nope"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = ResultTable::new("T", &["Method", "F1"]);
+        t.push_row(vec!["only-method".into()]);
+    }
+}

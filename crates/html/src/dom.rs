@@ -1,0 +1,351 @@
+//! A minimal DOM: element nodes with tags and attributes, plus text nodes.
+
+use std::fmt;
+
+/// HTML tag names used by the synthetic corpus and the extractor. Unknown
+/// tags are preserved via [`Tag::Other`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[allow(missing_docs)]
+pub enum Tag {
+    Html,
+    Head,
+    Title,
+    Meta,
+    Script,
+    Style,
+    Body,
+    Nav,
+    Header,
+    Footer,
+    Aside,
+    Section,
+    Article,
+    Div,
+    P,
+    Span,
+    A,
+    H1,
+    H2,
+    H3,
+    Ul,
+    Li,
+    Table,
+    Tr,
+    Td,
+    Img,
+    Video,
+    Audio,
+    Br,
+    Hr,
+    Input,
+    Form,
+    Button,
+    Other(String),
+}
+
+impl Tag {
+    /// Parses a tag name (case-insensitive).
+    pub fn parse(name: &str) -> Tag {
+        match name.to_ascii_lowercase().as_str() {
+            "html" => Tag::Html,
+            "head" => Tag::Head,
+            "title" => Tag::Title,
+            "meta" => Tag::Meta,
+            "script" => Tag::Script,
+            "style" => Tag::Style,
+            "body" => Tag::Body,
+            "nav" => Tag::Nav,
+            "header" => Tag::Header,
+            "footer" => Tag::Footer,
+            "aside" => Tag::Aside,
+            "section" => Tag::Section,
+            "article" => Tag::Article,
+            "div" => Tag::Div,
+            "p" => Tag::P,
+            "span" => Tag::Span,
+            "a" => Tag::A,
+            "h1" => Tag::H1,
+            "h2" => Tag::H2,
+            "h3" => Tag::H3,
+            "ul" => Tag::Ul,
+            "li" => Tag::Li,
+            "table" => Tag::Table,
+            "tr" => Tag::Tr,
+            "td" => Tag::Td,
+            "img" => Tag::Img,
+            "video" => Tag::Video,
+            "audio" => Tag::Audio,
+            "br" => Tag::Br,
+            "hr" => Tag::Hr,
+            "input" => Tag::Input,
+            "form" => Tag::Form,
+            "button" => Tag::Button,
+            other => Tag::Other(other.to_string()),
+        }
+    }
+
+    /// The canonical lower-case name.
+    pub fn name(&self) -> &str {
+        match self {
+            Tag::Html => "html",
+            Tag::Head => "head",
+            Tag::Title => "title",
+            Tag::Meta => "meta",
+            Tag::Script => "script",
+            Tag::Style => "style",
+            Tag::Body => "body",
+            Tag::Nav => "nav",
+            Tag::Header => "header",
+            Tag::Footer => "footer",
+            Tag::Aside => "aside",
+            Tag::Section => "section",
+            Tag::Article => "article",
+            Tag::Div => "div",
+            Tag::P => "p",
+            Tag::Span => "span",
+            Tag::A => "a",
+            Tag::H1 => "h1",
+            Tag::H2 => "h2",
+            Tag::H3 => "h3",
+            Tag::Ul => "ul",
+            Tag::Li => "li",
+            Tag::Table => "table",
+            Tag::Tr => "tr",
+            Tag::Td => "td",
+            Tag::Img => "img",
+            Tag::Video => "video",
+            Tag::Audio => "audio",
+            Tag::Br => "br",
+            Tag::Hr => "hr",
+            Tag::Input => "input",
+            Tag::Form => "form",
+            Tag::Button => "button",
+            Tag::Other(s) => s,
+        }
+    }
+
+    /// Void elements never have children or a closing tag.
+    pub fn is_void(&self) -> bool {
+        matches!(self, Tag::Meta | Tag::Img | Tag::Br | Tag::Hr | Tag::Input)
+    }
+
+    /// Block-level elements introduce line breaks in visible text.
+    pub fn is_block(&self) -> bool {
+        matches!(
+            self,
+            Tag::Body
+                | Tag::Nav
+                | Tag::Header
+                | Tag::Footer
+                | Tag::Aside
+                | Tag::Section
+                | Tag::Article
+                | Tag::Div
+                | Tag::P
+                | Tag::H1
+                | Tag::H2
+                | Tag::H3
+                | Tag::Ul
+                | Tag::Li
+                | Tag::Table
+                | Tag::Tr
+                | Tag::Br
+                | Tag::Hr
+        )
+    }
+
+    /// Elements whose subtree is never rendered.
+    pub fn is_invisible(&self) -> bool {
+        matches!(self, Tag::Head | Tag::Script | Tag::Style | Tag::Meta | Tag::Title)
+    }
+}
+
+/// A DOM node.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Node {
+    /// An element with attributes and children.
+    Element {
+        /// The element tag.
+        tag: Tag,
+        /// Attribute name/value pairs in document order.
+        attrs: Vec<(String, String)>,
+        /// Child nodes in document order.
+        children: Vec<Node>,
+    },
+    /// A text node.
+    Text(String),
+}
+
+impl Node {
+    /// An element with no attributes.
+    pub fn elem(tag: Tag, children: Vec<Node>) -> Node {
+        Node::Element { tag, attrs: Vec::new(), children }
+    }
+
+    /// An element with attributes.
+    pub fn elem_attrs(tag: Tag, attrs: Vec<(&str, &str)>, children: Vec<Node>) -> Node {
+        Node::Element {
+            tag,
+            attrs: attrs.into_iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+            children,
+        }
+    }
+
+    /// A text node.
+    pub fn text(t: impl Into<String>) -> Node {
+        Node::Text(t.into())
+    }
+
+    /// Value of an attribute, if present.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        match self {
+            Node::Element { attrs, .. } => attrs
+                .iter()
+                .find(|(k, _)| k.eq_ignore_ascii_case(name))
+                .map(|(_, v)| v.as_str()),
+            Node::Text(_) => None,
+        }
+    }
+
+    /// True when the node (or a `style`/`hidden` attribute) hides its subtree.
+    pub fn is_hidden(&self) -> bool {
+        if self.attr("hidden").is_some() {
+            return true;
+        }
+        if let Some(style) = self.attr("style") {
+            let s: String = style.chars().filter(|c| !c.is_whitespace()).collect();
+            if s.contains("display:none") || s.contains("visibility:hidden") {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Serialises the subtree back to HTML.
+    pub fn to_html(&self) -> String {
+        let mut out = String::new();
+        self.write_html(&mut out);
+        out
+    }
+
+    fn write_html(&self, out: &mut String) {
+        match self {
+            Node::Text(t) => out.push_str(&escape(t)),
+            Node::Element { tag, attrs, children } => {
+                out.push('<');
+                out.push_str(tag.name());
+                for (k, v) in attrs {
+                    out.push(' ');
+                    out.push_str(k);
+                    out.push_str("=\"");
+                    out.push_str(&escape(v));
+                    out.push('"');
+                }
+                out.push('>');
+                if !tag.is_void() {
+                    for c in children {
+                        c.write_html(out);
+                    }
+                    out.push_str("</");
+                    out.push_str(tag.name());
+                    out.push('>');
+                }
+            }
+        }
+    }
+
+    /// Counts nodes in the subtree (elements and text).
+    pub fn count_nodes(&self) -> usize {
+        match self {
+            Node::Text(_) => 1,
+            Node::Element { children, .. } => {
+                1 + children.iter().map(Node::count_nodes).sum::<usize>()
+            }
+        }
+    }
+
+    /// Counts descendant elements with the given tag (including self).
+    pub fn count_tag(&self, tag: &Tag) -> usize {
+        match self {
+            Node::Text(_) => 0,
+            Node::Element { tag: t, children, .. } => {
+                usize::from(t == tag)
+                    + children.iter().map(|c| c.count_tag(tag)).sum::<usize>()
+            }
+        }
+    }
+}
+
+fn escape(t: &str) -> String {
+    t.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+}
+
+/// Unescapes the entities produced by [`escape`].
+pub fn unescape(t: &str) -> String {
+    t.replace("&quot;", "\"").replace("&lt;", "<").replace("&gt;", ">").replace("&amp;", "&")
+}
+
+impl fmt::Display for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_html())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_roundtrip() {
+        for name in ["div", "p", "script", "nav", "custom-widget"] {
+            assert_eq!(Tag::parse(name).name(), name);
+        }
+        assert_eq!(Tag::parse("DIV"), Tag::Div);
+    }
+
+    #[test]
+    fn void_and_block_classification() {
+        assert!(Tag::Br.is_void());
+        assert!(!Tag::Div.is_void());
+        assert!(Tag::P.is_block());
+        assert!(!Tag::Span.is_block());
+        assert!(Tag::Script.is_invisible());
+    }
+
+    #[test]
+    fn serialization_roundtrips_structure() {
+        let n = Node::elem_attrs(
+            Tag::Div,
+            vec![("class", "main")],
+            vec![Node::text("Hello & <world>"), Node::elem(Tag::Br, vec![])],
+        );
+        let html = n.to_html();
+        assert_eq!(html, "<div class=\"main\">Hello &amp; &lt;world&gt;<br></div>");
+    }
+
+    #[test]
+    fn hidden_detection() {
+        let h = Node::elem_attrs(Tag::Div, vec![("style", "display: none")], vec![]);
+        assert!(h.is_hidden());
+        let h2 = Node::elem_attrs(Tag::Div, vec![("hidden", "")], vec![]);
+        assert!(h2.is_hidden());
+        let v = Node::elem_attrs(Tag::Div, vec![("style", "color: red")], vec![]);
+        assert!(!v.is_hidden());
+    }
+
+    #[test]
+    fn node_counts() {
+        let n = Node::elem(
+            Tag::Div,
+            vec![Node::elem(Tag::P, vec![Node::text("x")]), Node::elem(Tag::P, vec![])],
+        );
+        assert_eq!(n.count_nodes(), 4);
+        assert_eq!(n.count_tag(&Tag::P), 2);
+    }
+
+    #[test]
+    fn unescape_inverts_escape() {
+        let s = "a<b>&\"c\"";
+        assert_eq!(unescape(&escape(s)), s);
+    }
+}

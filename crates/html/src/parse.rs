@@ -1,0 +1,345 @@
+//! A small, lenient HTML parser sufficient for the synthetic corpus and for
+//! round-tripping the serializer in `dom.rs`.
+//!
+//! Supported: elements with double-quoted attributes, text nodes, void
+//! elements, comments (`<!-- -->`), and doctype declarations (skipped).
+//! Mismatched or stray closing tags are recovered from rather than erroring,
+//! mirroring browser behaviour — real webpages are messy and the paper's
+//! crawler has to cope with them.
+
+use crate::dom::{unescape, Node, Tag};
+
+/// Errors from [`parse_document`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The input ended inside a tag.
+    UnexpectedEof,
+    /// A tag was malformed beyond recovery (e.g. `<>`).
+    MalformedTag(usize),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::UnexpectedEof => write!(f, "unexpected end of input inside a tag"),
+            ParseError::MalformedTag(pos) => write!(f, "malformed tag at byte {pos}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses an HTML document into a single root node. When the input contains
+/// several top-level nodes they are wrapped in an `<html>` element.
+pub fn parse_document(input: &str) -> Result<Node, ParseError> {
+    let mut parser = Parser { bytes: input.as_bytes(), pos: 0 };
+    let mut roots = parser.parse_nodes(None)?;
+    Ok(match roots.len() {
+        1 => roots.pop().expect("len checked"),
+        _ => Node::elem(Tag::Html, roots),
+    })
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    /// Parses sibling nodes until EOF or a closing tag for `until`.
+    fn parse_nodes(&mut self, until: Option<&Tag>) -> Result<Vec<Node>, ParseError> {
+        let mut nodes = Vec::new();
+        loop {
+            if self.pos >= self.bytes.len() {
+                return Ok(nodes);
+            }
+            if self.starts_with("</") {
+                let save = self.pos;
+                let name = self.parse_close_tag()?;
+                match until {
+                    Some(t) if *t == name => return Ok(nodes),
+                    Some(_) => {
+                        // Close tag for an ancestor: rewind and let the
+                        // ancestor's parse_nodes consume it.
+                        self.pos = save;
+                        return Ok(nodes);
+                    }
+                    None => {
+                        // Stray close tag at top level: ignore it.
+                        continue;
+                    }
+                }
+            }
+            if self.starts_with("<!--") {
+                self.skip_comment();
+                continue;
+            }
+            if self.starts_with("<!") {
+                self.skip_until(b'>');
+                continue;
+            }
+            if self.peek() == Some(b'<') {
+                nodes.push(self.parse_element()?);
+            } else {
+                let text = self.parse_text();
+                if !text.trim().is_empty() {
+                    nodes.push(Node::Text(unescape(&text)));
+                }
+            }
+        }
+    }
+
+    fn parse_text(&mut self) -> String {
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'<' {
+            self.pos += 1;
+        }
+        String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned()
+    }
+
+    fn skip_comment(&mut self) {
+        self.pos += 4;
+        while self.pos < self.bytes.len() && !self.starts_with("-->") {
+            self.pos += 1;
+        }
+        self.pos = (self.pos + 3).min(self.bytes.len());
+    }
+
+    fn skip_until(&mut self, b: u8) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b {
+            self.pos += 1;
+        }
+        self.pos = (self.pos + 1).min(self.bytes.len());
+    }
+
+    fn parse_close_tag(&mut self) -> Result<Tag, ParseError> {
+        self.pos += 2; // "</"
+        let start = self.pos;
+        while self.peek().map(|b| b != b'>').unwrap_or(false) {
+            self.pos += 1;
+        }
+        if self.peek().is_none() {
+            return Err(ParseError::UnexpectedEof);
+        }
+        let name = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| ParseError::MalformedTag(start))?
+            .trim();
+        self.pos += 1; // '>'
+        Ok(Tag::parse(name))
+    }
+
+    fn parse_element(&mut self) -> Result<Node, ParseError> {
+        let tag_start = self.pos;
+        self.pos += 1; // '<'
+        let name_start = self.pos;
+        while self
+            .peek()
+            .map(|b| b.is_ascii_alphanumeric() || b == b'-')
+            .unwrap_or(false)
+        {
+            self.pos += 1;
+        }
+        if self.pos == name_start {
+            return Err(ParseError::MalformedTag(tag_start));
+        }
+        let name = std::str::from_utf8(&self.bytes[name_start..self.pos])
+            .map_err(|_| ParseError::MalformedTag(tag_start))?;
+        let tag = Tag::parse(name);
+
+        let mut attrs = Vec::new();
+        let mut self_closing = false;
+        loop {
+            self.skip_whitespace();
+            match self.peek() {
+                None => return Err(ParseError::UnexpectedEof),
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    self_closing = true;
+                }
+                Some(_) => {
+                    let (k, v) = self.parse_attr()?;
+                    attrs.push((k, v));
+                }
+            }
+        }
+
+        let children = if tag.is_void() || self_closing {
+            Vec::new()
+        } else if matches!(tag, Tag::Script | Tag::Style) {
+            // Raw-text elements: consume verbatim until the closing tag.
+            let close = format!("</{}>", tag.name());
+            let start = self.pos;
+            while self.pos < self.bytes.len() && !self.starts_with(&close) {
+                self.pos += 1;
+            }
+            let raw = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+            self.pos = (self.pos + close.len()).min(self.bytes.len());
+            if raw.trim().is_empty() {
+                Vec::new()
+            } else {
+                vec![Node::Text(raw)]
+            }
+        } else {
+            self.parse_nodes(Some(&tag))?
+        };
+
+        Ok(Node::Element { tag, attrs, children })
+    }
+
+    fn skip_whitespace(&mut self) {
+        while self.peek().map(|b| b.is_ascii_whitespace()).unwrap_or(false) {
+            self.pos += 1;
+        }
+    }
+
+    fn parse_attr(&mut self) -> Result<(String, String), ParseError> {
+        let start = self.pos;
+        while self
+            .peek()
+            .map(|b| b != b'=' && b != b'>' && b != b'/' && !b.is_ascii_whitespace())
+            .unwrap_or(false)
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(ParseError::MalformedTag(start));
+        }
+        let key = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.skip_whitespace();
+        if self.peek() != Some(b'=') {
+            // Boolean attribute like `hidden`.
+            return Ok((key, String::new()));
+        }
+        self.pos += 1;
+        self.skip_whitespace();
+        let value = if self.peek() == Some(b'"') || self.peek() == Some(b'\'') {
+            let quote = self.bytes[self.pos];
+            self.pos += 1;
+            let vstart = self.pos;
+            while self.peek().map(|b| b != quote).unwrap_or(false) {
+                self.pos += 1;
+            }
+            if self.peek().is_none() {
+                return Err(ParseError::UnexpectedEof);
+            }
+            let v = String::from_utf8_lossy(&self.bytes[vstart..self.pos]).into_owned();
+            self.pos += 1;
+            v
+        } else {
+            let vstart = self.pos;
+            while self
+                .peek()
+                .map(|b| b != b'>' && !b.is_ascii_whitespace())
+                .unwrap_or(false)
+            {
+                self.pos += 1;
+            }
+            String::from_utf8_lossy(&self.bytes[vstart..self.pos]).into_owned()
+        };
+        Ok((key, unescape(&value)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_document() {
+        let n = parse_document("<div><p>Hello</p><p>World</p></div>").unwrap();
+        assert_eq!(n.count_tag(&Tag::P), 2);
+    }
+
+    #[test]
+    fn roundtrips_serializer_output() {
+        let original = Node::elem_attrs(
+            Tag::Div,
+            vec![("class", "x")],
+            vec![
+                Node::text("Some text"),
+                Node::elem(Tag::P, vec![Node::text("para & more")]),
+                Node::elem(Tag::Br, vec![]),
+            ],
+        );
+        let parsed = parse_document(&original.to_html()).unwrap();
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn handles_attributes() {
+        let n = parse_document("<a href=\"http://x\" hidden>link</a>").unwrap();
+        assert_eq!(n.attr("href"), Some("http://x"));
+        assert!(n.is_hidden());
+    }
+
+    #[test]
+    fn skips_comments_and_doctype() {
+        let n = parse_document("<!DOCTYPE html><!-- c --><p>x</p>").unwrap();
+        assert_eq!(n.count_tag(&Tag::P), 1);
+    }
+
+    #[test]
+    fn script_content_is_raw() {
+        let n = parse_document("<script>if (a < b) { x(); }</script>").unwrap();
+        match &n {
+            Node::Element { tag: Tag::Script, children, .. } => {
+                assert_eq!(children.len(), 1);
+                match &children[0] {
+                    Node::Text(t) => assert!(t.contains("a < b")),
+                    _ => panic!("expected raw text"),
+                }
+            }
+            other => panic!("expected script, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recovers_from_mismatched_close() {
+        // </b> closes nothing; parser should not lose the following text.
+        let n = parse_document("<div><p>a</b>b</p></div>").unwrap();
+        let html = n.to_html();
+        assert!(html.contains('a') && html.contains('b'), "{html}");
+    }
+
+    #[test]
+    fn void_elements_do_not_nest() {
+        let n = parse_document("<p>a<br>b</p>").unwrap();
+        assert_eq!(n.count_tag(&Tag::Br), 1);
+        match n {
+            Node::Element { children, .. } => assert_eq!(children.len(), 3),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn multiple_roots_wrapped() {
+        let n = parse_document("<p>a</p><p>b</p>").unwrap();
+        match &n {
+            Node::Element { tag: Tag::Html, children, .. } => assert_eq!(children.len(), 2),
+            other => panic!("expected wrapper, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_closing_is_empty() {
+        let n = parse_document("<div/>").unwrap();
+        assert_eq!(n, Node::elem(Tag::Div, vec![]));
+    }
+
+    #[test]
+    fn unexpected_eof_is_error() {
+        assert_eq!(parse_document("<div"), Err(ParseError::UnexpectedEof));
+    }
+}

@@ -1,0 +1,121 @@
+//! Small DOM query helpers used by examples, tests and the corpus writer:
+//! tag/attribute matching and subtree iteration without a CSS engine.
+
+use crate::dom::{Node, Tag};
+
+/// A depth-first iterator over a subtree (including the root).
+pub struct Descendants<'a> {
+    stack: Vec<&'a Node>,
+}
+
+impl<'a> Iterator for Descendants<'a> {
+    type Item = &'a Node;
+
+    fn next(&mut self) -> Option<&'a Node> {
+        let node = self.stack.pop()?;
+        if let Node::Element { children, .. } = node {
+            // Reverse so iteration follows document order.
+            for c in children.iter().rev() {
+                self.stack.push(c);
+            }
+        }
+        Some(node)
+    }
+}
+
+/// Iterates the subtree rooted at `node` in document order.
+pub fn descendants(node: &Node) -> Descendants<'_> {
+    Descendants { stack: vec![node] }
+}
+
+/// All descendant elements (including the root) with the given tag.
+pub fn find_all<'a>(node: &'a Node, tag: &'a Tag) -> impl Iterator<Item = &'a Node> + 'a {
+    descendants(node).filter(move |n| matches!(n, Node::Element { tag: t, .. } if t == tag))
+}
+
+/// The first descendant element with the given tag.
+pub fn find_first<'a>(node: &'a Node, tag: &Tag) -> Option<&'a Node> {
+    descendants(node).find(|n| matches!(n, Node::Element { tag: t, .. } if t == tag))
+}
+
+/// All descendant elements carrying the given attribute value.
+pub fn find_by_attr<'a>(
+    node: &'a Node,
+    name: &'a str,
+    value: &'a str,
+) -> impl Iterator<Item = &'a Node> + 'a {
+    descendants(node)
+        .filter(move |n| matches!(n, Node::Element { .. }) && n.attr(name) == Some(value))
+}
+
+/// Concatenated text content of a subtree (without visibility rules — use
+/// [`crate::render::visible_text`] for rendering semantics).
+pub fn text_content(node: &Node) -> String {
+    let mut out = String::new();
+    for n in descendants(node) {
+        if let Node::Text(t) = n {
+            if !out.is_empty() && !out.ends_with(' ') {
+                out.push(' ');
+            }
+            out.push_str(t.trim());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_document;
+
+    fn doc() -> Node {
+        parse_document(
+            "<body><nav><a>home</a></nav>\
+             <section data-section=\"info\"><p>first</p><p>second</p></section>\
+             <section data-section=\"ads\"><p>third</p></section></body>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn descendants_in_document_order() {
+        let d = doc();
+        let texts: Vec<&str> = descendants(&d)
+            .filter_map(|n| match n {
+                Node::Text(t) => Some(t.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(texts, vec!["home", "first", "second", "third"]);
+    }
+
+    #[test]
+    fn find_all_counts_matches() {
+        let d = doc();
+        assert_eq!(find_all(&d, &Tag::P).count(), 3);
+        assert_eq!(find_all(&d, &Tag::Section).count(), 2);
+        assert_eq!(find_all(&d, &Tag::Table).count(), 0);
+    }
+
+    #[test]
+    fn find_first_returns_document_order_first() {
+        let d = doc();
+        let p = find_first(&d, &Tag::P).unwrap();
+        assert_eq!(text_content(p), "first");
+        assert!(find_first(&d, &Tag::Video).is_none());
+    }
+
+    #[test]
+    fn find_by_attr_matches_value() {
+        let d = doc();
+        let ads: Vec<&Node> = find_by_attr(&d, "data-section", "ads").collect();
+        assert_eq!(ads.len(), 1);
+        assert_eq!(text_content(ads[0]), "third");
+    }
+
+    #[test]
+    fn text_content_joins_with_spaces() {
+        let d = doc();
+        assert_eq!(text_content(&d), "home first second third");
+    }
+}

@@ -1,0 +1,207 @@
+//! Visible-text extraction — our substitute for the paper's Selenium-based
+//! rendering step. Walks the DOM, skips invisible subtrees (`head`,
+//! `script`, `style`, hidden elements), and emits text where block-level
+//! boundaries become newlines so downstream sentence splitting sees the same
+//! structure a browser would render.
+
+use crate::dom::{Node, Tag};
+
+/// A run of visible text together with the section context it came from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VisibleBlock {
+    /// The rendered text of the block (one line).
+    pub text: String,
+    /// The nearest ancestor sectioning tag (`nav`, `header`, `footer`,
+    /// `aside`, `section`, `article`, or `body` when none).
+    pub section: Tag,
+    /// Value of the nearest ancestor's `data-section` attribute, if any —
+    /// the synthetic corpus uses it to carry ground-truth section labels.
+    pub section_label: Option<String>,
+}
+
+/// Extracts the full visible text of a document as one string; block
+/// boundaries become newlines.
+pub fn visible_text(root: &Node) -> String {
+    visible_blocks(root)
+        .into_iter()
+        .map(|b| b.text)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Extracts visible text as labelled blocks.
+pub fn visible_blocks(root: &Node) -> Vec<VisibleBlock> {
+    let mut blocks = Vec::new();
+    let mut current = String::new();
+    let mut ctx = Ctx { section: Tag::Body, label: None };
+    walk(root, &ctx.clone(), &mut current, &mut blocks, &mut ctx);
+    blocks
+}
+
+#[derive(Clone)]
+struct Ctx {
+    section: Tag,
+    label: Option<String>,
+}
+
+fn flush(current: &mut String, blocks: &mut Vec<VisibleBlock>, ctx: &Ctx) {
+    let text = current.trim();
+    if !text.is_empty() {
+        blocks.push(VisibleBlock {
+            text: text.to_string(),
+            section: ctx.section.clone(),
+            section_label: ctx.label.clone(),
+        });
+    }
+    current.clear();
+}
+
+fn walk(
+    node: &Node,
+    ctx: &Ctx,
+    current: &mut String,
+    blocks: &mut Vec<VisibleBlock>,
+    flush_ctx: &mut Ctx,
+) {
+    match node {
+        Node::Text(t) => {
+            if !current.is_empty() && !current.ends_with(' ') {
+                current.push(' ');
+            }
+            current.push_str(t.trim());
+            *flush_ctx = ctx.clone();
+        }
+        Node::Element { tag, children, .. } => {
+            if tag.is_invisible() || node.is_hidden() {
+                return;
+            }
+            let child_ctx = if matches!(
+                tag,
+                Tag::Nav | Tag::Header | Tag::Footer | Tag::Aside | Tag::Section | Tag::Article
+            ) {
+                Ctx {
+                    section: tag.clone(),
+                    label: node.attr("data-section").map(str::to_string).or(ctx.label.clone()),
+                }
+            } else {
+                Ctx {
+                    section: ctx.section.clone(),
+                    label: node.attr("data-section").map(str::to_string).or(ctx.label.clone()),
+                }
+            };
+            if tag.is_block() {
+                flush(current, blocks, flush_ctx);
+            }
+            for c in children {
+                walk(c, &child_ctx, current, blocks, flush_ctx);
+            }
+            if tag.is_block() {
+                flush(current, blocks, flush_ctx);
+            }
+        }
+    }
+}
+
+/// The kind of a webpage as seen by the structure-driven crawler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum PageKind {
+    /// Mostly links — a hub/index page.
+    Index,
+    /// Mostly media elements.
+    Media,
+    /// Text-dominated — what the dataset keeps.
+    ContentRich,
+}
+
+/// Classifies a page by its DOM statistics (the crawler's filter, §IV-A1:
+/// "Indexing webpages and multimedia webpages … are not included").
+pub fn classify_page(root: &Node) -> PageKind {
+    let media = root.count_tag(&Tag::Img)
+        + root.count_tag(&Tag::Video) * 3
+        + root.count_tag(&Tag::Audio) * 3;
+    let links = root.count_tag(&Tag::A);
+    let words: usize = visible_blocks(root)
+        .iter()
+        .map(|b| b.text.split_whitespace().count())
+        .sum();
+    if media >= 8 && words < media * 12 {
+        PageKind::Media
+    } else if links >= 10 && words < links * 6 {
+        PageKind::Index
+    } else {
+        PageKind::ContentRich
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_document;
+
+    #[test]
+    fn skips_script_style_head() {
+        let doc = parse_document(
+            "<html><head><title>T</title><style>p{color:red}</style></head>\
+             <body><script>var x=1;</script><p>Visible</p></body></html>",
+        )
+        .unwrap();
+        assert_eq!(visible_text(&doc), "Visible");
+    }
+
+    #[test]
+    fn hidden_elements_skipped() {
+        let doc = parse_document(
+            "<body><div style=\"display:none\">secret</div><p>shown</p></body>",
+        )
+        .unwrap();
+        assert_eq!(visible_text(&doc), "shown");
+    }
+
+    #[test]
+    fn block_boundaries_become_newlines() {
+        let doc = parse_document("<body><p>one</p><p>two</p></body>").unwrap();
+        assert_eq!(visible_text(&doc), "one\ntwo");
+    }
+
+    #[test]
+    fn inline_text_joins_with_spaces() {
+        let doc = parse_document("<p><span>a</span><span>b</span></p>").unwrap();
+        assert_eq!(visible_text(&doc), "a b");
+    }
+
+    #[test]
+    fn section_context_propagates() {
+        let doc = parse_document(
+            "<body><nav><a>Home</a></nav><section data-section=\"info\"><p>Deal</p></section></body>",
+        )
+        .unwrap();
+        let blocks = visible_blocks(&doc);
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0].section, Tag::Nav);
+        assert_eq!(blocks[1].section, Tag::Section);
+        assert_eq!(blocks[1].section_label.as_deref(), Some("info"));
+    }
+
+    #[test]
+    fn classify_index_page() {
+        let links: String = (0..30).map(|i| format!("<a>link {i}</a>")).collect();
+        let doc = parse_document(&format!("<body><ul>{links}</ul></body>")).unwrap();
+        assert_eq!(classify_page(&doc), PageKind::Index);
+    }
+
+    #[test]
+    fn classify_media_page() {
+        let media: String = (0..10).map(|_| "<video></video>".to_string()).collect();
+        let doc = parse_document(&format!("<body>{media}<p>a b</p></body>")).unwrap();
+        assert_eq!(classify_page(&doc), PageKind::Media);
+    }
+
+    #[test]
+    fn classify_content_page() {
+        let paras: String = (0..10)
+            .map(|i| format!("<p>paragraph {i} with a reasonable amount of running text here</p>"))
+            .collect();
+        let doc = parse_document(&format!("<body>{paras}<a>one link</a></body>")).unwrap();
+        assert_eq!(classify_page(&doc), PageKind::ContentRich);
+    }
+}

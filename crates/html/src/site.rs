@@ -1,0 +1,163 @@
+//! A synthetic website graph and the structure-driven crawler used to build
+//! the dataset (the paper crawls 1,500–2,000 content-rich pages per website
+//! and drops index/media pages).
+
+use crate::dom::Node;
+use crate::render::{classify_page, PageKind};
+use std::collections::VecDeque;
+
+/// One page of a website.
+#[derive(Debug, Clone)]
+pub struct SitePage {
+    /// Site-relative URL.
+    pub url: String,
+    /// Parsed document.
+    pub dom: Node,
+    /// Outgoing links as indices into [`Website::pages`].
+    pub links: Vec<usize>,
+}
+
+/// A website: a graph of pages rooted at page 0.
+#[derive(Debug, Clone, Default)]
+pub struct Website {
+    /// All pages; index 0 is the root.
+    pub pages: Vec<SitePage>,
+}
+
+impl Website {
+    /// Adds a page and returns its index.
+    pub fn add_page(&mut self, url: &str, dom: Node) -> usize {
+        self.pages.push(SitePage { url: url.to_string(), dom, links: Vec::new() });
+        self.pages.len() - 1
+    }
+
+    /// Adds a directed link between pages.
+    pub fn link(&mut self, from: usize, to: usize) {
+        assert!(from < self.pages.len() && to < self.pages.len(), "link endpoints must exist");
+        self.pages[from].links.push(to);
+    }
+}
+
+/// Crawler configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrawlConfig {
+    /// Stop after collecting this many content-rich pages.
+    pub max_content_pages: usize,
+    /// Hard limit on visited pages (crawl frontier safety).
+    pub max_visited: usize,
+}
+
+impl Default for CrawlConfig {
+    fn default() -> Self {
+        CrawlConfig { max_content_pages: 2000, max_visited: 100_000 }
+    }
+}
+
+/// Result of a crawl.
+#[derive(Debug, Clone, Default)]
+pub struct CrawlResult {
+    /// Indices of collected content-rich pages, in crawl order.
+    pub content_pages: Vec<usize>,
+    /// Number of pages visited in total.
+    pub visited: usize,
+    /// Number of pages skipped as index pages.
+    pub skipped_index: usize,
+    /// Number of pages skipped as media pages.
+    pub skipped_media: usize,
+}
+
+/// Breadth-first structure-driven crawl from the root page, keeping only
+/// content-rich pages.
+pub fn crawl(site: &Website, cfg: CrawlConfig) -> CrawlResult {
+    let mut result = CrawlResult::default();
+    if site.pages.is_empty() {
+        return result;
+    }
+    let mut seen = vec![false; site.pages.len()];
+    let mut queue = VecDeque::new();
+    queue.push_back(0usize);
+    seen[0] = true;
+    while let Some(idx) = queue.pop_front() {
+        if result.visited >= cfg.max_visited
+            || result.content_pages.len() >= cfg.max_content_pages
+        {
+            break;
+        }
+        result.visited += 1;
+        let page = &site.pages[idx];
+        match classify_page(&page.dom) {
+            PageKind::ContentRich => result.content_pages.push(idx),
+            PageKind::Index => result.skipped_index += 1,
+            PageKind::Media => result.skipped_media += 1,
+        }
+        for &next in &page.links {
+            if !seen[next] {
+                seen[next] = true;
+                queue.push_back(next);
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_document;
+
+    fn content_page(i: usize) -> Node {
+        let paras: String = (0..8)
+            .map(|p| format!("<p>page {i} paragraph {p} with plenty of running words inside</p>"))
+            .collect();
+        parse_document(&format!("<body>{paras}</body>")).unwrap()
+    }
+
+    fn index_page() -> Node {
+        let links: String = (0..40).map(|i| format!("<a>l{i}</a>")).collect();
+        parse_document(&format!("<body>{links}</body>")).unwrap()
+    }
+
+    #[test]
+    fn crawl_collects_content_skips_index() {
+        let mut site = Website::default();
+        let root = site.add_page("/", index_page());
+        let a = site.add_page("/a", content_page(1));
+        let b = site.add_page("/b", content_page(2));
+        site.link(root, a);
+        site.link(root, b);
+        let r = crawl(&site, CrawlConfig::default());
+        assert_eq!(r.content_pages, vec![a, b]);
+        assert_eq!(r.skipped_index, 1);
+        assert_eq!(r.visited, 3);
+    }
+
+    #[test]
+    fn crawl_respects_page_budget() {
+        let mut site = Website::default();
+        let root = site.add_page("/", content_page(0));
+        for i in 1..10 {
+            let p = site.add_page(&format!("/{i}"), content_page(i));
+            site.link(root, p);
+        }
+        let r = crawl(&site, CrawlConfig { max_content_pages: 3, max_visited: 100 });
+        assert_eq!(r.content_pages.len(), 3);
+    }
+
+    #[test]
+    fn crawl_handles_cycles() {
+        let mut site = Website::default();
+        let a = site.add_page("/", content_page(0));
+        let b = site.add_page("/b", content_page(1));
+        site.link(a, b);
+        site.link(b, a);
+        let r = crawl(&site, CrawlConfig::default());
+        assert_eq!(r.visited, 2);
+    }
+
+    #[test]
+    fn crawl_of_empty_site() {
+        let r = crawl(&Website::default(), CrawlConfig::default());
+        assert_eq!(r.visited, 0);
+        assert!(r.content_pages.is_empty());
+    }
+}

@@ -1,0 +1,293 @@
+//! Contextual encoders: a scaled-down transformer ("MiniBert") standing in
+//! for BERT_base, plus the BERTSUM variant with interval segment embeddings
+//! [21]. A context-independent static embedding plays the role of GloVe in
+//! the baseline grid. See DESIGN.md §2 for the substitution argument.
+
+use crate::layers::{Dense, Embedding};
+use rand::rngs::StdRng;
+use wb_tensor::{Graph, Initializer, ParamId, Params, Var};
+
+/// Which embedding method a model uses — mirrors the baseline axis
+/// `GloVe→* / BERT→* / BERTSUM→*` of §IV-A6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum EmbedderKind {
+    /// Context-independent lookup table (GloVe stand-in).
+    Static,
+    /// Contextual transformer encoder (BERT stand-in).
+    Bert,
+    /// Contextual encoder with interval segment embeddings and `[CLS]`
+    /// sentence pooling (BERTSUM stand-in).
+    BertSum,
+}
+
+impl EmbedderKind {
+    /// Display name used in result tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            EmbedderKind::Static => "GloVe",
+            EmbedderKind::Bert => "BERT",
+            EmbedderKind::BertSum => "BERTSUM",
+        }
+    }
+}
+
+/// MiniBert hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BertConfig {
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Model width.
+    pub dim: usize,
+    /// Number of transformer blocks.
+    pub layers: usize,
+    /// Maximum sequence length (position table size).
+    pub max_len: usize,
+    /// Dropout rate inside blocks.
+    pub dropout: f32,
+}
+
+impl BertConfig {
+    /// A small CPU-friendly configuration.
+    pub fn small(vocab: usize, dim: usize, max_len: usize) -> Self {
+        BertConfig { vocab, dim, layers: 2, max_len, dropout: 0.1 }
+    }
+}
+
+struct Block {
+    wq: ParamId,
+    wk: ParamId,
+    wv: ParamId,
+    wo: ParamId,
+    norm1: ParamId,
+    ffn1: Dense,
+    ffn2: Dense,
+    norm2: ParamId,
+}
+
+/// The contextual encoder.
+pub struct MiniBert {
+    cfg: BertConfig,
+    tok: Embedding,
+    pos: ParamId,
+    /// Interval segment embeddings (`[2, dim]`): present only for BERTSUM.
+    seg: Option<ParamId>,
+    blocks: Vec<Block>,
+}
+
+impl MiniBert {
+    /// Builds the encoder; `bertsum` enables interval segment embeddings.
+    pub fn new(
+        params: &mut Params,
+        rng: &mut StdRng,
+        name: &str,
+        cfg: BertConfig,
+        bertsum: bool,
+    ) -> Self {
+        let tok = Embedding::new(params, rng, &format!("{name}.tok"), cfg.vocab, cfg.dim);
+        let pos = params.add_init(
+            &format!("{name}.pos"),
+            &[cfg.max_len, cfg.dim],
+            Initializer::Uniform(0.05),
+            rng,
+        );
+        let seg = bertsum.then(|| {
+            params.add_init(&format!("{name}.seg"), &[2, cfg.dim], Initializer::Uniform(0.05), rng)
+        });
+        let blocks = (0..cfg.layers)
+            .map(|l| {
+                let p = format!("{name}.block{l}");
+                Block {
+                    wq: params.add_init(&format!("{p}.wq"), &[cfg.dim, cfg.dim], Initializer::XavierUniform, rng),
+                    wk: params.add_init(&format!("{p}.wk"), &[cfg.dim, cfg.dim], Initializer::XavierUniform, rng),
+                    wv: params.add_init(&format!("{p}.wv"), &[cfg.dim, cfg.dim], Initializer::XavierUniform, rng),
+                    wo: params.add_init(&format!("{p}.wo"), &[cfg.dim, cfg.dim], Initializer::XavierUniform, rng),
+                    norm1: params.add_init(&format!("{p}.norm1"), &[cfg.dim], Initializer::Ones, rng),
+                    ffn1: Dense::new(params, rng, &format!("{p}.ffn1"), cfg.dim, cfg.dim * 2),
+                    ffn2: Dense::new(params, rng, &format!("{p}.ffn2"), cfg.dim * 2, cfg.dim),
+                    norm2: params.add_init(&format!("{p}.norm2"), &[cfg.dim], Initializer::Ones, rng),
+                }
+            })
+            .collect();
+        MiniBert { cfg, tok, pos, seg, blocks }
+    }
+
+    /// Encoder width.
+    pub fn dim(&self) -> usize {
+        self.cfg.dim
+    }
+
+    /// Encodes a token sequence to contextual representations `[T, dim]`.
+    /// `sentence_of[t]` drives the interval segment embedding (ignored for
+    /// plain BERT). Sequences longer than `max_len` are processed in
+    /// `max_len`-sized sub-documents, mirroring §IV-A3.
+    pub fn forward(&self, g: &mut Graph, tokens: &[u32], sentence_of: &[usize]) -> Var {
+        assert!(!tokens.is_empty(), "cannot encode an empty sequence");
+        let chunks: Vec<Var> = tokens
+            .chunks(self.cfg.max_len)
+            .zip(sentence_of.chunks(self.cfg.max_len))
+            .map(|(toks, sents)| self.forward_chunk(g, toks, sents))
+            .collect();
+        if chunks.len() == 1 {
+            chunks[0]
+        } else {
+            g.concat_rows(&chunks)
+        }
+    }
+
+    fn forward_chunk(&self, g: &mut Graph, tokens: &[u32], sentence_of: &[usize]) -> Var {
+        let t_len = tokens.len();
+        let mut x = self.tok.forward(g, tokens);
+        let pos = g.param(self.pos);
+        let positions: Vec<usize> = (0..t_len).collect();
+        let pos_rows = g.gather_rows(pos, &positions);
+        x = g.add(x, pos_rows);
+        if let Some(seg) = self.seg {
+            let seg_table = g.param(seg);
+            let seg_idx: Vec<usize> =
+                sentence_of.iter().map(|&s| if s == usize::MAX { 0 } else { s % 2 }).collect();
+            let seg_rows = g.gather_rows(seg_table, &seg_idx);
+            x = g.add(x, seg_rows);
+        }
+        let scale = 1.0 / (self.cfg.dim as f32).sqrt();
+        for b in &self.blocks {
+            // Self-attention.
+            let (wq, wk, wv, wo) =
+                (g.param(b.wq), g.param(b.wk), g.param(b.wv), g.param(b.wo));
+            let q = g.matmul(x, wq);
+            let k = g.matmul(x, wk);
+            let v = g.matmul(x, wv);
+            let scores = g.matmul_nt(q, k);
+            let scores = g.scale(scores, scale);
+            let att = g.softmax_rows(scores, 1.0);
+            let att = g.dropout(att, self.cfg.dropout);
+            let ctx = g.matmul(att, v);
+            let ctx = g.matmul(ctx, wo);
+            let res = g.add(x, ctx);
+            let n1 = g.param(b.norm1);
+            x = g.rms_norm_rows(res, n1);
+            // Feed-forward.
+            let h = b.ffn1.forward(g, x);
+            let h = g.relu(h);
+            let h = g.dropout(h, self.cfg.dropout);
+            let h = b.ffn2.forward(g, h);
+            let res2 = g.add(x, h);
+            let n2 = g.param(b.norm2);
+            x = g.rms_norm_rows(res2, n2);
+        }
+        x
+    }
+}
+
+/// An embedder: static table or contextual MiniBert, selected by
+/// [`EmbedderKind`].
+pub enum Embedder {
+    /// Context-independent lookup.
+    Static(Embedding),
+    /// Contextual encoder.
+    Contextual(MiniBert),
+}
+
+impl Embedder {
+    /// Builds the embedder named by `kind`.
+    pub fn new(
+        params: &mut Params,
+        rng: &mut StdRng,
+        name: &str,
+        kind: EmbedderKind,
+        cfg: BertConfig,
+    ) -> Self {
+        match kind {
+            EmbedderKind::Static => {
+                Embedder::Static(Embedding::new(params, rng, name, cfg.vocab, cfg.dim))
+            }
+            EmbedderKind::Bert => {
+                Embedder::Contextual(MiniBert::new(params, rng, name, cfg, false))
+            }
+            EmbedderKind::BertSum => {
+                Embedder::Contextual(MiniBert::new(params, rng, name, cfg, true))
+            }
+        }
+    }
+
+    /// Embedding width.
+    pub fn dim(&self) -> usize {
+        match self {
+            Embedder::Static(e) => e.dim,
+            Embedder::Contextual(b) => b.dim(),
+        }
+    }
+
+    /// Embeds a token sequence to `[T, dim]`.
+    pub fn forward(&self, g: &mut Graph, tokens: &[u32], sentence_of: &[usize]) -> Var {
+        match self {
+            Embedder::Static(e) => e.forward(g, tokens),
+            Embedder::Contextual(b) => b.forward(g, tokens, sentence_of),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn mk(kind: EmbedderKind) -> (Params, Embedder) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut params = Params::new();
+        let e = Embedder::new(&mut params, &mut rng, "e", kind, BertConfig::small(50, 8, 16));
+        (params, e)
+    }
+
+    #[test]
+    fn static_embedding_is_context_independent() {
+        let (params, e) = mk(EmbedderKind::Static);
+        let mut g = Graph::new(&params, false, 0);
+        let a = e.forward(&mut g, &[3, 4], &[0, 0]);
+        let b = e.forward(&mut g, &[3, 9], &[0, 0]);
+        assert_eq!(g.value(a).row(0), g.value(b).row(0));
+    }
+
+    #[test]
+    fn bert_embedding_is_context_dependent() {
+        let (params, e) = mk(EmbedderKind::Bert);
+        let mut g = Graph::new(&params, false, 0);
+        let a = e.forward(&mut g, &[3, 4], &[0, 0]);
+        let b = e.forward(&mut g, &[3, 9], &[0, 0]);
+        assert_ne!(g.value(a).row(0), g.value(b).row(0));
+    }
+
+    #[test]
+    fn bertsum_segments_distinguish_sentences() {
+        let (params, e) = mk(EmbedderKind::BertSum);
+        let mut g = Graph::new(&params, false, 0);
+        // Same tokens, different sentence parity: the interval segment
+        // embedding must change the representation (self-attention spreads
+        // the difference to every position).
+        let a = e.forward(&mut g, &[3, 3], &[0, 0]);
+        let b = e.forward(&mut g, &[3, 3], &[0, 1]);
+        assert_ne!(g.value(a).row(1), g.value(b).row(1));
+    }
+
+    #[test]
+    fn long_sequences_split_into_subdocuments() {
+        let (params, e) = mk(EmbedderKind::BertSum);
+        let mut g = Graph::new(&params, false, 0);
+        let tokens: Vec<u32> = (0..40).map(|i| (i % 50) as u32).collect();
+        let sents: Vec<usize> = (0..40).map(|i| i / 5).collect();
+        let y = e.forward(&mut g, &tokens, &sents);
+        assert_eq!(g.value(y).shape(), &[40, 8]);
+    }
+
+    #[test]
+    fn encoder_output_shape_and_gradients() {
+        let (params, e) = mk(EmbedderKind::Bert);
+        let grads = {
+            let mut g = Graph::new(&params, true, 1);
+            let y = e.forward(&mut g, &[1, 2, 3, 4, 5], &[0, 0, 1, 1, 1]);
+            assert_eq!(g.value(y).shape(), &[5, 8]);
+            let loss = g.mean_all(y);
+            g.backward(loss)
+        };
+        assert!(grads.iter().count() > 10, "gradients should reach transformer weights");
+    }
+}

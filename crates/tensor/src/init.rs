@@ -1,0 +1,74 @@
+//! Weight initialisation schemes.
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// How to fill a freshly created parameter tensor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Initializer {
+    /// All zeros (biases).
+    Zeros,
+    /// All ones (norm gains).
+    Ones,
+    /// Uniform in `[-limit, limit]`.
+    Uniform(f32),
+    /// Glorot/Xavier uniform: `limit = sqrt(6 / (fan_in + fan_out))` where
+    /// fan-in/out are the last two axes (or the vector length for rank 1).
+    XavierUniform,
+}
+
+impl Initializer {
+    /// Builds a tensor of `shape` using this scheme.
+    pub fn build(self, shape: &[usize], rng: &mut StdRng) -> Tensor {
+        let n: usize = shape.iter().product();
+        match self {
+            Initializer::Zeros => Tensor::zeros(shape),
+            Initializer::Ones => Tensor::full(shape, 1.0),
+            Initializer::Uniform(limit) => {
+                let data = (0..n).map(|_| rng.gen_range(-limit..=limit)).collect();
+                Tensor::from_vec(shape, data)
+            }
+            Initializer::XavierUniform => {
+                let (fan_in, fan_out) = match shape.len() {
+                    0 => (1, 1),
+                    1 => (shape[0], shape[0]),
+                    _ => (shape[shape.len() - 2], shape[shape.len() - 1]),
+                };
+                let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+                let data = (0..n).map(|_| rng.gen_range(-limit..=limit)).collect();
+                Tensor::from_vec(shape, data)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_are_zero() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = Initializer::Zeros.build(&[4], &mut rng);
+        assert!(t.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn xavier_within_limit() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = Initializer::XavierUniform.build(&[10, 20], &mut rng);
+        let limit = (6.0f32 / 30.0).sqrt();
+        assert!(t.data().iter().all(|&v| v.abs() <= limit + 1e-6));
+        // Not all identical — it actually sampled.
+        assert!(t.data().iter().any(|&v| v != t.data()[0]));
+    }
+
+    #[test]
+    fn uniform_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = Initializer::Uniform(0.01).build(&[100], &mut rng);
+        assert!(t.data().iter().all(|&v| v.abs() <= 0.01));
+    }
+}

@@ -1,0 +1,530 @@
+//! Dense row-major `f32` tensors.
+//!
+//! The tensor type is deliberately small: the models in this workspace only
+//! need rank-1/2 tensors plus a handful of rank-preserving element-wise
+//! operations, batched matrix multiplication and row gather/scatter. All
+//! operations allocate their output; in-place variants are provided where the
+//! training loop is hot (`add_assign_scaled`, `scale_in_place`).
+
+use std::fmt;
+
+/// A dense, row-major tensor of `f32` values.
+///
+/// Invariant: `data.len() == shape.iter().product()`. A scalar is represented
+/// by an empty shape and a single element.
+#[derive(Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}", self.shape)?;
+        if self.data.len() <= 8 {
+            write!(f, " {:?}", self.data)
+        } else {
+            write!(f, " [{} values]", self.data.len())
+        }
+    }
+}
+
+impl Tensor {
+    /// Creates a tensor from a shape and backing data.
+    ///
+    /// # Panics
+    /// Panics if the number of elements implied by `shape` differs from
+    /// `data.len()`.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Self {
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            data.len(),
+            "shape {:?} does not match {} elements",
+            shape,
+            data.len()
+        );
+        Tensor { shape: shape.to_vec(), data }
+    }
+
+    /// A scalar tensor (empty shape).
+    pub fn scalar(v: f32) -> Self {
+        Tensor { shape: vec![], data: vec![v] }
+    }
+
+    /// A tensor of zeros.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Tensor { shape: shape.to_vec(), data: vec![0.0; shape.iter().product()] }
+    }
+
+    /// A tensor filled with `v`.
+    pub fn full(shape: &[usize], v: f32) -> Self {
+        Tensor { shape: shape.to_vec(), data: vec![v; shape.iter().product()] }
+    }
+
+    /// The shape slice.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of rows of a rank-2 tensor (or 1 for rank-0/1).
+    pub fn rows(&self) -> usize {
+        match self.shape.len() {
+            0 | 1 => 1,
+            _ => self.shape[0],
+        }
+    }
+
+    /// Number of columns, i.e. the size of the final axis (1 for scalars).
+    pub fn cols(&self) -> usize {
+        self.shape.last().copied().unwrap_or(1)
+    }
+
+    /// Borrow the backing data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrow the backing data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume into the backing vector.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// The single value of a scalar (or 1-element) tensor.
+    ///
+    /// # Panics
+    /// Panics when the tensor has more than one element.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.data.len(), 1, "item() on tensor of shape {:?}", self.shape);
+        self.data[0]
+    }
+
+    /// Reinterprets the data with a new shape of equal element count.
+    pub fn reshape(&self, shape: &[usize]) -> Tensor {
+        Tensor::from_vec(shape, self.data.clone())
+    }
+
+    /// Borrow row `r` of a rank-2 tensor.
+    pub fn row(&self, r: usize) -> &[f32] {
+        let c = self.cols();
+        &self.data[r * c..(r + 1) * c]
+    }
+
+    /// Element-wise binary map; shapes must match exactly.
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape, other.shape, "zip_map shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Tensor { shape: self.shape.clone(), data }
+    }
+
+    /// Element-wise unary map.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&a| f(a)).collect() }
+    }
+
+    /// `self + other` element-wise.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// `self - other` element-wise.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// `self * other` element-wise (Hadamard product).
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// `self * k`.
+    pub fn scale(&self, k: f32) -> Tensor {
+        self.map(|a| a * k)
+    }
+
+    /// `self += other * k`, in place. Shapes must match.
+    pub fn add_assign_scaled(&mut self, other: &Tensor, k: f32) {
+        assert_eq!(self.shape, other.shape, "add_assign_scaled shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b * k;
+        }
+    }
+
+    /// `self *= k`, in place.
+    pub fn scale_in_place(&mut self, k: f32) {
+        for a in &mut self.data {
+            *a *= k;
+        }
+    }
+
+    /// Adds a rank-1 bias of length `cols` to every row, returning a new
+    /// tensor.
+    pub fn add_row_broadcast(&self, bias: &Tensor) -> Tensor {
+        let c = self.cols();
+        assert_eq!(bias.len(), c, "bias length must equal column count");
+        let mut out = self.clone();
+        for row in out.data.chunks_mut(c) {
+            for (x, &b) in row.iter_mut().zip(&bias.data) {
+                *x += b;
+            }
+        }
+        out
+    }
+
+    /// Matrix product of rank-2 tensors, with optional transposition of
+    /// either operand. `matmul(a, b, false, false)` computes `a @ b`.
+    pub fn matmul(&self, other: &Tensor, trans_a: bool, trans_b: bool) -> Tensor {
+        let (am, ak) = mat_dims(self, trans_a);
+        let (bk, bn) = mat_dims(other, trans_b);
+        assert_eq!(
+            ak, bk,
+            "matmul inner-dimension mismatch: {:?}{} @ {:?}{}",
+            self.shape,
+            if trans_a { "ᵀ" } else { "" },
+            other.shape,
+            if trans_b { "ᵀ" } else { "" }
+        );
+        let mut out = vec![0.0f32; am * bn];
+        // Loop order is chosen so the innermost loop walks both the output row
+        // and one operand contiguously for every transpose combination.
+        match (trans_a, trans_b) {
+            (false, false) => {
+                for i in 0..am {
+                    let arow = &self.data[i * ak..(i + 1) * ak];
+                    let orow = &mut out[i * bn..(i + 1) * bn];
+                    for (k, &a) in arow.iter().enumerate() {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let brow = &other.data[k * bn..(k + 1) * bn];
+                        for (o, &b) in orow.iter_mut().zip(brow) {
+                            *o += a * b;
+                        }
+                    }
+                }
+            }
+            (true, false) => {
+                // a is [k, m] stored row-major; iterate k outer.
+                for k in 0..ak {
+                    let arow = &self.data[k * am..(k + 1) * am];
+                    let brow = &other.data[k * bn..(k + 1) * bn];
+                    for (i, &a) in arow.iter().enumerate() {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let orow = &mut out[i * bn..(i + 1) * bn];
+                        for (o, &b) in orow.iter_mut().zip(brow) {
+                            *o += a * b;
+                        }
+                    }
+                }
+            }
+            (false, true) => {
+                // b is [n, k] stored row-major; dot products of rows.
+                for i in 0..am {
+                    let arow = &self.data[i * ak..(i + 1) * ak];
+                    for j in 0..bn {
+                        let brow = &other.data[j * bk..(j + 1) * bk];
+                        let mut acc = 0.0;
+                        for (&a, &b) in arow.iter().zip(brow) {
+                            acc += a * b;
+                        }
+                        out[i * bn + j] = acc;
+                    }
+                }
+            }
+            (true, true) => {
+                // Rare; fall back to explicit indexing.
+                for i in 0..am {
+                    for j in 0..bn {
+                        let mut acc = 0.0;
+                        for k in 0..ak {
+                            acc += self.data[k * am + i] * other.data[j * bk + k];
+                        }
+                        out[i * bn + j] = acc;
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(&[am, bn], out)
+    }
+
+    /// Transpose of a rank-2 tensor.
+    pub fn transpose(&self) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "transpose requires rank 2");
+        let (r, c) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0; r * c];
+        for i in 0..r {
+            for j in 0..c {
+                out[j * r + i] = self.data[i * c + j];
+            }
+        }
+        Tensor::from_vec(&[c, r], out)
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Index of the maximum element (first on ties).
+    pub fn argmax(&self) -> usize {
+        let mut best = 0;
+        let mut best_v = f32::NEG_INFINITY;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > best_v {
+                best_v = v;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Row-wise argmax of a rank-2 tensor.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        let c = self.cols();
+        self.data
+            .chunks(c)
+            .map(|row| {
+                let mut best = 0;
+                let mut best_v = f32::NEG_INFINITY;
+                for (i, &v) in row.iter().enumerate() {
+                    if v > best_v {
+                        best_v = v;
+                        best = i;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Row-wise softmax with a temperature; numerically stabilised.
+    pub fn softmax_rows(&self, temperature: f32) -> Tensor {
+        let c = self.cols();
+        let mut out = self.clone();
+        for row in out.data.chunks_mut(c) {
+            softmax_slice(row, temperature);
+        }
+        out
+    }
+
+    /// The Frobenius (L2) norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Concatenates rank-2 tensors along rows (axis 0). All tensors must
+    /// share the same column count.
+    pub fn concat_rows(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "concat_rows of zero tensors");
+        let c = parts[0].cols();
+        let mut data = Vec::with_capacity(parts.iter().map(|p| p.len()).sum());
+        let mut rows = 0;
+        for p in parts {
+            assert_eq!(p.cols(), c, "concat_rows column mismatch");
+            rows += p.rows();
+            data.extend_from_slice(&p.data);
+        }
+        Tensor::from_vec(&[rows, c], data)
+    }
+
+    /// Concatenates rank-2 tensors along columns (axis 1). All tensors must
+    /// share the same row count.
+    pub fn concat_cols(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "concat_cols of zero tensors");
+        let r = parts[0].rows();
+        let total_c: usize = parts.iter().map(|p| p.cols()).sum();
+        let mut data = vec![0.0; r * total_c];
+        let mut offset = 0;
+        for p in parts {
+            assert_eq!(p.rows(), r, "concat_cols row mismatch");
+            let c = p.cols();
+            for i in 0..r {
+                data[i * total_c + offset..i * total_c + offset + c]
+                    .copy_from_slice(p.row(i));
+            }
+            offset += c;
+        }
+        Tensor::from_vec(&[r, total_c], data)
+    }
+
+    /// Gathers rows by index from a rank-2 table: `out[i] = table[idx[i]]`.
+    pub fn gather_rows(&self, idx: &[usize]) -> Tensor {
+        let c = self.cols();
+        let mut data = Vec::with_capacity(idx.len() * c);
+        for &i in idx {
+            assert!(i < self.rows(), "gather index {} out of {} rows", i, self.rows());
+            data.extend_from_slice(self.row(i));
+        }
+        Tensor::from_vec(&[idx.len(), c], data)
+    }
+
+    /// Extracts rows `[start, end)` of a rank-2 tensor as a new tensor.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Tensor {
+        assert!(start <= end && end <= self.rows(), "slice_rows out of bounds");
+        let c = self.cols();
+        Tensor::from_vec(&[end - start, c], self.data[start * c..end * c].to_vec())
+    }
+}
+
+/// In-place numerically stable softmax of a slice with temperature.
+pub fn softmax_slice(row: &mut [f32], temperature: f32) {
+    debug_assert!(temperature > 0.0);
+    let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for v in row.iter_mut() {
+        *v = ((*v - max) / temperature).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+fn mat_dims(t: &Tensor, trans: bool) -> (usize, usize) {
+    assert_eq!(t.shape().len(), 2, "matmul requires rank-2, got {:?}", t.shape());
+    if trans {
+        (t.shape()[1], t.shape()[0])
+    } else {
+        (t.shape()[0], t.shape()[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_roundtrip() {
+        let t = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.cols(), 3);
+        assert_eq!(t.row(1), &[4., 5., 6.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape")]
+    fn from_vec_bad_shape_panics() {
+        let _ = Tensor::from_vec(&[2, 2], vec![1., 2., 3.]);
+    }
+
+    #[test]
+    fn scalar_item() {
+        assert_eq!(Tensor::scalar(4.5).item(), 4.5);
+    }
+
+    #[test]
+    fn matmul_plain() {
+        let a = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(&[3, 2], vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b, false, false);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_transpose_variants_agree() {
+        let a = Tensor::from_vec(&[2, 3], vec![1., -2., 3., 0.5, 5., -6.]);
+        let b = Tensor::from_vec(&[3, 4], (0..12).map(|i| i as f32 * 0.25).collect());
+        let base = a.matmul(&b, false, false);
+        let ta = a.transpose();
+        let tb = b.transpose();
+        assert_eq!(ta.matmul(&b, true, false).data(), base.data());
+        assert_eq!(a.matmul(&tb, false, true).data(), base.data());
+        assert_eq!(ta.matmul(&tb, true, true).data(), base.data());
+    }
+
+    #[test]
+    fn softmax_rows_sums_to_one() {
+        let t = Tensor::from_vec(&[2, 3], vec![1., 2., 3., -1., 0., 100.]);
+        let s = t.softmax_rows(1.0);
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        // Large logit dominates without overflow.
+        assert!(s.row(1)[2] > 0.999);
+    }
+
+    #[test]
+    fn softmax_temperature_flattens() {
+        let t = Tensor::from_vec(&[1, 2], vec![0., 2.]);
+        let sharp = t.softmax_rows(0.5);
+        let soft = t.softmax_rows(4.0);
+        assert!(sharp.row(0)[1] > soft.row(0)[1]);
+    }
+
+    #[test]
+    fn concat_rows_and_cols() {
+        let a = Tensor::from_vec(&[1, 2], vec![1., 2.]);
+        let b = Tensor::from_vec(&[2, 2], vec![3., 4., 5., 6.]);
+        let r = Tensor::concat_rows(&[&a, &b]);
+        assert_eq!(r.shape(), &[3, 2]);
+        assert_eq!(r.data(), &[1., 2., 3., 4., 5., 6.]);
+
+        let c = Tensor::from_vec(&[2, 1], vec![9., 10.]);
+        let cc = Tensor::concat_cols(&[&b, &c]);
+        assert_eq!(cc.shape(), &[2, 3]);
+        assert_eq!(cc.data(), &[3., 4., 9., 5., 6., 10.]);
+    }
+
+    #[test]
+    fn gather_and_slice() {
+        let t = Tensor::from_vec(&[3, 2], vec![0., 1., 10., 11., 20., 21.]);
+        let g = t.gather_rows(&[2, 0, 2]);
+        assert_eq!(g.data(), &[20., 21., 0., 1., 20., 21.]);
+        let s = t.slice_rows(1, 3);
+        assert_eq!(s.data(), &[10., 11., 20., 21.]);
+    }
+
+    #[test]
+    fn argmax_rows_picks_first_on_tie() {
+        let t = Tensor::from_vec(&[2, 3], vec![5., 5., 1., 0., 2., 2.]);
+        assert_eq!(t.argmax_rows(), vec![0, 1]);
+    }
+
+    #[test]
+    fn broadcast_bias() {
+        let t = Tensor::from_vec(&[2, 2], vec![1., 2., 3., 4.]);
+        let b = Tensor::from_vec(&[2], vec![10., 20.]);
+        assert_eq!(t.add_row_broadcast(&b).data(), &[11., 22., 13., 24.]);
+    }
+
+    #[test]
+    fn norm_matches_manual() {
+        let t = Tensor::from_vec(&[2], vec![3., 4.]);
+        assert!((t.norm() - 5.0).abs() < 1e-6);
+    }
+}

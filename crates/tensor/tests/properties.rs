@@ -1,0 +1,143 @@
+//! Property-based tests of the tensor algebra and optimizer invariants.
+
+use proptest::prelude::*;
+use wb_tensor::{Gradients, Graph, Params, Tensor};
+
+fn tensor_2x3() -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-10.0f32..10.0, 6)
+        .prop_map(|v| Tensor::from_vec(&[2, 3], v))
+}
+
+proptest! {
+    /// Transpose is an involution.
+    #[test]
+    fn transpose_involution(t in tensor_2x3()) {
+        prop_assert_eq!(t.transpose().transpose(), t);
+    }
+
+    /// `(A·B)ᵀ = Bᵀ·Aᵀ`.
+    #[test]
+    fn matmul_transpose_identity(
+        a in tensor_2x3(),
+        b in proptest::collection::vec(-10.0f32..10.0, 12)
+            .prop_map(|v| Tensor::from_vec(&[3, 4], v)),
+    ) {
+        let left = a.matmul(&b, false, false).transpose();
+        let right = b.transpose().matmul(&a.transpose(), false, false);
+        for (l, r) in left.data().iter().zip(right.data()) {
+            prop_assert!((l - r).abs() < 1e-3);
+        }
+    }
+
+    /// Scaling commutes with addition: k(A+B) = kA + kB.
+    #[test]
+    fn scale_distributes(a in tensor_2x3(), b in tensor_2x3(), k in -3.0f32..3.0) {
+        let left = a.add(&b).scale(k);
+        let right = a.scale(k).add(&b.scale(k));
+        for (l, r) in left.data().iter().zip(right.data()) {
+            prop_assert!((l - r).abs() < 1e-3);
+        }
+    }
+
+    /// Softmax is invariant to per-row additive shifts.
+    #[test]
+    fn softmax_shift_invariance(t in tensor_2x3(), shift in -20.0f32..20.0) {
+        let shifted = t.map(|x| x + shift);
+        let a = t.softmax_rows(1.0);
+        let b = shifted.softmax_rows(1.0);
+        for (x, y) in a.data().iter().zip(b.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// Row gather of all rows is the identity.
+    #[test]
+    fn gather_identity(t in tensor_2x3()) {
+        prop_assert_eq!(t.gather_rows(&[0, 1]), t);
+    }
+
+    /// Concat of row slices reconstructs the tensor.
+    #[test]
+    fn slice_concat_identity(t in tensor_2x3()) {
+        let top = t.slice_rows(0, 1);
+        let bottom = t.slice_rows(1, 2);
+        prop_assert_eq!(Tensor::concat_rows(&[&top, &bottom]), t);
+    }
+
+    /// Gradient clipping never increases the global norm and respects the
+    /// bound.
+    #[test]
+    fn clipping_bounds_norm(vals in proptest::collection::vec(-100.0f32..100.0, 6), max in 0.1f32..10.0) {
+        let mut params = Params::new();
+        let w = params.add("w", Tensor::zeros(&[2, 3]));
+        let grads = {
+            let mut g = Graph::new(&params, false, 0);
+            let wv = g.param(w);
+            let c = g.input(Tensor::from_vec(&[2, 3], vals));
+            let m = g.mul(wv, c); // gradient of w is c
+            let loss = g.sum_all(m);
+            g.backward(loss)
+        };
+        let mut grads: Gradients = grads;
+        grads.clip_global_norm(max);
+        prop_assert!(grads.global_norm() <= max + 1e-3);
+    }
+
+    /// Backward through a linear chain scales gradients linearly: the
+    /// gradient of `sum(k·w)` is exactly `k` everywhere.
+    #[test]
+    fn linear_chain_gradient(k in -5.0f32..5.0) {
+        let mut params = Params::new();
+        let w = params.add("w", Tensor::full(&[3], 1.0));
+        let grads = {
+            let mut g = Graph::new(&params, false, 0);
+            let wv = g.param(w);
+            let s = g.scale(wv, k);
+            let loss = g.sum_all(s);
+            g.backward(loss)
+        };
+        let gw = grads.get(w).unwrap();
+        for &v in gw.data() {
+            prop_assert!((v - k).abs() < 1e-5);
+        }
+    }
+
+    /// Cross-entropy is minimal when the logits put all mass on the target.
+    #[test]
+    fn cross_entropy_prefers_target(target in 0usize..3) {
+        let params = Params::new();
+        let eval = |boost: usize| {
+            let mut g = Graph::new(&params, false, 0);
+            let mut logits = vec![0.0f32; 3];
+            logits[boost] = 8.0;
+            let l = g.input(Tensor::from_vec(&[1, 3], logits));
+            let loss = g.cross_entropy_rows(l, &[target]);
+            g.value(loss).item()
+        };
+        let right = eval(target);
+        for wrong in 0..3 {
+            if wrong != target {
+                prop_assert!(right < eval(wrong));
+            }
+        }
+    }
+}
+
+/// GraphStats faithfully counts ops and FLOPs for a known tape.
+#[test]
+fn graph_stats_counts() {
+    let mut params = Params::new();
+    let w = params.add("w", Tensor::zeros(&[4, 8]));
+    let mut g = Graph::new(&params, false, 0);
+    let x = g.input(Tensor::zeros(&[2, 4]));
+    let wv = g.param(w);
+    let y = g.matmul(x, wv); // [2,8], inner 4 → 64 MACs
+    let t = g.tanh(y);
+    let _ = g.sum_all(t);
+    let stats = g.stats();
+    assert_eq!(stats.nodes, 5);
+    assert_eq!(stats.per_op["matmul"], 1);
+    assert_eq!(stats.per_op["tanh"], 1);
+    assert_eq!(stats.matmul_flops, 2 * 8 * 4);
+    assert!(stats.elements >= 2 * 4 + 4 * 8 + 2 * 8 * 2 + 1);
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+//! # wb-text
+//!
+//! Text preprocessing for Webpage Briefing, following §IV-A3 of the paper:
+//!
+//! 1. [`normalize`] lowercases, replaces digit runs with `<digit>`, and keeps
+//!    newlines and punctuation as standalone tokens.
+//! 2. [`split_sentences`] segments visible text into sentences.
+//! 3. [`WordPiece`] is a trainable WordPiece-style subword tokenizer
+//!    (greedy longest-match with `##` continuations).
+//! 4. [`EncodedDoc`] inserts a `[CLS]` token per sentence (BERTSUM-style),
+//!    zero-pads to a fixed document length and splits into fixed-size
+//!    sub-documents.
+//!
+//! ```
+//! use wb_text::{WordPiece, WordPieceConfig, EncodedDoc, ChunkConfig, split_sentences};
+//!
+//! let wp = WordPiece::train(
+//!     ["deep learning books on sale. free shipping today."].into_iter(),
+//!     WordPieceConfig::default(),
+//! );
+//! let sentences = split_sentences("Deep learning books. Free shipping.");
+//! let doc = EncodedDoc::from_sentences(&sentences, &wp, ChunkConfig::scaled(32, 8));
+//! assert_eq!(doc.num_sentences(), 2);
+//! ```
+
+mod chunk;
+mod normalize;
+mod stats;
+mod vocab;
+mod wordpiece;
+
+pub use chunk::{ChunkConfig, EncodedDoc};
+pub use normalize::{normalize, split_sentences, DIGIT_TOKEN, NEWLINE_TOKEN};
+pub use stats::{coverage, Coverage, FrequencyTable};
+pub use vocab::{Vocab, BOS, CLS, EOS, PAD, SEP, SPECIALS, UNK};
+pub use wordpiece::{WordPiece, WordPieceConfig};

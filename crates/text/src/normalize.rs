@@ -1,0 +1,163 @@
+//! Text normalisation following §IV-A3 of the paper: lowercase everything,
+//! replace digit runs with the `<digit>` token, and keep newline characters
+//! and punctuation as standalone tokens.
+
+/// The token substituted for every maximal run of ASCII digits
+/// (optionally containing `.`/`,` separators, e.g. `40.13` or `1,500`).
+pub const DIGIT_TOKEN: &str = "<digit>";
+
+/// The token emitted for every newline character.
+pub const NEWLINE_TOKEN: &str = "<nl>";
+
+/// Lowercases `text` and splits it into pre-tokens: words, `<digit>`,
+/// `<nl>`, and single punctuation marks.
+pub fn normalize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut word = String::new();
+    let mut chars = text.chars().peekable();
+    let flush = |word: &mut String, out: &mut Vec<String>| {
+        if !word.is_empty() {
+            out.push(std::mem::take(word));
+        }
+    };
+    while let Some(c) = chars.next() {
+        if c == '\n' {
+            flush(&mut word, &mut out);
+            out.push(NEWLINE_TOKEN.to_string());
+        } else if c.is_whitespace() {
+            flush(&mut word, &mut out);
+        } else if c.is_ascii_digit() {
+            flush(&mut word, &mut out);
+            // Consume the full numeric run including inner ./, separators.
+            while let Some(&next) = chars.peek() {
+                let separator = (next == '.' || next == ',')
+                    && chars
+                        .clone()
+                        .nth(1)
+                        .map(|after| after.is_ascii_digit())
+                        .unwrap_or(false);
+                if next.is_ascii_digit() || separator {
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            out.push(DIGIT_TOKEN.to_string());
+        } else if c.is_alphanumeric() || c == '\'' {
+            word.extend(c.to_lowercase());
+        } else {
+            // Punctuation and symbols are single tokens.
+            flush(&mut word, &mut out);
+            out.push(c.to_string());
+        }
+    }
+    flush(&mut word, &mut out);
+    out
+}
+
+/// Splits raw text into sentences on `.`, `!`, `?` and newlines, keeping the
+/// terminator with its sentence. A `.` flanked by digits (a decimal point,
+/// e.g. `40.13`) does not terminate. Empty sentences are dropped.
+pub fn split_sentences(text: &str) -> Vec<String> {
+    let mut sentences = Vec::new();
+    let mut current = String::new();
+    let mut prev: Option<char> = None;
+    let mut chars = text.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '\n' {
+            let trimmed = current.trim();
+            if !trimmed.is_empty() {
+                sentences.push(trimmed.to_string());
+            }
+            current.clear();
+            prev = None;
+            continue;
+        }
+        current.push(c);
+        let decimal_point = c == '.'
+            && prev.map(|p| p.is_ascii_digit()).unwrap_or(false)
+            && chars.peek().map(|n| n.is_ascii_digit()).unwrap_or(false);
+        if (c == '.' || c == '!' || c == '?') && !decimal_point {
+            let trimmed = current.trim();
+            if !trimmed.is_empty() {
+                sentences.push(trimmed.to_string());
+            }
+            current.clear();
+        }
+        prev = Some(c);
+    }
+    let trimmed = current.trim();
+    if !trimmed.is_empty() {
+        sentences.push(trimmed.to_string());
+    }
+    sentences
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowercases_and_splits() {
+        assert_eq!(normalize("Hello World"), vec!["hello", "world"]);
+    }
+
+    #[test]
+    fn digits_become_digit_token() {
+        assert_eq!(normalize("price 42"), vec!["price", DIGIT_TOKEN]);
+        assert_eq!(normalize("$40.13!"), vec!["$", DIGIT_TOKEN, "!"]);
+        assert_eq!(normalize("1,500 pages"), vec![DIGIT_TOKEN, "pages"]);
+    }
+
+    #[test]
+    fn digit_runs_collapse_but_words_with_digits_split() {
+        // "b2b" -> "b", "<digit>", "b": digits always break out.
+        assert_eq!(normalize("b2b"), vec!["b", DIGIT_TOKEN, "b"]);
+    }
+
+    #[test]
+    fn newline_preserved_as_token() {
+        assert_eq!(normalize("a\nb"), vec!["a", NEWLINE_TOKEN, "b"]);
+    }
+
+    #[test]
+    fn punctuation_is_single_token() {
+        assert_eq!(normalize("wait, stop."), vec!["wait", ",", "stop", "."]);
+    }
+
+    #[test]
+    fn apostrophes_stay_in_words() {
+        assert_eq!(normalize("don't"), vec!["don't"]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(normalize("").is_empty());
+        assert!(split_sentences("  \n ").is_empty());
+    }
+
+    #[test]
+    fn sentence_split_on_terminators() {
+        let s = split_sentences("First. Second! Third? Fourth");
+        assert_eq!(s, vec!["First.", "Second!", "Third?", "Fourth"]);
+    }
+
+    #[test]
+    fn sentence_split_on_newlines() {
+        let s = split_sentences("Heading\nBody sentence.");
+        assert_eq!(s, vec!["Heading", "Body sentence."]);
+    }
+
+    #[test]
+    fn decimal_points_do_not_split_sentences() {
+        let s = split_sentences("price is 40.13 today. next");
+        assert_eq!(s, vec!["price is 40.13 today.", "next"]);
+    }
+
+    #[test]
+    fn trailing_decimal_not_swallowed() {
+        // "42." at end of sentence: the '.' is a terminator, not a decimal
+        // separator (no digit follows).
+        assert_eq!(normalize("42."), vec![DIGIT_TOKEN, "."]);
+    }
+}

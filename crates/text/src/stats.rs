@@ -1,0 +1,185 @@
+//! Corpus/vocabulary statistics: token frequencies, coverage of a tokenizer
+//! over a corpus, and type/token counts — the numbers §IV-A1 reports about
+//! the dataset (vocabulary size, average lengths).
+
+use crate::wordpiece::WordPiece;
+use crate::{normalize, UNK};
+use std::collections::HashMap;
+
+/// Frequency table over normalised word types.
+#[derive(Debug, Clone, Default)]
+pub struct FrequencyTable {
+    counts: HashMap<String, usize>,
+    total: usize,
+}
+
+impl FrequencyTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds all tokens of a text.
+    pub fn add_text(&mut self, text: &str) {
+        for tok in normalize(text) {
+            *self.counts.entry(tok).or_insert(0) += 1;
+            self.total += 1;
+        }
+    }
+
+    /// Number of distinct word types.
+    pub fn types(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total token count.
+    pub fn tokens(&self) -> usize {
+        self.total
+    }
+
+    /// Frequency of one word.
+    pub fn count(&self, word: &str) -> usize {
+        self.counts.get(word).copied().unwrap_or(0)
+    }
+
+    /// The `n` most frequent words (ties broken alphabetically).
+    pub fn top(&self, n: usize) -> Vec<(&str, usize)> {
+        let mut entries: Vec<(&str, usize)> =
+            self.counts.iter().map(|(w, &c)| (w.as_str(), c)).collect();
+        entries.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        entries.truncate(n);
+        entries
+    }
+
+    /// Fraction of token mass covered by the `n` most frequent types —
+    /// the Zipfian head the tokenizer keeps as whole words.
+    pub fn head_coverage(&self, n: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let head: usize = self.top(n).iter().map(|(_, c)| c).sum();
+        head as f64 / self.total as f64
+    }
+}
+
+/// Tokenizer coverage over a corpus.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Coverage {
+    /// Total WordPiece tokens produced.
+    pub pieces: usize,
+    /// `[UNK]` tokens among them.
+    pub unknown: usize,
+    /// Words kept whole (single piece).
+    pub whole_words: usize,
+    /// Input words processed.
+    pub words: usize,
+}
+
+impl Coverage {
+    /// Fraction of pieces that are `[UNK]`.
+    pub fn unk_rate(&self) -> f64 {
+        if self.pieces == 0 {
+            0.0
+        } else {
+            self.unknown as f64 / self.pieces as f64
+        }
+    }
+
+    /// Fraction of words kept whole.
+    pub fn whole_word_rate(&self) -> f64 {
+        if self.words == 0 {
+            0.0
+        } else {
+            self.whole_words as f64 / self.words as f64
+        }
+    }
+
+    /// Mean pieces per word.
+    pub fn fertility(&self) -> f64 {
+        if self.words == 0 {
+            0.0
+        } else {
+            self.pieces as f64 / self.words as f64
+        }
+    }
+}
+
+/// Measures `wp`'s coverage over an iterator of texts.
+pub fn coverage<'a>(wp: &WordPiece, texts: impl Iterator<Item = &'a str>) -> Coverage {
+    let mut cov = Coverage::default();
+    for text in texts {
+        for word in normalize(text) {
+            cov.words += 1;
+            let ids = wp.encode(&word);
+            cov.pieces += ids.len();
+            cov.unknown += ids.iter().filter(|&&id| id == UNK).count();
+            if ids.len() == 1 && ids[0] != UNK {
+                cov.whole_words += 1;
+            }
+        }
+    }
+    cov
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wordpiece::WordPieceConfig;
+
+    #[test]
+    fn frequency_counting() {
+        let mut f = FrequencyTable::new();
+        f.add_text("the cat and the dog");
+        assert_eq!(f.count("the"), 2);
+        assert_eq!(f.count("cat"), 1);
+        assert_eq!(f.types(), 4);
+        assert_eq!(f.tokens(), 5);
+        assert_eq!(f.top(1)[0].0, "the");
+    }
+
+    #[test]
+    fn head_coverage_monotone() {
+        let mut f = FrequencyTable::new();
+        f.add_text("a a a b b c d e f g");
+        assert!(f.head_coverage(1) < f.head_coverage(3));
+        assert!((f.head_coverage(100) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_on_training_corpus_is_high() {
+        let corpus = "the quick brown fox jumps over the lazy dog again and again";
+        let wp = WordPiece::train([corpus].into_iter(), WordPieceConfig {
+            max_words: 50,
+            max_pieces: 50,
+            min_word_freq: 1,
+            max_piece_len: 4,
+        });
+        let cov = coverage(&wp, [corpus].into_iter());
+        assert_eq!(cov.unk_rate(), 0.0);
+        assert!((cov.whole_word_rate() - 1.0).abs() < 1e-12);
+        assert!((cov.fertility() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_degrades_on_unseen_words() {
+        let wp = WordPiece::train(["alpha beta"].into_iter(), WordPieceConfig {
+            max_words: 10,
+            max_pieces: 10,
+            min_word_freq: 1,
+            max_piece_len: 3,
+        });
+        let cov = coverage(&wp, ["gamma delta epsilon"].into_iter());
+        assert!(cov.fertility() > 1.0 || cov.unk_rate() > 0.0);
+        assert!(cov.whole_word_rate() < 1.0);
+    }
+
+    #[test]
+    fn empty_everything() {
+        let f = FrequencyTable::new();
+        assert_eq!(f.head_coverage(5), 0.0);
+        let wp = WordPiece::train(["x"].into_iter(), WordPieceConfig::default());
+        let cov = coverage(&wp, std::iter::empty());
+        assert_eq!(cov.unk_rate(), 0.0);
+        assert_eq!(cov.fertility(), 0.0);
+    }
+}

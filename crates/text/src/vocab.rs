@@ -1,0 +1,126 @@
+//! Token vocabulary with the special tokens used throughout the pipeline.
+
+use std::collections::HashMap;
+
+/// Id of the padding token.
+pub const PAD: u32 = 0;
+/// Id of the unknown token.
+pub const UNK: u32 = 1;
+/// Id of the sentence-start classification token (BERTSUM-style).
+pub const CLS: u32 = 2;
+/// Id of the separator token.
+pub const SEP: u32 = 3;
+/// Id of the begin-of-sequence token used by decoders.
+pub const BOS: u32 = 4;
+/// Id of the end-of-sequence token used by decoders.
+pub const EOS: u32 = 5;
+
+/// String forms of the special tokens in id order.
+pub const SPECIALS: [&str; 6] = ["[PAD]", "[UNK]", "[CLS]", "[SEP]", "[BOS]", "[EOS]"];
+
+/// A bidirectional token ↔ id map. Ids `0..6` are always the special tokens.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Vocab {
+    token_to_id: HashMap<String, u32>,
+    id_to_token: Vec<String>,
+}
+
+impl Default for Vocab {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Vocab {
+    /// A vocabulary containing only the special tokens.
+    pub fn new() -> Self {
+        let mut v = Vocab { token_to_id: HashMap::new(), id_to_token: Vec::new() };
+        for s in SPECIALS {
+            v.add(s);
+        }
+        v
+    }
+
+    /// Adds a token if absent and returns its id.
+    pub fn add(&mut self, token: &str) -> u32 {
+        if let Some(&id) = self.token_to_id.get(token) {
+            return id;
+        }
+        let id = self.id_to_token.len() as u32;
+        self.id_to_token.push(token.to_string());
+        self.token_to_id.insert(token.to_string(), id);
+        id
+    }
+
+    /// Looks up a token's id.
+    pub fn id(&self, token: &str) -> Option<u32> {
+        self.token_to_id.get(token).copied()
+    }
+
+    /// Looks up a token's id, falling back to `[UNK]`.
+    pub fn id_or_unk(&self, token: &str) -> u32 {
+        self.id(token).unwrap_or(UNK)
+    }
+
+    /// The token string for an id.
+    pub fn token(&self, id: u32) -> &str {
+        &self.id_to_token[id as usize]
+    }
+
+    /// Number of tokens including specials.
+    pub fn len(&self) -> usize {
+        self.id_to_token.len()
+    }
+
+    /// Always false: specials are present from construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Decodes ids to strings, skipping `[PAD]`.
+    pub fn decode(&self, ids: &[u32]) -> Vec<String> {
+        ids.iter()
+            .filter(|&&id| id != PAD)
+            .map(|&id| self.token(id).to_string())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specials_have_fixed_ids() {
+        let v = Vocab::new();
+        assert_eq!(v.id("[PAD]"), Some(PAD));
+        assert_eq!(v.id("[UNK]"), Some(UNK));
+        assert_eq!(v.id("[CLS]"), Some(CLS));
+        assert_eq!(v.id("[SEP]"), Some(SEP));
+        assert_eq!(v.id("[BOS]"), Some(BOS));
+        assert_eq!(v.id("[EOS]"), Some(EOS));
+        assert_eq!(v.len(), 6);
+    }
+
+    #[test]
+    fn add_is_idempotent() {
+        let mut v = Vocab::new();
+        let a = v.add("book");
+        let b = v.add("book");
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 7);
+    }
+
+    #[test]
+    fn unknown_falls_back() {
+        let v = Vocab::new();
+        assert_eq!(v.id_or_unk("nope"), UNK);
+    }
+
+    #[test]
+    fn decode_skips_pad() {
+        let mut v = Vocab::new();
+        let b = v.add("book");
+        assert_eq!(v.decode(&[PAD, b, PAD]), vec!["book"]);
+    }
+}

@@ -1,0 +1,39 @@
+//! Checkpointing: train a briefer once, save it to disk, restore it in a
+//! fresh process-like context and verify identical behaviour — the workflow
+//! a deployment (e.g. the browser-extension use case from the paper's
+//! introduction) would use.
+//!
+//! Run with: `cargo run --release --example checkpointing`
+
+use webpage_briefing::core::Checkpoint;
+use webpage_briefing::prelude::*;
+
+fn main() {
+    let dataset = Dataset::generate(&DatasetConfig::tiny());
+    println!("Training Joint-WB…");
+    let mut cfg = TrainConfig::scaled(8);
+    cfg.lr = 0.01;
+    let briefer = Briefer::train(&dataset, cfg, 7);
+
+    let path = std::env::temp_dir().join("webpage_briefing_demo.ckpt.json");
+    briefer
+        .checkpoint(&dataset.tokenizer)
+        .save(&path)
+        .expect("save checkpoint");
+    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    println!("Saved checkpoint to {} ({:.1} KiB)", path.display(), bytes as f64 / 1024.0);
+
+    let restored =
+        Briefer::from_checkpoint(&Checkpoint::load(&path).expect("load checkpoint"))
+            .expect("restore briefer");
+
+    let split = dataset.split(1);
+    let ex = &dataset.examples[split.test[0]];
+    let before = briefer.brief_example(ex);
+    let after = restored.brief_example(ex);
+    assert_eq!(before, after, "restored model must behave identically");
+    println!("\nRestored model reproduces the original brief exactly:");
+    print!("{}", after.render());
+
+    let _ = std::fs::remove_file(path);
+}

@@ -1,0 +1,49 @@
+//! Quickstart: train a Joint-WB briefer on a small synthetic corpus and
+//! brief a webpage, reproducing the paper's Fig. 1 scenario (a book
+//! shopping page summarised as topic + key attributes).
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use webpage_briefing::prelude::*;
+
+fn main() {
+    println!("Generating a small synthetic webpage corpus…");
+    let dataset = Dataset::generate(&DatasetConfig::tiny());
+    let (mean, std) = dataset.length_stats();
+    println!(
+        "  {} pages over {} topics, avg length {:.0} tokens (std {:.0})",
+        dataset.examples.len(),
+        dataset.taxonomy.len(),
+        mean,
+        std
+    );
+
+    println!("Training Joint-WB (takes a minute or two on one CPU)…");
+    let mut cfg = TrainConfig::scaled(50);
+    cfg.lr = 0.01;
+    cfg.decay = 0.98;
+    let briefer = Briefer::train(&dataset, cfg, 7);
+
+    // Brief a held-out page from the corpus.
+    let split = dataset.split(1);
+    let ex = &dataset.examples[split.test[0]];
+    let brief = briefer.brief_example(ex);
+    println!("\n=== Webpage brief (held-out corpus page) ===");
+    print!("{}", brief.render());
+    println!(
+        "Ground truth topic: {}",
+        dataset.taxonomy.topic(ex.topic).phrase_text()
+    );
+
+    // Brief raw HTML straight from the wire.
+    let html = r#"<html><head><title>shop</title></head><body>
+        <nav><a>home</a> <a>cart</a></nav>
+        <section><p>Discover the best velcro books and quality shipping today.</p>
+        <p>featured item : brenlin maklin , bestseller.</p>
+        <p>price : $ 40.13 .</p></section>
+        <footer><p>copyright terms privacy.</p></footer>
+        </body></html>"#;
+    let brief = briefer.brief_html(html).expect("briefing should succeed");
+    println!("\n=== Webpage brief (raw HTML) ===");
+    print!("{}", brief.render());
+}

@@ -1,0 +1,194 @@
+//! `wb` — the Webpage Briefing command line.
+//!
+//! ```text
+//! wb generate --out ./corpus --subjects 2 --pages 6     # export a corpus
+//! wb train --out model.json --epochs 12                 # train a briefer
+//! wb brief --model model.json page.html                 # brief webpages
+//! wb stats                                              # corpus statistics
+//! ```
+
+use clap::{Parser, Subcommand};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use webpage_briefing::core::{Briefer, Checkpoint, ModelConfig, TrainConfig};
+use webpage_briefing::corpus::{
+    export_pages, generate_page, Dataset, DatasetConfig, PageConfig, Taxonomy,
+};
+use webpage_briefing::text::{coverage, FrequencyTable};
+
+#[derive(Parser)]
+#[command(
+    name = "wb",
+    about = "Automatic Webpage Briefing (ICDE 2021): hierarchical webpage summaries",
+    version
+)]
+struct Cli {
+    #[command(subcommand)]
+    command: Command,
+}
+
+#[derive(Subcommand)]
+enum Command {
+    /// Generate a synthetic labelled corpus and export it as HTML + JSON.
+    Generate {
+        /// Output directory.
+        #[arg(long, default_value = "./wb-corpus")]
+        out: String,
+        /// Subjects per family (topics = 8 × this).
+        #[arg(long, default_value_t = 2)]
+        subjects: usize,
+        /// Pages per topic.
+        #[arg(long, default_value_t = 6)]
+        pages: usize,
+        /// RNG seed.
+        #[arg(long, default_value_t = 7)]
+        seed: u64,
+    },
+    /// Train a Joint-WB briefer on a synthetic corpus and save a checkpoint.
+    Train {
+        /// Checkpoint output path (JSON).
+        #[arg(long, default_value = "./wb-model.json")]
+        out: String,
+        /// Training epochs.
+        #[arg(long, default_value_t = 15)]
+        epochs: usize,
+        /// Subjects per family for the training corpus.
+        #[arg(long, default_value_t = 2)]
+        subjects: usize,
+        /// Pages per topic.
+        #[arg(long, default_value_t = 8)]
+        pages: usize,
+        /// RNG seed.
+        #[arg(long, default_value_t = 7)]
+        seed: u64,
+    },
+    /// Brief one or more HTML files with a trained checkpoint.
+    Brief {
+        /// Checkpoint path produced by `wb train`.
+        #[arg(long, default_value = "./wb-model.json")]
+        model: String,
+        /// HTML files to brief.
+        #[arg(required = true)]
+        files: Vec<String>,
+        /// Emit JSON instead of the rendered hierarchy.
+        #[arg(long)]
+        json: bool,
+    },
+    /// Print statistics of a synthetic corpus.
+    Stats {
+        /// Subjects per family.
+        #[arg(long, default_value_t = 2)]
+        subjects: usize,
+        /// Pages per topic.
+        #[arg(long, default_value_t = 6)]
+        pages: usize,
+    },
+}
+
+fn main() {
+    match Cli::parse().command {
+        Command::Generate { out, subjects, pages, seed } => generate(&out, subjects, pages, seed),
+        Command::Train { out, epochs, subjects, pages, seed } => {
+            train(&out, epochs, subjects, pages, seed)
+        }
+        Command::Brief { model, files, json } => brief(&model, &files, json),
+        Command::Stats { subjects, pages } => stats(subjects, pages),
+    }
+}
+
+fn dataset_config(subjects: usize, pages: usize, seed: u64) -> DatasetConfig {
+    let mut cfg = DatasetConfig::tiny();
+    cfg.subjects_per_family = subjects;
+    cfg.pages_per_topic = pages;
+    cfg.seed = seed;
+    cfg
+}
+
+fn generate(out: &str, subjects: usize, pages: usize, seed: u64) {
+    let taxonomy = Taxonomy::build(seed, subjects);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut records = Vec::new();
+    for topic in taxonomy.topics() {
+        for _ in 0..pages {
+            records.push((
+                generate_page(topic, PageConfig::default(), &mut rng),
+                topic.phrase.clone(),
+            ));
+        }
+    }
+    export_pages(out, &records).expect("export corpus");
+    println!(
+        "Wrote {} labelled pages over {} topics to {out}",
+        records.len(),
+        taxonomy.len()
+    );
+}
+
+fn train(out: &str, epochs: usize, subjects: usize, pages: usize, seed: u64) {
+    println!("Generating corpus ({} topics × {pages} pages)…", subjects * 8);
+    let dataset = Dataset::generate(&dataset_config(subjects, pages, seed));
+    println!("Training Joint-WB for {epochs} epochs (one CPU — be patient)…");
+    let mut tc = TrainConfig::scaled(epochs);
+    tc.lr = 0.01;
+    tc.decay = 0.98;
+    let model_cfg = ModelConfig::scaled(dataset.tokenizer.vocab().len());
+    let briefer = Briefer::train_with(&dataset, model_cfg, tc, seed);
+    briefer
+        .checkpoint(&dataset.tokenizer)
+        .save(out)
+        .expect("save checkpoint");
+    println!("Saved checkpoint to {out}");
+}
+
+fn brief(model: &str, files: &[String], json: bool) {
+    let ckpt = Checkpoint::load(model)
+        .unwrap_or_else(|e| panic!("cannot load checkpoint {model}: {e}"));
+    let briefer = Briefer::from_checkpoint(&ckpt).expect("checkpoint holds a briefer");
+    for file in files {
+        let html = std::fs::read_to_string(file)
+            .unwrap_or_else(|e| panic!("cannot read {file}: {e}"));
+        match briefer.brief_html(&html) {
+            Ok(b) => {
+                println!("=== {file} ===");
+                if json {
+                    println!("{}", serde_json::to_string_pretty(&b).expect("brief serialises"));
+                } else {
+                    print!("{}", b.render());
+                }
+            }
+            Err(e) => eprintln!("=== {file} ===\ncould not brief: {e}"),
+        }
+    }
+}
+
+fn stats(subjects: usize, pages: usize) {
+    let dataset = Dataset::generate(&dataset_config(subjects, pages, 7));
+    let (mean, std) = dataset.length_stats();
+    println!("pages:           {}", dataset.examples.len());
+    println!("topics:          {}", dataset.taxonomy.len());
+    println!("avg length:      {mean:.1} tokens (std {std:.1})");
+    println!("vocabulary:      {}", dataset.tokenizer.vocab().len());
+
+    let mut freq = FrequencyTable::new();
+    let n_specials = webpage_briefing::text::SPECIALS.len() as u32;
+    let texts: Vec<String> = dataset
+        .examples
+        .iter()
+        .take(200)
+        .map(|e| {
+            // Reconstruct the surface text without special tokens.
+            let ids: Vec<u32> =
+                e.tokens.iter().copied().filter(|&t| t >= n_specials).collect();
+            dataset.tokenizer.decode_ids(&ids).join(" ")
+        })
+        .collect();
+    for t in &texts {
+        freq.add_text(t);
+    }
+    let cov = coverage(&dataset.tokenizer, texts.iter().map(String::as_str));
+    println!("word types:      {}", freq.types());
+    println!("head-100 mass:   {:.1}%", freq.head_coverage(100) * 100.0);
+    println!("tokenizer UNK:   {:.2}%", cov.unk_rate() * 100.0);
+    println!("whole words:     {:.1}%", cov.whole_word_rate() * 100.0);
+    println!("fertility:       {:.2} pieces/word", cov.fertility());
+}

@@ -1,0 +1,46 @@
+//! # webpage-briefing
+//!
+//! A Rust reproduction of **“Automatic Webpage Briefing”** (Dai, Zhang, Qi —
+//! ICDE 2021): hierarchical webpage summaries combining a generated broad
+//! topic with extracted key attributes, produced by the Joint-WB model and
+//! adapted to unseen domains with Dual/Triple Distillation.
+//!
+//! ```no_run
+//! use webpage_briefing::prelude::*;
+//!
+//! let dataset = Dataset::generate(&DatasetConfig::tiny());
+//! let briefer = Briefer::train(&dataset, TrainConfig::scaled(10), 7);
+//! let brief = briefer
+//!     .brief_html("<html><body><section><p>Mystery novels, price : $ 12.99 .</p></section></body></html>")
+//!     .unwrap();
+//! println!("{}", brief.render());
+//! ```
+//!
+//! The workspace crates are re-exported:
+//!
+//! * [`tensor`] — autograd engine, [`text`] — tokenizer/preprocessing,
+//! * [`html`] — DOM/rendering/crawler, [`corpus`] — synthetic dataset,
+//! * [`nn`] — neural layers, [`core`] — the paper's models,
+//! * [`eval`] — metrics and statistical tests.
+
+pub use wb_core as core;
+pub use wb_corpus as corpus;
+pub use wb_eval as eval;
+pub use wb_html as html;
+pub use wb_nn as nn;
+pub use wb_tensor as tensor;
+pub use wb_text as text;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use wb_core::{
+        Brief, BriefAttribute, Briefer, DistillConfig, DistillParts, DualDistill, Extractor,
+        ExtractorPriors, Generator, JointModel, JointVariant, ModelConfig, PhraseBank,
+        TeacherCache, TrainConfig, TriDistill,
+    };
+    pub use wb_corpus::{Dataset, DatasetConfig, Example, Taxonomy, TopicId};
+    pub use wb_eval::{bio_to_spans, ExtractionScores, GenerationScores, ResultTable};
+    pub use wb_html::{parse_document, visible_text};
+    pub use wb_nn::EmbedderKind;
+    pub use wb_text::{WordPiece, WordPieceConfig};
+}

@@ -1,0 +1,98 @@
+//! End-to-end tests of the `wb` command line: generate → train → brief.
+
+use std::process::Command;
+
+fn wb() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_wb"))
+}
+
+#[test]
+fn generate_exports_labelled_pages() {
+    let dir = std::env::temp_dir().join("wb_cli_gen_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = wb()
+        .args(["generate", "--out", dir.to_str().unwrap(), "--subjects", "1", "--pages", "2"])
+        .output()
+        .expect("run wb generate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let html_files = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter(|e| {
+            e.as_ref().unwrap().path().extension().map(|x| x == "html").unwrap_or(false)
+        })
+        .count();
+    assert_eq!(html_files, 16); // 8 topics × 2 pages
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn train_then_brief_roundtrip() {
+    let model = std::env::temp_dir().join("wb_cli_model.json");
+    let page = std::env::temp_dir().join("wb_cli_page.html");
+    let _ = std::fs::remove_file(&model);
+
+    // Minimal training run: 1 subject/family, 3 pages, 2 epochs — we only
+    // verify the pipeline plumbing here, not model quality.
+    let out = wb()
+        .args([
+            "train",
+            "--out",
+            model.to_str().unwrap(),
+            "--epochs",
+            "2",
+            "--subjects",
+            "1",
+            "--pages",
+            "3",
+        ])
+        .output()
+        .expect("run wb train");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(model.exists());
+
+    std::fs::write(
+        &page,
+        "<html><body><section><p>great velcro books , price : $ 9.99 .</p></section></body></html>",
+    )
+    .unwrap();
+    let out = wb()
+        .args(["brief", "--model", model.to_str().unwrap(), page.to_str().unwrap()])
+        .output()
+        .expect("run wb brief");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Topic:"), "brief output missing topic: {stdout}");
+
+    // JSON mode produces valid JSON with the Brief fields.
+    let out = wb()
+        .args([
+            "brief",
+            "--model",
+            model.to_str().unwrap(),
+            "--json",
+            page.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run wb brief --json");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let json_part = stdout.split_once("===\n").map(|(_, rest)| rest).unwrap_or(&stdout);
+    let v: serde_json::Value = serde_json::from_str(json_part.trim()).expect("valid JSON");
+    assert!(v.get("topic").is_some());
+    assert!(v.get("attributes").is_some());
+
+    let _ = std::fs::remove_file(model);
+    let _ = std::fs::remove_file(page);
+}
+
+#[test]
+fn stats_prints_corpus_summary() {
+    let out = wb()
+        .args(["stats", "--subjects", "1", "--pages", "2"])
+        .output()
+        .expect("run wb stats");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("pages:"));
+    assert!(stdout.contains("vocabulary:"));
+}

@@ -1,0 +1,117 @@
+//! Integration test of the full Dual-Distill protocol (Table IV in
+//! miniature): a teacher trained on seen topics fails on unseen topics; a
+//! distilled student adapts while keeping most of the seen-domain accuracy.
+//! This is the paper's headline claim, so it runs in CI despite the
+//! training cost (~30 s).
+
+use webpage_briefing::core::train;
+use webpage_briefing::prelude::*;
+
+fn phrase_ids(d: &Dataset, t: TopicId) -> Vec<u32> {
+    d.taxonomy.topic(t).phrase.iter().flat_map(|w| d.tokenizer.encode(w)).collect()
+}
+
+fn em(d: &Dataset, indices: &[usize], gen: impl Fn(&Example) -> Vec<u32>) -> f64 {
+    let mut s = GenerationScores::default();
+    for &i in indices {
+        let ex = &d.examples[i];
+        s.update(&gen(ex), &ex.topic_target[..ex.topic_target.len() - 1]);
+    }
+    s.em()
+}
+
+#[test]
+fn dual_distill_recovers_unseen_domains() {
+    let d = Dataset::generate(&DatasetConfig::tiny());
+    let split = d.split(7);
+    let (seen, unseen) = d.topic_partition(3, 8);
+    let seen_train = d.restrict(&split.train, &seen);
+    let test_unseen = d.restrict(&split.test, &unseen);
+    let test_seen = d.restrict(&split.test, &seen);
+
+    let mc = ModelConfig::scaled(d.tokenizer.vocab().len());
+    let mut tc = TrainConfig::scaled(30);
+    tc.lr = 0.08;
+    tc.decay = 0.97;
+
+    // Teacher sees only the seen topics.
+    let mut teacher = Generator::new(EmbedderKind::Static, false, mc, 1);
+    train(&mut teacher, &d.examples, &seen_train, tc);
+    let teacher_unseen = em(&d, &test_unseen, |ex| teacher.generate(ex));
+    let teacher_seen = em(&d, &test_seen, |ex| teacher.generate(ex));
+    assert!(teacher_seen >= 60.0, "teacher should master seen topics: {teacher_seen}");
+    assert!(
+        teacher_unseen <= 20.0,
+        "teacher cannot know unseen subjects: {teacher_unseen}"
+    );
+
+    // Student distilled on all topics.
+    let cache = TeacherCache::build(&teacher, &d.examples, &split.train, 2.0);
+    let phrases: Vec<Vec<u32>> = seen.iter().map(|&t| phrase_ids(&d, t)).collect();
+    let bank = PhraseBank::build(&teacher, &phrases);
+    let student = Generator::new(EmbedderKind::Static, false, mc, 9);
+    let mut dd = DualDistill::new(
+        student,
+        cache,
+        bank,
+        DistillConfig::default(),
+        DistillParts::dual(),
+        3,
+    )
+    .with_seen_topics(&seen);
+    train(&mut dd, &d.examples, &split.train, tc);
+    let student = dd.into_student();
+
+    let student_unseen = em(&d, &test_unseen, |ex| student.generate(ex));
+    let student_seen = em(&d, &test_seen, |ex| student.generate(ex));
+
+    // The paper's Table IV shape: distillation recovers unseen domains…
+    assert!(
+        student_unseen > teacher_unseen + 30.0,
+        "student should gain on unseen: teacher {teacher_unseen} vs student {student_unseen}"
+    );
+    // …while staying close to the teacher on seen domains.
+    assert!(
+        student_seen >= teacher_seen - 30.0,
+        "student should keep seen knowledge: teacher {teacher_seen} vs student {student_seen}"
+    );
+}
+
+#[test]
+fn tri_distill_joint_student_learns_both_tasks() {
+    use webpage_briefing::core::{
+        JointGenerationTeacher, JointTeacherCache, TriDistill,
+    };
+    let d = Dataset::generate(&DatasetConfig::tiny());
+    let split = d.split(7);
+    let (seen, _unseen) = d.topic_partition(3, 8);
+    let seen_train = d.restrict(&split.train, &seen);
+
+    let mc = ModelConfig::scaled(d.tokenizer.vocab().len());
+    let mut tc = TrainConfig::scaled(20);
+    tc.lr = 0.01;
+    tc.decay = 0.98;
+
+    let mut teacher = JointModel::new(JointVariant::NaiveJoin, mc, 1);
+    train(&mut teacher, &d.examples, &seen_train, tc);
+
+    let cache = JointTeacherCache::build(&teacher, &d.examples, &split.train, 2.0);
+    let phrases: Vec<Vec<u32>> = seen.iter().map(|&t| phrase_ids(&d, t)).collect();
+    let bank = PhraseBank::build(&JointGenerationTeacher(&teacher), &phrases);
+    let student = JointModel::new(JointVariant::NaiveJoin, mc, 9);
+    let mut tri = TriDistill::new(student, cache, bank, DistillConfig::default(), 3)
+        .with_seen_topics(&seen);
+    let stats = train(&mut tri, &d.examples, &split.train, tc);
+    let student = tri.into_student();
+
+    assert!(stats.final_loss().is_finite());
+    assert!(
+        stats.final_loss() < stats.epoch_losses[0],
+        "tri-distill loss should decrease: {:?}",
+        stats.epoch_losses
+    );
+    // Both heads produce structurally valid outputs after joint distillation.
+    let ex = &d.examples[split.test[0]];
+    assert_eq!(student.predict_tags(ex).len(), ex.tokens.len());
+    assert!(student.generate(ex).len() <= mc.max_topic_len);
+}

@@ -1,0 +1,187 @@
+//! Property-based tests (proptest) on the substrate invariants: the text
+//! pipeline, the HTML parser, tensor algebra and the metric definitions.
+
+use proptest::prelude::*;
+use webpage_briefing::eval::{bio_to_spans, cohens_kappa, GenerationScores};
+use webpage_briefing::html::parse_document;
+use webpage_briefing::tensor::Tensor;
+use webpage_briefing::text::{normalize, split_sentences, WordPiece, WordPieceConfig};
+
+proptest! {
+    /// Normalisation never produces empty tokens or uppercase letters.
+    #[test]
+    fn normalize_tokens_are_nonempty_lowercase(s in ".{0,200}") {
+        for tok in normalize(&s) {
+            prop_assert!(!tok.is_empty());
+            // Lowercasing is idempotent (some Unicode capitals have no
+            // lowercase form and pass through unchanged).
+            prop_assert_eq!(tok.to_lowercase(), tok.to_lowercase().to_lowercase());
+            prop_assert!(!tok.chars().any(|c| c.is_ascii_uppercase()));
+        }
+    }
+
+    /// Sentence splitting loses no non-whitespace characters except
+    /// nothing: joining sentences preserves all non-space content.
+    #[test]
+    fn split_sentences_preserves_content(s in "[a-z .!?\n]{0,200}") {
+        let joined: String = split_sentences(&s).join(" ");
+        let orig: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+        let back: String = joined.chars().filter(|c| !c.is_whitespace()).collect();
+        prop_assert_eq!(orig, back);
+    }
+
+    /// The HTML parser never panics on arbitrary input (it may error).
+    #[test]
+    fn parser_is_total(s in ".{0,400}") {
+        let _ = parse_document(&s);
+    }
+
+    /// Serialise → parse is the identity for parser-produced DOMs built
+    /// from arbitrary text content.
+    #[test]
+    fn dom_roundtrip(text in "[a-zA-Z0-9 ,.]{0,80}") {
+        let html = format!("<div><p>{text}</p></div>");
+        if let Ok(dom) = parse_document(&html) {
+            let re = parse_document(&dom.to_html()).unwrap();
+            prop_assert_eq!(re, dom);
+        }
+    }
+
+    /// WordPiece detokenisation inverts tokenisation for in-vocabulary
+    /// alphabetic text.
+    #[test]
+    fn wordpiece_detokenize_inverts(words in proptest::collection::vec("[a-z]{1,8}", 1..6)) {
+        let text = words.join(" ");
+        let wp = WordPiece::train([text.as_str()].into_iter(), WordPieceConfig {
+            max_words: 100, max_pieces: 100, min_word_freq: 1, max_piece_len: 4,
+        });
+        let toks = wp.tokenize(&text);
+        prop_assert_eq!(WordPiece::detokenize(&toks), words);
+    }
+
+    /// Softmax rows always form probability distributions, for any finite
+    /// input and temperature.
+    #[test]
+    fn softmax_rows_are_distributions(
+        vals in proptest::collection::vec(-50.0f32..50.0, 4..32),
+        temp in 0.5f32..4.0,
+    ) {
+        let cols = 4;
+        let rows = vals.len() / cols;
+        let t = Tensor::from_vec(&[rows, cols], vals[..rows * cols].to_vec());
+        let s = t.softmax_rows(temp);
+        for r in 0..rows {
+            let sum: f32 = s.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4, "row {} sums to {}", r, sum);
+            prop_assert!(s.row(r).iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    /// Matmul distributes over addition: (A+B)·C = A·C + B·C.
+    #[test]
+    fn matmul_distributes(
+        a in proptest::collection::vec(-2.0f32..2.0, 6),
+        b in proptest::collection::vec(-2.0f32..2.0, 6),
+        c in proptest::collection::vec(-2.0f32..2.0, 6),
+    ) {
+        let ta = Tensor::from_vec(&[2, 3], a);
+        let tb = Tensor::from_vec(&[2, 3], b);
+        let tc = Tensor::from_vec(&[3, 2], c);
+        let left = ta.add(&tb).matmul(&tc, false, false);
+        let right = ta.matmul(&tc, false, false).add(&tb.matmul(&tc, false, false));
+        for (l, r) in left.data().iter().zip(right.data()) {
+            prop_assert!((l - r).abs() < 1e-4);
+        }
+    }
+
+    /// BIO spans decoded from any tag sequence are well-formed: ordered,
+    /// non-overlapping, within bounds.
+    #[test]
+    fn bio_spans_are_well_formed(tags in proptest::collection::vec(0u8..3, 0..64)) {
+        let spans = bio_to_spans(&tags);
+        let mut prev_end = 0;
+        for (s, e) in spans {
+            prop_assert!(s < e);
+            prop_assert!(e <= tags.len());
+            prop_assert!(s >= prev_end);
+            prev_end = e;
+        }
+    }
+
+    /// EM implies RM: an exact match always counts as a relaxed match for
+    /// non-empty sequences.
+    #[test]
+    fn em_implies_rm(gold in proptest::collection::vec(0u32..100, 1..6)) {
+        let mut s = GenerationScores::default();
+        s.update(&gold, &gold);
+        prop_assert_eq!(s.exact, 1);
+        prop_assert_eq!(s.relaxed, 1);
+    }
+
+    /// Cohen's κ is bounded by 1 and symmetric in its arguments.
+    #[test]
+    fn kappa_bounded_and_symmetric(
+        a in proptest::collection::vec(0u8..3, 5..40),
+    ) {
+        let b: Vec<u8> = a.iter().map(|&x| (x + 1) % 3).collect();
+        let k1 = cohens_kappa(&a, &b);
+        let k2 = cohens_kappa(&b, &a);
+        prop_assert!((k1 - k2).abs() < 1e-9);
+        prop_assert!(k1 <= 1.0 + 1e-9);
+    }
+}
+
+/// Gradient check on randomly shaped compositions — the autograd engine
+/// must agree with finite differences for arbitrary small networks.
+#[test]
+fn random_network_gradcheck() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use webpage_briefing::tensor::{Graph, Params};
+
+    for seed in 0..5u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows = rng.gen_range(1..4usize);
+        let inner = rng.gen_range(1..5usize);
+        let cols = rng.gen_range(2..5usize);
+        let n = rows * inner;
+        let data: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let other: Vec<f32> =
+            (0..inner * cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let targets: Vec<usize> = (0..rows).map(|_| rng.gen_range(0..cols)).collect();
+
+        let mut params = Params::new();
+        let w = params.add("w", Tensor::from_vec(&[rows, inner], data));
+        let other_t = Tensor::from_vec(&[inner, cols], other);
+
+        let eval = |params: &Params| -> (f32, Option<webpage_briefing::tensor::Gradients>) {
+            let mut g = Graph::new(params, false, 0);
+            let wv = g.param(w);
+            let o = g.input(other_t.clone());
+            let h = g.matmul(wv, o);
+            let h = g.tanh(h);
+            let loss = g.cross_entropy_rows(h, &targets);
+            let v = g.value(loss).item();
+            (v, Some(g.backward(loss)))
+        };
+        let (_, grads) = eval(&params);
+        let grads = grads.unwrap();
+        let analytic = grads.get(w).unwrap().clone();
+
+        let h = 1e-3f32;
+        for i in 0..n {
+            let orig = params.get(w).data()[i];
+            params.get_mut(w).data_mut()[i] = orig + h;
+            let (up, _) = eval(&params);
+            params.get_mut(w).data_mut()[i] = orig - h;
+            let (down, _) = eval(&params);
+            params.get_mut(w).data_mut()[i] = orig;
+            let numeric = (up - down) / (2.0 * h);
+            let a = analytic.data()[i];
+            assert!(
+                (a - numeric).abs() < 2e-2_f32.max(0.05 * numeric.abs()),
+                "seed {seed} coord {i}: analytic {a} vs numeric {numeric}"
+            );
+        }
+    }
+}
