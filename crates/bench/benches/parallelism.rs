@@ -1,0 +1,78 @@
+//! Serial-vs-parallel benchmarks for the rayon-backed compute layer: the
+//! matmul kernel at sizes around the parallelism thresholds, and
+//! end-to-end briefing throughput via `Briefer::brief_corpus`.
+//!
+//! `matmul_serial` is the bit-identical single-thread reference, so the
+//! `serial/...` and `parallel/...` entries measure exactly the same
+//! arithmetic — the gap is pure scheduling win (or overhead, below the
+//! thresholds).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use wb_core::{Briefer, JointModel, JointVariant, ModelConfig};
+use wb_corpus::{Dataset, DatasetConfig};
+use wb_tensor::Tensor;
+
+fn bench_matmul_serial_vs_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[64usize, 128, 256, 384] {
+        let a = Tensor::full(&[n, n], 0.5);
+        let b = Tensor::full(&[n, n], 0.25);
+        group.bench_function(format!("serial/{n}x{n}"), |bench| {
+            bench.iter(|| black_box(a.matmul_serial(&b, false, false)));
+        });
+        group.bench_function(format!("parallel/{n}x{n}"), |bench| {
+            bench.iter(|| black_box(a.matmul(&b, false, false)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_matmul_into(c: &mut Criterion) {
+    let n = 256usize;
+    let a = Tensor::full(&[n, n], 0.5);
+    let b = Tensor::full(&[n, n], 0.25);
+    let mut out = Tensor::zeros(&[n, n]);
+    c.bench_function("matmul_into/256x256", |bench| {
+        bench.iter(|| {
+            a.matmul_into(&b, false, false, &mut out);
+            black_box(out.data()[0]);
+        });
+    });
+}
+
+fn bench_brief_corpus(c: &mut Criterion) {
+    let d = Dataset::generate(&DatasetConfig::tiny());
+    let cfg = ModelConfig::scaled(d.tokenizer.vocab().len());
+    let model = JointModel::new(JointVariant::JointWb, cfg, 0);
+    let briefer = Briefer::from_model(model, d.tokenizer.clone());
+    let pages: Vec<String> = (0..16)
+        .map(|i| {
+            format!(
+                "<html><body><section><h1>Item {i}</h1>\
+                 <p>Great velcro books volume {i}, price : $ {}.50 today.</p>\
+                 <p>Author : emma smith. Category : fiction goods.</p>\
+                 </section></body></html>",
+                10 + i
+            )
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("brief_corpus");
+    group.bench_function("serial/16_pages", |bench| {
+        std::env::set_var("RAYON_NUM_THREADS", "1");
+        bench.iter(|| black_box(briefer.brief_corpus(&pages)));
+        std::env::remove_var("RAYON_NUM_THREADS");
+    });
+    group.bench_function("parallel/16_pages", |bench| {
+        bench.iter(|| black_box(briefer.brief_corpus(&pages)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matmul_serial_vs_parallel,
+    bench_matmul_into,
+    bench_brief_corpus
+);
+criterion_main!(benches);

@@ -2,7 +2,9 @@
 //! encoding and document chunking throughput.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use wb_text::{normalize, split_sentences, ChunkConfig, EncodedDoc, WordPiece, WordPieceConfig};
+use wb_text::{
+    normalize, split_sentences, ChunkConfig, EncodedDoc, WordPiece, WordPieceConfig,
+};
 
 fn sample_text() -> String {
     let sentence =

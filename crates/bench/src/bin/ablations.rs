@@ -12,8 +12,8 @@
 
 use wb_bench::*;
 use wb_core::{
-    train, TrainableModel, DistillConfig, DistillParts, DualDistill, Generator, JointGenerationTeacher,
-    JointModel, JointVariant, PhraseBank, TeacherCache,
+    train, DistillConfig, DistillParts, DualDistill, Generator, JointGenerationTeacher,
+    JointModel, JointVariant, PhraseBank, TeacherCache, TrainableModel,
 };
 use wb_eval::{ResultTable, SectionScores};
 use wb_nn::EmbedderKind;
@@ -74,10 +74,8 @@ fn main() {
         }
         let ext = eval_extraction(&d, &split.test, |ex| m.predict_tags(ex));
         let (gen, _) = eval_generation(&d, &split.test, |ex| m.generate(ex));
-        markov_table.push_metrics(
-            name,
-            &[Some(sec.accuracy()), Some(ext.f1()), Some(gen.em())],
-        );
+        markov_table
+            .push_metrics(name, &[Some(sec.accuracy()), Some(ext.f1()), Some(gen.em())]);
     }
     save_table(&markov_table, "ablation_markov_dependency");
 
@@ -91,7 +89,10 @@ fn main() {
     let view = JointGenerationTeacher(&teacher);
     let bank = PhraseBank::build(&view, &phrase_bank_inputs(&d, &setting.seen));
     let mut gamma_table = ResultTable::new(
-        &format!("Ablation: softmax temperature gamma in Dual-Distill (scale {})", scale.name()),
+        &format!(
+            "Ablation: softmax temperature gamma in Dual-Distill (scale {})",
+            scale.name()
+        ),
         &["gamma", "Unseen EM", "Seen EM"],
     );
     for gamma in [1.0f32, 2.0, 4.0] {
@@ -106,13 +107,9 @@ fn main() {
             train(&mut dd, &d.examples, &split.train, train_config(scale));
             dd.into_student()
         });
-        let (unseen, _) =
-            eval_generation(&d, &setting.test_unseen, |ex| student.generate(ex));
+        let (unseen, _) = eval_generation(&d, &setting.test_unseen, |ex| student.generate(ex));
         let (seen, _) = eval_generation(&d, &setting.test_seen, |ex| student.generate(ex));
-        gamma_table.push_metrics(
-            &format!("{gamma}"),
-            &[Some(unseen.em()), Some(seen.em())],
-        );
+        gamma_table.push_metrics(&format!("{gamma}"), &[Some(unseen.em()), Some(seen.em())]);
     }
     save_table(&gamma_table, "ablation_gamma");
 }

@@ -47,10 +47,8 @@ fn main() {
         "topic phrase length".into(),
         format!("{topic_mean:.1} (std {topic_std:.2})"),
     ]);
-    stats.push_row(vec![
-        "vocabulary (WordPiece)".into(),
-        d.tokenizer.vocab().len().to_string(),
-    ]);
+    stats
+        .push_row(vec!["vocabulary (WordPiece)".into(), d.tokenizer.vocab().len().to_string()]);
     save_table(&stats, "dataset_statistics");
 
     // --- Quality panel (§IV-A2): 500 pages, 5 judges, 3 aspects ---
@@ -71,11 +69,9 @@ fn main() {
     // ground truth it was constructed from — judges see correct labels and
     // perturb with their calibrated noise, exactly like the paper's
     // validation of an (intended-correct) dataset.
-    for (aspect, seed) in [
-        ("content-rich", 11u64),
-        ("topic suitable", 12),
-        ("attributes correct", 13),
-    ] {
+    for (aspect, seed) in
+        [("content-rich", 11u64), ("topic suitable", 12), ("attributes correct", 13)]
+    {
         let items: Vec<(Vec<u32>, Vec<u32>)> = idx
             .iter()
             .map(|&i| {

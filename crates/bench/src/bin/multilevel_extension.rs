@@ -7,9 +7,7 @@
 //! Run: `cargo run --release -p wb-bench --bin multilevel_extension`
 
 use wb_bench::*;
-use wb_core::{
-    train, JointModel, JointVariant, MultiLevelWb, TrainableModel,
-};
+use wb_core::{train, JointModel, JointVariant, MultiLevelWb, TrainableModel};
 use wb_corpus::AttrKind;
 use wb_eval::{bio_to_spans, ExtractionScores, ResultTable};
 
@@ -42,9 +40,7 @@ fn main() {
     let gold_level = |ex: &wb_corpus::Example, level: usize| -> Vec<(usize, usize)> {
         ex.attr_spans
             .iter()
-            .filter(|&&(k, _, _)| {
-                usize::from(k != AttrKind::Category) == level
-            })
+            .filter(|&&(k, _, _)| usize::from(k != AttrKind::Category) == level)
             .map(|&(_, s, e)| (s, e))
             .collect()
     };

@@ -8,8 +8,8 @@
 use wb_bench::*;
 use wb_core::{
     build_pairs, content_sensitivity, train, DistillConfig, DistillParts, DualDistill,
-    Generator, JointGenerationTeacher, JointModel, JointTeacherCache, JointVariant,
-    PhraseBank, TeacherCache, TriDistill,
+    Generator, JointGenerationTeacher, JointModel, JointTeacherCache, JointVariant, PhraseBank,
+    TeacherCache, TriDistill,
 };
 use wb_eval::ResultTable;
 use wb_nn::EmbedderKind;
@@ -53,8 +53,8 @@ fn main() {
             JointTeacherCache::build(&joint, &d.examples, &setting.split.train, dc.gamma);
         let mut student = JointModel::new(JointVariant::JointWb, mc, 9);
         pre.warm_start(&mut student, EmbedderKind::BertSum);
-        let mut t = TriDistill::new(student, jcache, bank, dc, 3)
-            .with_seen_topics(&setting.seen);
+        let mut t =
+            TriDistill::new(student, jcache, bank, dc, 3).with_seen_topics(&setting.seen);
         train(&mut t, &d.examples, &setting.split.train, tc);
         t.into_student()
     });

@@ -54,115 +54,90 @@ fn main() {
     // Helper: distill a generation student + an extraction student from a
     // pair of teacher views, then Pip-Distill the extraction student with
     // the generation student's outputs as topic priors.
-    let run_dual_and_pip =
-        |gen_teacher: &(dyn wb_core::DistillTeacher + Sync),
-         ext_teacher: &(dyn wb_core::DistillTeacher + Sync),
-         col: &mut Column| {
-            let gen_cache =
-                TeacherCache::build(gen_teacher, &d.examples, &setting.split.train, dc.gamma);
-            let gen_bank =
-                PhraseBank::build(gen_teacher, &phrase_bank_inputs(&d, &setting.seen));
-            let gen_student = timed("dual generation student", || {
-                let mut s = Generator::new(EmbedderKind::Static, false, mc, 9);
-                pre.warm_start(&mut s, EmbedderKind::Static);
-                let s = s;
-                let mut dd = DualDistill::new(
-                    s,
-                    gen_cache,
-                    gen_bank.clone(),
-                    dc,
-                    DistillParts::dual(),
-                    3,
-                )
-                .with_seen_topics(&setting.seen);
-                train(&mut dd, &d.examples, &setting.split.train, train_config(scale));
-                dd.into_student()
-            });
+    let run_dual_and_pip = |gen_teacher: &(dyn wb_core::DistillTeacher + Sync),
+                            ext_teacher: &(dyn wb_core::DistillTeacher + Sync),
+                            col: &mut Column| {
+        let gen_cache =
+            TeacherCache::build(gen_teacher, &d.examples, &setting.split.train, dc.gamma);
+        let gen_bank = PhraseBank::build(gen_teacher, &phrase_bank_inputs(&d, &setting.seen));
+        let gen_student = timed("dual generation student", || {
+            let mut s = Generator::new(EmbedderKind::Static, false, mc, 9);
+            pre.warm_start(&mut s, EmbedderKind::Static);
+            let s = s;
+            let mut dd =
+                DualDistill::new(s, gen_cache, gen_bank.clone(), dc, DistillParts::dual(), 3)
+                    .with_seen_topics(&setting.seen);
+            train(&mut dd, &d.examples, &setting.split.train, train_config(scale));
+            dd.into_student()
+        });
 
-            let ext_cache =
-                TeacherCache::build(ext_teacher, &d.examples, &setting.split.train, dc.gamma);
-            let ext_bank =
-                PhraseBank::build(ext_teacher, &phrase_bank_inputs(&d, &setting.seen));
-            let ext_student = timed("dual extraction student", || {
-                let mut s = Extractor::new(
-                    EmbedderKind::Static,
-                    ExtractorPriors::default(),
-                    mc,
-                    9,
-                );
-                pre.warm_start(&mut s, EmbedderKind::Static);
-                let s = s;
-                let mut dd = DualDistill::new(
-                    s,
-                    ext_cache.clone(),
-                    ext_bank.clone(),
-                    dc,
-                    DistillParts::dual(),
-                    3,
-                )
-                .with_seen_topics(&setting.seen);
-                train(&mut dd, &d.examples, &setting.split.train, train_config(scale));
-                dd.into_student()
-            });
+        let ext_cache =
+            TeacherCache::build(ext_teacher, &d.examples, &setting.split.train, dc.gamma);
+        let ext_bank = PhraseBank::build(ext_teacher, &phrase_bank_inputs(&d, &setting.seen));
+        let ext_student = timed("dual extraction student", || {
+            let mut s = Extractor::new(EmbedderKind::Static, ExtractorPriors::default(), mc, 9);
+            pre.warm_start(&mut s, EmbedderKind::Static);
+            let s = s;
+            let mut dd = DualDistill::new(
+                s,
+                ext_cache.clone(),
+                ext_bank.clone(),
+                dc,
+                DistillParts::dual(),
+                3,
+            )
+            .with_seen_topics(&setting.seen);
+            train(&mut dd, &d.examples, &setting.split.train, train_config(scale));
+            dd.into_student()
+        });
 
-            let (gen_scores, _) =
-                eval_generation(&d, &setting.test_unseen, |ex| gen_student.generate(ex));
-            let ext_scores =
-                eval_extraction(&d, &setting.test_unseen, |ex| ext_student.predict(ex));
-            col.rows.push((
-                "Dual-Distill".into(),
-                Some(gen_scores.em()),
-                Some(ext_scores.f1()),
-            ));
+        let (gen_scores, _) =
+            eval_generation(&d, &setting.test_unseen, |ex| gen_student.generate(ex));
+        let ext_scores =
+            eval_extraction(&d, &setting.test_unseen, |ex| ext_student.predict(ex));
+        col.rows.push(("Dual-Distill".into(), Some(gen_scores.em()), Some(ext_scores.f1())));
 
-            // Pip-Distill: feed the generation student's topics as priors to
-            // a topic-aware extraction student.
-            let gen_ref = &gen_student;
-            let piped = with_generated_topics(&d, &|ex| gen_ref.generate(ex));
-            let pip_student = timed("pip extraction student", || {
-                let mut s = Extractor::new(
-                    EmbedderKind::Static,
-                    ExtractorPriors { section: false, topic: true },
-                    mc,
-                    9,
-                );
-                pre.warm_start(&mut s, EmbedderKind::Static);
-                let s = s;
-                let mut dd = DualDistill::new(
-                    s,
-                    ext_cache,
-                    ext_bank,
-                    dc,
-                    DistillParts::dual(),
-                    3,
-                )
+        // Pip-Distill: feed the generation student's topics as priors to
+        // a topic-aware extraction student.
+        let gen_ref = &gen_student;
+        let piped = with_generated_topics(&d, &|ex| gen_ref.generate(ex));
+        let pip_student = timed("pip extraction student", || {
+            let mut s = Extractor::new(
+                EmbedderKind::Static,
+                ExtractorPriors { section: false, topic: true },
+                mc,
+                9,
+            );
+            pre.warm_start(&mut s, EmbedderKind::Static);
+            let s = s;
+            let mut dd = DualDistill::new(s, ext_cache, ext_bank, dc, DistillParts::dual(), 3)
                 .with_seen_topics(&setting.seen);
-                train(&mut dd, &piped, &setting.split.train, train_config(scale));
-                dd.into_student()
-            });
-            let pip_scores = {
-                use rayon::prelude::*;
-                let per: Vec<_> = setting
-                    .test_unseen
-                    .par_iter()
-                    .map(|&i| {
-                        let ex = &piped[i];
-                        let pred = wb_eval::bio_to_spans(&pip_student.predict(ex));
-                        let gold: Vec<(usize, usize)> =
-                            ex.attr_spans.iter().map(|&(_, s, e)| (s, e)).collect();
-                        let mut s = wb_eval::ExtractionScores::default();
-                        s.update(&pred, &gold);
-                        s
-                    })
-                    .collect();
-                let mut total = wb_eval::ExtractionScores::default();
-                for s in &per {
-                    total.merge(s);
-                }
-                total
-            };
-            col.rows.push(("Pip-Distill".into(), None, Some(pip_scores.f1())));
+            train(&mut dd, &piped, &setting.split.train, train_config(scale));
+            dd.into_student()
+        });
+        let pip_scores = {
+            use rayon::prelude::*;
+            let per: Vec<_> = setting
+                .test_unseen
+                .par_iter()
+                .map(|&i| {
+                    let ex = &piped[i];
+                    let pred = wb_eval::bio_to_spans(&pip_student.predict(ex));
+                    let gold: Vec<(usize, usize)> =
+                        ex.attr_spans.iter().map(|&(_, s, e)| (s, e)).collect();
+                    let mut s = wb_eval::ExtractionScores::default();
+                    s.update(&pred, &gold);
+                    s
+                })
+                .collect();
+            let mut total = wb_eval::ExtractionScores::default();
+            for s in &per {
+                total.merge(s);
+            }
+            total
         };
+        col.rows.push(("Pip-Distill".into(), None, Some(pip_scores.f1())));
+    };
 
     // --- Column 1: BERT-Single teachers ---
     {
@@ -190,10 +165,9 @@ fn main() {
     }
 
     // --- Columns 2 and 3: joint teachers ---
-    for (teacher_name, variant) in [
-        ("Naive-Join", JointVariant::NaiveJoin),
-        ("Joint-WB", JointVariant::JointWb),
-    ] {
+    for (teacher_name, variant) in
+        [("Naive-Join", JointVariant::NaiveJoin), ("Joint-WB", JointVariant::JointWb)]
+    {
         let mut col = Column { teacher_name, rows: Vec::new() };
         let teacher = timed(teacher_name, || {
             let mut t = JointModel::new(variant, mc, 1);

@@ -9,10 +9,10 @@
 use rayon::prelude::*;
 use std::path::PathBuf;
 use wb_core::{ModelConfig, PretrainConfig, TrainConfig, TrainableModel};
-use wb_nn::EmbedderKind;
-use wb_tensor::Params;
 use wb_corpus::{Dataset, DatasetConfig, Example, Split, TopicId};
 use wb_eval::{ExtractionScores, GenerationScores, ResultTable};
+use wb_nn::EmbedderKind;
+use wb_tensor::Params;
 
 /// Experiment scale, selected with the `WB_SCALE` environment variable
 /// (`tiny` | `small` | `full`). `small` is the default and runs every table
@@ -184,7 +184,11 @@ pub fn phrase_bank_inputs(d: &Dataset, topics: &[TopicId]) -> Vec<Vec<u32>> {
 
 /// Evaluates topic generation over examples, returning aggregate scores and
 /// the per-example exact-match vector (for McNemar's test).
-pub fn eval_generation<F>(d: &Dataset, indices: &[usize], gen: F) -> (GenerationScores, Vec<bool>)
+pub fn eval_generation<F>(
+    d: &Dataset,
+    indices: &[usize],
+    gen: F,
+) -> (GenerationScores, Vec<bool>)
 where
     F: Fn(&Example) -> Vec<u32> + Sync,
 {

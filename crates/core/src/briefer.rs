@@ -153,6 +153,18 @@ impl Briefer {
         Ok(self.brief_example(&ex))
     }
 
+    /// Briefs a batch of HTML pages, fanning pages over the rayon pool.
+    ///
+    /// Results come back in input order regardless of thread count, and
+    /// each entry is identical to what [`Briefer::brief_html`] returns for
+    /// the same page: briefing is a pure function of (model, page), so the
+    /// parallel fan-out cannot change any output, only the wall-clock time.
+    /// Set `RAYON_NUM_THREADS=1` to force sequential execution.
+    pub fn brief_corpus(&self, htmls: &[String]) -> Vec<Result<Brief, BriefError>> {
+        use rayon::prelude::*;
+        htmls.par_iter().map(|html| self.brief_html(html)).collect()
+    }
+
     /// Briefs an already-encoded example.
     pub fn brief_example(&self, ex: &Example) -> Brief {
         let topic_ids = self.model.generate(ex);
@@ -174,14 +186,7 @@ impl Briefer {
         let informative_sentences = self
             .model
             .predict_sections(ex)
-            .map(|flags| {
-                flags
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, &f)| f)
-                    .map(|(i, _)| i)
-                    .collect()
-            })
+            .map(|flags| flags.iter().enumerate().filter(|(_, &f)| f).map(|(i, _)| i).collect())
             .unwrap_or_default();
         Brief { topic, category, attributes, informative_sentences }
     }

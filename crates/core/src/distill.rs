@@ -267,12 +267,15 @@ impl<S: DistillStudent> DualDistill<S> {
         let mut rng = StdRng::seed_from_u64(seed);
         let d_bank = bank.raw.cols();
         let d_r = d_bank.min(32);
-        let teacher_hidden_dim =
-            cache.hidden.first().map(|h| h.cols()).unwrap_or(d_bank);
+        let teacher_hidden_dim = cache.hidden.first().map(|h| h.cols()).unwrap_or(d_bank);
         let student_hidden = student.hidden_dim();
         let params = student.params_mut();
-        let w_r =
-            params.add_init("distill.w_r", &[d_bank, d_r], Initializer::XavierUniform, &mut rng);
+        let w_r = params.add_init(
+            "distill.w_r",
+            &[d_bank, d_r],
+            Initializer::XavierUniform,
+            &mut rng,
+        );
         let w_at = params.add_init(
             "distill.w_at",
             &[teacher_hidden_dim, d_r],
@@ -390,12 +393,7 @@ mod tests {
         topics
             .iter()
             .map(|&t| {
-                d.taxonomy
-                    .topic(t)
-                    .phrase
-                    .iter()
-                    .flat_map(|w| d.tokenizer.encode(w))
-                    .collect()
+                d.taxonomy.topic(t).phrase.iter().flat_map(|w| d.tokenizer.encode(w)).collect()
             })
             .collect()
     }
@@ -461,14 +459,7 @@ mod tests {
             let bank = PhraseBank::build(&teacher, &phrases(&d, &seen));
             let student =
                 Extractor::new(EmbedderKind::Static, ExtractorPriors::default(), cfg, 9);
-            let dd = DualDistill::new(
-                student,
-                cache,
-                bank,
-                DistillConfig::default(),
-                parts,
-                1,
-            );
+            let dd = DualDistill::new(student, cache, bank, DistillConfig::default(), parts, 1);
             let mut g = Graph::new(dd.params(), false, 0);
             let loss = dd.loss(&mut g, 0, &d.examples[0]);
             g.value(loss).item()

@@ -46,11 +46,7 @@ pub struct EarlyStopStats {
 }
 
 /// Mean loss of `model` over `indices` without dropout or updates.
-pub fn eval_loss<M: TrainableModel>(
-    model: &M,
-    examples: &[Example],
-    indices: &[usize],
-) -> f32 {
+pub fn eval_loss<M: TrainableModel>(model: &M, examples: &[Example], indices: &[usize]) -> f32 {
     if indices.is_empty() {
         return 0.0;
     }

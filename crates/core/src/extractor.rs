@@ -34,7 +34,12 @@ pub struct Extractor {
 
 impl Extractor {
     /// Builds an extractor with the given embedding method and priors.
-    pub fn new(kind: EmbedderKind, priors: ExtractorPriors, cfg: ModelConfig, seed: u64) -> Self {
+    pub fn new(
+        kind: EmbedderKind,
+        priors: ExtractorPriors,
+        cfg: ModelConfig,
+        seed: u64,
+    ) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut params = Params::new();
         let bert_cfg = BertConfig {

@@ -93,12 +93,7 @@ impl Generator {
 /// embedders use the `[CLS]` rows (BERTSUM-style); a static embedder's
 /// `[CLS]` rows are all identical, so it mean-pools each sentence's tokens
 /// instead.
-pub(crate) fn sentence_reps(
-    g: &mut Graph,
-    embedder: &Embedder,
-    tok: Var,
-    ex: &Example,
-) -> Var {
+pub(crate) fn sentence_reps(g: &mut Graph, embedder: &Embedder, tok: Var, ex: &Example) -> Var {
     match embedder {
         Embedder::Contextual(_) => g.gather_rows(tok, &ex.cls_positions),
         Embedder::Static(_) => {
@@ -155,10 +150,7 @@ mod tests {
         );
         let mut g = Graph::new(m.params(), false, 0);
         let l = m.decoded_logits(&mut g, ex);
-        assert_eq!(
-            g.value(l).shape(),
-            &[ex.topic_target.len(), d.tokenizer.vocab().len()]
-        );
+        assert_eq!(g.value(l).shape(), &[ex.topic_target.len(), d.tokenizer.vocab().len()]);
     }
 
     #[test]

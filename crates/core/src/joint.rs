@@ -149,20 +149,23 @@ impl JointModel {
         let h2 = 2 * cfg.hidden;
         let e_bilstm = BiLstm::new(&mut params, &mut rng, "e.bilstm", cfg.dim, cfg.hidden);
         let g_bilstm = BiLstm::new(&mut params, &mut rng, "g.bilstm", cfg.dim, cfg.hidden);
-        let decoder = Decoder::new(
-            &mut params,
-            &mut rng,
-            "dec",
-            cfg.vocab,
-            cfg.dim,
-            h2,
-            cfg.dec_hidden,
-        );
+        let decoder =
+            Decoder::new(&mut params, &mut rng, "dec", cfg.vocab, cfg.dim, h2, cfg.dec_hidden);
 
         let p_w = variant.uses_section_predictor().then(|| {
             (
-                params.add_init("p.w1", &[cfg.dim, cfg.dim], Initializer::XavierUniform, &mut rng),
-                params.add_init("p.w2", &[cfg.dim, cfg.dim], Initializer::XavierUniform, &mut rng),
+                params.add_init(
+                    "p.w1",
+                    &[cfg.dim, cfg.dim],
+                    Initializer::XavierUniform,
+                    &mut rng,
+                ),
+                params.add_init(
+                    "p.w2",
+                    &[cfg.dim, cfg.dim],
+                    Initializer::XavierUniform,
+                    &mut rng,
+                ),
             )
         });
         let sec_e = variant
@@ -181,7 +184,12 @@ impl JointModel {
                     cfg.max_topic_len * cfg.dec_hidden,
                     cfg.dim,
                 )),
-                Some(params.add_init("w_ae", &[h2, cfg.dim], Initializer::XavierUniform, &mut rng)),
+                Some(params.add_init(
+                    "w_ae",
+                    &[h2, cfg.dim],
+                    Initializer::XavierUniform,
+                    &mut rng,
+                )),
             )
         } else {
             (None, None)
@@ -335,8 +343,7 @@ impl JointModel {
         };
 
         // First decode pass over the (section-aware) generator memory.
-        let (g_logits_first, q) =
-            self.decoder.teacher_forced_with_states(g, targets, c_g_b);
+        let (g_logits_first, q) = self.decoder.teacher_forced_with_states(g, targets, c_g_b);
 
         // Extractor features.
         let e_feats = match self.variant {
@@ -390,7 +397,14 @@ impl JointModel {
             g_logits_first
         };
 
-        JointForward { e_logits, g_logits, section_logits, shared, hidden_e: c_e, hidden_g: c_g }
+        JointForward {
+            e_logits,
+            g_logits,
+            section_logits,
+            shared,
+            hidden_e: c_e,
+            hidden_g: c_g,
+        }
     }
 
     /// Inference memory for generation: replays the forward pass with a
@@ -560,8 +574,7 @@ impl TrainableModel for JointModel {
         let g_loss = g.cross_entropy_rows(fwd.g_logits, &topic);
         let mut total = g.add(e_loss, g_loss);
         if let Some(sl) = fwd.section_logits {
-            let targets: Vec<usize> =
-                ex.informative.iter().map(|&i| usize::from(i)).collect();
+            let targets: Vec<usize> = ex.informative.iter().map(|&i| usize::from(i)).collect();
             let s_loss = g.cross_entropy_rows(sl, &targets);
             let s_scaled = g.scale(s_loss, 0.5);
             total = g.add(total, s_scaled);
@@ -604,11 +617,7 @@ mod tests {
                 &[ex.topic_target.len(), cfg.vocab],
                 "{v:?}"
             );
-            assert_eq!(
-                fwd.section_logits.is_some(),
-                v.uses_section_predictor(),
-                "{v:?}"
-            );
+            assert_eq!(fwd.section_logits.is_some(), v.uses_section_predictor(), "{v:?}");
         }
     }
 
@@ -636,11 +645,7 @@ mod tests {
             assert_eq!(tags.len(), ex.tokens.len(), "{v:?}");
             let topic = m.generate(ex);
             assert!(topic.len() <= cfg.max_topic_len, "{v:?}");
-            assert_eq!(
-                m.predict_sections(ex).is_some(),
-                v.uses_section_predictor(),
-                "{v:?}"
-            );
+            assert_eq!(m.predict_sections(ex).is_some(), v.uses_section_predictor(), "{v:?}");
             if let Some(s) = m.predict_sections(ex) {
                 assert_eq!(s.len(), ex.informative.len(), "{v:?}");
             }
@@ -659,7 +664,10 @@ mod tests {
             g.backward(loss)
         };
         // Every named component must receive gradient.
-        for prefix in ["emb.", "e.bilstm", "g.bilstm", "dec.", "p.w", "sec_e", "sec_g", "w_q", "w_ae", "w_e", "w_eg", "w_ag", "e.head"] {
+        for prefix in [
+            "emb.", "e.bilstm", "g.bilstm", "dec.", "p.w", "sec_e", "sec_g", "w_q", "w_ae",
+            "w_e", "w_eg", "w_ag", "e.head",
+        ] {
             let touched = m
                 .params()
                 .iter()

@@ -29,10 +29,10 @@ mod distill;
 mod early_stop;
 mod extractor;
 mod generator;
-mod sensitivity;
 mod joint;
 mod multilevel;
 mod pretrain;
+mod sensitivity;
 mod trainer;
 mod tri;
 
@@ -46,12 +46,11 @@ pub use distill::{
 pub use early_stop::{eval_loss, train_with_dev, EarlyStopConfig, EarlyStopStats};
 pub use extractor::{Extractor, ExtractorPriors};
 pub use generator::Generator;
-pub use sensitivity::{build_pairs, content_sensitivity, SensitivityOutcome};
 pub use joint::{JointForward, JointModel, JointVariant};
 pub use multilevel::{attr_level, split_bio_levels, MultiLevelForward, MultiLevelWb};
 pub use pretrain::{
-    bert_config, pretrain_contextual, pretrain_static, transfer_embedder, PretrainConfig,
-    MASK,
+    bert_config, pretrain_contextual, pretrain_static, transfer_embedder, PretrainConfig, MASK,
 };
+pub use sensitivity::{build_pairs, content_sensitivity, SensitivityOutcome};
 pub use trainer::{train, TrainStats, TrainableModel};
 pub use tri::{JointExtractionTeacher, JointGenerationTeacher, JointTeacherCache, TriDistill};

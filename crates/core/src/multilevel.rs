@@ -80,8 +80,13 @@ impl MultiLevelWb {
     pub fn new(cfg: ModelConfig, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut params = Params::new();
-        let embedder =
-            Embedder::new(&mut params, &mut rng, "emb", EmbedderKind::BertSum, bert_config(&cfg));
+        let embedder = Embedder::new(
+            &mut params,
+            &mut rng,
+            "emb",
+            EmbedderKind::BertSum,
+            bert_config(&cfg),
+        );
         let h2 = 2 * cfg.hidden;
         let e_bilstm = BiLstm::new(&mut params, &mut rng, "e.bilstm", cfg.dim, cfg.hidden);
         let g_bilstm = BiLstm::new(&mut params, &mut rng, "g.bilstm", cfg.dim, cfg.hidden);
@@ -102,7 +107,13 @@ impl MultiLevelWb {
                     Initializer::XavierUniform,
                     &mut rng,
                 ),
-                head: Dense::new(&mut params, &mut rng, &format!("level{l}.head"), 2 * h2, NUM_TAGS),
+                head: Dense::new(
+                    &mut params,
+                    &mut rng,
+                    &format!("level{l}.head"),
+                    2 * h2,
+                    NUM_TAGS,
+                ),
             })
             .collect();
         // Combined signal: mean of each level's gated representation (h2

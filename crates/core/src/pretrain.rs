@@ -84,10 +84,8 @@ pub fn pretrain_contextual(
     for epoch in 0..cfg.epochs {
         order.shuffle(&mut rng);
         for batch in order.chunks(cfg.batch_size) {
-            let seeds: Vec<u64> = batch
-                .iter()
-                .map(|&i| cfg.seed ^ (epoch as u64) << 40 ^ (i as u64))
-                .collect();
+            let seeds: Vec<u64> =
+                batch.iter().map(|&i| cfg.seed ^ (epoch as u64) << 40 ^ (i as u64)).collect();
             let grads: Vec<Gradients> = batch
                 .par_iter()
                 .zip(&seeds)
@@ -109,8 +107,7 @@ pub fn pretrain_contextual(
                     let mut g = Graph::new(&params, true, seed);
                     let h = embedder.forward(&mut g, &tokens, &ex.sentence_of);
                     let positions: Vec<usize> = masked.iter().map(|&(p, _)| p).collect();
-                    let targets: Vec<usize> =
-                        masked.iter().map(|&(_, t)| t as usize).collect();
+                    let targets: Vec<usize> = masked.iter().map(|&(_, t)| t as usize).collect();
                     let rows = g.gather_rows(h, &positions);
                     let logits = head.forward(&mut g, rows);
                     let loss = g.cross_entropy_rows(logits, &targets);
@@ -143,7 +140,8 @@ pub fn pretrain_static(
 ) -> Params {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut params = Params::new();
-    let table = wb_nn::Embedding::new(&mut params, &mut rng, "emb", model_cfg.vocab, model_cfg.dim);
+    let table =
+        wb_nn::Embedding::new(&mut params, &mut rng, "emb", model_cfg.vocab, model_cfg.dim);
     let head = Dense::new(&mut params, &mut rng, "sg_head", model_cfg.dim, model_cfg.vocab);
     let mut opt = Adam::new(&params, AdamConfig::scaled(cfg.lr));
     let mut order: Vec<usize> = indices.to_vec();
@@ -237,12 +235,19 @@ mod tests {
         let probe_loss = |params: &Params| -> f32 {
             let mut rng = StdRng::seed_from_u64(99);
             let mut p2 = Params::new();
-            let emb = Embedder::new(&mut p2, &mut rng, "emb", EmbedderKind::BertSum, bert_config(&mc));
+            let emb = Embedder::new(
+                &mut p2,
+                &mut rng,
+                "emb",
+                EmbedderKind::BertSum,
+                bert_config(&mc),
+            );
             let head = Dense::new(&mut p2, &mut rng, "mlm_head", mc.dim, mc.vocab);
             p2.copy_from(params);
             let ex = &d.examples[30];
             let mut tokens = ex.tokens.clone();
-            let masked: Vec<(usize, u32)> = (5..tokens.len()).step_by(7).map(|p| (p, tokens[p])).collect();
+            let masked: Vec<(usize, u32)> =
+                (5..tokens.len()).step_by(7).map(|p| (p, tokens[p])).collect();
             for &(p, _) in &masked {
                 tokens[p] = MASK;
             }
@@ -265,7 +270,12 @@ mod tests {
         let d = tiny();
         let mc = ModelConfig::scaled(d.tokenizer.vocab().len());
         let idx: Vec<usize> = (0..8).collect();
-        let pre = pretrain_contextual(&d, &mc, &idx, PretrainConfig { epochs: 1, ..Default::default() });
+        let pre = pretrain_contextual(
+            &d,
+            &mc,
+            &idx,
+            PretrainConfig { epochs: 1, ..Default::default() },
+        );
         let mut m = Generator::new(EmbedderKind::BertSum, false, mc, 1);
         let before_head = m
             .params()
@@ -294,9 +304,15 @@ mod tests {
         let d = tiny();
         let mc = ModelConfig::scaled(d.tokenizer.vocab().len());
         let idx: Vec<usize> = (0..4).collect();
-        let pre = pretrain_contextual(&d, &mc, &idx, PretrainConfig { epochs: 1, ..Default::default() });
+        let pre = pretrain_contextual(
+            &d,
+            &mc,
+            &idx,
+            PretrainConfig { epochs: 1, ..Default::default() },
+        );
         let mut bert = Extractor::new(EmbedderKind::Bert, ExtractorPriors::default(), mc, 1);
-        let mut bertsum = Extractor::new(EmbedderKind::BertSum, ExtractorPriors::default(), mc, 1);
+        let mut bertsum =
+            Extractor::new(EmbedderKind::BertSum, ExtractorPriors::default(), mc, 1);
         let moved_bert = transfer_embedder(bert.params_mut(), &pre);
         let moved_bertsum = transfer_embedder(bertsum.params_mut(), &pre);
         assert_eq!(moved_bertsum, moved_bert + 1, "BERTSUM additionally receives emb.seg");
@@ -307,7 +323,8 @@ mod tests {
         let d = tiny();
         let mc = ModelConfig::scaled(d.tokenizer.vocab().len());
         let idx: Vec<usize> = (0..32).collect();
-        let pre = pretrain_static(&d, &mc, &idx, PretrainConfig { epochs: 4, ..Default::default() });
+        let pre =
+            pretrain_static(&d, &mc, &idx, PretrainConfig { epochs: 4, ..Default::default() });
         let table = pre.get(pre.find("emb.table").unwrap());
         // The table moved away from its tiny uniform initialisation.
         assert!(table.norm() > 1.0, "norm {}", table.norm());

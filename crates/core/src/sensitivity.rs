@@ -124,8 +124,7 @@ mod tests {
     fn garbage_predictor_scores_neither() {
         let d = Dataset::generate(&DatasetConfig::tiny());
         let pairs = build_pairs(&d.examples, 8, 1);
-        let outcome =
-            content_sensitivity(&d.examples, &pairs, 0.5, 3, |_| vec![u32::MAX - 1]);
+        let outcome = content_sensitivity(&d.examples, &pairs, 0.5, 3, |_| vec![u32::MAX - 1]);
         assert!((outcome.neither - 1.0).abs() < 1e-9);
         assert_eq!(outcome.first_content, 0.0);
     }

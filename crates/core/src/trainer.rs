@@ -3,6 +3,11 @@
 //! Models implement [`TrainableModel`]; the trainer shuffles, builds one
 //! autograd tape per example (in parallel — tapes borrow the frozen
 //! parameter store), merges gradients and applies one Adam step per batch.
+//!
+//! Steady-state steps allocate almost nothing: each tape draws its node
+//! buffers from the `wb_tensor` scratch pool and returns them when it is
+//! dropped at the end of the example closure, so from the second step
+//! onwards forward/backward matmuls reuse the previous step's memory.
 
 use crate::config::TrainConfig;
 use rand::rngs::StdRng;

@@ -124,8 +124,10 @@ impl TriDistill {
         let params = student.params_mut();
         let w_r =
             params.add_init("tri.w_r", &[d_bank, d_r], Initializer::XavierUniform, &mut rng);
-        let w_at = params.add_init("tri.w_at", &[dim, d_r], Initializer::XavierUniform, &mut rng);
-        let w_as = params.add_init("tri.w_as", &[dim, d_r], Initializer::XavierUniform, &mut rng);
+        let w_at =
+            params.add_init("tri.w_at", &[dim, d_r], Initializer::XavierUniform, &mut rng);
+        let w_as =
+            params.add_init("tri.w_as", &[dim, d_r], Initializer::XavierUniform, &mut rng);
         TriDistill {
             student,
             cache,
@@ -241,12 +243,7 @@ mod tests {
         topics
             .iter()
             .map(|&t| {
-                d.taxonomy
-                    .topic(t)
-                    .phrase
-                    .iter()
-                    .flat_map(|w| d.tokenizer.encode(w))
-                    .collect()
+                d.taxonomy.topic(t).phrase.iter().flat_map(|w| d.tokenizer.encode(w)).collect()
             })
             .collect()
     }
@@ -271,10 +268,7 @@ mod tests {
         let idx: Vec<usize> = (0..4).collect();
         let cache = JointTeacherCache::build(&teacher, &d.examples, &idx, 2.0);
         let (seen, _) = d.topic_partition(3, 5);
-        let bank = PhraseBank::build(
-            &JointGenerationTeacher(&teacher),
-            &phrases(&d, &seen),
-        );
+        let bank = PhraseBank::build(&JointGenerationTeacher(&teacher), &phrases(&d, &seen));
         let student = JointModel::new(JointVariant::NaiveJoin, cfg, 9);
         let mut tri = TriDistill::new(student, cache, bank, DistillConfig::default(), 2);
         let mut tc = TrainConfig::scaled(2);

@@ -191,8 +191,9 @@ impl Dataset {
             .topics()
             .par_iter()
             .flat_map_iter(|topic| {
-                let mut rng =
-                    StdRng::seed_from_u64(cfg.seed ^ (topic.id.0 as u64).wrapping_mul(0x9E37_79B9));
+                let mut rng = StdRng::seed_from_u64(
+                    cfg.seed ^ (topic.id.0 as u64).wrapping_mul(0x9E37_79B9),
+                );
                 (0..cfg.pages_per_topic)
                     .map(|_| generate_page(topic, cfg.page, &mut rng))
                     .collect::<Vec<_>>()
@@ -201,9 +202,7 @@ impl Dataset {
 
         let mut texts: Vec<String> = pages
             .iter()
-            .map(|p| {
-                p.sentences.iter().map(|s| s.text()).collect::<Vec<_>>().join("\n")
-            })
+            .map(|p| p.sentences.iter().map(|s| s.text()).collect::<Vec<_>>().join("\n"))
             .collect();
         // The tokenizer is trained over the labelled dataset, which includes
         // the topic-phrase labels — phrase words must be whole tokens or the
@@ -213,13 +212,10 @@ impl Dataset {
                 texts.push(topic.phrase_text());
             }
         }
-        let tokenizer =
-            WordPiece::train(texts.iter().map(String::as_str), cfg.wordpiece);
+        let tokenizer = WordPiece::train(texts.iter().map(String::as_str), cfg.wordpiece);
 
-        let examples: Vec<Example> = pages
-            .par_iter()
-            .map(|p| encode_page(p, &taxonomy, &tokenizer))
-            .collect();
+        let examples: Vec<Example> =
+            pages.par_iter().map(|p| encode_page(p, &taxonomy, &tokenizer)).collect();
 
         Dataset { taxonomy, tokenizer, examples }
     }
@@ -311,8 +307,7 @@ pub fn concat_pages(a: &Example, b: &Example, proportion: f64, rng: &mut StdRng)
         for s in 0..src.num_sentences() {
             let (start, end) = {
                 let start = src.cls_positions[s];
-                let end =
-                    src.cls_positions.get(s + 1).copied().unwrap_or(src.tokens.len());
+                let end = src.cls_positions.get(s + 1).copied().unwrap_or(src.tokens.len());
                 (start, end)
             };
             if end > limit {

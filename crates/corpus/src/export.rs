@@ -59,9 +59,8 @@ pub fn import_pages(dir: impl AsRef<Path>) -> io::Result<Vec<(PageRecord, Vec<St
         let html = std::fs::read_to_string(&html_path)?;
         let dom = parse_document(&html)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        let labels: PageLabels =
-            serde_json::from_str(&std::fs::read_to_string(&json_path)?)
-                .map_err(io::Error::other)?;
+        let labels: PageLabels = serde_json::from_str(&std::fs::read_to_string(&json_path)?)
+            .map_err(io::Error::other)?;
         out.push((
             PageRecord {
                 topic: TopicId(labels.topic),
@@ -109,10 +108,7 @@ mod tests {
             assert_eq!(orig.sentences, re.sentences);
             assert_eq!(orig.attributes, re.attributes);
             // DOM text content survives the HTML roundtrip.
-            assert_eq!(
-                wb_html::visible_text(&orig.dom),
-                wb_html::visible_text(&re.dom)
-            );
+            assert_eq!(wb_html::visible_text(&orig.dom), wb_html::visible_text(&re.dom));
         }
         let _ = std::fs::remove_dir_all(&dir);
     }

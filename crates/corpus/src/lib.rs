@@ -33,15 +33,13 @@ mod taxonomy;
 mod website;
 
 pub use dataset::{
-    concat_pages, encode_page, Dataset, DatasetConfig, Example, Split, NUM_TAGS, TAG_B,
-    TAG_I, TAG_O,
+    concat_pages, encode_page, Dataset, DatasetConfig, Example, Split, NUM_TAGS, TAG_B, TAG_I,
+    TAG_O,
 };
 pub use export::{export_pages, import_pages, PageLabels};
-pub use page::{
-    generate_page, AttributeMention, PageConfig, PageRecord, SentenceRecord,
+pub use page::{generate_page, AttributeMention, PageConfig, PageRecord, SentenceRecord};
+pub use taxonomy::{
+    AttrKind, Family, Source, Taxonomy, TopicId, TopicSpec, BOILERPLATE, FAMILIES, FIRST_NAMES,
+    LAST_NAMES,
 };
 pub use website::{generate_website, GeneratedWebsite, WebsiteConfig};
-pub use taxonomy::{
-    AttrKind, Family, Source, Taxonomy, TopicId, TopicSpec, BOILERPLATE, FAMILIES,
-    FIRST_NAMES, LAST_NAMES,
-};

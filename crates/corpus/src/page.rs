@@ -7,9 +7,7 @@
 //! reproduces the generator's word sequence exactly — a property asserted by
 //! tests — which is how token-level supervision stays aligned.
 
-use crate::taxonomy::{
-    AttrKind, Family, TopicSpec, BOILERPLATE, FIRST_NAMES, LAST_NAMES,
-};
+use crate::taxonomy::{AttrKind, Family, TopicSpec, BOILERPLATE, FIRST_NAMES, LAST_NAMES};
 use rand::rngs::StdRng;
 use rand::Rng;
 use wb_html::{Node, Tag};
@@ -205,8 +203,7 @@ fn topical_sentence(topic: &TopicSpec, family: Family, rng: &mut StdRng) -> Vec<
 
 /// A boilerplate sentence built from the shared pool.
 fn boilerplate_sentence(rng: &mut StdRng, len: usize) -> Vec<String> {
-    let mut words: Vec<String> =
-        (0..len).map(|_| pick(rng, BOILERPLATE).to_string()).collect();
+    let mut words: Vec<String> = (0..len).map(|_| pick(rng, BOILERPLATE).to_string()).collect();
     words.push(".".to_string());
     words
 }
@@ -233,16 +230,18 @@ pub fn generate_page(topic: &TopicSpec, cfg: PageConfig, rng: &mut StdRng) -> Pa
     let mut section_of: Vec<usize> = Vec::new();
     let mut section_kinds: Vec<SectionKind> = Vec::new();
 
-    let push_section =
-        |b: &mut Builder, section_of: &mut Vec<usize>, kinds: &mut Vec<SectionKind>,
-         kind: SectionKind, sentences: Vec<(Vec<String>, bool)>| {
-            let sid = kinds.len();
-            kinds.push(kind);
-            for (words, informative) in sentences {
-                b.push_sentence(words, informative);
-                section_of.push(sid);
-            }
-        };
+    let push_section = |b: &mut Builder,
+                        section_of: &mut Vec<usize>,
+                        kinds: &mut Vec<SectionKind>,
+                        kind: SectionKind,
+                        sentences: Vec<(Vec<String>, bool)>| {
+        let sid = kinds.len();
+        kinds.push(kind);
+        for (words, informative) in sentences {
+            b.push_sentence(words, informative);
+            section_of.push(sid);
+        }
+    };
 
     // Navigation.
     push_section(
@@ -259,13 +258,7 @@ pub fn generate_page(topic: &TopicSpec, cfg: PageConfig, rng: &mut StdRng) -> Pa
         &mut section_kinds,
         SectionKind::Header,
         vec![(
-            vec![
-                "welcome".into(),
-                "to".into(),
-                "our".into(),
-                "website".into(),
-                ".".into(),
-            ],
+            vec!["welcome".into(), "to".into(), "our".into(), "website".into(), ".".into()],
             false,
         )],
     );
@@ -356,10 +349,13 @@ fn assemble_dom(
     Node::elem(
         Tag::Html,
         vec![
-            Node::elem(Tag::Head, vec![
-                Node::elem(Tag::Title, vec![Node::text("page")]),
-                Node::elem(Tag::Script, vec![Node::text("var t = 1;")]),
-            ]),
+            Node::elem(
+                Tag::Head,
+                vec![
+                    Node::elem(Tag::Title, vec![Node::text("page")]),
+                    Node::elem(Tag::Script, vec![Node::text("var t = 1;")]),
+                ],
+            ),
             Node::elem(Tag::Body, body),
         ],
     )

@@ -70,9 +70,12 @@ impl Family {
             Family::Travel => {
                 [AttrKind::Category, AttrKind::Destination, AttrKind::Hotel, AttrKind::Price]
             }
-            Family::Health => {
-                [AttrKind::Category, AttrKind::Condition, AttrKind::Specialist, AttrKind::Clinic]
-            }
+            Family::Health => [
+                AttrKind::Category,
+                AttrKind::Condition,
+                AttrKind::Specialist,
+                AttrKind::Clinic,
+            ],
             Family::RealEstate => {
                 [AttrKind::Category, AttrKind::PropertyName, AttrKind::Agent, AttrKind::Price]
             }
@@ -86,36 +89,124 @@ impl Family {
     pub fn content_words(self) -> &'static [&'static str] {
         match self {
             Family::Shopping => &[
-                "buy", "order", "stock", "shipping", "discount", "sale", "brand", "quality",
-                "delivery", "warranty", "review", "rating", "bestseller", "edition", "bundle",
+                "buy",
+                "order",
+                "stock",
+                "shipping",
+                "discount",
+                "sale",
+                "brand",
+                "quality",
+                "delivery",
+                "warranty",
+                "review",
+                "rating",
+                "bestseller",
+                "edition",
+                "bundle",
             ],
             Family::News => &[
-                "report", "breaking", "coverage", "story", "editor", "press", "headline",
-                "exclusive", "update", "analysis", "interview", "sources", "published",
+                "report",
+                "breaking",
+                "coverage",
+                "story",
+                "editor",
+                "press",
+                "headline",
+                "exclusive",
+                "update",
+                "analysis",
+                "interview",
+                "sources",
+                "published",
             ],
             Family::Recruitment => &[
-                "hire", "career", "position", "apply", "resume", "benefits", "remote",
-                "experience", "interview", "vacancy", "fulltime", "team", "skills",
+                "hire",
+                "career",
+                "position",
+                "apply",
+                "resume",
+                "benefits",
+                "remote",
+                "experience",
+                "interview",
+                "vacancy",
+                "fulltime",
+                "team",
+                "skills",
             ],
             Family::Education => &[
-                "learn", "study", "lecture", "semester", "enroll", "degree", "tutorial",
-                "assignment", "certificate", "campus", "faculty", "syllabus", "exam",
+                "learn",
+                "study",
+                "lecture",
+                "semester",
+                "enroll",
+                "degree",
+                "tutorial",
+                "assignment",
+                "certificate",
+                "campus",
+                "faculty",
+                "syllabus",
+                "exam",
             ],
             Family::Travel => &[
-                "flight", "tour", "resort", "beach", "itinerary", "luggage", "visa",
-                "adventure", "cruise", "departure", "sightseeing", "reservation", "guidebook",
+                "flight",
+                "tour",
+                "resort",
+                "beach",
+                "itinerary",
+                "luggage",
+                "visa",
+                "adventure",
+                "cruise",
+                "departure",
+                "sightseeing",
+                "reservation",
+                "guidebook",
             ],
             Family::Health => &[
-                "symptom", "therapy", "diagnosis", "wellness", "nutrition", "patient",
-                "prevention", "recovery", "prescription", "screening", "consultation",
+                "symptom",
+                "therapy",
+                "diagnosis",
+                "wellness",
+                "nutrition",
+                "patient",
+                "prevention",
+                "recovery",
+                "prescription",
+                "screening",
+                "consultation",
             ],
             Family::RealEstate => &[
-                "bedroom", "bathroom", "garage", "lease", "mortgage", "suburb", "inspection",
-                "acreage", "renovated", "auction", "tenant", "landlord", "frontage",
+                "bedroom",
+                "bathroom",
+                "garage",
+                "lease",
+                "mortgage",
+                "suburb",
+                "inspection",
+                "acreage",
+                "renovated",
+                "auction",
+                "tenant",
+                "landlord",
+                "frontage",
             ],
             Family::Events => &[
-                "concert", "festival", "lineup", "stage", "performance", "doors", "seating",
-                "headliner", "encore", "backstage", "matinee", "premiere", "soldout",
+                "concert",
+                "festival",
+                "lineup",
+                "stage",
+                "performance",
+                "doors",
+                "seating",
+                "headliner",
+                "encore",
+                "backstage",
+                "matinee",
+                "premiere",
+                "soldout",
             ],
         }
     }
@@ -240,7 +331,18 @@ pub enum Source {
 }
 
 /// Identifier of a topic within a [`Taxonomy`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    Hash,
+    PartialOrd,
+    Ord,
+    serde::Serialize,
+    serde::Deserialize,
+)]
 pub struct TopicId(pub usize);
 
 /// One topic: a subject within a family, with its own vocabulary.
@@ -277,8 +379,7 @@ pub struct Taxonomy {
 /// stand in for the long tail of domain vocabulary (the paper's corpus has a
 /// 13M raw vocabulary); pseudo-words guarantee unseen topics really are
 /// lexically unseen.
-const ONSETS: [&str; 12] =
-    ["br", "cl", "dr", "fl", "gr", "k", "l", "m", "n", "pr", "st", "v"];
+const ONSETS: [&str; 12] = ["br", "cl", "dr", "fl", "gr", "k", "l", "m", "n", "pr", "st", "v"];
 const NUCLEI: [&str; 6] = ["a", "e", "i", "o", "u", "ay"];
 const CODAS: [&str; 8] = ["n", "r", "l", "s", "m", "t", "nd", "rk"];
 
@@ -319,11 +420,10 @@ impl Taxonomy {
                     }
                 };
                 let tail = family.phrase_tail();
-                let phrase =
-                    vec![subject.clone(), tail[0].to_string(), tail[1].to_string()];
+                let phrase = vec![subject.clone(), tail[0].to_string(), tail[1].to_string()];
                 let vocab: Vec<String> = (0..16)
                     .map(|_| {
-                        let syllables = 1 + rng.gen_range(1..3);
+                        let syllables = 1 + rng.gen_range(1..3usize);
                         mint_word(&mut rng, syllables)
                     })
                     .collect();
@@ -368,9 +468,26 @@ impl Taxonomy {
 /// Shared boilerplate vocabulary appearing in navigation, footers and ads
 /// across all sites — identical for seen and unseen domains.
 pub const BOILERPLATE: &[&str] = &[
-    "home", "login", "register", "contact", "about", "privacy", "terms", "copyright",
-    "subscribe", "newsletter", "menu", "search", "cart", "help", "faq", "sitemap",
-    "follow", "social", "cookies", "settings",
+    "home",
+    "login",
+    "register",
+    "contact",
+    "about",
+    "privacy",
+    "terms",
+    "copyright",
+    "subscribe",
+    "newsletter",
+    "menu",
+    "search",
+    "cart",
+    "help",
+    "faq",
+    "sitemap",
+    "follow",
+    "social",
+    "cookies",
+    "settings",
 ];
 
 /// Person/company name pools shared across families (cue targets).
@@ -381,8 +498,8 @@ pub const FIRST_NAMES: &[&str] = &[
 
 /// Surname pool.
 pub const LAST_NAMES: &[&str] = &[
-    "smith", "jones", "brown", "taylor", "wilson", "clarke", "walker", "hall", "young",
-    "king", "wright", "baker", "adams", "carter", "mitchell", "turner",
+    "smith", "jones", "brown", "taylor", "wilson", "clarke", "walker", "hall", "young", "king",
+    "wright", "baker", "adams", "carter", "mitchell", "turner",
 ];
 
 #[cfg(test)]
@@ -441,8 +558,7 @@ mod tests {
     fn attribute_cues_are_nonempty_and_distinct_per_family() {
         for &f in &FAMILIES {
             let kinds = f.attribute_kinds();
-            let cues: std::collections::HashSet<&str> =
-                kinds.iter().map(|k| k.cue()).collect();
+            let cues: std::collections::HashSet<&str> = kinds.iter().map(|k| k.cue()).collect();
             assert_eq!(cues.len(), 4, "family {f:?} reuses a cue");
         }
     }

@@ -154,7 +154,8 @@ mod tests {
 
     #[test]
     fn cross_links_are_bidirectional() {
-        let cfg = WebsiteConfig { content_pages: 6, cross_link_rate: 1.0, ..Default::default() };
+        let cfg =
+            WebsiteConfig { content_pages: 6, cross_link_rate: 1.0, ..Default::default() };
         let w = build(4, cfg);
         for (a, _) in &w.content {
             for (b, _) in &w.content {

@@ -8,11 +8,13 @@ use wb_corpus::{generate_page, PageConfig, Taxonomy};
 
 fn config_strategy() -> impl Strategy<Value = PageConfig> {
     (1usize..5, 0usize..4, 0usize..4, 0.0f64..1.0).prop_map(
-        |(informative_sections, noise_sections, filler_sentences, distractor_rate)| PageConfig {
-            informative_sections,
-            noise_sections,
-            filler_sentences,
-            distractor_rate,
+        |(informative_sections, noise_sections, filler_sentences, distractor_rate)| {
+            PageConfig {
+                informative_sections,
+                noise_sections,
+                filler_sentences,
+                distractor_rate,
+            }
         },
     )
 }

@@ -84,7 +84,9 @@ impl Panel {
         assert!(n >= 2, "a panel needs at least two judges");
         Panel {
             judges: (0..n)
-                .map(|j| Judge::new(seed.wrapping_add(j as u64).wrapping_mul(0x9E37), error_rate))
+                .map(|j| {
+                    Judge::new(seed.wrapping_add(j as u64).wrapping_mul(0x9E37), error_rate)
+                })
                 .collect(),
         }
     }
@@ -111,12 +113,7 @@ pub fn majority_vote(scores: &[u8]) -> u8 {
     for &s in scores {
         counts[s.min(2) as usize] += 1;
     }
-    counts
-        .iter()
-        .enumerate()
-        .max_by_key(|(_, &c)| c)
-        .map(|(i, _)| i as u8)
-        .unwrap_or(0)
+    counts.iter().enumerate().max_by_key(|(_, &c)| c).map(|(i, _)| i as u8).unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -147,8 +144,8 @@ mod tests {
         let mut panel = Panel::new(5, 42, 0.03);
         let items: Vec<(Vec<u32>, Vec<u32>)> = (0..60)
             .map(|i| match i % 3 {
-                0 => (vec![i, i + 1], vec![i, i + 1]), // exact
-                1 => (vec![i, 9999], vec![i, i + 1]),  // partial
+                0 => (vec![i, i + 1], vec![i, i + 1]),   // exact
+                1 => (vec![i, 9999], vec![i, i + 1]),    // partial
                 _ => (vec![8888, 9999], vec![i, i + 1]), // wrong
             })
             .collect();

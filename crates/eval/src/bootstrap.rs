@@ -32,7 +32,12 @@ impl Interval {
 /// Percentile bootstrap of the mean of `scores` (e.g. per-example 0/1
 /// exact-match outcomes or per-example F1), with `resamples` draws at the
 /// given `confidence` (e.g. 0.95).
-pub fn bootstrap_mean(scores: &[f64], resamples: usize, confidence: f64, seed: u64) -> Interval {
+pub fn bootstrap_mean(
+    scores: &[f64],
+    resamples: usize,
+    confidence: f64,
+    seed: u64,
+) -> Interval {
     assert!(!scores.is_empty(), "bootstrap of zero scores");
     assert!((0.0..1.0).contains(&(1.0 - confidence)), "confidence must be in (0,1)");
     let n = scores.len();
@@ -56,8 +61,7 @@ pub fn bootstrap_mean(scores: &[f64], resamples: usize, confidence: f64, seed: u
 
 /// Bootstrap of an exact-match percentage from per-example booleans.
 pub fn bootstrap_percentage(outcomes: &[bool], resamples: usize, seed: u64) -> Interval {
-    let scores: Vec<f64> =
-        outcomes.iter().map(|&b| if b { 100.0 } else { 0.0 }).collect();
+    let scores: Vec<f64> = outcomes.iter().map(|&b| if b { 100.0 } else { 0.0 }).collect();
     bootstrap_mean(&scores, resamples, 0.95, seed)
 }
 

@@ -38,10 +38,7 @@ impl KindBreakdown {
             if gold.iter().any(|&(_, s, e)| (s, e) == (ps, pe)) {
                 continue;
             }
-            if let Some(&(kind, _, _)) = gold
-                .iter()
-                .min_by_key(|&&(_, s, _)| s.abs_diff(ps))
-            {
+            if let Some(&(kind, _, _)) = gold.iter().min_by_key(|&&(_, s, _)| s.abs_diff(ps)) {
                 self.per_kind.entry(kind.to_string()).or_default().fp += 1;
             } else {
                 self.per_kind.entry("(none)".to_string()).or_default().fp += 1;
@@ -75,10 +72,7 @@ mod tests {
     #[test]
     fn per_kind_accounting() {
         let mut b = KindBreakdown::new();
-        b.update(
-            &[(0, 2), (10, 11)],
-            &[("price", 0, 2), ("maker", 5, 7)],
-        );
+        b.update(&[(0, 2), (10, 11)], &[("price", 0, 2), ("maker", 5, 7)]);
         // price: matched. maker: missed. The stray (10,11) is nearest to
         // maker's span.
         assert_eq!(b.get("price").unwrap().tp, 1);

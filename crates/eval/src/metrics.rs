@@ -49,15 +49,21 @@ pub struct ExtractionScores {
 
 impl ExtractionScores {
     /// Accumulates one example's predicted vs gold spans (exact match).
+    ///
+    /// Matching is greedy in prediction order: each prediction claims the
+    /// first *not-yet-matched* gold occurrence of its span, so when both
+    /// sides contain duplicates every pair counts as a true positive. A
+    /// prediction with no unmatched gold occurrence left is a false
+    /// positive; gold occurrences left unclaimed are false negatives.
     pub fn update(&mut self, predicted: &[(usize, usize)], gold: &[(usize, usize)]) {
         let mut matched = vec![false; gold.len()];
         for p in predicted {
-            match gold.iter().position(|g| g == p) {
-                Some(i) if !matched[i] => {
+            match gold.iter().enumerate().position(|(i, g)| g == p && !matched[i]) {
+                Some(i) => {
                     matched[i] = true;
                     self.tp += 1;
                 }
-                _ => self.fp += 1,
+                None => self.fp += 1,
             }
         }
         self.fn_ += matched.iter().filter(|&&m| !m).count();
@@ -214,6 +220,24 @@ mod tests {
         let mut s = ExtractionScores::default();
         s.update(&[(0, 2), (0, 2)], &[(0, 2)]);
         assert_eq!(s.tp, 1);
+        assert_eq!(s.fp, 1);
+        assert_eq!(s.fn_, 0);
+    }
+
+    #[test]
+    fn extraction_duplicate_gold_matches_duplicate_predictions() {
+        // Both sides hold the same span twice: each prediction claims its
+        // own gold occurrence, so neither is a false positive.
+        let mut s = ExtractionScores::default();
+        s.update(&[(0, 2), (0, 2)], &[(0, 2), (0, 2)]);
+        assert_eq!(s.tp, 2);
+        assert_eq!(s.fp, 0);
+        assert_eq!(s.fn_, 0);
+
+        // Three predictions vs two gold copies: the surplus one is FP.
+        let mut s = ExtractionScores::default();
+        s.update(&[(0, 2), (0, 2), (0, 2)], &[(0, 2), (0, 2)]);
+        assert_eq!(s.tp, 2);
         assert_eq!(s.fp, 1);
         assert_eq!(s.fn_, 0);
     }

@@ -81,8 +81,7 @@ pub fn cohens_kappa(rater_a: &[u8], rater_b: &[u8]) -> f64 {
     let n = rater_a.len() as f64;
     let categories: std::collections::BTreeSet<u8> =
         rater_a.iter().chain(rater_b).copied().collect();
-    let observed =
-        rater_a.iter().zip(rater_b).filter(|(a, b)| a == b).count() as f64 / n;
+    let observed = rater_a.iter().zip(rater_b).filter(|(a, b)| a == b).count() as f64 / n;
     let mut expected = 0.0;
     for &cat in &categories {
         let pa = rater_a.iter().filter(|&&x| x == cat).count() as f64 / n;

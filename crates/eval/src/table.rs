@@ -74,7 +74,10 @@ impl ResultTable {
         let mut out = String::new();
         out.push_str(&format!("**{}**\n\n", self.caption));
         out.push_str(&format!("| {} |\n", self.columns.join(" | ")));
-        out.push_str(&format!("|{}|\n", self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")));
+        out.push_str(&format!(
+            "|{}|\n",
+            self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        ));
         for row in &self.rows {
             out.push_str(&format!("| {} |\n", row.join(" | ")));
         }
@@ -84,10 +87,7 @@ impl ResultTable {
     /// Looks up a metric cell by method name and column header.
     pub fn get(&self, method: &str, column: &str) -> Option<&str> {
         let col = self.columns.iter().position(|c| c == column)?;
-        self.rows
-            .iter()
-            .find(|r| r[0] == method)
-            .map(|r| r[col].as_str())
+        self.rows.iter().find(|r| r[0] == method).map(|r| r[col].as_str())
     }
 }
 

@@ -269,8 +269,7 @@ impl Node {
         match self {
             Node::Text(_) => 0,
             Node::Element { tag: t, children, .. } => {
-                usize::from(t == tag)
-                    + children.iter().map(|c| c.count_tag(tag)).sum::<usize>()
+                usize::from(t == tag) + children.iter().map(|c| c.count_tag(tag)).sum::<usize>()
             }
         }
     }

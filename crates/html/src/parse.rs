@@ -140,11 +140,7 @@ impl<'a> Parser<'a> {
         let tag_start = self.pos;
         self.pos += 1; // '<'
         let name_start = self.pos;
-        while self
-            .peek()
-            .map(|b| b.is_ascii_alphanumeric() || b == b'-')
-            .unwrap_or(false)
-        {
+        while self.peek().map(|b| b.is_ascii_alphanumeric() || b == b'-').unwrap_or(false) {
             self.pos += 1;
         }
         if self.pos == name_start {
@@ -239,11 +235,7 @@ impl<'a> Parser<'a> {
             v
         } else {
             let vstart = self.pos;
-            while self
-                .peek()
-                .map(|b| b != b'>' && !b.is_ascii_whitespace())
-                .unwrap_or(false)
-            {
+            while self.peek().map(|b| b != b'>' && !b.is_ascii_whitespace()).unwrap_or(false) {
                 self.pos += 1;
             }
             String::from_utf8_lossy(&self.bytes[vstart..self.pos]).into_owned()

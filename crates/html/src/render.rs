@@ -22,11 +22,7 @@ pub struct VisibleBlock {
 /// Extracts the full visible text of a document as one string; block
 /// boundaries become newlines.
 pub fn visible_text(root: &Node) -> String {
-    visible_blocks(root)
-        .into_iter()
-        .map(|b| b.text)
-        .collect::<Vec<_>>()
-        .join("\n")
+    visible_blocks(root).into_iter().map(|b| b.text).collect::<Vec<_>>().join("\n")
 }
 
 /// Extracts visible text as labelled blocks.
@@ -120,10 +116,8 @@ pub fn classify_page(root: &Node) -> PageKind {
         + root.count_tag(&Tag::Video) * 3
         + root.count_tag(&Tag::Audio) * 3;
     let links = root.count_tag(&Tag::A);
-    let words: usize = visible_blocks(root)
-        .iter()
-        .map(|b| b.text.split_whitespace().count())
-        .sum();
+    let words: usize =
+        visible_blocks(root).iter().map(|b| b.text.split_whitespace().count()).sum();
     if media >= 8 && words < media * 12 {
         PageKind::Media
     } else if links >= 10 && words < links * 6 {
@@ -150,10 +144,9 @@ mod tests {
 
     #[test]
     fn hidden_elements_skipped() {
-        let doc = parse_document(
-            "<body><div style=\"display:none\">secret</div><p>shown</p></body>",
-        )
-        .unwrap();
+        let doc =
+            parse_document("<body><div style=\"display:none\">secret</div><p>shown</p></body>")
+                .unwrap();
         assert_eq!(visible_text(&doc), "shown");
     }
 
@@ -199,7 +192,9 @@ mod tests {
     #[test]
     fn classify_content_page() {
         let paras: String = (0..10)
-            .map(|i| format!("<p>paragraph {i} with a reasonable amount of running text here</p>"))
+            .map(|i| {
+                format!("<p>paragraph {i} with a reasonable amount of running text here</p>")
+            })
             .collect();
         let doc = parse_document(&format!("<body>{paras}<a>one link</a></body>")).unwrap();
         assert_eq!(classify_page(&doc), PageKind::ContentRich);

@@ -107,7 +107,9 @@ mod tests {
 
     fn content_page(i: usize) -> Node {
         let paras: String = (0..8)
-            .map(|p| format!("<p>page {i} paragraph {p} with plenty of running words inside</p>"))
+            .map(|p| {
+                format!("<p>page {i} paragraph {p} with plenty of running words inside</p>")
+            })
             .collect();
         parse_document(&format!("<body>{paras}</body>")).unwrap()
     }

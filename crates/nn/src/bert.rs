@@ -91,20 +91,55 @@ impl MiniBert {
             rng,
         );
         let seg = bertsum.then(|| {
-            params.add_init(&format!("{name}.seg"), &[2, cfg.dim], Initializer::Uniform(0.05), rng)
+            params.add_init(
+                &format!("{name}.seg"),
+                &[2, cfg.dim],
+                Initializer::Uniform(0.05),
+                rng,
+            )
         });
         let blocks = (0..cfg.layers)
             .map(|l| {
                 let p = format!("{name}.block{l}");
                 Block {
-                    wq: params.add_init(&format!("{p}.wq"), &[cfg.dim, cfg.dim], Initializer::XavierUniform, rng),
-                    wk: params.add_init(&format!("{p}.wk"), &[cfg.dim, cfg.dim], Initializer::XavierUniform, rng),
-                    wv: params.add_init(&format!("{p}.wv"), &[cfg.dim, cfg.dim], Initializer::XavierUniform, rng),
-                    wo: params.add_init(&format!("{p}.wo"), &[cfg.dim, cfg.dim], Initializer::XavierUniform, rng),
-                    norm1: params.add_init(&format!("{p}.norm1"), &[cfg.dim], Initializer::Ones, rng),
+                    wq: params.add_init(
+                        &format!("{p}.wq"),
+                        &[cfg.dim, cfg.dim],
+                        Initializer::XavierUniform,
+                        rng,
+                    ),
+                    wk: params.add_init(
+                        &format!("{p}.wk"),
+                        &[cfg.dim, cfg.dim],
+                        Initializer::XavierUniform,
+                        rng,
+                    ),
+                    wv: params.add_init(
+                        &format!("{p}.wv"),
+                        &[cfg.dim, cfg.dim],
+                        Initializer::XavierUniform,
+                        rng,
+                    ),
+                    wo: params.add_init(
+                        &format!("{p}.wo"),
+                        &[cfg.dim, cfg.dim],
+                        Initializer::XavierUniform,
+                        rng,
+                    ),
+                    norm1: params.add_init(
+                        &format!("{p}.norm1"),
+                        &[cfg.dim],
+                        Initializer::Ones,
+                        rng,
+                    ),
                     ffn1: Dense::new(params, rng, &format!("{p}.ffn1"), cfg.dim, cfg.dim * 2),
                     ffn2: Dense::new(params, rng, &format!("{p}.ffn2"), cfg.dim * 2, cfg.dim),
-                    norm2: params.add_init(&format!("{p}.norm2"), &[cfg.dim], Initializer::Ones, rng),
+                    norm2: params.add_init(
+                        &format!("{p}.norm2"),
+                        &[cfg.dim],
+                        Initializer::Ones,
+                        rng,
+                    ),
                 }
             })
             .collect();
@@ -151,8 +186,7 @@ impl MiniBert {
         let scale = 1.0 / (self.cfg.dim as f32).sqrt();
         for b in &self.blocks {
             // Self-attention.
-            let (wq, wk, wv, wo) =
-                (g.param(b.wq), g.param(b.wk), g.param(b.wv), g.param(b.wo));
+            let (wq, wk, wv, wo) = (g.param(b.wq), g.param(b.wk), g.param(b.wv), g.param(b.wo));
             let q = g.matmul(x, wq);
             let k = g.matmul(x, wk);
             let v = g.matmul(x, wv);

@@ -21,7 +21,12 @@ impl Dense {
         in_dim: usize,
         out_dim: usize,
     ) -> Self {
-        let w = params.add_init(&format!("{name}.w"), &[in_dim, out_dim], Initializer::XavierUniform, rng);
+        let w = params.add_init(
+            &format!("{name}.w"),
+            &[in_dim, out_dim],
+            Initializer::XavierUniform,
+            rng,
+        );
         let b = params.add_init(&format!("{name}.b"), &[out_dim], Initializer::Zeros, rng);
         Dense { w, b, out_dim }
     }
@@ -91,7 +96,12 @@ impl BilinearAttention {
         d_left: usize,
         d_right: usize,
     ) -> Self {
-        let w = params.add_init(&format!("{name}.w"), &[d_left, d_right], Initializer::XavierUniform, rng);
+        let w = params.add_init(
+            &format!("{name}.w"),
+            &[d_left, d_right],
+            Initializer::XavierUniform,
+            rng,
+        );
         BilinearAttention { w }
     }
 

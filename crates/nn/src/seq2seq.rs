@@ -37,7 +37,13 @@ impl Decoder {
         hidden: usize,
     ) -> Self {
         Decoder {
-            emb: crate::layers::Embedding::new(params, rng, &format!("{name}.emb"), vocab, emb_dim),
+            emb: crate::layers::Embedding::new(
+                params,
+                rng,
+                &format!("{name}.emb"),
+                vocab,
+                emb_dim,
+            ),
             cell: Lstm::new(params, rng, &format!("{name}.cell"), emb_dim + enc_dim, hidden),
             out: Dense::new(params, rng, &format!("{name}.out"), hidden + enc_dim, vocab),
             query: Dense::new(params, rng, &format!("{name}.query"), hidden, enc_dim),
@@ -188,7 +194,8 @@ impl Decoder {
             done: bool,
         }
         let init = self.zero_state(g);
-        let mut hyps = vec![Hyp { tokens: Vec::new(), state: init, prev: BOS, score: 0.0, done: false }];
+        let mut hyps =
+            vec![Hyp { tokens: Vec::new(), state: init, prev: BOS, score: 0.0, done: false }];
         for _ in 0..max_len {
             if hyps.iter().all(|h| h.done) {
                 break;
@@ -209,7 +216,9 @@ impl Decoder {
                 let logp = log_softmax_row(g.value(logits).data());
                 // Keep the top `beam` expansions of this hypothesis.
                 let mut idx: Vec<usize> = (0..logp.len()).collect();
-                idx.sort_by(|&a, &b| logp[b].partial_cmp(&logp[a]).unwrap_or(std::cmp::Ordering::Equal));
+                idx.sort_by(|&a, &b| {
+                    logp[b].partial_cmp(&logp[a]).unwrap_or(std::cmp::Ordering::Equal)
+                });
                 for &token in idx.iter().take(beam) {
                     let token = token as u32;
                     let mut tokens = h.tokens.clone();

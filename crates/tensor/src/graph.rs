@@ -40,27 +40,56 @@ enum Op {
     ConcatRows(Vec<Var>),
     ConcatCols(Vec<Var>),
     /// `out[i] = table[idx[i]]` — embedding lookup.
-    GatherRows { table: Var, idx: Vec<usize> },
-    SliceRows { src: Var, start: usize },
+    GatherRows {
+        table: Var,
+        idx: Vec<usize>,
+    },
+    SliceRows {
+        src: Var,
+        start: usize,
+    },
     Tanh(Var),
     Sigmoid(Var),
     Relu(Var),
-    SoftmaxRows { src: Var, temperature: f32 },
-    LogSoftmaxRows { src: Var, temperature: f32 },
+    SoftmaxRows {
+        src: Var,
+        temperature: f32,
+    },
+    LogSoftmaxRows {
+        src: Var,
+        temperature: f32,
+    },
     /// Inverted-dropout: mask entries are `0` or `1/keep`.
-    Dropout { src: Var, mask: Tensor },
+    Dropout {
+        src: Var,
+        mask: Tensor,
+    },
     /// Column means of a rank-2 tensor, producing `[1, c]`.
     MeanRows(Var),
     MeanAll(Var),
     SumAll(Var),
     /// Mean over rows of `-log softmax(logits)[target]`; caches the softmax.
-    CrossEntropyRows { logits: Var, targets: Vec<usize>, probs: Tensor },
+    CrossEntropyRows {
+        logits: Var,
+        targets: Vec<usize>,
+        probs: Tensor,
+    },
     /// `sum(p * (ln p - log_q)) / rows` with constant teacher `p`.
-    KlDiv { log_q: Var, p: Tensor },
+    KlDiv {
+        log_q: Var,
+        p: Tensor,
+    },
     /// `sum |src - target| / rows` with a constant target.
-    L1ToConst { src: Var, target: Tensor },
+    L1ToConst {
+        src: Var,
+        target: Tensor,
+    },
     /// Root-mean-square normalisation per row with a learned gain.
-    RmsNormRows { src: Var, gain: Var, inv_rms: Vec<f32> },
+    RmsNormRows {
+        src: Var,
+        gain: Var,
+        inv_rms: Vec<f32>,
+    },
 }
 
 struct Node {
@@ -144,11 +173,27 @@ pub struct Graph<'p> {
     rng: StdRng,
 }
 
+impl Drop for Graph<'_> {
+    /// Returns every node buffer to the [`crate::tensor::scratch`] pool,
+    /// so the next tape (the trainer builds one per example per step)
+    /// reuses this tape's memory instead of re-allocating.
+    fn drop(&mut self) {
+        for node in self.nodes.drain(..) {
+            crate::tensor::scratch::put(node.value.into_data());
+        }
+    }
+}
+
 impl<'p> Graph<'p> {
     /// Creates a tape. `train` enables dropout; `seed` makes dropout masks
     /// reproducible.
     pub fn new(params: &'p Params, train: bool, seed: u64) -> Self {
-        Graph { params, nodes: Vec::with_capacity(256), train, rng: StdRng::seed_from_u64(seed) }
+        Graph {
+            params,
+            nodes: Vec::with_capacity(256),
+            train,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Whether this graph applies dropout.
@@ -318,11 +363,8 @@ impl<'p> Graph<'p> {
         let mut out = t.clone();
         for row in out.data_mut().chunks_mut(c) {
             let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-            let log_sum: f32 = row
-                .iter()
-                .map(|&x| ((x - max) / temperature).exp())
-                .sum::<f32>()
-                .ln();
+            let log_sum: f32 =
+                row.iter().map(|&x| ((x - max) / temperature).exp()).sum::<f32>().ln();
             for x in row.iter_mut() {
                 *x = (*x - max) / temperature - log_sum;
             }
@@ -416,7 +458,8 @@ impl<'p> Graph<'p> {
         assert_eq!(s.shape(), target.shape(), "L1 shapes must match");
         let rows = s.rows() as f32;
         let loss: f32 =
-            s.data().iter().zip(target.data()).map(|(&a, &b)| (a - b).abs()).sum::<f32>() / rows;
+            s.data().iter().zip(target.data()).map(|(&a, &b)| (a - b).abs()).sum::<f32>()
+                / rows;
         self.push(Tensor::scalar(loss), Op::L1ToConst { src, target })
     }
 
@@ -459,12 +502,10 @@ impl<'p> Graph<'p> {
             let node = &self.nodes[i];
             match &node.op {
                 Op::Input => {}
-                Op::Param(id) => {
-                    match &mut out.by_param[id.index()] {
-                        Some(acc) => acc.add_assign_scaled(&g, 1.0),
-                        slot @ None => *slot = Some(g),
-                    }
-                }
+                Op::Param(id) => match &mut out.by_param[id.index()] {
+                    Some(acc) => acc.add_assign_scaled(&g, 1.0),
+                    slot @ None => *slot = Some(g),
+                },
                 Op::Add(a, b) => {
                     accumulate(&mut grads, *a, &g);
                     accumulate(&mut grads, *b, &g);
@@ -758,8 +799,7 @@ pub struct GraphStats {
 impl Graph<'_> {
     /// Computes tape statistics.
     pub fn stats(&self) -> GraphStats {
-        let mut stats = GraphStats::default();
-        stats.nodes = self.nodes.len();
+        let mut stats = GraphStats { nodes: self.nodes.len(), ..GraphStats::default() };
         for node in &self.nodes {
             stats.elements += node.value.len();
             let name = op_name(&node.op);

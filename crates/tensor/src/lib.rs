@@ -16,6 +16,12 @@
 //! * [`Adam`] — the paper's optimizer (β₁ = 0.9, β₂ = 0.999, linear warm-up,
 //!   per-epoch decay, global-norm clipping).
 //!
+//! Large matmuls, softmaxes and element-wise maps run on the rayon pool
+//! once they cross the [`PAR_MIN_ROWS`]/[`PAR_MIN_MACS`]/[`PAR_MIN_ELEMS`]
+//! thresholds; results are bit-identical to the serial path at any thread
+//! count. Temporary buffers come from the [`scratch`] pool, refilled when
+//! tapes drop.
+//!
 //! ```
 //! use wb_tensor::{Graph, Params, Tensor, Initializer};
 //! use rand::SeedableRng;
@@ -43,5 +49,4 @@ pub use graph::{Gradients, Graph, GraphStats, Var};
 pub use init::Initializer;
 pub use optim::{Adam, AdamConfig, Sgd};
 pub use params::{ParamId, Params};
-pub use tensor::{softmax_slice, Tensor};
-
+pub use tensor::{scratch, softmax_slice, Tensor, PAR_MIN_ELEMS, PAR_MIN_MACS, PAR_MIN_ROWS};

@@ -125,11 +125,8 @@ impl Adam {
             let v = self.v[i].get_or_insert_with(|| Tensor::zeros(g.shape()));
             let p = params.get_mut(id);
             let pd = p.data_mut();
-            for (((pv, mv), vv), &gv) in pd
-                .iter_mut()
-                .zip(m.data_mut())
-                .zip(v.data_mut())
-                .zip(g.data())
+            for (((pv, mv), vv), &gv) in
+                pd.iter_mut().zip(m.data_mut()).zip(v.data_mut()).zip(g.data())
             {
                 *mv = b1 * *mv + (1.0 - b1) * gv;
                 *vv = b2 * *vv + (1.0 - b2) * gv * gv;

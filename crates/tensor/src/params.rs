@@ -40,10 +40,7 @@ impl Params {
     /// Panics on duplicate names — every parameter must be addressable for
     /// checkpointing.
     pub fn add(&mut self, name: &str, tensor: Tensor) -> ParamId {
-        assert!(
-            !self.names.iter().any(|n| n == name),
-            "duplicate parameter name {name:?}"
-        );
+        assert!(!self.names.iter().any(|n| n == name), "duplicate parameter name {name:?}");
         self.names.push(name.to_string());
         self.tensors.push(tensor);
         ParamId(self.tensors.len() - 1)

@@ -2,11 +2,93 @@
 //!
 //! The tensor type is deliberately small: the models in this workspace only
 //! need rank-1/2 tensors plus a handful of rank-preserving element-wise
-//! operations, batched matrix multiplication and row gather/scatter. All
-//! operations allocate their output; in-place variants are provided where the
-//! training loop is hot (`add_assign_scaled`, `scale_in_place`).
+//! operations, batched matrix multiplication and row gather/scatter.
+//! In-place variants are provided where the training loop is hot
+//! (`add_assign_scaled`, `scale_in_place`, `matmul_into`), and
+//! allocating operations draw their buffers from the [`scratch`] pool so
+//! steady-state training reuses memory instead of hitting the allocator.
+//!
+//! # Parallelism
+//!
+//! `matmul`, `softmax_rows`, `add_row_broadcast` and the `map`/`zip_map`
+//! family run on the rayon pool once the operand crosses a size threshold
+//! (see [`PAR_MIN_ROWS`], [`PAR_MIN_MACS`], [`PAR_MIN_ELEMS`]); smaller
+//! tensors stay on the calling thread. Work is split by output row (or by
+//! contiguous element chunk for rank-free element-wise ops), and every
+//! output element is accumulated in the same order as the serial code, so
+//! results are bit-for-bit identical for any `RAYON_NUM_THREADS`.
 
+use rayon::prelude::*;
 use std::fmt;
+
+/// Minimum output rows before a matmul fans out over the rayon pool.
+pub const PAR_MIN_ROWS: usize = 64;
+/// Minimum multiply-accumulates (`m·k·n`) before a matmul goes parallel;
+/// below this the thread hand-off costs more than the arithmetic.
+pub const PAR_MIN_MACS: usize = 1 << 18;
+/// Minimum elements before element-wise / row-wise ops go parallel.
+pub const PAR_MIN_ELEMS: usize = 1 << 16;
+
+/// A pool of reusable `f32` buffers shared by all tensor operations.
+///
+/// Allocating tensor ops call [`scratch::take`] instead of `Vec::new`, and
+/// the autograd `Graph` returns every node buffer with [`scratch::put`]
+/// when a tape is dropped — so after the first training step the forward
+/// and backward passes recycle buffers instead of re-allocating. The pool
+/// is global (not thread-local) because worker threads are short-lived;
+/// both calls are a quick `Mutex`-guarded push/pop.
+pub mod scratch {
+    use std::sync::Mutex;
+
+    /// Upper bound on pooled buffers; excess buffers just deallocate.
+    const MAX_POOLED: usize = 256;
+    /// Buffers above this capacity (elements) are not retained.
+    const MAX_BUF_CAP: usize = 1 << 22;
+
+    static POOL: Mutex<Vec<Vec<f32>>> = Mutex::new(Vec::new());
+
+    /// Takes an empty buffer from the pool (or a fresh one).
+    pub fn take() -> Vec<f32> {
+        POOL.lock().unwrap().pop().unwrap_or_default()
+    }
+
+    /// Returns a buffer to the pool for reuse.
+    pub fn put(mut buf: Vec<f32>) {
+        if buf.capacity() == 0 || buf.capacity() > MAX_BUF_CAP {
+            return;
+        }
+        buf.clear();
+        let mut pool = POOL.lock().unwrap();
+        if pool.len() < MAX_POOLED {
+            pool.push(buf);
+        }
+    }
+
+    /// Number of buffers currently pooled (diagnostics/tests).
+    pub fn pooled() -> usize {
+        POOL.lock().unwrap().len()
+    }
+
+    /// Copies `src` into a pooled buffer.
+    pub(crate) fn copy_of(src: &[f32]) -> Vec<f32> {
+        let mut buf = take();
+        buf.extend_from_slice(src);
+        buf
+    }
+
+    /// A pooled buffer of `n` zeros.
+    pub(crate) fn zeroed(n: usize) -> Vec<f32> {
+        let mut buf = take();
+        buf.resize(n, 0.0);
+        buf
+    }
+}
+
+/// Splits `total` work items into chunks sized for the current pool width.
+fn par_chunk(total: usize) -> usize {
+    let target = rayon::current_num_threads() * 4;
+    (total + target - 1) / target.max(1)
+}
 
 /// A dense, row-major tensor of `f32` values.
 ///
@@ -124,21 +206,45 @@ impl Tensor {
         &self.data[r * c..(r + 1) * c]
     }
 
-    /// Element-wise binary map; shapes must match exactly.
-    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    /// Element-wise binary map; shapes must match exactly. Large tensors
+    /// are processed in parallel chunks; `f` is applied per element either
+    /// way, so the result does not depend on the thread count.
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
         assert_eq!(self.shape, other.shape, "zip_map shape mismatch");
-        let data = self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(&a, &b)| f(a, b))
-            .collect();
+        let mut data = scratch::copy_of(&self.data);
+        if data.len() >= PAR_MIN_ELEMS && rayon::current_num_threads() > 1 {
+            let chunk = par_chunk(data.len());
+            data.par_chunks_mut(chunk).enumerate().for_each(|(ci, c)| {
+                let other = &other.data[ci * chunk..ci * chunk + c.len()];
+                for (v, &b) in c.iter_mut().zip(other) {
+                    *v = f(*v, b);
+                }
+            });
+        } else {
+            for (v, &b) in data.iter_mut().zip(&other.data) {
+                *v = f(*v, b);
+            }
+        }
         Tensor { shape: self.shape.clone(), data }
     }
 
-    /// Element-wise unary map.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&a| f(a)).collect() }
+    /// Element-wise unary map; parallel for large tensors (see
+    /// [`Tensor::zip_map`]).
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let mut data = scratch::copy_of(&self.data);
+        if data.len() >= PAR_MIN_ELEMS && rayon::current_num_threads() > 1 {
+            let chunk = par_chunk(data.len());
+            data.par_chunks_mut(chunk).for_each(|c| {
+                for v in c.iter_mut() {
+                    *v = f(*v);
+                }
+            });
+        } else {
+            for v in data.iter_mut() {
+                *v = f(*v);
+            }
+        }
+        Tensor { shape: self.shape.clone(), data }
     }
 
     /// `self + other` element-wise.
@@ -177,95 +283,81 @@ impl Tensor {
     }
 
     /// Adds a rank-1 bias of length `cols` to every row, returning a new
-    /// tensor.
+    /// tensor. Rows are processed in parallel for large tensors.
     pub fn add_row_broadcast(&self, bias: &Tensor) -> Tensor {
         let c = self.cols();
         assert_eq!(bias.len(), c, "bias length must equal column count");
-        let mut out = self.clone();
-        for row in out.data.chunks_mut(c) {
-            for (x, &b) in row.iter_mut().zip(&bias.data) {
-                *x += b;
+        let mut data = scratch::copy_of(&self.data);
+        if self.rows() >= PAR_MIN_ROWS
+            && data.len() >= PAR_MIN_ELEMS
+            && rayon::current_num_threads() > 1
+        {
+            let rows_per = par_chunk(self.rows());
+            data.par_chunks_mut(rows_per * c).for_each(|block| {
+                for row in block.chunks_mut(c) {
+                    for (x, &b) in row.iter_mut().zip(&bias.data) {
+                        *x += b;
+                    }
+                }
+            });
+        } else {
+            for row in data.chunks_mut(c) {
+                for (x, &b) in row.iter_mut().zip(&bias.data) {
+                    *x += b;
+                }
             }
         }
-        out
+        Tensor { shape: self.shape.clone(), data }
     }
 
     /// Matrix product of rank-2 tensors, with optional transposition of
     /// either operand. `matmul(a, b, false, false)` computes `a @ b`.
+    ///
+    /// Large products (≥ [`PAR_MIN_ROWS`] output rows and ≥
+    /// [`PAR_MIN_MACS`] multiply-accumulates) are split by output row
+    /// across the rayon pool; each output element accumulates in the same
+    /// `k` order as the serial path, so the result is bit-for-bit
+    /// identical for any thread count.
     pub fn matmul(&self, other: &Tensor, trans_a: bool, trans_b: bool) -> Tensor {
-        let (am, ak) = mat_dims(self, trans_a);
-        let (bk, bn) = mat_dims(other, trans_b);
-        assert_eq!(
-            ak, bk,
-            "matmul inner-dimension mismatch: {:?}{} @ {:?}{}",
-            self.shape,
-            if trans_a { "ᵀ" } else { "" },
-            other.shape,
-            if trans_b { "ᵀ" } else { "" }
+        let (am, ak, bn) = matmul_check(self, other, trans_a, trans_b);
+        let mut out = scratch::zeroed(am * bn);
+        matmul_dispatch(&self.data, &other.data, trans_a, trans_b, am, ak, bn, &mut out, true);
+        Tensor { shape: vec![am, bn], data: out }
+    }
+
+    /// Matrix product into an existing tensor, reusing its allocation.
+    ///
+    /// Shape checks and results are identical to [`Tensor::matmul`]; only
+    /// the output buffer is recycled. Hot loops that produce a matmul
+    /// result every step (e.g. the trainer's tapes) use this to avoid
+    /// per-step allocation.
+    pub fn matmul_into(&self, other: &Tensor, trans_a: bool, trans_b: bool, out: &mut Tensor) {
+        let (am, ak, bn) = matmul_check(self, other, trans_a, trans_b);
+        out.data.clear();
+        out.data.resize(am * bn, 0.0);
+        out.shape.clear();
+        out.shape.extend_from_slice(&[am, bn]);
+        matmul_dispatch(
+            &self.data,
+            &other.data,
+            trans_a,
+            trans_b,
+            am,
+            ak,
+            bn,
+            &mut out.data,
+            true,
         );
-        let mut out = vec![0.0f32; am * bn];
-        // Loop order is chosen so the innermost loop walks both the output row
-        // and one operand contiguously for every transpose combination.
-        match (trans_a, trans_b) {
-            (false, false) => {
-                for i in 0..am {
-                    let arow = &self.data[i * ak..(i + 1) * ak];
-                    let orow = &mut out[i * bn..(i + 1) * bn];
-                    for (k, &a) in arow.iter().enumerate() {
-                        if a == 0.0 {
-                            continue;
-                        }
-                        let brow = &other.data[k * bn..(k + 1) * bn];
-                        for (o, &b) in orow.iter_mut().zip(brow) {
-                            *o += a * b;
-                        }
-                    }
-                }
-            }
-            (true, false) => {
-                // a is [k, m] stored row-major; iterate k outer.
-                for k in 0..ak {
-                    let arow = &self.data[k * am..(k + 1) * am];
-                    let brow = &other.data[k * bn..(k + 1) * bn];
-                    for (i, &a) in arow.iter().enumerate() {
-                        if a == 0.0 {
-                            continue;
-                        }
-                        let orow = &mut out[i * bn..(i + 1) * bn];
-                        for (o, &b) in orow.iter_mut().zip(brow) {
-                            *o += a * b;
-                        }
-                    }
-                }
-            }
-            (false, true) => {
-                // b is [n, k] stored row-major; dot products of rows.
-                for i in 0..am {
-                    let arow = &self.data[i * ak..(i + 1) * ak];
-                    for j in 0..bn {
-                        let brow = &other.data[j * bk..(j + 1) * bk];
-                        let mut acc = 0.0;
-                        for (&a, &b) in arow.iter().zip(brow) {
-                            acc += a * b;
-                        }
-                        out[i * bn + j] = acc;
-                    }
-                }
-            }
-            (true, true) => {
-                // Rare; fall back to explicit indexing.
-                for i in 0..am {
-                    for j in 0..bn {
-                        let mut acc = 0.0;
-                        for k in 0..ak {
-                            acc += self.data[k * am + i] * other.data[j * bk + k];
-                        }
-                        out[i * bn + j] = acc;
-                    }
-                }
-            }
-        }
-        Tensor::from_vec(&[am, bn], out)
+    }
+
+    /// Serial reference matmul: same results as [`Tensor::matmul`]
+    /// (bit-for-bit), but never uses the thread pool. Kept public so tests
+    /// and benchmarks can compare the parallel path against it.
+    pub fn matmul_serial(&self, other: &Tensor, trans_a: bool, trans_b: bool) -> Tensor {
+        let (am, ak, bn) = matmul_check(self, other, trans_a, trans_b);
+        let mut out = scratch::zeroed(am * bn);
+        matmul_dispatch(&self.data, &other.data, trans_a, trans_b, am, ak, bn, &mut out, false);
+        Tensor { shape: vec![am, bn], data: out }
     }
 
     /// Transpose of a rank-2 tensor.
@@ -327,14 +419,28 @@ impl Tensor {
             .collect()
     }
 
-    /// Row-wise softmax with a temperature; numerically stabilised.
+    /// Row-wise softmax with a temperature; numerically stabilised. Rows
+    /// are independent, so large tensors fan out over the rayon pool with
+    /// identical per-row arithmetic (thread count never changes results).
     pub fn softmax_rows(&self, temperature: f32) -> Tensor {
         let c = self.cols();
-        let mut out = self.clone();
-        for row in out.data.chunks_mut(c) {
-            softmax_slice(row, temperature);
+        let mut data = scratch::copy_of(&self.data);
+        if self.rows() >= PAR_MIN_ROWS
+            && data.len() >= PAR_MIN_ELEMS
+            && rayon::current_num_threads() > 1
+        {
+            let rows_per = par_chunk(self.rows());
+            data.par_chunks_mut(rows_per * c).for_each(|block| {
+                for row in block.chunks_mut(c) {
+                    softmax_slice(row, temperature);
+                }
+            });
+        } else {
+            for row in data.chunks_mut(c) {
+                softmax_slice(row, temperature);
+            }
         }
-        out
+        Tensor { shape: self.shape.clone(), data }
     }
 
     /// The Frobenius (L2) norm.
@@ -369,8 +475,7 @@ impl Tensor {
             assert_eq!(p.rows(), r, "concat_cols row mismatch");
             let c = p.cols();
             for i in 0..r {
-                data[i * total_c + offset..i * total_c + offset + c]
-                    .copy_from_slice(p.row(i));
+                data[i * total_c + offset..i * total_c + offset + c].copy_from_slice(p.row(i));
             }
             offset += c;
         }
@@ -397,9 +502,22 @@ impl Tensor {
 }
 
 /// In-place numerically stable softmax of a slice with temperature.
+///
+/// A fully masked row (every entry `-inf`) carries no information about a
+/// preference; `(v - max)` would be `NaN` there, so such rows fall back to
+/// the uniform distribution instead of propagating NaNs.
 pub fn softmax_slice(row: &mut [f32], temperature: f32) {
     debug_assert!(temperature > 0.0);
     let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    if max == f32::NEG_INFINITY {
+        if !row.is_empty() {
+            let uniform = 1.0 / row.len() as f32;
+            for v in row.iter_mut() {
+                *v = uniform;
+            }
+        }
+        return;
+    }
     let mut sum = 0.0;
     for v in row.iter_mut() {
         *v = ((*v - max) / temperature).exp();
@@ -418,6 +536,132 @@ fn mat_dims(t: &Tensor, trans: bool) -> (usize, usize) {
         (t.shape()[1], t.shape()[0])
     } else {
         (t.shape()[0], t.shape()[1])
+    }
+}
+
+/// Validates operand ranks/shapes and returns `(m, k, n)`.
+fn matmul_check(a: &Tensor, b: &Tensor, trans_a: bool, trans_b: bool) -> (usize, usize, usize) {
+    let (am, ak) = mat_dims(a, trans_a);
+    let (bk, bn) = mat_dims(b, trans_b);
+    assert_eq!(
+        ak,
+        bk,
+        "matmul inner-dimension mismatch: {:?}{} @ {:?}{}",
+        a.shape,
+        if trans_a { "ᵀ" } else { "" },
+        b.shape,
+        if trans_b { "ᵀ" } else { "" }
+    );
+    (am, ak, bn)
+}
+
+/// Runs a matmul either serially or split by output row over the pool.
+#[allow(clippy::too_many_arguments)]
+fn matmul_dispatch(
+    a: &[f32],
+    b: &[f32],
+    trans_a: bool,
+    trans_b: bool,
+    am: usize,
+    ak: usize,
+    bn: usize,
+    out: &mut [f32],
+    allow_parallel: bool,
+) {
+    if am == 0 || bn == 0 {
+        return;
+    }
+    let parallel = allow_parallel
+        && am >= PAR_MIN_ROWS
+        && am * ak * bn >= PAR_MIN_MACS
+        && rayon::current_num_threads() > 1;
+    if parallel {
+        let rows_per = par_chunk(am);
+        out.par_chunks_mut(rows_per * bn).enumerate().for_each(|(ci, chunk)| {
+            matmul_rows(a, b, trans_a, trans_b, am, ak, bn, ci * rows_per, chunk);
+        });
+    } else {
+        matmul_rows(a, b, trans_a, trans_b, am, ak, bn, 0, out);
+    }
+}
+
+/// Computes output rows `r0..r0 + chunk.len()/bn` of the product into
+/// `chunk` (which must be zeroed). For every transpose combination the
+/// per-element accumulation order is `k` ascending and zero entries of the
+/// stationary operand are skipped, so any row partitioning of the output
+/// yields bit-identical results.
+#[allow(clippy::too_many_arguments)]
+fn matmul_rows(
+    a: &[f32],
+    b: &[f32],
+    trans_a: bool,
+    trans_b: bool,
+    am: usize,
+    ak: usize,
+    bn: usize,
+    r0: usize,
+    chunk: &mut [f32],
+) {
+    match (trans_a, trans_b) {
+        (false, false) => {
+            for (ri, orow) in chunk.chunks_mut(bn).enumerate() {
+                let i = r0 + ri;
+                let arow = &a[i * ak..(i + 1) * ak];
+                for (k, &av) in arow.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[k * bn..(k + 1) * bn];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        }
+        (true, false) => {
+            // a is [k, m] stored row-major: column i of a feeds output row i.
+            for (ri, orow) in chunk.chunks_mut(bn).enumerate() {
+                let i = r0 + ri;
+                for k in 0..ak {
+                    let av = a[k * am + i];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[k * bn..(k + 1) * bn];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        }
+        (false, true) => {
+            // b is [n, k] stored row-major; dot products of rows.
+            for (ri, orow) in chunk.chunks_mut(bn).enumerate() {
+                let i = r0 + ri;
+                let arow = &a[i * ak..(i + 1) * ak];
+                for (j, o) in orow.iter_mut().enumerate() {
+                    let brow = &b[j * ak..(j + 1) * ak];
+                    let mut acc = 0.0;
+                    for (&x, &y) in arow.iter().zip(brow) {
+                        acc += x * y;
+                    }
+                    *o = acc;
+                }
+            }
+        }
+        (true, true) => {
+            // Rare; explicit indexing.
+            for (ri, orow) in chunk.chunks_mut(bn).enumerate() {
+                let i = r0 + ri;
+                for (j, o) in orow.iter_mut().enumerate() {
+                    let mut acc = 0.0;
+                    for k in 0..ak {
+                        acc += a[k * am + i] * b[j * ak + k];
+                    }
+                    *o = acc;
+                }
+            }
+        }
     }
 }
 
@@ -526,5 +770,78 @@ mod tests {
     fn norm_matches_manual() {
         let t = Tensor::from_vec(&[2], vec![3., 4.]);
         assert!((t.norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_all_masked_row_is_uniform() {
+        // Regression: an all -inf row used to produce NaNs; it must fall
+        // back to the uniform distribution.
+        let mut row = vec![f32::NEG_INFINITY; 4];
+        softmax_slice(&mut row, 1.0);
+        assert_eq!(row, vec![0.25; 4]);
+
+        // The tensor-level op inherits the fallback.
+        let t = Tensor::from_vec(&[1, 4], vec![f32::NEG_INFINITY; 4]);
+        assert_eq!(t.softmax_rows(1.0).data(), &[0.25; 4]);
+    }
+
+    #[test]
+    fn softmax_partially_masked_row_keeps_zero_mass_on_masked() {
+        let mut row = vec![f32::NEG_INFINITY, 0.0, 0.0];
+        softmax_slice(&mut row, 1.0);
+        assert_eq!(row[0], 0.0);
+        assert!((row[1] - 0.5).abs() < 1e-6);
+        assert!((row[2] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_empty_row_is_noop() {
+        let mut row: Vec<f32> = vec![];
+        softmax_slice(&mut row, 1.0);
+        assert!(row.is_empty());
+    }
+
+    #[test]
+    fn matmul_into_reuses_buffer_and_matches_matmul() {
+        let a = Tensor::from_vec(&[2, 3], vec![1., -2., 3., 0.5, 5., -6.]);
+        let b = Tensor::from_vec(&[3, 4], (0..12).map(|i| i as f32 * 0.25).collect());
+        let expected = a.matmul(&b, false, false);
+        // Start from a differently shaped tensor with stale contents.
+        let mut out = Tensor::from_vec(&[1, 2], vec![9.0, 9.0]);
+        a.matmul_into(&b, false, false, &mut out);
+        assert_eq!(out, expected);
+        // Repeat in place: same buffer, same result.
+        let ptr = out.data().as_ptr();
+        a.matmul_into(&b, false, false, &mut out);
+        assert_eq!(out, expected);
+        assert_eq!(out.data().as_ptr(), ptr, "buffer was re-allocated");
+    }
+
+    #[test]
+    fn parallel_matmul_is_bit_identical_to_serial() {
+        // Big enough to cross both parallel thresholds (PAR_MIN_ROWS and
+        // PAR_MIN_MACS) for every transpose combination.
+        let n = 160;
+        let a = Tensor::from_vec(
+            &[n, n],
+            (0..n * n).map(|i| ((i * 2654435761usize) % 1000) as f32 / 997.0 - 0.5).collect(),
+        );
+        let b = Tensor::from_vec(
+            &[n, n],
+            (0..n * n).map(|i| ((i * 40503usize) % 1000) as f32 / 991.0 - 0.5).collect(),
+        );
+        for &(ta, tb) in &[(false, false), (true, false), (false, true), (true, true)] {
+            let par = a.matmul(&b, ta, tb);
+            let ser = a.matmul_serial(&b, ta, tb);
+            assert_eq!(par.data(), ser.data(), "variant ({ta}, {tb}) diverged");
+        }
+    }
+
+    #[test]
+    fn scratch_pool_recycles_buffers() {
+        let buf = vec![1.0f32; 64];
+        scratch::put(buf);
+        let got = scratch::take();
+        assert!(got.is_empty(), "pooled buffers come back cleared");
     }
 }

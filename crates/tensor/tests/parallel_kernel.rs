@@ -1,0 +1,81 @@
+//! Forces the multi-threaded kernels on and checks them bit-for-bit
+//! against the serial reference — even on single-core machines, where the
+//! default thread count would otherwise keep every op on the serial path.
+//!
+//! The vendored rayon re-reads `RAYON_NUM_THREADS` on every call, so one
+//! process can force 4 workers, then 2, then compare. This file holds a
+//! single `#[test]` because the variable is process-global.
+
+use wb_tensor::{softmax_slice, Tensor, PAR_MIN_ELEMS, PAR_MIN_ROWS};
+
+/// Deterministic pseudo-random fill (cheap LCG).
+fn fill(seed: u64, n: usize) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 40) as f32 / (1u64 << 24) as f32) * 4.0 - 2.0
+        })
+        .collect()
+}
+
+#[test]
+fn forced_parallel_kernels_match_serial_bit_for_bit() {
+    // Shapes safely past every threshold: m*k*n MACs and elem counts.
+    let (m, k, n) = (PAR_MIN_ROWS + 9, 96, 80);
+    let rows = PAR_MIN_ROWS + 5;
+    let cols = 1 + PAR_MIN_ELEMS / rows;
+
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let serial = run_all(m, k, n, rows, cols);
+    for forced in ["2", "4"] {
+        std::env::set_var("RAYON_NUM_THREADS", forced);
+        let parallel = run_all(m, k, n, rows, cols);
+        assert_eq!(serial.len(), parallel.len(), "result count changed at {forced} threads");
+        for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+            assert!(
+                s.data() == p.data() && s.shape() == p.shape(),
+                "kernel #{i} diverged from serial at {forced} threads"
+            );
+        }
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+}
+
+/// Runs every parallelizable op once at the current thread count.
+fn run_all(m: usize, k: usize, n: usize, rows: usize, cols: usize) -> Vec<Tensor> {
+    let mut out = Vec::new();
+
+    // All four matmul transpose variants.
+    for (ta, tb) in [(false, false), (false, true), (true, false), (true, true)] {
+        let a_shape = if ta { [k, m] } else { [m, k] };
+        let b_shape = if tb { [n, k] } else { [k, n] };
+        let a = Tensor::from_vec(&a_shape, fill(7, m * k));
+        let b = Tensor::from_vec(&b_shape, fill(11, k * n));
+        out.push(a.matmul(&b, ta, tb));
+        // matmul_into must agree with matmul exactly.
+        let mut buf = Tensor::zeros(&[1]);
+        a.matmul_into(&b, ta, tb, &mut buf);
+        out.push(buf);
+    }
+
+    // Row-parallel softmax against the public per-row primitive.
+    let t = Tensor::from_vec(&[rows, cols], fill(13, rows * cols));
+    out.push(t.softmax_rows(1.7));
+    let mut by_row = Vec::with_capacity(rows * cols);
+    for r in 0..rows {
+        let mut row = t.data()[r * cols..(r + 1) * cols].to_vec();
+        softmax_slice(&mut row, 1.7);
+        by_row.extend_from_slice(&row);
+    }
+    out.push(Tensor::from_vec(&[rows, cols], by_row));
+
+    // Element-wise family.
+    let u = Tensor::from_vec(&[rows, cols], fill(17, rows * cols));
+    out.push(t.map(|x| (x * 1.5).tanh()));
+    out.push(t.zip_map(&u, |a, b| a * b + 0.25));
+    let bias = Tensor::from_vec(&[cols], fill(19, cols));
+    out.push(t.add_row_broadcast(&bias));
+
+    out
+}

@@ -47,7 +47,10 @@ impl EncodedDoc {
     /// `cfg.doc_len` are truncated away; a sentence is never split across
     /// the document boundary mid-way (it is cut at the boundary).
     pub fn from_sentences(sentences: &[String], wp: &WordPiece, cfg: ChunkConfig) -> Self {
-        assert!(cfg.sub_len > 0 && cfg.doc_len.is_multiple_of(cfg.sub_len), "sub_len must divide doc_len");
+        assert!(
+            cfg.sub_len > 0 && cfg.doc_len.is_multiple_of(cfg.sub_len),
+            "sub_len must divide doc_len"
+        );
         let mut tokens = Vec::with_capacity(cfg.doc_len);
         let mut cls_positions = Vec::new();
         let mut sentence_of = Vec::with_capacity(cfg.doc_len);
@@ -95,11 +98,7 @@ impl EncodedDoc {
     /// Token index range `[start, end)` of sentence `s`.
     pub fn sentence_span(&self, s: usize) -> (usize, usize) {
         let start = self.cls_positions[s];
-        let end = self
-            .cls_positions
-            .get(s + 1)
-            .copied()
-            .unwrap_or(self.real_len);
+        let end = self.cls_positions.get(s + 1).copied().unwrap_or(self.real_len);
         (start, end)
     }
 }
@@ -112,7 +111,12 @@ mod tests {
     fn wp() -> WordPiece {
         WordPiece::train(
             ["alpha beta gamma delta epsilon zeta eta theta"].into_iter(),
-            WordPieceConfig { max_words: 50, max_pieces: 50, min_word_freq: 1, max_piece_len: 4 },
+            WordPieceConfig {
+                max_words: 50,
+                max_pieces: 50,
+                min_word_freq: 1,
+                max_piece_len: 4,
+            },
         )
     }
 

@@ -148,12 +148,15 @@ mod tests {
     #[test]
     fn coverage_on_training_corpus_is_high() {
         let corpus = "the quick brown fox jumps over the lazy dog again and again";
-        let wp = WordPiece::train([corpus].into_iter(), WordPieceConfig {
-            max_words: 50,
-            max_pieces: 50,
-            min_word_freq: 1,
-            max_piece_len: 4,
-        });
+        let wp = WordPiece::train(
+            [corpus].into_iter(),
+            WordPieceConfig {
+                max_words: 50,
+                max_pieces: 50,
+                min_word_freq: 1,
+                max_piece_len: 4,
+            },
+        );
         let cov = coverage(&wp, [corpus].into_iter());
         assert_eq!(cov.unk_rate(), 0.0);
         assert!((cov.whole_word_rate() - 1.0).abs() < 1e-12);
@@ -162,12 +165,15 @@ mod tests {
 
     #[test]
     fn coverage_degrades_on_unseen_words() {
-        let wp = WordPiece::train(["alpha beta"].into_iter(), WordPieceConfig {
-            max_words: 10,
-            max_pieces: 10,
-            min_word_freq: 1,
-            max_piece_len: 3,
-        });
+        let wp = WordPiece::train(
+            ["alpha beta"].into_iter(),
+            WordPieceConfig {
+                max_words: 10,
+                max_pieces: 10,
+                min_word_freq: 1,
+                max_piece_len: 3,
+            },
+        );
         let cov = coverage(&wp, ["gamma delta epsilon"].into_iter());
         assert!(cov.fertility() > 1.0 || cov.unk_rate() > 0.0);
         assert!(cov.whole_word_rate() < 1.0);

@@ -79,10 +79,7 @@ impl Vocab {
 
     /// Decodes ids to strings, skipping `[PAD]`.
     pub fn decode(&self, ids: &[u32]) -> Vec<String> {
-        ids.iter()
-            .filter(|&&id| id != PAD)
-            .map(|&id| self.token(id).to_string())
-            .collect()
+        ids.iter().filter(|&&id| id != PAD).map(|&id| self.token(id).to_string()).collect()
     }
 }
 

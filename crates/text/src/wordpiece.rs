@@ -25,7 +25,12 @@ pub struct WordPieceConfig {
 
 impl Default for WordPieceConfig {
     fn default() -> Self {
-        WordPieceConfig { max_words: 8000, max_pieces: 2000, min_word_freq: 2, max_piece_len: 6 }
+        WordPieceConfig {
+            max_words: 8000,
+            max_pieces: 2000,
+            min_word_freq: 2,
+            max_piece_len: 6,
+        }
     }
 }
 
@@ -123,10 +128,7 @@ impl WordPiece {
 
     /// Encodes raw text to token ids.
     pub fn encode(&self, text: &str) -> Vec<u32> {
-        self.tokenize(text)
-            .iter()
-            .map(|t| self.vocab.id_or_unk(t))
-            .collect()
+        self.tokenize(text).iter().map(|t| self.vocab.id_or_unk(t)).collect()
     }
 
     /// Greedy longest-match-first WordPiece tokenisation of a single word.
@@ -216,12 +218,15 @@ mod tests {
             "booking bookshop bookstore books",
             "deep learning with tensorflow and python",
         ];
-        WordPiece::train(corpus.iter().copied(), WordPieceConfig {
-            max_words: 100,
-            max_pieces: 200,
-            min_word_freq: 1,
-            max_piece_len: 6,
-        })
+        WordPiece::train(
+            corpus.iter().copied(),
+            WordPieceConfig {
+                max_words: 100,
+                max_pieces: 200,
+                min_word_freq: 1,
+                max_piece_len: 6,
+            },
+        )
     }
 
     #[test]

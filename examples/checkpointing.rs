@@ -16,16 +16,12 @@ fn main() {
     let briefer = Briefer::train(&dataset, cfg, 7);
 
     let path = std::env::temp_dir().join("webpage_briefing_demo.ckpt.json");
-    briefer
-        .checkpoint(&dataset.tokenizer)
-        .save(&path)
-        .expect("save checkpoint");
+    briefer.checkpoint(&dataset.tokenizer).save(&path).expect("save checkpoint");
     let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
     println!("Saved checkpoint to {} ({:.1} KiB)", path.display(), bytes as f64 / 1024.0);
 
-    let restored =
-        Briefer::from_checkpoint(&Checkpoint::load(&path).expect("load checkpoint"))
-            .expect("restore briefer");
+    let restored = Briefer::from_checkpoint(&Checkpoint::load(&path).expect("load checkpoint"))
+        .expect("restore briefer");
 
     let split = dataset.split(1);
     let ex = &dataset.examples[split.test[0]];

@@ -11,9 +11,8 @@ use webpage_briefing::html::{crawl, CrawlConfig, Node, Tag, Website};
 use webpage_briefing::prelude::*;
 
 fn index_page(links: usize) -> Node {
-    let anchors: Vec<Node> = (0..links)
-        .map(|i| Node::elem(Tag::A, vec![Node::text(format!("page {i}"))]))
-        .collect();
+    let anchors: Vec<Node> =
+        (0..links).map(|i| Node::elem(Tag::A, vec![Node::text(format!("page {i}"))])).collect();
     Node::elem(Tag::Body, vec![Node::elem(Tag::Ul, anchors)])
 }
 

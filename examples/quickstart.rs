@@ -30,10 +30,7 @@ fn main() {
     let brief = briefer.brief_example(ex);
     println!("\n=== Webpage brief (held-out corpus page) ===");
     print!("{}", brief.render());
-    println!(
-        "Ground truth topic: {}",
-        dataset.taxonomy.topic(ex.topic).phrase_text()
-    );
+    println!("Ground truth topic: {}", dataset.taxonomy.topic(ex.topic).phrase_text());
 
     // Brief raw HTML straight from the wire.
     let html = r#"<html><head><title>shop</title></head><body>

@@ -6,8 +6,10 @@
 //! wb brief --model model.json page.html                 # brief webpages
 //! wb stats                                              # corpus statistics
 //! ```
+//!
+//! Argument parsing is hand-rolled (no external CLI crate): every
+//! subcommand takes `--flag value` options plus positional file paths.
 
-use clap::{Parser, Subcommand};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use webpage_briefing::core::{Briefer, Checkpoint, ModelConfig, TrainConfig};
@@ -16,83 +18,105 @@ use webpage_briefing::corpus::{
 };
 use webpage_briefing::text::{coverage, FrequencyTable};
 
-#[derive(Parser)]
-#[command(
-    name = "wb",
-    about = "Automatic Webpage Briefing (ICDE 2021): hierarchical webpage summaries",
-    version
-)]
-struct Cli {
-    #[command(subcommand)]
-    command: Command,
+const USAGE: &str = "\
+wb — Automatic Webpage Briefing (ICDE 2021): hierarchical webpage summaries
+
+USAGE:
+    wb generate [--out DIR] [--subjects N] [--pages N] [--seed N]
+    wb train    [--out FILE] [--epochs N] [--subjects N] [--pages N] [--seed N]
+    wb brief    [--model FILE] [--json] FILES...
+    wb stats    [--subjects N] [--pages N]
+
+SUBCOMMANDS:
+    generate    Generate a synthetic labelled corpus and export HTML + JSON
+    train       Train a Joint-WB briefer and save a checkpoint
+    brief       Brief one or more HTML files with a trained checkpoint
+    stats       Print statistics of a synthetic corpus
+";
+
+/// Minimal `--flag value` / `--switch` / positional parser.
+struct Args {
+    options: Vec<(String, String)>,
+    switches: Vec<String>,
+    positional: Vec<String>,
 }
 
-#[derive(Subcommand)]
-enum Command {
-    /// Generate a synthetic labelled corpus and export it as HTML + JSON.
-    Generate {
-        /// Output directory.
-        #[arg(long, default_value = "./wb-corpus")]
-        out: String,
-        /// Subjects per family (topics = 8 × this).
-        #[arg(long, default_value_t = 2)]
-        subjects: usize,
-        /// Pages per topic.
-        #[arg(long, default_value_t = 6)]
-        pages: usize,
-        /// RNG seed.
-        #[arg(long, default_value_t = 7)]
-        seed: u64,
-    },
-    /// Train a Joint-WB briefer on a synthetic corpus and save a checkpoint.
-    Train {
-        /// Checkpoint output path (JSON).
-        #[arg(long, default_value = "./wb-model.json")]
-        out: String,
-        /// Training epochs.
-        #[arg(long, default_value_t = 15)]
-        epochs: usize,
-        /// Subjects per family for the training corpus.
-        #[arg(long, default_value_t = 2)]
-        subjects: usize,
-        /// Pages per topic.
-        #[arg(long, default_value_t = 8)]
-        pages: usize,
-        /// RNG seed.
-        #[arg(long, default_value_t = 7)]
-        seed: u64,
-    },
-    /// Brief one or more HTML files with a trained checkpoint.
-    Brief {
-        /// Checkpoint path produced by `wb train`.
-        #[arg(long, default_value = "./wb-model.json")]
-        model: String,
-        /// HTML files to brief.
-        #[arg(required = true)]
-        files: Vec<String>,
-        /// Emit JSON instead of the rendered hierarchy.
-        #[arg(long)]
-        json: bool,
-    },
-    /// Print statistics of a synthetic corpus.
-    Stats {
-        /// Subjects per family.
-        #[arg(long, default_value_t = 2)]
-        subjects: usize,
-        /// Pages per topic.
-        #[arg(long, default_value_t = 6)]
-        pages: usize,
-    },
+impl Args {
+    /// Splits raw arguments; `switch_names` lists valueless flags.
+    fn parse(raw: &[String], switch_names: &[&str]) -> Result<Args, String> {
+        let mut args =
+            Args { options: Vec::new(), switches: Vec::new(), positional: Vec::new() };
+        let mut i = 0;
+        while i < raw.len() {
+            let a = &raw[i];
+            if let Some(name) = a.strip_prefix("--") {
+                if switch_names.contains(&name) {
+                    args.switches.push(name.to_string());
+                } else {
+                    let value = raw
+                        .get(i + 1)
+                        .ok_or_else(|| format!("option --{name} expects a value"))?;
+                    args.options.push((name.to_string(), value.clone()));
+                    i += 1;
+                }
+            } else {
+                args.positional.push(a.clone());
+            }
+            i += 1;
+        }
+        Ok(args)
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.options.iter().rev().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    fn get_str(&self, name: &str, default: &str) -> String {
+        self.get(name).unwrap_or(default).to_string()
+    }
+
+    fn get_num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => {
+                v.parse().map_err(|_| format!("option --{name} has invalid value `{v}`"))
+            }
+        }
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    fn reject_unknown(&self, known: &[&str]) -> Result<(), String> {
+        for (k, _) in &self.options {
+            if !known.contains(&k.as_str()) {
+                return Err(format!("unknown option --{k}"));
+            }
+        }
+        Ok(())
+    }
 }
 
 fn main() {
-    match Cli::parse().command {
-        Command::Generate { out, subjects, pages, seed } => generate(&out, subjects, pages, seed),
-        Command::Train { out, epochs, subjects, pages, seed } => {
-            train(&out, epochs, subjects, pages, seed)
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.iter().any(|a| a == "--help" || a == "-h") || raw.is_empty() {
+        print!("{USAGE}");
+        if raw.is_empty() {
+            std::process::exit(2);
         }
-        Command::Brief { model, files, json } => brief(&model, &files, json),
-        Command::Stats { subjects, pages } => stats(subjects, pages),
+        return;
+    }
+    let result = match raw[0].as_str() {
+        "generate" => cmd_generate(&raw[1..]),
+        "train" => cmd_train(&raw[1..]),
+        "brief" => cmd_brief(&raw[1..]),
+        "stats" => cmd_stats(&raw[1..]),
+        other => Err(format!("unknown subcommand `{other}`")),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}\n\n{USAGE}");
+        std::process::exit(2);
     }
 }
 
@@ -104,7 +128,14 @@ fn dataset_config(subjects: usize, pages: usize, seed: u64) -> DatasetConfig {
     cfg
 }
 
-fn generate(out: &str, subjects: usize, pages: usize, seed: u64) {
+fn cmd_generate(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw, &[])?;
+    args.reject_unknown(&["out", "subjects", "pages", "seed"])?;
+    let out = args.get_str("out", "./wb-corpus");
+    let subjects: usize = args.get_num("subjects", 2)?;
+    let pages: usize = args.get_num("pages", 6)?;
+    let seed: u64 = args.get_num("seed", 7)?;
+
     let taxonomy = Taxonomy::build(seed, subjects);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut records = Vec::new();
@@ -116,18 +147,23 @@ fn generate(out: &str, subjects: usize, pages: usize, seed: u64) {
             ));
         }
     }
-    export_pages(out, &records).expect("export corpus");
-    println!(
-        "Wrote {} labelled pages over {} topics to {out}",
-        records.len(),
-        taxonomy.len()
-    );
+    export_pages(&out, &records).map_err(|e| format!("export corpus: {e}"))?;
+    println!("Wrote {} labelled pages over {} topics to {out}", records.len(), taxonomy.len());
+    Ok(())
 }
 
-fn train(out: &str, epochs: usize, subjects: usize, pages: usize, seed: u64) {
+fn cmd_train(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw, &[])?;
+    args.reject_unknown(&["out", "epochs", "subjects", "pages", "seed"])?;
+    let out = args.get_str("out", "./wb-model.json");
+    let epochs: usize = args.get_num("epochs", 15)?;
+    let subjects: usize = args.get_num("subjects", 2)?;
+    let pages: usize = args.get_num("pages", 8)?;
+    let seed: u64 = args.get_num("seed", 7)?;
+
     println!("Generating corpus ({} topics × {pages} pages)…", subjects * 8);
     let dataset = Dataset::generate(&dataset_config(subjects, pages, seed));
-    println!("Training Joint-WB for {epochs} epochs (one CPU — be patient)…");
+    println!("Training Joint-WB for {epochs} epochs…");
     let mut tc = TrainConfig::scaled(epochs);
     tc.lr = 0.01;
     tc.decay = 0.98;
@@ -135,19 +171,35 @@ fn train(out: &str, epochs: usize, subjects: usize, pages: usize, seed: u64) {
     let briefer = Briefer::train_with(&dataset, model_cfg, tc, seed);
     briefer
         .checkpoint(&dataset.tokenizer)
-        .save(out)
-        .expect("save checkpoint");
+        .save(&out)
+        .map_err(|e| format!("save checkpoint: {e}"))?;
     println!("Saved checkpoint to {out}");
+    Ok(())
 }
 
-fn brief(model: &str, files: &[String], json: bool) {
-    let ckpt = Checkpoint::load(model)
-        .unwrap_or_else(|e| panic!("cannot load checkpoint {model}: {e}"));
-    let briefer = Briefer::from_checkpoint(&ckpt).expect("checkpoint holds a briefer");
-    for file in files {
-        let html = std::fs::read_to_string(file)
-            .unwrap_or_else(|e| panic!("cannot read {file}: {e}"));
-        match briefer.brief_html(&html) {
+fn cmd_brief(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw, &["json"])?;
+    args.reject_unknown(&["model"])?;
+    let model = args.get_str("model", "./wb-model.json");
+    let json = args.has("json");
+    let files = &args.positional;
+    if files.is_empty() {
+        return Err("brief expects at least one HTML file".to_string());
+    }
+
+    let ckpt =
+        Checkpoint::load(&model).map_err(|e| format!("cannot load checkpoint {model}: {e}"))?;
+    let briefer = Briefer::from_checkpoint(&ckpt)
+        .map_err(|e| format!("checkpoint holds no briefer: {e}"))?;
+    let htmls: Vec<String> = files
+        .iter()
+        .map(|file| {
+            std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+    // Pages fan out over the rayon pool; output order matches input order.
+    for (file, result) in files.iter().zip(briefer.brief_corpus(&htmls)) {
+        match result {
             Ok(b) => {
                 println!("=== {file} ===");
                 if json {
@@ -159,9 +211,15 @@ fn brief(model: &str, files: &[String], json: bool) {
             Err(e) => eprintln!("=== {file} ===\ncould not brief: {e}"),
         }
     }
+    Ok(())
 }
 
-fn stats(subjects: usize, pages: usize) {
+fn cmd_stats(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw, &[])?;
+    args.reject_unknown(&["subjects", "pages"])?;
+    let subjects: usize = args.get_num("subjects", 2)?;
+    let pages: usize = args.get_num("pages", 6)?;
+
     let dataset = Dataset::generate(&dataset_config(subjects, pages, 7));
     let (mean, std) = dataset.length_stats();
     println!("pages:           {}", dataset.examples.len());
@@ -177,8 +235,7 @@ fn stats(subjects: usize, pages: usize) {
         .take(200)
         .map(|e| {
             // Reconstruct the surface text without special tokens.
-            let ids: Vec<u32> =
-                e.tokens.iter().copied().filter(|&t| t >= n_specials).collect();
+            let ids: Vec<u32> = e.tokens.iter().copied().filter(|&t| t >= n_specials).collect();
             dataset.tokenizer.decode_ids(&ids).join(" ")
         })
         .collect();
@@ -191,4 +248,5 @@ fn stats(subjects: usize, pages: usize) {
     println!("tokenizer UNK:   {:.2}%", cov.unk_rate() * 100.0);
     println!("whole words:     {:.1}%", cov.whole_word_rate() * 100.0);
     println!("fertility:       {:.2} pieces/word", cov.fertility());
+    Ok(())
 }

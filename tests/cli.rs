@@ -65,13 +65,7 @@ fn train_then_brief_roundtrip() {
 
     // JSON mode produces valid JSON with the Brief fields.
     let out = wb()
-        .args([
-            "brief",
-            "--model",
-            model.to_str().unwrap(),
-            "--json",
-            page.to_str().unwrap(),
-        ])
+        .args(["brief", "--model", model.to_str().unwrap(), "--json", page.to_str().unwrap()])
         .output()
         .expect("run wb brief --json");
     assert!(out.status.success());
@@ -87,10 +81,8 @@ fn train_then_brief_roundtrip() {
 
 #[test]
 fn stats_prints_corpus_summary() {
-    let out = wb()
-        .args(["stats", "--subjects", "1", "--pages", "2"])
-        .output()
-        .expect("run wb stats");
+    let out =
+        wb().args(["stats", "--subjects", "1", "--pages", "2"]).output().expect("run wb stats");
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("pages:"));

@@ -40,10 +40,7 @@ fn dual_distill_recovers_unseen_domains() {
     let teacher_unseen = em(&d, &test_unseen, |ex| teacher.generate(ex));
     let teacher_seen = em(&d, &test_seen, |ex| teacher.generate(ex));
     assert!(teacher_seen >= 60.0, "teacher should master seen topics: {teacher_seen}");
-    assert!(
-        teacher_unseen <= 20.0,
-        "teacher cannot know unseen subjects: {teacher_unseen}"
-    );
+    assert!(teacher_unseen <= 20.0, "teacher cannot know unseen subjects: {teacher_unseen}");
 
     // Student distilled on all topics.
     let cache = TeacherCache::build(&teacher, &d.examples, &split.train, 2.0);
@@ -79,9 +76,7 @@ fn dual_distill_recovers_unseen_domains() {
 
 #[test]
 fn tri_distill_joint_student_learns_both_tasks() {
-    use webpage_briefing::core::{
-        JointGenerationTeacher, JointTeacherCache, TriDistill,
-    };
+    use webpage_briefing::core::{JointGenerationTeacher, JointTeacherCache, TriDistill};
     let d = Dataset::generate(&DatasetConfig::tiny());
     let split = d.split(7);
     let (seen, _unseen) = d.topic_partition(3, 8);

@@ -1,0 +1,75 @@
+//! End-to-end determinism of the parallel briefing path: `brief_corpus`
+//! must produce byte-identical output whether it runs on one thread or the
+//! full rayon pool, and must agree page-for-page with `brief_html`.
+//!
+//! The thread count is controlled through `RAYON_NUM_THREADS`, which the
+//! vendored rayon re-reads on every parallel call — so a single process can
+//! compare both configurations. Everything lives in one `#[test]` because
+//! the variable is process-global.
+
+use webpage_briefing::core::{
+    Brief, BriefError, Briefer, JointModel, JointVariant, ModelConfig,
+};
+use webpage_briefing::corpus::{Dataset, DatasetConfig};
+
+/// A corpus of small HTML pages with varied content, plus pages that fail
+/// (unparseable / empty) so error positions are exercised too.
+fn sample_pages() -> Vec<String> {
+    let mut pages = Vec::new();
+    for i in 0..12 {
+        pages.push(format!(
+            "<html><body><section><h1>Item {i}</h1>\
+             <p>Great velcro books volume {i}, price : $ {}.50 today.</p>\
+             <p>Author : emma smith. Category : fiction goods.</p>\
+             </section></body></html>",
+            10 + i
+        ));
+    }
+    // An empty page (no visible text) -> BriefError::EmptyPage.
+    pages.insert(5, "<html><head><title>x</title></head></html>".to_string());
+    pages
+}
+
+/// Renders one batch result to a canonical string for comparison.
+fn canonical(results: &[Result<Brief, BriefError>]) -> String {
+    results
+        .iter()
+        .map(|r| match r {
+            Ok(b) => format!("ok:{}", b.render()),
+            Err(e) => format!("err:{e}"),
+        })
+        .collect::<Vec<_>>()
+        .join("\n---\n")
+}
+
+#[test]
+fn brief_corpus_is_thread_count_invariant() {
+    let d = Dataset::generate(&DatasetConfig::tiny());
+    let cfg = ModelConfig::scaled(d.tokenizer.vocab().len());
+    let model = JointModel::new(JointVariant::JointWb, cfg, 0);
+    let briefer = Briefer::from_model(model, d.tokenizer.clone());
+    let pages = sample_pages();
+
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let serial = canonical(&briefer.brief_corpus(&pages));
+    // Force 4 workers (a plain default would stay serial on 1-core boxes).
+    std::env::set_var("RAYON_NUM_THREADS", "4");
+    let forced = canonical(&briefer.brief_corpus(&pages));
+    std::env::remove_var("RAYON_NUM_THREADS");
+    let parallel = canonical(&briefer.brief_corpus(&pages));
+
+    assert_eq!(serial, forced, "brief_corpus output must be byte-identical at 1 vs 4 threads");
+    assert_eq!(
+        serial, parallel,
+        "brief_corpus output must be byte-identical at the default thread count"
+    );
+
+    // Batch results agree entry-for-entry with the one-page API, in input
+    // order.
+    let single: Vec<_> = pages.iter().map(|p| briefer.brief_html(p)).collect();
+    assert_eq!(canonical(&single), parallel);
+
+    // The corpus exercised both the success and the error path.
+    assert!(serial.contains("ok:Topic:"));
+    assert!(serial.contains("err:page has no visible text"));
+}

@@ -51,9 +51,8 @@ fn crawler_feeds_briefer_compatible_pages() {
         d.tokenizer.clone(),
     );
     for &p in &result.content_pages {
-        let brief = briefer
-            .brief_html(&site.pages[p].dom.to_html())
-            .expect("brief crawled page");
+        let brief =
+            briefer.brief_html(&site.pages[p].dom.to_html()).expect("brief crawled page");
         assert!(brief.topic.split(' ').count() <= cfg.max_topic_len);
     }
 }

@@ -146,8 +146,7 @@ fn random_network_gradcheck() {
         let cols = rng.gen_range(2..5usize);
         let n = rows * inner;
         let data: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        let other: Vec<f32> =
-            (0..inner * cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let other: Vec<f32> = (0..inner * cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let targets: Vec<usize> = (0..rows).map(|_| rng.gen_range(0..cols)).collect();
 
         let mut params = Params::new();

@@ -1,0 +1,255 @@
+//! Vendored, dependency-free stand-in for `criterion`.
+//!
+//! Wall-clock benchmarking with calibration: each benchmark is warmed up,
+//! then timed in batches until a time budget is spent, and the mean, best
+//! and worst per-iteration times are printed. Supports the subset of the
+//! criterion API used by this workspace: `black_box`, `Criterion` with
+//! `sample_size`, `bench_function`, `benchmark_group` + `Throughput::Bytes`,
+//! both `criterion_group!` forms, and `criterion_main!`.
+//!
+//! When invoked by `cargo test` (a `--test` argument is present), every
+//! benchmark runs exactly one iteration so the suite stays fast while still
+//! exercising the bench code paths.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting benchmarked
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units for reporting throughput alongside time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Drives timed iterations of one benchmark body.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over the calibrated iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { sample_size: 30, test_mode }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Criterion {
+        run_benchmark(&id.into(), self.sample_size, self.test_mode, None, f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and optional throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Attaches a throughput so reports include bytes/elements per second.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets the sample count for subsequent benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        run_benchmark(
+            &full,
+            self.criterion.sample_size,
+            self.criterion.test_mode,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    test_mode: bool,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    if test_mode {
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        println!("{name}: ok (test mode, 1 iter)");
+        return;
+    }
+
+    // Calibrate: grow the iteration count until one sample takes >= 1 ms,
+    // so short bodies are measured in batches rather than per call.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 2;
+    }
+
+    let mut best = Duration::MAX;
+    let mut worst = Duration::ZERO;
+    let mut total = Duration::ZERO;
+    // Budget ~400 ms of measurement per benchmark regardless of sample_size
+    // so whole suites stay quick.
+    let budget = Duration::from_millis(400);
+    let mut samples = 0usize;
+    let started = Instant::now();
+    while samples < sample_size && (samples < 3 || started.elapsed() < budget) {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        best = best.min(b.elapsed);
+        worst = worst.max(b.elapsed);
+        total += b.elapsed;
+        samples += 1;
+    }
+
+    let per_iter = |d: Duration| d.as_secs_f64() / iters as f64;
+    let mean = per_iter(total) / samples as f64;
+    let mut line = format!(
+        "{name}: mean {} (best {}, worst {}, {} samples x {} iters)",
+        fmt_time(mean),
+        fmt_time(per_iter(best)),
+        fmt_time(per_iter(worst)),
+        samples,
+        iters
+    );
+    if let Some(t) = throughput {
+        let (amount, unit) = match t {
+            Throughput::Bytes(n) => (n as f64, "MB/s"),
+            Throughput::Elements(n) => (n as f64, "Melem/s"),
+        };
+        line.push_str(&format!(", {:.1} {}", amount / mean / 1e6, unit));
+    }
+    println!("{line}");
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Declares a benchmark group function; both the positional and the
+/// `name/config/targets` forms are supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_bench(c: &mut Criterion) {
+        c.bench_function("sum_small", |b| b.iter(|| (0..100u64).sum::<u64>()));
+    }
+
+    #[test]
+    fn harness_runs_in_test_mode() {
+        let mut c = Criterion { sample_size: 5, test_mode: true };
+        quick_bench(&mut c);
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(fmt_time(2.0), "2.000 s");
+        assert_eq!(fmt_time(0.0015), "1.500 ms");
+        assert_eq!(fmt_time(2.5e-6), "2.500 us");
+        assert_eq!(fmt_time(3.0e-9), "3.0 ns");
+    }
+}

@@ -1,0 +1,537 @@
+//! Vendored, dependency-free stand-in for `proptest`.
+//!
+//! Provides the subset of the proptest API this workspace uses: the
+//! `proptest!` test macro (with optional `#![proptest_config(...)]`),
+//! `prop_assert!`/`prop_assert_eq!`, the [`Strategy`] trait with
+//! `prop_map`, numeric range strategies, tuple strategies,
+//! `collection::vec`, and string-pattern strategies for the small regex
+//! subset that appears in the test suite (`.`, `[class]`, `{m,n}`).
+//!
+//! Differences from upstream: generation is fully deterministic (seeded
+//! from the test name, so failures reproduce exactly) and there is no
+//! shrinking — the failing case is reported as-is with its case index.
+
+pub mod test_runner {
+    /// Per-test configuration; only `cases` is honoured.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` generated inputs per property.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// SplitMix64-based deterministic generator for test inputs.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds from a label (the test name), so each property gets an
+        /// independent but reproducible stream.
+        pub fn deterministic(label: &str) -> TestRng {
+            let mut seed = 0x9E37_79B9_7F4A_7C15u64;
+            for b in label.bytes() {
+                seed = seed.wrapping_mul(0x100_0000_01B3).wrapping_add(b as u64);
+            }
+            TestRng { state: seed }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, bound)`; `bound` must be positive.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A generator of test inputs.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value from the deterministic stream.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Numeric range strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = (rng.next_u64() as u128) % span;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let u = rng.unit_f64() as $t;
+                self.start + u * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+// ---------------------------------------------------------------------------
+// Tuple strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+
+// ---------------------------------------------------------------------------
+// String pattern strategies
+// ---------------------------------------------------------------------------
+
+/// Pattern atoms of the supported regex subset.
+enum Atom {
+    /// `.` — any char from a mixed ASCII/Unicode pool.
+    Any,
+    /// `[...]` — one of an explicit char set.
+    Class(Vec<char>),
+    /// A literal character.
+    Literal(char),
+}
+
+struct Quantified {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pat: &str) -> Vec<Quantified> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::Any
+            }
+            '[' => {
+                i += 1;
+                let mut set = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let c = if chars[i] == '\\' && i + 1 < chars.len() {
+                        i += 1;
+                        match chars[i] {
+                            'n' => '\n',
+                            't' => '\t',
+                            other => other,
+                        }
+                    } else {
+                        chars[i]
+                    };
+                    // `a-z` range (a `-` needs a char on both sides).
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let hi = chars[i + 2];
+                        for code in c as u32..=hi as u32 {
+                            if let Some(ch) = char::from_u32(code) {
+                                set.push(ch);
+                            }
+                        }
+                        i += 3;
+                    } else {
+                        set.push(c);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated [class] in pattern {pat:?}");
+                i += 1; // closing ]
+                assert!(!set.is_empty(), "empty [class] in pattern {pat:?}");
+                Atom::Class(set)
+            }
+            '\\' if i + 1 < chars.len() => {
+                i += 1;
+                let c = match chars[i] {
+                    'n' => '\n',
+                    't' => '\t',
+                    other => other,
+                };
+                i += 1;
+                Atom::Literal(c)
+            }
+            other => {
+                i += 1;
+                Atom::Literal(other)
+            }
+        };
+        // Optional {m,n} / {n} quantifier.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            i += 1;
+            let mut first = String::new();
+            while i < chars.len() && chars[i].is_ascii_digit() {
+                first.push(chars[i]);
+                i += 1;
+            }
+            let lo: usize = first.parse().expect("bad quantifier");
+            let hi = if i < chars.len() && chars[i] == ',' {
+                i += 1;
+                let mut second = String::new();
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    second.push(chars[i]);
+                    i += 1;
+                }
+                second.parse().expect("bad quantifier")
+            } else {
+                lo
+            };
+            assert!(i < chars.len() && chars[i] == '}', "unterminated quantifier");
+            i += 1;
+            (lo, hi)
+        } else {
+            (1, 1)
+        };
+        out.push(Quantified { atom, min, max });
+    }
+    out
+}
+
+/// Pool for `.`: mostly printable ASCII, some whitespace and multibyte
+/// characters so parsers are exercised on non-trivial input.
+fn any_char(rng: &mut TestRng) -> char {
+    const EXOTIC: &[char] =
+        &['\n', '\t', 'é', 'ß', 'Σ', '中', '文', '🦀', '«', '»', '\u{0301}', 'İ'];
+    if rng.below(8) == 0 {
+        EXOTIC[rng.below(EXOTIC.len() as u64) as usize]
+    } else {
+        char::from_u32(0x20 + rng.below(0x7F - 0x20) as u32).unwrap()
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for q in parse_pattern(self) {
+            let count = q.min + rng.below((q.max - q.min + 1) as u64) as usize;
+            for _ in 0..count {
+                match &q.atom {
+                    Atom::Any => out.push(any_char(rng)),
+                    Atom::Class(set) => out.push(set[rng.below(set.len() as u64) as usize]),
+                    Atom::Literal(c) => out.push(*c),
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collection strategies
+// ---------------------------------------------------------------------------
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Acceptable length specs for [`vec`]: an exact `usize` or a `Range`.
+    pub trait SizeBounds {
+        /// `(min, max)` inclusive length bounds.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl SizeBounds for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    impl SizeBounds for std::ops::Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty vec length range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl SizeBounds for std::ops::RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// Strategy for vectors whose elements come from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// A vector strategy with the given element strategy and length spec.
+    pub fn vec<S: Strategy>(element: S, size: impl SizeBounds) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { element, min, max }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.min + rng.below((self.max - self.min + 1) as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Asserts a condition inside a `proptest!` body, reporting the failing
+/// case instead of panicking mid-generation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __l = $left;
+        let __r = $right;
+        if !(__l == __r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __l = $left;
+        let __r = $right;
+        if __l == __r {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{}` != `{}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l
+            ));
+        }
+    }};
+}
+
+/// Declares property tests: each function body runs once per generated
+/// case, with every `name in strategy` argument freshly drawn.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! {
+            $crate::test_runner::ProptestConfig::default(); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::test_runner::TestRng::deterministic(stringify!($name));
+            // Strategies are built once; per-case values shadow the names.
+            $(let $arg = &($strat);)+
+            for __case in 0..__config.cases {
+                let __result: ::std::result::Result<(), ::std::string::String> = (|| {
+                    $(let $arg = $crate::Strategy::generate($arg, &mut __rng);)+
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(__msg) = __result {
+                    panic!(
+                        "property `{}` failed at case {}/{}: {}",
+                        stringify!($name),
+                        __case + 1,
+                        __config.cases,
+                        __msg
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// `use proptest::prelude::*;` surface.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Just, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (u32, u32)> {
+        (0u32..10, 10u32..20).prop_map(|(a, b)| (a, b))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u8..9, y in -2.0f32..2.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y), "y = {}", y);
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in collection::vec(0u32..5, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() <= 5);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn mapped_tuples_work(p in pair()) {
+            prop_assert!(p.0 < 10);
+            prop_assert!(p.1 >= 10);
+            prop_assert_eq!(p.0 + p.1, p.1 + p.0);
+        }
+
+        #[test]
+        fn patterns_match_their_class(s in "[a-z]{1,8}", t in "[0-9 ,.]{0,12}") {
+            prop_assert!(!s.is_empty() && s.len() <= 8);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            prop_assert!(t.len() <= 12);
+            prop_assert!(t.chars().all(|c| "0123456789 ,.".contains(c)));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_test_name() {
+        let strat = collection::vec(0u64..1000, 8usize);
+        let mut r1 = crate::test_runner::TestRng::deterministic("same");
+        let mut r2 = crate::test_runner::TestRng::deterministic("same");
+        assert_eq!(strat.generate(&mut r1), strat.generate(&mut r2));
+    }
+
+    #[test]
+    fn dot_pattern_produces_valid_strings() {
+        let mut rng = crate::test_runner::TestRng::deterministic("dot");
+        for _ in 0..50 {
+            let s = ".{0,40}".generate(&mut rng);
+            assert!(s.chars().count() <= 40);
+        }
+    }
+}
