@@ -1,0 +1,61 @@
+//! Measures the cost of `wb-obs` instrumentation on the matmul hot path.
+//!
+//! Every `wb_tensor::matmul` dispatch bumps four-ish counters (call
+//! variant, FLOPs, parallel/serial); this bench runs the same matmul with
+//! the registry enabled and disabled so the per-call overhead is visible
+//! directly. The acceptance bar for the observability layer is < 2%
+//! overhead on the instrumented path — counters are relaxed atomic
+//! increments behind a single branch, so the two timings should be
+//! indistinguishable at matmul granularity.
+//!
+//! A third case benchmarks the raw macro cost in isolation (no matmul),
+//! which is the number that matters for very hot, very small call sites.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use wb_tensor::Tensor;
+
+const SHAPE: (usize, usize, usize) = (64, 64, 64);
+
+fn bench_instrumented(c: &mut Criterion) {
+    let (m, k, n) = SHAPE;
+    let a = Tensor::full(&[m, k], 0.5);
+    let b = Tensor::full(&[k, n], 0.25);
+    wb_obs::set_enabled(true);
+    c.bench_function("matmul_64x64x64_obs_enabled", |bench| {
+        bench.iter(|| black_box(a.matmul(&b, false, false)));
+    });
+}
+
+fn bench_disabled(c: &mut Criterion) {
+    let (m, k, n) = SHAPE;
+    let a = Tensor::full(&[m, k], 0.5);
+    let b = Tensor::full(&[k, n], 0.25);
+    wb_obs::set_enabled(false);
+    c.bench_function("matmul_64x64x64_obs_disabled", |bench| {
+        bench.iter(|| black_box(a.matmul(&b, false, false)));
+    });
+    wb_obs::set_enabled(true);
+}
+
+fn bench_macro_costs(c: &mut Criterion) {
+    wb_obs::set_enabled(true);
+    c.bench_function("counter_macro_enabled", |b| {
+        b.iter(|| wb_obs::counter!("bench.obs.counter"));
+    });
+    c.bench_function("histogram_macro_enabled", |b| {
+        b.iter(|| wb_obs::histogram!("bench.obs.histogram", black_box(1.5)));
+    });
+    c.bench_function("span_macro_enabled", |b| {
+        b.iter(|| {
+            let _s = wb_obs::span!("bench.obs.span");
+        });
+    });
+    wb_obs::set_enabled(false);
+    c.bench_function("counter_macro_disabled", |b| {
+        b.iter(|| wb_obs::counter!("bench.obs.counter"));
+    });
+    wb_obs::set_enabled(true);
+}
+
+criterion_group!(benches, bench_instrumented, bench_disabled, bench_macro_costs);
+criterion_main!(benches);

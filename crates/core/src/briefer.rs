@@ -142,14 +142,31 @@ impl Briefer {
     }
 
     /// Briefs a raw HTML page.
+    ///
+    /// Each stage of the pipeline runs under a `wb-obs` span —
+    /// `brief.page` wrapping `brief.parse` → `brief.normalize` →
+    /// `brief.wordpiece` → (`brief.generate` | `brief.extract`, each
+    /// containing `brief.encode`) — so `wb report` can show where page
+    /// latency goes. Spans time; they never alter the brief.
     pub fn brief_html(&self, html: &str) -> Result<Brief, BriefError> {
-        let dom = parse_document(html).map_err(BriefError::Parse)?;
-        let text = wb_html::visible_text(&dom);
-        let sentences = split_sentences(&text);
+        let _page = wb_obs::span!("brief.page");
+        let dom = {
+            let _s = wb_obs::span!("brief.parse");
+            parse_document(html).map_err(BriefError::Parse)?
+        };
+        let sentences = {
+            let _s = wb_obs::span!("brief.normalize");
+            split_sentences(&wb_html::visible_text(&dom))
+        };
         if sentences.is_empty() {
+            wb_obs::debug!("page rejected: no visible text");
             return Err(BriefError::EmptyPage);
         }
-        let ex = encode_text(&sentences, &self.tokenizer);
+        let ex = {
+            let _s = wb_obs::span!("brief.wordpiece");
+            encode_text(&sentences, &self.tokenizer)
+        };
+        wb_obs::counter!("brief.pages");
         Ok(self.brief_example(&ex))
     }
 
@@ -162,13 +179,25 @@ impl Briefer {
     /// Set `RAYON_NUM_THREADS=1` to force sequential execution.
     pub fn brief_corpus(&self, htmls: &[String]) -> Vec<Result<Brief, BriefError>> {
         use rayon::prelude::*;
-        htmls.par_iter().map(|html| self.brief_html(html)).collect()
+        let start = std::time::Instant::now();
+        let out: Vec<Result<Brief, BriefError>> =
+            htmls.par_iter().map(|html| self.brief_html(html)).collect();
+        let secs = start.elapsed().as_secs_f64();
+        if secs > 0.0 {
+            wb_obs::gauge!("brief.pages_per_sec", htmls.len() as f64 / secs);
+        }
+        wb_obs::info!("briefed {} pages in {secs:.3}s", htmls.len());
+        out
     }
 
     /// Briefs an already-encoded example.
     pub fn brief_example(&self, ex: &Example) -> Brief {
-        let topic_ids = self.model.generate(ex);
-        let topic = self.tokenizer.decode_ids(&topic_ids).join(" ");
+        let topic = {
+            let _s = wb_obs::span!("brief.generate");
+            let topic_ids = self.model.generate(ex);
+            self.tokenizer.decode_ids(&topic_ids).join(" ")
+        };
+        let _extract = wb_obs::span!("brief.extract");
         let tags = self.model.predict_tags(ex);
         let mut category = None;
         let mut attributes: Vec<BriefAttribute> = Vec::new();

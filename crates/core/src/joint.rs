@@ -411,7 +411,10 @@ impl JointModel {
     /// greedy first decode instead of teacher forcing, returning the final
     /// decoder memory.
     fn inference_memory(&self, g: &mut Graph, ex: &Example) -> Var {
-        let shared = self.embedder.forward(g, &ex.tokens, &ex.sentence_of);
+        let shared = {
+            let _s = wb_obs::span!("brief.encode");
+            self.embedder.forward(g, &ex.tokens, &ex.sentence_of)
+        };
         let sents = sentence_reps(g, &self.embedder, shared, ex);
         let c_e = self.e_bilstm.forward(g, shared);
         let c_g = self.g_bilstm.forward(g, sents);
@@ -472,7 +475,10 @@ impl JointModel {
     pub fn predict_tags(&self, ex: &Example) -> Vec<u8> {
         let mut g = Graph::new(&self.params, false, 0);
         // Greedy first pass supplies the topic states at inference.
-        let shared = self.embedder.forward(&mut g, &ex.tokens, &ex.sentence_of);
+        let shared = {
+            let _s = wb_obs::span!("brief.encode");
+            self.embedder.forward(&mut g, &ex.tokens, &ex.sentence_of)
+        };
         let sents = sentence_reps(&mut g, &self.embedder, shared, ex);
         let c_e = self.e_bilstm.forward(&mut g, shared);
         let c_g = self.g_bilstm.forward(&mut g, sents);
@@ -547,7 +553,10 @@ impl JointModel {
     pub fn predict_sections(&self, ex: &Example) -> Option<Vec<bool>> {
         self.variant.uses_section_predictor().then(|| {
             let mut g = Graph::new(&self.params, false, 0);
-            let shared = self.embedder.forward(&mut g, &ex.tokens, &ex.sentence_of);
+            let shared = {
+                let _s = wb_obs::span!("brief.encode");
+                self.embedder.forward(&mut g, &ex.tokens, &ex.sentence_of)
+            };
             let sents = sentence_reps(&mut g, &self.embedder, shared, ex);
             let z = self.section_scores(&mut g, sents);
             g.value(z).data().iter().map(|&v| v >= 0.0).collect()

@@ -38,18 +38,43 @@ pub struct TrainStats {
 
 impl TrainStats {
     /// The final epoch's mean loss.
+    ///
+    /// # NaN contract
+    /// Returns `NaN` when no epoch ever ran — `cfg.epochs == 0`, or
+    /// [`train`] was called with an empty `indices` selection (which also
+    /// logs a `wb-obs` warning). `NaN` deliberately poisons any arithmetic
+    /// built on a loss that does not exist; callers that want to branch on
+    /// the condition should check `epoch_losses.is_empty()` instead of
+    /// comparing against the return value.
     pub fn final_loss(&self) -> f32 {
         self.epoch_losses.last().copied().unwrap_or(f32::NAN)
     }
 }
 
 /// Trains `model` on the examples selected by `indices`.
+///
+/// An empty `indices` selection logs a warning and returns immediately
+/// with no epochs recorded, so [`TrainStats::final_loss`] reports `NaN`
+/// rather than a fabricated loss of zero (see its NaN contract).
+///
+/// The loop is instrumented with `wb-obs` spans (`train.epoch`,
+/// `train.step`) and metrics (`train.epoch.loss`, `train.step.loss`,
+/// `train.examples_per_sec`, plus the `optim.*` family emitted by
+/// [`Adam::step`]); instrumentation reads the clock but never the RNG,
+/// so observed runs are bit-identical to unobserved ones.
 pub fn train<M: TrainableModel>(
     model: &mut M,
     examples: &[Example],
     indices: &[usize],
     cfg: TrainConfig,
 ) -> TrainStats {
+    if indices.is_empty() {
+        wb_obs::warn!(
+            "train() called with an empty example selection; no steps will run \
+             and TrainStats::final_loss() will be NaN"
+        );
+        return TrainStats::default();
+    }
     let adam_cfg = AdamConfig {
         lr: cfg.lr,
         beta1: 0.9,
@@ -65,10 +90,13 @@ pub fn train<M: TrainableModel>(
     let mut stats = TrainStats::default();
 
     for epoch in 0..cfg.epochs {
+        let _epoch_span = wb_obs::span!("train.epoch");
+        let epoch_start = std::time::Instant::now();
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0f64;
         let mut seen = 0usize;
         for batch in order.chunks(cfg.batch_size) {
+            let _step_span = wb_obs::span!("train.step");
             let frozen = &*model;
             let results: Vec<(f32, Gradients)> = batch
                 .par_iter()
@@ -85,16 +113,32 @@ pub fn train<M: TrainableModel>(
                 })
                 .collect();
             let mut grads = Gradients::zeros(frozen.params());
+            let mut batch_loss = 0.0f64;
             for (value, g) in results {
-                epoch_loss += value as f64;
+                batch_loss += value as f64;
                 seen += 1;
                 grads.merge(g);
             }
+            epoch_loss += batch_loss;
+            wb_obs::histogram!("train.step.loss", batch_loss / batch.len() as f64);
             grads.scale(1.0 / batch.len() as f32);
             opt.step(model.params_mut(), grads);
         }
         opt.decay_epoch();
-        stats.epoch_losses.push((epoch_loss / seen.max(1) as f64) as f32);
+        let mean = (epoch_loss / seen.max(1) as f64) as f32;
+        stats.epoch_losses.push(mean);
+        wb_obs::histogram!("train.epoch.loss", mean as f64);
+        wb_obs::gauge!("train.loss.final", mean as f64);
+        let secs = epoch_start.elapsed().as_secs_f64();
+        if secs > 0.0 {
+            wb_obs::gauge!("train.examples_per_sec", seen as f64 / secs);
+        }
+        wb_obs::info!(
+            "epoch {}/{}: loss {mean:.4}, {seen} examples, lr {:.5}",
+            epoch + 1,
+            cfg.epochs,
+            opt.current_lr()
+        );
     }
     stats
 }
@@ -150,6 +194,37 @@ mod tests {
         let stats = train(&mut toy, &examples, &idx, cfg);
         assert!(stats.final_loss() < stats.epoch_losses[0]);
         assert!((toy.params.get(w).item() - 2.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn empty_selection_warns_and_reports_nan() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut params = Params::new();
+        let w = params.add_init("w", &[], Initializer::Uniform(0.5), &mut rng);
+        let mut toy = Toy { params, w };
+        let examples = dummy_examples(2);
+        let stats = train(&mut toy, &examples, &[], TrainConfig::scaled(3));
+        // No fabricated zero-loss epochs: the NaN contract applies.
+        assert!(stats.epoch_losses.is_empty());
+        assert!(stats.final_loss().is_nan());
+    }
+
+    #[test]
+    fn training_populates_the_metrics_registry() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut params = Params::new();
+        let w = params.add_init("w", &[], Initializer::Uniform(0.5), &mut rng);
+        let mut toy = Toy { params, w };
+        let examples = dummy_examples(4);
+        let idx: Vec<usize> = (0..examples.len()).collect();
+        train(&mut toy, &examples, &idx, TrainConfig::scaled(2));
+        let snap = wb_obs::metrics::snapshot();
+        for hist in ["train.epoch.loss", "train.step.loss", "optim.grad_norm"] {
+            assert!(snap.histograms.get(hist).is_some_and(|h| h.count > 0), "missing {hist}");
+        }
+        assert!(snap.gauges.contains_key("optim.lr"));
+        assert!(snap.spans.keys().any(|p| p.ends_with("train.epoch")));
+        assert!(snap.spans.keys().any(|p| p.ends_with("train.epoch/train.step")));
     }
 
     #[test]

@@ -1,0 +1,148 @@
+#![warn(missing_docs)]
+//! # wb-obs
+//!
+//! Dependency-free observability for the Webpage Briefing workspace:
+//! structured leveled logging, a global metrics registry and RAII span
+//! timers. Every other crate may depend on this one, so it is std-only
+//! (hand-rolled like the vendor stand-ins — the build environment has no
+//! registry access).
+//!
+//! ## Logging
+//!
+//! Leveled (`error!` … `trace!`), scoped by `target` (the emitting module
+//! path) and configurable at runtime:
+//!
+//! ```
+//! wb_obs::log::set_level(wb_obs::log::Level::Info);
+//! wb_obs::info!("training {} epochs", 12);
+//! ```
+//!
+//! The `WB_LOG` environment variable seeds the configuration, e.g.
+//! `WB_LOG=info`, `WB_LOG=warn,wb_tensor=trace` or
+//! `WB_LOG=debug,wb_core::trainer=off`. Output goes to stderr by default,
+//! or to a file via [`log::set_log_file`].
+//!
+//! ## Metrics
+//!
+//! A process-global registry of counters, gauges and fixed-bucket
+//! histograms. The macros cache the registry lookup in a per-call-site
+//! static, so the steady-state cost of a hit is one atomic load (the
+//! enabled flag) plus one relaxed `fetch_add`:
+//!
+//! ```
+//! wb_obs::counter!("tensor.matmul.calls.nn");
+//! wb_obs::gauge!("optim.lr", 0.01);
+//! wb_obs::histogram!("train.epoch.loss", 0.75);
+//! ```
+//!
+//! [`metrics::snapshot`] freezes everything into a [`metrics::Snapshot`]
+//! that serialises to JSON ([`metrics::Snapshot::to_json`]) and parses
+//! back ([`metrics::Snapshot::from_json`]); [`report::render`] turns a
+//! snapshot into the table `wb report` prints.
+//!
+//! ## Spans
+//!
+//! RAII wall-clock timers that nest per thread and aggregate into a
+//! flamegraph-style self/total report:
+//!
+//! ```
+//! {
+//!     let _epoch = wb_obs::span!("train.epoch");
+//!     let _step = wb_obs::span!("train.step");
+//!     // work…
+//! } // drop order records step inside epoch
+//! ```
+//!
+//! Each span records its total duration into a histogram named after the
+//! span (microseconds) and its `(count, total, self)` aggregate under its
+//! `/`-joined nesting path, so `wb report` can show where the time
+//! actually went.
+//!
+//! ## Determinism and overhead
+//!
+//! Instrumentation reads the clock and bumps atomics; it never touches
+//! model math, RNG draws or parallel reduction order, so any observable
+//! output of the system is byte-identical with observability on or off
+//! (asserted by `tests/cli.rs`). [`set_enabled`]`(false)` reduces every
+//! record to a single atomic load; compiling with the `off` feature
+//! removes even that.
+
+pub mod json;
+pub mod log;
+pub mod metrics;
+pub mod report;
+pub mod span;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Globally enables or disables metric/span recording (logging has its
+/// own level control). Disabling reduces every macro to one atomic load.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether metric/span recording is active. Always `false` when compiled
+/// with the `off` feature.
+#[inline(always)]
+pub fn enabled() -> bool {
+    #[cfg(feature = "off")]
+    {
+        false
+    }
+    #[cfg(not(feature = "off"))]
+    {
+        ENABLED.load(Ordering::Relaxed)
+    }
+}
+
+/// Increments a named counter (by 1, or by an explicit amount).
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {
+        $crate::counter!($name, 1)
+    };
+    ($name:expr, $n:expr) => {{
+        static __SLOT: $crate::metrics::Cached<$crate::metrics::Counter> =
+            $crate::metrics::Cached::new();
+        __SLOT.with($name, |__m| __m.add($n as u64));
+    }};
+}
+
+/// Sets a named gauge to a value.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr, $v:expr) => {{
+        static __SLOT: $crate::metrics::Cached<$crate::metrics::Gauge> =
+            $crate::metrics::Cached::new();
+        __SLOT.with($name, |__m| __m.set($v as f64));
+    }};
+}
+
+/// Records an observation into a named fixed-bucket histogram.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr, $v:expr) => {{
+        static __SLOT: $crate::metrics::Cached<$crate::metrics::Histogram> =
+            $crate::metrics::Cached::new();
+        __SLOT.with($name, |__m| __m.observe($v as f64));
+    }};
+}
+
+/// Opens an RAII span timer; bind it (`let _span = …`) so it lives to the
+/// end of the scope. `let _ = span!(…)` drops immediately and times
+/// nothing.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::enter($name)
+    };
+}
+
+// The enabled-flag behaviour is covered by
+// `metrics::tests::disabled_macro_records_nothing`. Tests that toggle or
+// depend on the global flag serialise on this lock so the parallel test
+// runner cannot interleave them.
+#[cfg(test)]
+pub(crate) static TEST_FLAG_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());

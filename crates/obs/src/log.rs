@@ -1,0 +1,298 @@
+//! Leveled, target-scoped structured logging.
+//!
+//! Every record carries a level, the emitting module path (its *target*)
+//! and a formatted message. The global maximum level plus per-target
+//! overrides decide what is emitted; the `WB_LOG` environment variable
+//! seeds both on first use:
+//!
+//! ```text
+//! WB_LOG=info                       # global level
+//! WB_LOG=warn,wb_tensor=trace      # global warn, trace for wb_tensor::*
+//! WB_LOG=debug,wb_core::trainer=off
+//! ```
+//!
+//! Records go to stderr by default (never stdout — observability must not
+//! change program output) or to a file via [`set_log_file`]. Timestamps
+//! are seconds since process start, so identical runs produce comparable
+//! logs across machines.
+
+use std::fmt;
+use std::io::Write;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Log severity, most severe first. `Off` disables everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Nothing is logged.
+    Off = 0,
+    /// Unrecoverable or data-loss conditions.
+    Error = 1,
+    /// Suspicious conditions the run survives (e.g. NaN losses).
+    Warn = 2,
+    /// High-level progress (epochs, files, checkpoints).
+    Info = 3,
+    /// Per-step internals.
+    Debug = 4,
+    /// Per-operation firehose.
+    Trace = 5,
+}
+
+impl Level {
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Off,
+            1 => Level::Error,
+            2 => Level::Warn,
+            3 => Level::Info,
+            4 => Level::Debug,
+            _ => Level::Trace,
+        }
+    }
+
+    /// Parses a level name (case-insensitive).
+    pub fn parse(s: &str) -> Option<Level> {
+        Some(match s.to_ascii_lowercase().as_str() {
+            "off" | "none" => Level::Off,
+            "error" => Level::Error,
+            "warn" | "warning" => Level::Warn,
+            "info" => Level::Info,
+            "debug" => Level::Debug,
+            "trace" => Level::Trace,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(match self {
+            Level::Off => "OFF",
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        })
+    }
+}
+
+/// Where records are written.
+enum Sink {
+    Stderr,
+    File(std::fs::File),
+}
+
+struct Config {
+    /// Global max level, as its `u8` repr.
+    max: AtomicU8,
+    /// `(target prefix, level)` overrides; most specific prefix wins.
+    targets: Mutex<Vec<(String, Level)>>,
+    sink: Mutex<Sink>,
+    epoch: Instant,
+}
+
+fn config() -> &'static Config {
+    static CONFIG: OnceLock<Config> = OnceLock::new();
+    CONFIG.get_or_init(|| {
+        let cfg = Config {
+            max: AtomicU8::new(Level::Warn as u8),
+            targets: Mutex::new(Vec::new()),
+            sink: Mutex::new(Sink::Stderr),
+            epoch: Instant::now(),
+        };
+        if let Ok(spec) = std::env::var("WB_LOG") {
+            apply_spec(&cfg, &spec);
+        }
+        cfg
+    })
+}
+
+/// Applies a `WB_LOG`-style spec: comma-separated `level` and
+/// `target=level` clauses. Unknown clauses are ignored (logging must
+/// never abort the program).
+fn apply_spec(cfg: &Config, spec: &str) {
+    for clause in spec.split(',') {
+        let clause = clause.trim();
+        if clause.is_empty() {
+            continue;
+        }
+        match clause.split_once('=') {
+            None => {
+                if let Some(level) = Level::parse(clause) {
+                    cfg.max.store(level as u8, Ordering::Relaxed);
+                }
+            }
+            Some((target, level)) => {
+                if let Some(level) = Level::parse(level) {
+                    let mut targets = cfg.targets.lock().unwrap();
+                    targets.retain(|(t, _)| t != target);
+                    targets.push((target.trim().to_string(), level));
+                    // Longest prefix first, so lookup can take the first
+                    // match.
+                    targets.sort_by_key(|(t, _)| std::cmp::Reverse(t.len()));
+                }
+            }
+        }
+    }
+}
+
+/// Sets the global maximum level.
+pub fn set_level(level: Level) {
+    config().max.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current global maximum level.
+pub fn max_level() -> Level {
+    Level::from_u8(config().max.load(Ordering::Relaxed))
+}
+
+/// Applies a `WB_LOG`-style filter spec (see module docs) on top of the
+/// current configuration.
+pub fn set_filter(spec: &str) {
+    apply_spec(config(), spec);
+}
+
+/// Sets a per-target (module-path prefix) level override.
+pub fn set_target_level(target: &str, level: Level) {
+    set_filter(&format!("{target}={level}"));
+}
+
+/// Redirects log output to a file (append mode). Errors are returned, not
+/// logged — there may be nowhere to log them yet.
+pub fn set_log_file(path: &str) -> std::io::Result<()> {
+    let file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    *config().sink.lock().unwrap() = Sink::File(file);
+    Ok(())
+}
+
+/// Routes log output back to stderr.
+pub fn set_log_stderr() {
+    *config().sink.lock().unwrap() = Sink::Stderr;
+}
+
+/// Whether a record at `level` for `target` would be emitted. With the
+/// `off` feature this is always `false` and every log site compiles out.
+#[inline]
+pub fn log_enabled(level: Level, target: &str) -> bool {
+    #[cfg(feature = "off")]
+    {
+        let _ = (level, target);
+        false
+    }
+    #[cfg(not(feature = "off"))]
+    {
+        let cfg = config();
+        let effective = {
+            let targets = cfg.targets.lock().unwrap();
+            targets
+                .iter()
+                .find(|(prefix, _)| target.starts_with(prefix.as_str()))
+                .map(|&(_, level)| level)
+                .unwrap_or_else(|| Level::from_u8(cfg.max.load(Ordering::Relaxed)))
+        };
+        level <= effective && level != Level::Off
+    }
+}
+
+/// Emits one record. Prefer the level macros ([`crate::info!`] etc.),
+/// which check [`log_enabled`] before formatting.
+pub fn write_record(level: Level, target: &str, args: fmt::Arguments<'_>) {
+    let cfg = config();
+    let elapsed = cfg.epoch.elapsed().as_secs_f64();
+    let line = format!("[{elapsed:10.4}s {level:5} {target}] {args}\n");
+    let mut sink = cfg.sink.lock().unwrap();
+    // A full pipe or closed stderr must not crash the instrumented program.
+    let _ = match &mut *sink {
+        Sink::Stderr => std::io::stderr().write_all(line.as_bytes()),
+        Sink::File(f) => f.write_all(line.as_bytes()),
+    };
+}
+
+/// Logs at [`Level::Error`].
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => { $crate::log_at!($crate::log::Level::Error, $($arg)*) };
+}
+
+/// Logs at [`Level::Warn`].
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => { $crate::log_at!($crate::log::Level::Warn, $($arg)*) };
+}
+
+/// Logs at [`Level::Info`].
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => { $crate::log_at!($crate::log::Level::Info, $($arg)*) };
+}
+
+/// Logs at [`Level::Debug`].
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => { $crate::log_at!($crate::log::Level::Debug, $($arg)*) };
+}
+
+/// Logs at [`Level::Trace`].
+#[macro_export]
+macro_rules! trace {
+    ($($arg:tt)*) => { $crate::log_at!($crate::log::Level::Trace, $($arg)*) };
+}
+
+/// Logs at an explicit level with the caller's module path as target.
+#[macro_export]
+macro_rules! log_at {
+    ($level:expr, $($arg:tt)*) => {
+        if $crate::log::log_enabled($level, module_path!()) {
+            $crate::log::write_record($level, module_path!(), format_args!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parse_and_order() {
+        assert_eq!(Level::parse("TRACE"), Some(Level::Trace));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse("nope"), None);
+        assert!(Level::Error < Level::Trace);
+    }
+
+    #[test]
+    fn target_overrides_beat_global_level() {
+        // Serialised with the flag lock: these tests mutate the global
+        // logger configuration.
+        let _guard = crate::TEST_FLAG_LOCK.lock().unwrap();
+        set_level(Level::Warn);
+        set_target_level("wb_obs::log::tests::special", Level::Trace);
+        assert!(!log_enabled(Level::Debug, "wb_obs::log::tests"));
+        assert!(log_enabled(Level::Trace, "wb_obs::log::tests::special::inner"));
+        set_target_level("wb_obs::log::tests::special", Level::Off);
+        assert!(!log_enabled(Level::Error, "wb_obs::log::tests::special"));
+        set_filter("wb_obs::log::tests::special=warn");
+        assert!(log_enabled(Level::Warn, "wb_obs::log::tests::special"));
+    }
+
+    #[test]
+    fn records_reach_a_log_file() {
+        let _guard = crate::TEST_FLAG_LOCK.lock().unwrap();
+        let path = std::env::temp_dir().join("wb_obs_log_test.txt");
+        let _ = std::fs::remove_file(&path);
+        set_log_file(path.to_str().unwrap()).unwrap();
+        set_level(Level::Info);
+        crate::info!("file sink works: {}", 42);
+        crate::debug!("below the level, not written");
+        set_log_stderr();
+        set_level(Level::Warn);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("file sink works: 42"), "got: {text}");
+        assert!(text.contains("INFO"));
+        assert!(!text.contains("not written"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

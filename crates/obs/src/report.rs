@@ -1,0 +1,202 @@
+//! Pretty-prints a [`Snapshot`] as the aligned tables behind `wb report`.
+
+use crate::metrics::Snapshot;
+use std::fmt::Write as _;
+
+/// Renders `snapshot` as a human-readable report: counters, gauges,
+/// histogram summaries and a flamegraph-style span tree (indented by
+/// nesting depth, with total and self time). Sections with no data are
+/// omitted.
+pub fn render(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+
+    if !snapshot.counters.is_empty() {
+        section(&mut out, "counters");
+        let rows: Vec<[String; 2]> = snapshot
+            .counters
+            .iter()
+            .map(|(name, v)| [name.clone(), group_digits(*v)])
+            .collect();
+        table(&mut out, &["name", "value"], &rows);
+    }
+
+    if !snapshot.gauges.is_empty() {
+        section(&mut out, "gauges");
+        let rows: Vec<[String; 2]> =
+            snapshot.gauges.iter().map(|(name, v)| [name.clone(), format_f64(*v)]).collect();
+        table(&mut out, &["name", "value"], &rows);
+    }
+
+    if !snapshot.histograms.is_empty() {
+        section(&mut out, "histograms");
+        let rows: Vec<[String; 5]> = snapshot
+            .histograms
+            .iter()
+            .map(|(name, h)| {
+                [
+                    name.clone(),
+                    group_digits(h.count),
+                    format_f64(h.mean()),
+                    h.min.map(format_f64).unwrap_or_else(|| "-".into()),
+                    h.max.map(format_f64).unwrap_or_else(|| "-".into()),
+                ]
+            })
+            .collect();
+        table(&mut out, &["name", "count", "mean", "min", "max"], &rows);
+    }
+
+    if !snapshot.spans.is_empty() {
+        section(&mut out, "spans");
+        // Span paths sort lexicographically, which places children right
+        // after their parents; indent by depth for the flamegraph shape.
+        let rows: Vec<[String; 4]> = snapshot
+            .spans
+            .iter()
+            .map(|(path, sp)| {
+                let depth = path.matches('/').count();
+                let leaf = path.rsplit('/').next().unwrap_or(path);
+                [
+                    format!("{}{leaf}", "  ".repeat(depth)),
+                    group_digits(sp.count),
+                    format_ns(sp.total_ns),
+                    format_ns(sp.self_ns),
+                ]
+            })
+            .collect();
+        table(&mut out, &["span", "count", "total", "self"], &rows);
+    }
+
+    if out.is_empty() {
+        out.push_str("(empty snapshot)\n");
+    }
+    out
+}
+
+fn section(out: &mut String, title: &str) {
+    if !out.is_empty() {
+        out.push('\n');
+    }
+    let _ = writeln!(out, "== {title} ==");
+}
+
+/// Writes an aligned table: the first column left-aligned, the rest
+/// right-aligned.
+fn table<const N: usize>(out: &mut String, headers: &[&str; N], rows: &[[String; N]]) {
+    let mut widths: [usize; N] = [0; N];
+    for (w, h) in widths.iter_mut().zip(headers) {
+        *w = h.len();
+    }
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut line = |cells: &[&str; N]| {
+        for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            if i == 0 {
+                let _ = write!(out, "{cell:<w$}");
+            } else {
+                let _ = write!(out, "{cell:>w$}");
+            }
+        }
+        out.push('\n');
+    };
+    line(headers);
+    let dashes: [String; N] = std::array::from_fn(|i| "-".repeat(widths[i]));
+    line(&std::array::from_fn(|i| dashes[i].as_str()));
+    for row in rows {
+        line(&std::array::from_fn(|i| row[i].as_str()));
+    }
+}
+
+/// `1234567 → "1,234,567"`.
+fn group_digits(v: u64) -> String {
+    let digits = v.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    for (i, c) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Compact float: integers lose the fraction, everything else keeps four
+/// significant decimals.
+fn format_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Nanoseconds as an adaptive human unit.
+fn format_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}µs", ns / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{HistogramSnapshot, SpanSnapshot};
+
+    #[test]
+    fn renders_all_sections_aligned() {
+        let mut s = Snapshot::default();
+        s.counters.insert("tensor.matmul.calls.nn".into(), 1_234_567);
+        s.gauges.insert("optim.lr".into(), 0.0125);
+        s.histograms.insert(
+            "train.epoch.loss".into(),
+            HistogramSnapshot {
+                count: 3,
+                sum: 6.0,
+                min: Some(1.0),
+                max: Some(3.0),
+                buckets: vec![(5.0, 3)],
+            },
+        );
+        s.spans.insert(
+            "train.epoch".into(),
+            SpanSnapshot { count: 2, total_ns: 2_500_000, self_ns: 400_000 },
+        );
+        s.spans.insert(
+            "train.epoch/train.step".into(),
+            SpanSnapshot { count: 20, total_ns: 2_100_000, self_ns: 2_100_000 },
+        );
+        let text = render(&s);
+        assert!(text.contains("== counters =="));
+        assert!(text.contains("1,234,567"));
+        assert!(text.contains("0.0125"));
+        assert!(text.contains("train.epoch.loss"));
+        // Child span is indented under its parent.
+        assert!(text.contains("\n  train.step"), "got:\n{text}");
+        assert!(text.contains("2.50ms"));
+    }
+
+    #[test]
+    fn empty_snapshot_says_so() {
+        assert_eq!(render(&Snapshot::default()), "(empty snapshot)\n");
+    }
+
+    #[test]
+    fn digit_grouping() {
+        assert_eq!(group_digits(0), "0");
+        assert_eq!(group_digits(999), "999");
+        assert_eq!(group_digits(1_000), "1,000");
+        assert_eq!(group_digits(1_234_567_890), "1,234,567,890");
+    }
+}

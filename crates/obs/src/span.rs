@@ -1,0 +1,145 @@
+//! RAII wall-clock span timers with per-thread nesting.
+//!
+//! [`enter`] pushes a frame on a thread-local stack and returns a guard;
+//! dropping the guard records the span. Two aggregates are fed:
+//!
+//! * a duration histogram named after the span's *leaf* name, in
+//!   microseconds (so `train.step` spans merge across parents), and
+//! * a [`crate::metrics::SpanStat`] keyed by the `/`-joined nesting
+//!   *path* (e.g. `train.epoch/train.step`), carrying count, total time
+//!   and self time — the flamegraph-style view `wb report` renders.
+//!
+//! Self time is total minus the time spent in same-thread child spans.
+//! Spans opened on a rayon worker start a fresh stack on that thread, so
+//! work fanned out by a parent appears as a root path rather than being
+//! subtracted from the parent's self time — cross-thread attribution is
+//! deliberately out of scope for a counter-cheap instrument.
+//!
+//! Timing reads the clock and atomics only: a span can never perturb
+//! model math, RNG draws or reduction order.
+
+use crate::metrics::registry;
+use std::cell::RefCell;
+use std::time::Instant;
+
+struct Frame {
+    /// `/`-joined nesting path ending in this span's name.
+    path: String,
+    /// Nanoseconds accumulated by completed same-thread child spans.
+    child_ns: u64,
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An open span; records itself when dropped.
+#[must_use = "bind the span guard (`let _span = …`) or it times nothing"]
+pub struct SpanGuard {
+    /// `None` when recording was disabled at entry (drop is then free).
+    start: Option<Instant>,
+    name: &'static str,
+}
+
+/// Opens a span. Prefer the [`crate::span!`] macro.
+#[inline]
+pub fn enter(name: &'static str) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard { start: None, name };
+    }
+    STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let path = match stack.last() {
+            Some(parent) => format!("{}/{name}", parent.path),
+            None => name.to_string(),
+        };
+        stack.push(Frame { path, child_ns: 0 });
+    });
+    SpanGuard { start: Some(Instant::now()), name }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let total_ns = start.elapsed().as_nanos() as u64;
+        let frame = STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let frame = stack.pop();
+            if let Some(parent) = stack.last_mut() {
+                parent.child_ns += total_ns;
+            }
+            frame
+        });
+        // Guards are dropped in LIFO scope order, so the popped frame is
+        // this span's own (enter/drop always pair on one thread).
+        let Some(frame) = frame else { return };
+        let self_ns = total_ns.saturating_sub(frame.child_ns);
+        registry().span_stat(&frame.path).record(total_ns, self_ns);
+        registry().histogram(self.name).observe(total_ns as f64 / 1_000.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::snapshot;
+    use std::time::Duration;
+
+    #[test]
+    fn nested_spans_produce_paths_and_self_time() {
+        let _guard = crate::TEST_FLAG_LOCK.lock().unwrap();
+        {
+            let _outer = enter("test.span.outer");
+            std::thread::sleep(Duration::from_millis(4));
+            {
+                let _inner = enter("test.span.inner");
+                std::thread::sleep(Duration::from_millis(8));
+            }
+            {
+                let _inner = enter("test.span.inner");
+                std::thread::sleep(Duration::from_millis(8));
+            }
+        }
+        let s = snapshot();
+        let outer = &s.spans["test.span.outer"];
+        let inner = &s.spans["test.span.outer/test.span.inner"];
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 2);
+        // The outer span contains both inner runs…
+        assert!(outer.total_ns >= inner.total_ns);
+        // …and its self time excludes them: ~4ms of a ~20ms total.
+        assert!(outer.self_ns >= Duration::from_millis(3).as_nanos() as u64);
+        assert!(outer.self_ns <= outer.total_ns - inner.total_ns);
+        // Leaf-name histograms merge both inner runs.
+        assert!(s.histograms["test.span.inner"].count >= 2);
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let _guard = crate::TEST_FLAG_LOCK.lock().unwrap();
+        crate::set_enabled(false);
+        {
+            let _span = enter("test.span.disabled");
+        }
+        crate::set_enabled(true);
+        assert!(!snapshot().spans.contains_key("test.span.disabled"));
+    }
+
+    #[test]
+    fn sibling_threads_do_not_share_stacks() {
+        let _guard = crate::TEST_FLAG_LOCK.lock().unwrap();
+        let _outer = enter("test.span.main_thread");
+        std::thread::spawn(|| {
+            let _worker = enter("test.span.worker");
+            std::thread::sleep(Duration::from_millis(1));
+        })
+        .join()
+        .unwrap();
+        drop(_outer);
+        let s = snapshot();
+        // The worker's span is a root path, not nested under the main
+        // thread's span.
+        assert!(s.spans.contains_key("test.span.worker"));
+        assert!(!s.spans.keys().any(|k| k.contains("main_thread/test.span.worker")));
+    }
+}

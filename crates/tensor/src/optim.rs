@@ -109,12 +109,27 @@ impl Adam {
     }
 
     /// Applies one update from `grads` to `params`.
+    ///
+    /// Emits the pre- and post-clip gradient global norm
+    /// (`optim.grad_norm` / `optim.grad_norm.clipped` histograms) and the
+    /// effective learning rate after warm-up and decay (`optim.lr`
+    /// gauge). The clip itself is the exact arithmetic of
+    /// [`Gradients::clip_global_norm`]; the norm is simply computed once
+    /// and reused for both the clip and the metric.
     pub fn step(&mut self, params: &mut Params, mut grads: Gradients) {
+        let norm = grads.global_norm();
+        wb_obs::histogram!("optim.grad_norm", norm as f64);
+        let mut clipped = norm;
         if let Some(max) = self.cfg.clip_norm {
-            grads.clip_global_norm(max);
+            if norm > max && norm > 0.0 {
+                grads.scale(max / norm);
+                clipped = max;
+            }
         }
+        wb_obs::histogram!("optim.grad_norm.clipped", clipped as f64);
         self.step += 1;
         let lr = self.current_lr();
+        wb_obs::gauge!("optim.lr", lr as f64);
         let b1 = self.cfg.beta1;
         let b2 = self.cfg.beta2;
         let bias1 = 1.0 - b1.powi(self.step as i32);

@@ -47,21 +47,39 @@ pub mod scratch {
 
     static POOL: Mutex<Vec<Vec<f32>>> = Mutex::new(Vec::new());
 
-    /// Takes an empty buffer from the pool (or a fresh one).
+    /// Takes an empty buffer from the pool (or a fresh one). Pool
+    /// effectiveness is observable as the `tensor.scratch.hit` /
+    /// `tensor.scratch.miss` counters.
     pub fn take() -> Vec<f32> {
-        POOL.lock().unwrap().pop().unwrap_or_default()
+        match POOL.lock().unwrap().pop() {
+            Some(buf) => {
+                wb_obs::counter!("tensor.scratch.hit");
+                buf
+            }
+            None => {
+                wb_obs::counter!("tensor.scratch.miss");
+                Vec::new()
+            }
+        }
     }
 
-    /// Returns a buffer to the pool for reuse.
+    /// Returns a buffer to the pool for reuse. Recycled capacity feeds the
+    /// `tensor.scratch.bytes_recycled` counter and the current pool depth
+    /// the `tensor.scratch.pooled` gauge.
     pub fn put(mut buf: Vec<f32>) {
         if buf.capacity() == 0 || buf.capacity() > MAX_BUF_CAP {
             return;
         }
+        wb_obs::counter!(
+            "tensor.scratch.bytes_recycled",
+            (buf.capacity() * std::mem::size_of::<f32>()) as u64
+        );
         buf.clear();
         let mut pool = POOL.lock().unwrap();
         if pool.len() < MAX_POOLED {
             pool.push(buf);
         }
+        wb_obs::gauge!("tensor.scratch.pooled", pool.len() as f64);
     }
 
     /// Number of buffers currently pooled (diagnostics/tests).
@@ -571,16 +589,28 @@ fn matmul_dispatch(
     if am == 0 || bn == 0 {
         return;
     }
+    // Per-variant call and FLOP counters (see docs/OBSERVABILITY.md).
+    // These are single relaxed atomic adds, amortised over `m·k·n`
+    // multiply-accumulates of real work.
+    match (trans_a, trans_b) {
+        (false, false) => wb_obs::counter!("tensor.matmul.calls.nn"),
+        (true, false) => wb_obs::counter!("tensor.matmul.calls.tn"),
+        (false, true) => wb_obs::counter!("tensor.matmul.calls.nt"),
+        (true, true) => wb_obs::counter!("tensor.matmul.calls.tt"),
+    }
+    wb_obs::counter!("tensor.matmul.flops", (2 * am * ak * bn) as u64);
     let parallel = allow_parallel
         && am >= PAR_MIN_ROWS
         && am * ak * bn >= PAR_MIN_MACS
         && rayon::current_num_threads() > 1;
     if parallel {
+        wb_obs::counter!("tensor.matmul.dispatch.parallel");
         let rows_per = par_chunk(am);
         out.par_chunks_mut(rows_per * bn).enumerate().for_each(|(ci, chunk)| {
             matmul_rows(a, b, trans_a, trans_b, am, ak, bn, ci * rows_per, chunk);
         });
     } else {
+        wb_obs::counter!("tensor.matmul.dispatch.serial");
         matmul_rows(a, b, trans_a, trans_b, am, ak, bn, 0, out);
     }
 }

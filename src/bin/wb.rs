@@ -5,10 +5,15 @@
 //! wb train --out model.json --epochs 12                 # train a briefer
 //! wb brief --model model.json page.html                 # brief webpages
 //! wb stats                                              # corpus statistics
+//! wb report metrics.json                                # render a snapshot
 //! ```
 //!
 //! Argument parsing is hand-rolled (no external CLI crate): every
 //! subcommand takes `--flag value` options plus positional file paths.
+//! Unknown flags are rejected at parse time with a did-you-mean
+//! suggestion, so a typo such as `--epoch 5` can never silently swallow
+//! its value. All subcommands accept the observability globals
+//! `--log-level LEVEL` and `--metrics-out FILE` (see docs/OBSERVABILITY.md).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -26,15 +31,33 @@ USAGE:
     wb train    [--out FILE] [--epochs N] [--subjects N] [--pages N] [--seed N]
     wb brief    [--model FILE] [--json] FILES...
     wb stats    [--subjects N] [--pages N]
+    wb report   FILE
 
 SUBCOMMANDS:
     generate    Generate a synthetic labelled corpus and export HTML + JSON
     train       Train a Joint-WB briefer and save a checkpoint
     brief       Brief one or more HTML files with a trained checkpoint
     stats       Print statistics of a synthetic corpus
+    report      Pretty-print a metrics snapshot written by --metrics-out
+
+GLOBAL OPTIONS (accepted by every subcommand):
+    --log-level LEVEL    Stderr log verbosity: off, error, warn, info,
+                         debug or trace; also takes a WB_LOG-style filter
+                         spec such as `warn,wb_tensor=trace`
+    --metrics-out FILE   Write a JSON metrics snapshot on exit
 ";
 
+/// Observability options shared by every subcommand.
+const GLOBAL_OPTS: &[&str] = &["log-level", "metrics-out"];
+
 /// Minimal `--flag value` / `--switch` / positional parser.
+///
+/// Flags are validated while parsing: an unrecognised `--name` is an
+/// error immediately (with a near-miss suggestion when one of the known
+/// flags is close), rather than being treated as an option that consumes
+/// the next token. The observability globals in [`GLOBAL_OPTS`] are
+/// accepted everywhere in addition to `option_names`.
+#[derive(Debug)]
 struct Args {
     options: Vec<(String, String)>,
     switches: Vec<String>,
@@ -42,8 +65,13 @@ struct Args {
 }
 
 impl Args {
-    /// Splits raw arguments; `switch_names` lists valueless flags.
-    fn parse(raw: &[String], switch_names: &[&str]) -> Result<Args, String> {
+    /// Splits raw arguments; `option_names` lists `--flag value` options
+    /// and `switch_names` lists valueless flags.
+    fn parse(
+        raw: &[String],
+        option_names: &[&str],
+        switch_names: &[&str],
+    ) -> Result<Args, String> {
         let mut args =
             Args { options: Vec::new(), switches: Vec::new(), positional: Vec::new() };
         let mut i = 0;
@@ -52,12 +80,24 @@ impl Args {
             if let Some(name) = a.strip_prefix("--") {
                 if switch_names.contains(&name) {
                     args.switches.push(name.to_string());
-                } else {
+                } else if option_names.contains(&name) || GLOBAL_OPTS.contains(&name) {
                     let value = raw
                         .get(i + 1)
                         .ok_or_else(|| format!("option --{name} expects a value"))?;
                     args.options.push((name.to_string(), value.clone()));
                     i += 1;
+                } else {
+                    let known: Vec<&str> = option_names
+                        .iter()
+                        .chain(switch_names)
+                        .chain(GLOBAL_OPTS)
+                        .copied()
+                        .collect();
+                    let mut msg = format!("unknown option --{name}");
+                    if let Some(best) = nearest_flag(name, &known) {
+                        msg.push_str(&format!(" (did you mean --{best}?)"));
+                    }
+                    return Err(msg);
                 }
             } else {
                 args.positional.push(a.clone());
@@ -87,15 +127,63 @@ impl Args {
     fn has(&self, name: &str) -> bool {
         self.switches.iter().any(|s| s == name)
     }
+}
 
-    fn reject_unknown(&self, known: &[&str]) -> Result<(), String> {
-        for (k, _) in &self.options {
-            if !known.contains(&k.as_str()) {
-                return Err(format!("unknown option --{k}"));
-            }
+/// The known flag closest to `typo`, if any is close enough to suggest.
+///
+/// "Close enough" is an edit distance of at most 2, or at most a third
+/// of the typo's length for long names — tight enough that suggestions
+/// stay plausible (`--epoch` → `--epochs`) without matching noise.
+fn nearest_flag<'a>(typo: &str, known: &[&'a str]) -> Option<&'a str> {
+    known
+        .iter()
+        .map(|k| (edit_distance(typo, k), *k))
+        .min()
+        .filter(|&(d, _)| d <= 2.max(typo.len() / 3))
+        .map(|(_, k)| k)
+}
+
+/// Levenshtein edit distance over bytes (flag names are ASCII).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
         }
-        Ok(())
+        std::mem::swap(&mut prev, &mut cur);
     }
+    prev[b.len()]
+}
+
+/// Applies `--log-level` and returns the `--metrics-out` path, if any.
+fn apply_globals(args: &Args) -> Result<Option<String>, String> {
+    if let Some(spec) = args.get("log-level") {
+        if let Some(level) = wb_obs::log::Level::parse(spec) {
+            wb_obs::log::set_level(level);
+        } else if spec.contains('=') || spec.contains(',') {
+            wb_obs::log::set_filter(spec);
+        } else {
+            return Err(format!(
+                "option --log-level has invalid value `{spec}` \
+                 (expected off, error, warn, info, debug or trace)"
+            ));
+        }
+    }
+    Ok(args.get("metrics-out").map(str::to_string))
+}
+
+/// Writes the global metrics snapshot to `path` when one was requested.
+fn write_metrics(path: &Option<String>) -> Result<(), String> {
+    if let Some(path) = path {
+        let json = wb_obs::metrics::snapshot().to_json();
+        std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        wb_obs::info!("wrote metrics snapshot to {path}");
+    }
+    Ok(())
 }
 
 fn main() {
@@ -112,6 +200,7 @@ fn main() {
         "train" => cmd_train(&raw[1..]),
         "brief" => cmd_brief(&raw[1..]),
         "stats" => cmd_stats(&raw[1..]),
+        "report" => cmd_report(&raw[1..]),
         other => Err(format!("unknown subcommand `{other}`")),
     };
     if let Err(e) = result {
@@ -129,8 +218,8 @@ fn dataset_config(subjects: usize, pages: usize, seed: u64) -> DatasetConfig {
 }
 
 fn cmd_generate(raw: &[String]) -> Result<(), String> {
-    let args = Args::parse(raw, &[])?;
-    args.reject_unknown(&["out", "subjects", "pages", "seed"])?;
+    let args = Args::parse(raw, &["out", "subjects", "pages", "seed"], &[])?;
+    let metrics_out = apply_globals(&args)?;
     let out = args.get_str("out", "./wb-corpus");
     let subjects: usize = args.get_num("subjects", 2)?;
     let pages: usize = args.get_num("pages", 6)?;
@@ -149,12 +238,12 @@ fn cmd_generate(raw: &[String]) -> Result<(), String> {
     }
     export_pages(&out, &records).map_err(|e| format!("export corpus: {e}"))?;
     println!("Wrote {} labelled pages over {} topics to {out}", records.len(), taxonomy.len());
-    Ok(())
+    write_metrics(&metrics_out)
 }
 
 fn cmd_train(raw: &[String]) -> Result<(), String> {
-    let args = Args::parse(raw, &[])?;
-    args.reject_unknown(&["out", "epochs", "subjects", "pages", "seed"])?;
+    let args = Args::parse(raw, &["out", "epochs", "subjects", "pages", "seed"], &[])?;
+    let metrics_out = apply_globals(&args)?;
     let out = args.get_str("out", "./wb-model.json");
     let epochs: usize = args.get_num("epochs", 15)?;
     let subjects: usize = args.get_num("subjects", 2)?;
@@ -174,12 +263,12 @@ fn cmd_train(raw: &[String]) -> Result<(), String> {
         .save(&out)
         .map_err(|e| format!("save checkpoint: {e}"))?;
     println!("Saved checkpoint to {out}");
-    Ok(())
+    write_metrics(&metrics_out)
 }
 
 fn cmd_brief(raw: &[String]) -> Result<(), String> {
-    let args = Args::parse(raw, &["json"])?;
-    args.reject_unknown(&["model"])?;
+    let args = Args::parse(raw, &["model"], &["json"])?;
+    let metrics_out = apply_globals(&args)?;
     let model = args.get_str("model", "./wb-model.json");
     let json = args.has("json");
     let files = &args.positional;
@@ -211,12 +300,12 @@ fn cmd_brief(raw: &[String]) -> Result<(), String> {
             Err(e) => eprintln!("=== {file} ===\ncould not brief: {e}"),
         }
     }
-    Ok(())
+    write_metrics(&metrics_out)
 }
 
 fn cmd_stats(raw: &[String]) -> Result<(), String> {
-    let args = Args::parse(raw, &[])?;
-    args.reject_unknown(&["subjects", "pages"])?;
+    let args = Args::parse(raw, &["subjects", "pages"], &[])?;
+    let metrics_out = apply_globals(&args)?;
     let subjects: usize = args.get_num("subjects", 2)?;
     let pages: usize = args.get_num("pages", 6)?;
 
@@ -248,5 +337,64 @@ fn cmd_stats(raw: &[String]) -> Result<(), String> {
     println!("tokenizer UNK:   {:.2}%", cov.unk_rate() * 100.0);
     println!("whole words:     {:.1}%", cov.whole_word_rate() * 100.0);
     println!("fertility:       {:.2} pieces/word", cov.fertility());
+    write_metrics(&metrics_out)
+}
+
+fn cmd_report(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw, &[], &[])?;
+    apply_globals(&args)?;
+    let file = match args.positional.as_slice() {
+        [f] => f,
+        [] => return Err("report expects a metrics JSON file".to_string()),
+        _ => return Err("report expects exactly one metrics JSON file".to_string()),
+    };
+    let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    let snapshot = wb_obs::metrics::Snapshot::from_json(&text)
+        .map_err(|e| format!("{file} is not a metrics snapshot: {e}"))?;
+    print!("{}", wb_obs::report::render(&snapshot));
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("epoch", "epochs"), 1);
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("same", "same"), 0);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+    }
+
+    #[test]
+    fn nearest_flag_suggests_plausible_typos_only() {
+        let known = &["epochs", "subjects", "out"];
+        assert_eq!(nearest_flag("epoch", known), Some("epochs"));
+        assert_eq!(nearest_flag("subject", known), Some("subjects"));
+        assert_eq!(nearest_flag("zzzzzzzz", known), None);
+    }
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected_at_parse_time() {
+        let err = Args::parse(&s(&["--epoch", "5"]), &["epochs"], &[]).unwrap_err();
+        assert!(err.contains("unknown option --epoch"), "{err}");
+        assert!(err.contains("did you mean --epochs?"), "{err}");
+        // A trailing typo must not degrade into an `expects a value` error.
+        let err = Args::parse(&s(&["--epoch"]), &["epochs"], &[]).unwrap_err();
+        assert!(err.contains("unknown option --epoch"), "{err}");
+    }
+
+    #[test]
+    fn globals_are_accepted_by_any_parse() {
+        let args =
+            Args::parse(&s(&["--log-level", "warn", "--metrics-out", "m.json"]), &[], &[])
+                .unwrap();
+        assert_eq!(args.get("log-level"), Some("warn"));
+        assert_eq!(args.get("metrics-out"), Some("m.json"));
+    }
 }

@@ -80,6 +80,120 @@ fn train_then_brief_roundtrip() {
 }
 
 #[test]
+fn train_metrics_roundtrip_through_report() {
+    let model = std::env::temp_dir().join("wb_cli_metrics_model.json");
+    let metrics = std::env::temp_dir().join("wb_cli_metrics.json");
+    let _ = std::fs::remove_file(&model);
+    let _ = std::fs::remove_file(&metrics);
+
+    let out = wb()
+        .args([
+            "train",
+            "--out",
+            model.to_str().unwrap(),
+            "--epochs",
+            "1",
+            "--subjects",
+            "1",
+            "--pages",
+            "2",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run wb train --metrics-out");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // The snapshot carries the headline training metrics…
+    let text = std::fs::read_to_string(&metrics).expect("metrics file written");
+    for key in ["train.epoch.loss", "optim.grad_norm", "tensor.scratch.hit", "train.step"] {
+        assert!(text.contains(&format!("\"{key}\"")), "snapshot missing {key}: {text}");
+    }
+
+    // …and `wb report` renders them back as a table.
+    let out = wb().args(["report", metrics.to_str().unwrap()]).output().expect("run wb report");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for section in ["== counters ==", "== histograms ==", "== spans =="] {
+        assert!(stdout.contains(section), "report missing {section}: {stdout}");
+    }
+    assert!(stdout.contains("train.epoch.loss"), "{stdout}");
+    assert!(stdout.contains("tensor.scratch.hit"), "{stdout}");
+
+    let _ = std::fs::remove_file(model);
+    let _ = std::fs::remove_file(metrics);
+}
+
+#[test]
+fn brief_json_is_byte_identical_with_observability_on() {
+    let model = std::env::temp_dir().join("wb_cli_obs_model.json");
+    let page = std::env::temp_dir().join("wb_cli_obs_page.html");
+    let metrics = std::env::temp_dir().join("wb_cli_obs_metrics.json");
+    let _ = std::fs::remove_file(&model);
+
+    let out = wb()
+        .args([
+            "train",
+            "--out",
+            model.to_str().unwrap(),
+            "--epochs",
+            "1",
+            "--subjects",
+            "1",
+            "--pages",
+            "2",
+        ])
+        .output()
+        .expect("run wb train");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    std::fs::write(
+        &page,
+        "<html><body><section><p>great velcro books , price : $ 9.99 .</p></section></body></html>",
+    )
+    .unwrap();
+
+    let quiet = wb()
+        .args(["brief", "--model", model.to_str().unwrap(), "--json", page.to_str().unwrap()])
+        .output()
+        .expect("run wb brief (quiet)");
+    assert!(quiet.status.success(), "{}", String::from_utf8_lossy(&quiet.stderr));
+
+    // Maximum observability: trace logging plus a metrics snapshot. Logs
+    // go to stderr and metrics to their own file, so stdout — the actual
+    // deliverable — must not change by a single byte.
+    let traced = wb()
+        .args([
+            "brief",
+            "--model",
+            model.to_str().unwrap(),
+            "--json",
+            "--log-level",
+            "trace",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            page.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run wb brief (traced)");
+    assert!(traced.status.success(), "{}", String::from_utf8_lossy(&traced.stderr));
+    assert_eq!(quiet.stdout, traced.stdout, "observability perturbed brief output");
+    assert!(metrics.exists());
+
+    let _ = std::fs::remove_file(model);
+    let _ = std::fs::remove_file(page);
+    let _ = std::fs::remove_file(metrics);
+}
+
+#[test]
+fn unknown_flag_suggests_near_miss() {
+    let out = wb().args(["train", "--epoch", "5"]).output().expect("run wb train --epoch");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown option --epoch"), "{stderr}");
+    assert!(stderr.contains("did you mean --epochs?"), "{stderr}");
+}
+
+#[test]
 fn stats_prints_corpus_summary() {
     let out =
         wb().args(["stats", "--subjects", "1", "--pages", "2"]).output().expect("run wb stats");
