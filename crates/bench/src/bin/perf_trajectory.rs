@@ -1,0 +1,56 @@
+//! Standalone entry point for the performance-trajectory harness.
+//!
+//! ```text
+//! perf_trajectory [--quick] [--label NAME] [--out FILE]
+//!                 [--baseline FILE] [--tolerance PCT] [REPORT.json]
+//! ```
+//!
+//! Equivalent to `wb bench` (same driver, [`wb_bench::perf::run_cli`]);
+//! exists so CI and profiling scripts can run the harness without the
+//! full CLI. A positional `REPORT.json` compares an existing report
+//! against `--baseline` instead of re-running the workloads.
+
+use wb_bench::perf::CliOptions;
+
+fn main() {
+    let mut opts = CliOptions::default();
+    let mut args = std::env::args().skip(1);
+    let result = (|| -> Result<(), String> {
+        while let Some(a) = args.next() {
+            let mut value = |name: &str| {
+                args.next().ok_or_else(|| format!("option {name} expects a value"))
+            };
+            match a.as_str() {
+                "--quick" => opts.quick = true,
+                "--label" => opts.label = value("--label")?,
+                "--out" => opts.out = Some(value("--out")?),
+                "--baseline" => opts.baseline = Some(value("--baseline")?),
+                "--tolerance" => {
+                    let v = value("--tolerance")?;
+                    opts.tolerance_pct = v
+                        .parse()
+                        .map_err(|_| format!("--tolerance has invalid value `{v}`"))?;
+                }
+                "--help" | "-h" => {
+                    println!(
+                        "usage: perf_trajectory [--quick] [--label NAME] [--out FILE] \
+                         [--baseline FILE] [--tolerance PCT] [REPORT.json]"
+                    );
+                    return Ok(());
+                }
+                flag if flag.starts_with("--") => {
+                    return Err(format!("unknown option {flag}"));
+                }
+                positional => opts.compare_only = Some(positional.to_string()),
+            }
+        }
+        match wb_bench::perf::run_cli(&opts)? {
+            0 => Ok(()),
+            code => std::process::exit(code),
+        }
+    })();
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+}

@@ -6,6 +6,8 @@
 //! scales, the seen/unseen distillation setting, evaluation drivers and
 //! result persistence.
 
+pub mod perf;
+
 use rayon::prelude::*;
 use std::path::PathBuf;
 use wb_core::{ModelConfig, PretrainConfig, TrainConfig, TrainableModel};

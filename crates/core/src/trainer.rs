@@ -121,6 +121,9 @@ pub fn train<M: TrainableModel>(
             }
             epoch_loss += batch_loss;
             wb_obs::histogram!("train.step.loss", batch_loss / batch.len() as f64);
+            // Counter-sample the step loss onto the trace timeline (a
+            // relaxed load when tracing is inactive).
+            wb_obs::trace::sample("train.step.loss", batch_loss / batch.len() as f64);
             grads.scale(1.0 / batch.len() as f32);
             opt.step(model.params_mut(), grads);
         }

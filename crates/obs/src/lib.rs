@@ -58,6 +58,15 @@
 //! `/`-joined nesting path, so `wb report` can show where the time
 //! actually went.
 //!
+//! ## Tracing
+//!
+//! [`trace`] records an event-level timeline on top of the same spans:
+//! arm it with [`trace::start`], and every span guard drop adds a
+//! timestamped complete event to a per-thread ring buffer (plus optional
+//! counter samples via [`trace::sample`]). [`trace::export_chrome`]
+//! serialises the timeline in Chrome trace format for
+//! `chrome://tracing`/Perfetto; the `wb` CLI exposes it as `--trace-out`.
+//!
 //! ## Determinism and overhead
 //!
 //! Instrumentation reads the clock and bumps atomics; it never touches
@@ -72,6 +81,7 @@ pub mod log;
 pub mod metrics;
 pub mod report;
 pub mod span;
+pub mod trace;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -117,6 +127,18 @@ macro_rules! gauge {
         static __SLOT: $crate::metrics::Cached<$crate::metrics::Gauge> =
             $crate::metrics::Cached::new();
         __SLOT.with($name, |__m| __m.set($v as f64));
+    }};
+}
+
+/// Raises a named gauge to a value if it is larger than the current one —
+/// a high-watermark gauge (peak memory, deepest queue). Re-arm a
+/// watermark by setting the underlying gauge back to zero.
+#[macro_export]
+macro_rules! gauge_max {
+    ($name:expr, $v:expr) => {{
+        static __SLOT: $crate::metrics::Cached<$crate::metrics::Gauge> =
+            $crate::metrics::Cached::new();
+        __SLOT.with($name, |__m| __m.set_max($v as f64));
     }};
 }
 

@@ -53,6 +53,14 @@ impl Gauge {
         self.bits.store(v.to_bits(), Ordering::Relaxed);
     }
 
+    /// Raises the gauge to `v` only if `v` exceeds the current value — a
+    /// high-watermark update, exact under concurrency (CAS loop). Callers
+    /// re-arm a watermark by [`Gauge::set`]ting it back to zero.
+    #[inline]
+    pub fn set_max(&self, v: f64) {
+        atomic_f64_extreme(&self.bits, v, |new, cur| new > cur);
+    }
+
     /// Current value.
     pub fn get(&self) -> f64 {
         f64::from_bits(self.bits.load(Ordering::Relaxed))
@@ -330,6 +338,36 @@ impl HistogramSnapshot {
             self.sum / self.count as f64
         }
     }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) by linear interpolation
+    /// inside the bucket containing the target rank.
+    ///
+    /// The snapshot only keeps non-empty buckets, so a bucket's lower edge
+    /// is taken as the previous non-empty bucket's upper bound (or the
+    /// recorded minimum for the first), and the overflow bucket's upper
+    /// edge as the recorded maximum. With the default 1–2–5 ladder the
+    /// estimate is therefore within one bucket span of the true value —
+    /// an *estimate*, fit for dashboards and regression gates, not exact
+    /// order statistics. Returns `None` for an empty histogram.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let (min, max) = (self.min?, self.max?);
+        let target = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0u64;
+        let mut lower = min;
+        for &(le, n) in &self.buckets {
+            let upper = if le == f64::MAX { max } else { le.clamp(min, max) };
+            if (cum + n) as f64 >= target {
+                let frac = if n == 0 { 0.0 } else { (target - cum as f64) / n as f64 };
+                return Some((lower + frac * (upper - lower)).clamp(min, max));
+            }
+            cum += n;
+            lower = upper;
+        }
+        Some(max)
+    }
 }
 
 /// One span path, frozen.
@@ -536,6 +574,66 @@ mod tests {
         g.set(1.5);
         g.set(-2.0);
         assert_eq!(g.get(), -2.0);
+    }
+
+    #[test]
+    fn gauge_set_max_is_a_watermark() {
+        let g = registry().gauge("test.metrics.gauge_max");
+        g.set(0.0);
+        g.set_max(5.0);
+        g.set_max(3.0);
+        assert_eq!(g.get(), 5.0);
+        g.set_max(9.0);
+        assert_eq!(g.get(), 9.0);
+        // Re-arming resets the watermark.
+        g.set(0.0);
+        g.set_max(1.0);
+        assert_eq!(g.get(), 1.0);
+    }
+
+    #[test]
+    fn concurrent_set_max_keeps_global_peak() {
+        use rayon::prelude::*;
+        let g = registry().gauge("test.metrics.gauge_max_conc");
+        g.set(0.0);
+        let items: Vec<u64> = (1..=10_000).collect();
+        items.par_iter().for_each(|&i| g.set_max(i as f64));
+        assert_eq!(g.get(), 10_000.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let h = registry().histogram_with("test.metrics.quantile", &[10.0, 20.0, 50.0]);
+        // 10 observations uniformly in (0, 10], 10 in (10, 20].
+        for i in 1..=10 {
+            h.observe(i as f64);
+            h.observe(10.0 + i as f64);
+        }
+        let s = h.snapshot();
+        // Median sits at the edge between the two buckets.
+        let p50 = s.quantile(0.5).unwrap();
+        assert!((p50 - 10.0).abs() < 1.0, "p50 = {p50}");
+        // p25 falls mid-first-bucket, interpolated between min=1 and 10.
+        let p25 = s.quantile(0.25).unwrap();
+        assert!(p25 > 1.0 && p25 < 10.0, "p25 = {p25}");
+        // Extremes clamp to observed min/max.
+        assert_eq!(s.quantile(0.0).unwrap(), 1.0);
+        assert_eq!(s.quantile(1.0).unwrap(), 20.0);
+        // Empty histogram has no quantiles.
+        let empty =
+            HistogramSnapshot { count: 0, sum: 0.0, min: None, max: None, buckets: vec![] };
+        assert_eq!(empty.quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantile_overflow_bucket_uses_max() {
+        let h = registry().histogram_with("test.metrics.quantile_overflow", &[1.0]);
+        h.observe(0.5);
+        h.observe(100.0);
+        h.observe(200.0);
+        let s = h.snapshot();
+        let p99 = s.quantile(0.99).unwrap();
+        assert!(p99 <= 200.0 && p99 > 100.0, "p99 = {p99}");
     }
 
     #[test]

@@ -29,20 +29,27 @@ pub fn render(snapshot: &Snapshot) -> String {
 
     if !snapshot.histograms.is_empty() {
         section(&mut out, "histograms");
-        let rows: Vec<[String; 5]> = snapshot
+        // p50/p90/p99 are interpolated inside the 1-2-5 ladder buckets —
+        // estimates, not exact order statistics (see
+        // `HistogramSnapshot::quantile`).
+        let rows: Vec<[String; 8]> = snapshot
             .histograms
             .iter()
             .map(|(name, h)| {
+                let q = |q: f64| h.quantile(q).map(format_f64).unwrap_or_else(|| "-".into());
                 [
                     name.clone(),
                     group_digits(h.count),
                     format_f64(h.mean()),
+                    q(0.50),
+                    q(0.90),
+                    q(0.99),
                     h.min.map(format_f64).unwrap_or_else(|| "-".into()),
                     h.max.map(format_f64).unwrap_or_else(|| "-".into()),
                 ]
             })
             .collect();
-        table(&mut out, &["name", "count", "mean", "min", "max"], &rows);
+        table(&mut out, &["name", "count", "mean", "p50", "p90", "p99", "min", "max"], &rows);
     }
 
     if !snapshot.spans.is_empty() {
@@ -182,6 +189,10 @@ mod tests {
         assert!(text.contains("1,234,567"));
         assert!(text.contains("0.0125"));
         assert!(text.contains("train.epoch.loss"));
+        // Histogram tables carry interpolated percentile columns.
+        for col in ["p50", "p90", "p99"] {
+            assert!(text.contains(col), "missing {col} column:\n{text}");
+        }
         // Child span is indented under its parent.
         assert!(text.contains("\n  train.step"), "got:\n{text}");
         assert!(text.contains("2.50ms"));

@@ -76,6 +76,11 @@ impl Drop for SpanGuard {
         let self_ns = total_ns.saturating_sub(frame.child_ns);
         registry().span_stat(&frame.path).record(total_ns, self_ns);
         registry().histogram(self.name).observe(total_ns as f64 / 1_000.0);
+        // Every aggregated span also lands on the event timeline when
+        // trace collection is armed (one relaxed load when it is not).
+        if crate::trace::active() {
+            crate::trace::record_span(self.name, start, total_ns);
+        }
     }
 }
 
@@ -112,6 +117,54 @@ mod tests {
         assert!(outer.self_ns <= outer.total_ns - inner.total_ns);
         // Leaf-name histograms merge both inner runs.
         assert!(s.histograms["test.span.inner"].count >= 2);
+    }
+
+    #[test]
+    fn recursive_same_name_spans_keep_self_total_accounting() {
+        let _guard = crate::TEST_FLAG_LOCK.lock().unwrap();
+        fn rec(depth: usize) {
+            let _s = enter("test.span.rec");
+            std::thread::sleep(Duration::from_millis(2));
+            if depth > 0 {
+                rec(depth - 1);
+            }
+        }
+        rec(2);
+        let s = snapshot();
+        // Each recursion level is its own path with exactly one span.
+        let root = &s.spans["test.span.rec"];
+        let mid = &s.spans["test.span.rec/test.span.rec"];
+        let leaf = &s.spans["test.span.rec/test.span.rec/test.span.rec"];
+        for sp in [root, mid, leaf] {
+            assert_eq!(sp.count, 1);
+            assert!(sp.self_ns <= sp.total_ns, "self exceeds total: {sp:?}");
+        }
+        // Totals nest: each level contains its child entirely.
+        assert!(root.total_ns >= mid.total_ns);
+        assert!(mid.total_ns >= leaf.total_ns);
+        // Self time excludes the child: root spent ~2ms of its own time.
+        assert!(root.self_ns >= Duration::from_millis(1).as_nanos() as u64);
+        assert!(root.self_ns <= root.total_ns - mid.total_ns);
+        assert!(mid.self_ns <= mid.total_ns - leaf.total_ns);
+        // The leaf-name histogram merges all three recursion levels.
+        assert!(s.histograms["test.span.rec"].count >= 3);
+    }
+
+    #[test]
+    fn nested_same_name_guards_in_one_scope_pair_lifo() {
+        let _guard = crate::TEST_FLAG_LOCK.lock().unwrap();
+        {
+            let _a = enter("test.span.twice");
+            let _b = enter("test.span.twice");
+            std::thread::sleep(Duration::from_millis(2));
+        } // _b drops first (LIFO), then _a: inner pops the inner frame.
+        let s = snapshot();
+        let outer = &s.spans["test.span.twice"];
+        let inner = &s.spans["test.span.twice/test.span.twice"];
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 1);
+        assert!(outer.total_ns >= inner.total_ns);
+        assert!(outer.self_ns <= outer.total_ns.saturating_sub(inner.self_ns));
     }
 
     #[test]

@@ -169,6 +169,8 @@ impl Gradients {
 pub struct Graph<'p> {
     params: &'p Params,
     nodes: Vec<Node>,
+    /// Bytes held by node values (tapes only grow until dropped).
+    tape_bytes: usize,
     train: bool,
     rng: StdRng,
 }
@@ -176,8 +178,13 @@ pub struct Graph<'p> {
 impl Drop for Graph<'_> {
     /// Returns every node buffer to the [`crate::tensor::scratch`] pool,
     /// so the next tape (the trainer builds one per example per step)
-    /// reuses this tape's memory instead of re-allocating.
+    /// reuses this tape's memory instead of re-allocating. The tape's
+    /// final size feeds the `tensor.graph.tape_bytes.peak` /
+    /// `tensor.graph.nodes.peak` high-watermark gauges — the largest
+    /// single tape the process ever materialised.
     fn drop(&mut self) {
+        wb_obs::gauge_max!("tensor.graph.tape_bytes.peak", self.tape_bytes as f64);
+        wb_obs::gauge_max!("tensor.graph.nodes.peak", self.nodes.len() as f64);
         for node in self.nodes.drain(..) {
             crate::tensor::scratch::put(node.value.into_data());
         }
@@ -191,6 +198,7 @@ impl<'p> Graph<'p> {
         Graph {
             params,
             nodes: Vec::with_capacity(256),
+            tape_bytes: 0,
             train,
             rng: StdRng::seed_from_u64(seed),
         }
@@ -217,8 +225,14 @@ impl<'p> Graph<'p> {
     }
 
     fn push(&mut self, value: Tensor, op: Op) -> Var {
+        self.tape_bytes += value.len() * std::mem::size_of::<f32>();
         self.nodes.push(Node { value, op });
         Var(self.nodes.len() - 1)
+    }
+
+    /// Bytes held by the tape's node values so far.
+    pub fn tape_bytes(&self) -> usize {
+        self.tape_bytes
     }
 
     /// Records a constant input.

@@ -43,6 +43,12 @@ impl Params {
         assert!(!self.names.iter().any(|n| n == name), "duplicate parameter name {name:?}");
         self.names.push(name.to_string());
         self.tensors.push(tensor);
+        // Memory accounting: the byte size of the largest parameter store
+        // ever assembled in this process (models are built once, so the
+        // O(tensors) sum per add stays off any hot path).
+        let bytes = (self.num_scalars() * std::mem::size_of::<f32>()) as f64;
+        wb_obs::gauge!("tensor.params.bytes", bytes);
+        wb_obs::gauge_max!("tensor.params.bytes.peak", bytes);
         ParamId(self.tensors.len() - 1)
     }
 

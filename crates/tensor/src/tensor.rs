@@ -38,6 +38,7 @@ pub const PAR_MIN_ELEMS: usize = 1 << 16;
 /// is global (not thread-local) because worker threads are short-lived;
 /// both calls are a quick `Mutex`-guarded push/pop.
 pub mod scratch {
+    use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Mutex;
 
     /// Upper bound on pooled buffers; excess buffers just deallocate.
@@ -46,6 +47,10 @@ pub mod scratch {
     const MAX_BUF_CAP: usize = 1 << 22;
 
     static POOL: Mutex<Vec<Vec<f32>>> = Mutex::new(Vec::new());
+    /// Bytes of capacity currently resident in the pool (mirrors the
+    /// `tensor.scratch.bytes_pooled` gauge; kept as its own atomic so
+    /// [`take`] can subtract without re-walking the pool).
+    static POOL_BYTES: AtomicU64 = AtomicU64::new(0);
 
     /// Takes an empty buffer from the pool (or a fresh one). Pool
     /// effectiveness is observable as the `tensor.scratch.hit` /
@@ -54,6 +59,9 @@ pub mod scratch {
         match POOL.lock().unwrap().pop() {
             Some(buf) => {
                 wb_obs::counter!("tensor.scratch.hit");
+                let bytes = (buf.capacity() * std::mem::size_of::<f32>()) as u64;
+                let left = POOL_BYTES.fetch_sub(bytes, Ordering::Relaxed) - bytes;
+                wb_obs::gauge!("tensor.scratch.bytes_pooled", left as f64);
                 buf
             }
             None => {
@@ -64,20 +72,23 @@ pub mod scratch {
     }
 
     /// Returns a buffer to the pool for reuse. Recycled capacity feeds the
-    /// `tensor.scratch.bytes_recycled` counter and the current pool depth
-    /// the `tensor.scratch.pooled` gauge.
+    /// `tensor.scratch.bytes_recycled` counter, the current pool depth the
+    /// `tensor.scratch.pooled` gauge, and resident capacity the
+    /// `tensor.scratch.bytes_pooled` gauge plus its `.peak` high-watermark.
     pub fn put(mut buf: Vec<f32>) {
         if buf.capacity() == 0 || buf.capacity() > MAX_BUF_CAP {
             return;
         }
-        wb_obs::counter!(
-            "tensor.scratch.bytes_recycled",
-            (buf.capacity() * std::mem::size_of::<f32>()) as u64
-        );
+        let bytes = (buf.capacity() * std::mem::size_of::<f32>()) as u64;
+        wb_obs::counter!("tensor.scratch.bytes_recycled", bytes);
         buf.clear();
         let mut pool = POOL.lock().unwrap();
         if pool.len() < MAX_POOLED {
             pool.push(buf);
+            let resident = POOL_BYTES.fetch_add(bytes, Ordering::Relaxed) + bytes;
+            wb_obs::gauge!("tensor.scratch.bytes_pooled", resident as f64);
+            wb_obs::gauge_max!("tensor.scratch.bytes_pooled.peak", resident as f64);
+            wb_obs::trace::sample("tensor.scratch.bytes_pooled", resident as f64);
         }
         wb_obs::gauge!("tensor.scratch.pooled", pool.len() as f64);
     }

@@ -13,7 +13,8 @@
 //! Unknown flags are rejected at parse time with a did-you-mean
 //! suggestion, so a typo such as `--epoch 5` can never silently swallow
 //! its value. All subcommands accept the observability globals
-//! `--log-level LEVEL` and `--metrics-out FILE` (see docs/OBSERVABILITY.md).
+//! `--log-level LEVEL`, `--metrics-out FILE` and `--trace-out FILE`
+//! (see docs/OBSERVABILITY.md).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -32,6 +33,8 @@ USAGE:
     wb brief    [--model FILE] [--json] FILES...
     wb stats    [--subjects N] [--pages N]
     wb report   FILE
+    wb bench    [--quick] [--label NAME] [--out FILE]
+                [--baseline FILE] [--tolerance PCT] [REPORT.json]
 
 SUBCOMMANDS:
     generate    Generate a synthetic labelled corpus and export HTML + JSON
@@ -39,16 +42,20 @@ SUBCOMMANDS:
     brief       Brief one or more HTML files with a trained checkpoint
     stats       Print statistics of a synthetic corpus
     report      Pretty-print a metrics snapshot written by --metrics-out
+    bench       Run the perf-trajectory workloads, write BENCH_<label>.json
+                and (with --baseline) fail on hard-metric regressions
 
 GLOBAL OPTIONS (accepted by every subcommand):
     --log-level LEVEL    Stderr log verbosity: off, error, warn, info,
                          debug or trace; also takes a WB_LOG-style filter
                          spec such as `warn,wb_tensor=trace`
     --metrics-out FILE   Write a JSON metrics snapshot on exit
+    --trace-out FILE     Record span/counter events and write a Chrome
+                         trace (chrome://tracing, Perfetto) on exit
 ";
 
 /// Observability options shared by every subcommand.
-const GLOBAL_OPTS: &[&str] = &["log-level", "metrics-out"];
+const GLOBAL_OPTS: &[&str] = &["log-level", "metrics-out", "trace-out"];
 
 /// Minimal `--flag value` / `--switch` / positional parser.
 ///
@@ -159,8 +166,15 @@ fn edit_distance(a: &str, b: &str) -> usize {
     prev[b.len()]
 }
 
-/// Applies `--log-level` and returns the `--metrics-out` path, if any.
-fn apply_globals(args: &Args) -> Result<Option<String>, String> {
+/// Exit-time observability outputs requested by the global flags.
+struct Globals {
+    metrics_out: Option<String>,
+    trace_out: Option<String>,
+}
+
+/// Applies `--log-level`, arms trace collection when `--trace-out` was
+/// given, and returns the output paths to flush on exit.
+fn apply_globals(args: &Args) -> Result<Globals, String> {
     if let Some(spec) = args.get("log-level") {
         if let Some(level) = wb_obs::log::Level::parse(spec) {
             wb_obs::log::set_level(level);
@@ -173,15 +187,26 @@ fn apply_globals(args: &Args) -> Result<Option<String>, String> {
             ));
         }
     }
-    Ok(args.get("metrics-out").map(str::to_string))
+    let globals = Globals {
+        metrics_out: args.get("metrics-out").map(str::to_string),
+        trace_out: args.get("trace-out").map(str::to_string),
+    };
+    if globals.trace_out.is_some() {
+        wb_obs::trace::start();
+    }
+    Ok(globals)
 }
 
-/// Writes the global metrics snapshot to `path` when one was requested.
-fn write_metrics(path: &Option<String>) -> Result<(), String> {
-    if let Some(path) = path {
+/// Writes the metrics snapshot and/or Chrome trace when requested.
+fn write_outputs(globals: &Globals) -> Result<(), String> {
+    if let Some(path) = &globals.metrics_out {
         let json = wb_obs::metrics::snapshot().to_json();
         std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
         wb_obs::info!("wrote metrics snapshot to {path}");
+    }
+    if let Some(path) = &globals.trace_out {
+        wb_obs::trace::write_chrome(path).map_err(|e| format!("cannot write {path}: {e}"))?;
+        wb_obs::info!("wrote Chrome trace to {path} (open in chrome://tracing or Perfetto)");
     }
     Ok(())
 }
@@ -201,6 +226,7 @@ fn main() {
         "brief" => cmd_brief(&raw[1..]),
         "stats" => cmd_stats(&raw[1..]),
         "report" => cmd_report(&raw[1..]),
+        "bench" => cmd_bench(&raw[1..]),
         other => Err(format!("unknown subcommand `{other}`")),
     };
     if let Err(e) = result {
@@ -219,7 +245,7 @@ fn dataset_config(subjects: usize, pages: usize, seed: u64) -> DatasetConfig {
 
 fn cmd_generate(raw: &[String]) -> Result<(), String> {
     let args = Args::parse(raw, &["out", "subjects", "pages", "seed"], &[])?;
-    let metrics_out = apply_globals(&args)?;
+    let globals = apply_globals(&args)?;
     let out = args.get_str("out", "./wb-corpus");
     let subjects: usize = args.get_num("subjects", 2)?;
     let pages: usize = args.get_num("pages", 6)?;
@@ -238,12 +264,12 @@ fn cmd_generate(raw: &[String]) -> Result<(), String> {
     }
     export_pages(&out, &records).map_err(|e| format!("export corpus: {e}"))?;
     println!("Wrote {} labelled pages over {} topics to {out}", records.len(), taxonomy.len());
-    write_metrics(&metrics_out)
+    write_outputs(&globals)
 }
 
 fn cmd_train(raw: &[String]) -> Result<(), String> {
     let args = Args::parse(raw, &["out", "epochs", "subjects", "pages", "seed"], &[])?;
-    let metrics_out = apply_globals(&args)?;
+    let globals = apply_globals(&args)?;
     let out = args.get_str("out", "./wb-model.json");
     let epochs: usize = args.get_num("epochs", 15)?;
     let subjects: usize = args.get_num("subjects", 2)?;
@@ -263,12 +289,12 @@ fn cmd_train(raw: &[String]) -> Result<(), String> {
         .save(&out)
         .map_err(|e| format!("save checkpoint: {e}"))?;
     println!("Saved checkpoint to {out}");
-    write_metrics(&metrics_out)
+    write_outputs(&globals)
 }
 
 fn cmd_brief(raw: &[String]) -> Result<(), String> {
     let args = Args::parse(raw, &["model"], &["json"])?;
-    let metrics_out = apply_globals(&args)?;
+    let globals = apply_globals(&args)?;
     let model = args.get_str("model", "./wb-model.json");
     let json = args.has("json");
     let files = &args.positional;
@@ -300,12 +326,12 @@ fn cmd_brief(raw: &[String]) -> Result<(), String> {
             Err(e) => eprintln!("=== {file} ===\ncould not brief: {e}"),
         }
     }
-    write_metrics(&metrics_out)
+    write_outputs(&globals)
 }
 
 fn cmd_stats(raw: &[String]) -> Result<(), String> {
     let args = Args::parse(raw, &["subjects", "pages"], &[])?;
-    let metrics_out = apply_globals(&args)?;
+    let globals = apply_globals(&args)?;
     let subjects: usize = args.get_num("subjects", 2)?;
     let pages: usize = args.get_num("pages", 6)?;
 
@@ -337,7 +363,7 @@ fn cmd_stats(raw: &[String]) -> Result<(), String> {
     println!("tokenizer UNK:   {:.2}%", cov.unk_rate() * 100.0);
     println!("whole words:     {:.1}%", cov.whole_word_rate() * 100.0);
     println!("fertility:       {:.2} pieces/word", cov.fertility());
-    write_metrics(&metrics_out)
+    write_outputs(&globals)
 }
 
 fn cmd_report(raw: &[String]) -> Result<(), String> {
@@ -352,6 +378,31 @@ fn cmd_report(raw: &[String]) -> Result<(), String> {
     let snapshot = wb_obs::metrics::Snapshot::from_json(&text)
         .map_err(|e| format!("{file} is not a metrics snapshot: {e}"))?;
     print!("{}", wb_obs::report::render(&snapshot));
+    Ok(())
+}
+
+fn cmd_bench(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw, &["out", "label", "baseline", "tolerance"], &["quick"])?;
+    let globals = apply_globals(&args)?;
+    let opts = wb_bench::perf::CliOptions {
+        quick: args.has("quick"),
+        label: args.get_str("label", "local"),
+        out: args.get("out").map(str::to_string),
+        baseline: args.get("baseline").map(str::to_string),
+        tolerance_pct: args.get_num("tolerance", 10.0)?,
+        compare_only: match args.positional.as_slice() {
+            [] => None,
+            [f] => Some(f.clone()),
+            _ => return Err("bench takes at most one REPORT.json to compare".to_string()),
+        },
+    };
+    let code = wb_bench::perf::run_cli(&opts)?;
+    write_outputs(&globals)?;
+    if code != 0 {
+        // A regression is a clean, diagnosed outcome: exit 1 directly
+        // rather than routing through the usage-error path (exit 2).
+        std::process::exit(code);
+    }
     Ok(())
 }
 

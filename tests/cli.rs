@@ -129,7 +129,9 @@ fn brief_json_is_byte_identical_with_observability_on() {
     let model = std::env::temp_dir().join("wb_cli_obs_model.json");
     let page = std::env::temp_dir().join("wb_cli_obs_page.html");
     let metrics = std::env::temp_dir().join("wb_cli_obs_metrics.json");
+    let trace = std::env::temp_dir().join("wb_cli_obs_trace.json");
     let _ = std::fs::remove_file(&model);
+    let _ = std::fs::remove_file(&trace);
 
     let out = wb()
         .args([
@@ -158,9 +160,10 @@ fn brief_json_is_byte_identical_with_observability_on() {
         .expect("run wb brief (quiet)");
     assert!(quiet.status.success(), "{}", String::from_utf8_lossy(&quiet.stderr));
 
-    // Maximum observability: trace logging plus a metrics snapshot. Logs
-    // go to stderr and metrics to their own file, so stdout — the actual
-    // deliverable — must not change by a single byte.
+    // Maximum observability: trace logging, a metrics snapshot AND event
+    // tracing. Logs go to stderr, metrics and the trace to their own
+    // files, so stdout — the actual deliverable — must not change by a
+    // single byte.
     let traced = wb()
         .args([
             "brief",
@@ -171,6 +174,8 @@ fn brief_json_is_byte_identical_with_observability_on() {
             "trace",
             "--metrics-out",
             metrics.to_str().unwrap(),
+            "--trace-out",
+            trace.to_str().unwrap(),
             page.to_str().unwrap(),
         ])
         .output()
@@ -179,9 +184,206 @@ fn brief_json_is_byte_identical_with_observability_on() {
     assert_eq!(quiet.stdout, traced.stdout, "observability perturbed brief output");
     assert!(metrics.exists());
 
+    // The trace file is Chrome-trace shaped: a traceEvents array of
+    // complete ("X") events carrying pid/tid/ts, parseable by the
+    // vendored serde_json just like by chrome://tracing.
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    let v: serde_json::Value = serde_json::from_str(&text).expect("trace is valid JSON");
+    let events = v.get("traceEvents").and_then(|e| e.as_array()).expect("traceEvents array");
+    assert!(!events.is_empty(), "trace recorded no events");
+    let spans: Vec<_> =
+        events.iter().filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X")).collect();
+    assert!(!spans.is_empty(), "no complete (ph=X) span events");
+    for e in &spans {
+        for key in ["pid", "tid", "ts", "dur"] {
+            assert!(e.get(key).and_then(|x| x.as_f64()).is_some(), "{key} missing: {e:?}");
+        }
+        assert!(e.get("name").and_then(|n| n.as_str()).is_some(), "{e:?}");
+    }
+    assert!(
+        spans.iter().any(|e| e.get("name").and_then(|n| n.as_str()) == Some("brief.page")),
+        "briefing spans missing from trace"
+    );
+
     let _ = std::fs::remove_file(model);
     let _ = std::fs::remove_file(page);
     let _ = std::fs::remove_file(metrics);
+    let _ = std::fs::remove_file(trace);
+}
+
+/// Span name → event count of every complete ("X") event in a trace file.
+fn span_counts(path: &std::path::Path) -> std::collections::BTreeMap<String, usize> {
+    let text = std::fs::read_to_string(path).expect("trace file written");
+    let v: serde_json::Value = serde_json::from_str(&text).expect("trace is valid JSON");
+    let mut counts = std::collections::BTreeMap::new();
+    for e in v.get("traceEvents").and_then(|e| e.as_array()).expect("traceEvents array") {
+        if e.get("ph").and_then(|p| p.as_str()) == Some("X") {
+            let name = e.get("name").and_then(|n| n.as_str()).unwrap().to_string();
+            *counts.entry(name).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+#[test]
+fn trace_export_is_thread_count_invariant() {
+    let model = std::env::temp_dir().join("wb_cli_trc_model.json");
+    let _ = std::fs::remove_file(&model);
+    let out = wb()
+        .args([
+            "train",
+            "--out",
+            model.to_str().unwrap(),
+            "--epochs",
+            "1",
+            "--subjects",
+            "1",
+            "--pages",
+            "2",
+        ])
+        .output()
+        .expect("run wb train");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let mut pages = Vec::new();
+    for i in 0..3 {
+        let page = std::env::temp_dir().join(format!("wb_cli_trc_page{i}.html"));
+        std::fs::write(
+            &page,
+            format!(
+                "<html><body><section><p>great velcro books {i} , price : $ {i}.99 .\
+                 </p></section></body></html>"
+            ),
+        )
+        .unwrap();
+        pages.push(page);
+    }
+
+    // The same briefing run on 1 vs 4 rayon threads must do the same
+    // *work*: identical stdout, identical span-name set and identical
+    // per-name event counts — only the thread attribution may differ.
+    let mut outputs = Vec::new();
+    for (threads, tag) in [("1", "t1"), ("4", "t4")] {
+        let trace = std::env::temp_dir().join(format!("wb_cli_trc_{tag}.json"));
+        let _ = std::fs::remove_file(&trace);
+        let mut cmd = wb();
+        cmd.env("RAYON_NUM_THREADS", threads).args([
+            "brief",
+            "--model",
+            model.to_str().unwrap(),
+            "--json",
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ]);
+        for p in &pages {
+            cmd.arg(p);
+        }
+        let out = cmd.output().expect("run wb brief --trace-out");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        outputs.push((out.stdout, span_counts(&trace)));
+        let _ = std::fs::remove_file(&trace);
+    }
+    let (stdout1, counts1) = &outputs[0];
+    let (stdout4, counts4) = &outputs[1];
+    assert_eq!(stdout1, stdout4, "thread count changed briefing output");
+    assert_eq!(counts1, counts4, "thread count changed the recorded span events");
+    assert!(counts1.contains_key("brief.page"), "{counts1:?}");
+
+    let _ = std::fs::remove_file(model);
+    for p in pages {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn bench_quick_writes_report_and_gates_regressions() {
+    let report = std::env::temp_dir().join("wb_cli_bench.json");
+    let tampered = std::env::temp_dir().join("wb_cli_bench_bad.json");
+    let _ = std::fs::remove_file(&report);
+
+    let out = wb()
+        .args(["bench", "--quick", "--label", "clitest", "--out", report.to_str().unwrap()])
+        .output()
+        .expect("run wb bench --quick");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("bench `clitest`"), "{stdout}");
+
+    // The report carries every workload with throughput, percentiles and
+    // the deterministic counters.
+    let text = std::fs::read_to_string(&report).expect("bench report written");
+    let v: serde_json::Value = serde_json::from_str(&text).expect("report is valid JSON");
+    assert_eq!(v.get("schema").and_then(|s| s.as_str()), Some("wb-bench-v1"));
+    assert_eq!(v.get("tier").and_then(|s| s.as_str()), Some("quick"));
+    let workloads = v.get("workloads").expect("workloads object");
+    let metric = |workload: &str, key: &str, field: &str| -> serde_json::Value {
+        workloads
+            .get(workload)
+            .and_then(|w| w.get("metrics"))
+            .and_then(|m| m.get(key))
+            .and_then(|m| m.get(field))
+            .unwrap_or_else(|| panic!("{workload}/{key}/{field} missing from report"))
+            .clone()
+    };
+    for name in [
+        "matmul_nn",
+        "matmul_nt",
+        "matmul_tn",
+        "matmul_tt",
+        "wordpiece",
+        "brief_corpus",
+        "train_step",
+    ] {
+        for key in ["throughput", "latency_p50_us", "latency_p99_us", "work_units"] {
+            assert!(metric(name, key, "value").as_f64().is_some(), "{name}/{key} not numeric");
+        }
+    }
+    let flops = metric("matmul_nn", "flops", "value").as_f64().unwrap();
+    assert!(flops > 0.0);
+    assert!(metric("train_step", "tape_peak_bytes", "value").as_f64().unwrap() > 0.0);
+    assert_eq!(metric("train_step", "params_bytes", "hard").as_bool(), Some(true));
+
+    // Comparing a report against itself passes at any tolerance…
+    let ok = wb()
+        .args([
+            "bench",
+            "--baseline",
+            report.to_str().unwrap(),
+            "--tolerance",
+            "1",
+            report.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run wb bench self-compare");
+    assert!(ok.status.success(), "{}", String::from_utf8_lossy(&ok.stderr));
+
+    // …while doubling a hard metric (FLOPs) trips the regression gate
+    // with exit code 1 (not the usage-error code 2). Both wb-obs and
+    // Rust's `{}` print integral floats without a decimal point, so the
+    // textual replace below hits the rendered report exactly.
+    let doctored = text.replace(
+        &format!("\"flops\":{{\"hard\":true,\"unit\":\"FLOP\",\"value\":{flops}}}"),
+        &format!("\"flops\":{{\"hard\":true,\"unit\":\"FLOP\",\"value\":{}}}", flops * 2.0),
+    );
+    assert_ne!(doctored, text, "failed to tamper with the report");
+    std::fs::write(&tampered, doctored).unwrap();
+    let bad = wb()
+        .args([
+            "bench",
+            "--baseline",
+            report.to_str().unwrap(),
+            "--tolerance",
+            "30",
+            tampered.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run wb bench tampered-compare");
+    assert_eq!(bad.status.code(), Some(1), "{}", String::from_utf8_lossy(&bad.stderr));
+    let stdout = String::from_utf8_lossy(&bad.stdout);
+    assert!(stdout.contains("FAIL") && stdout.contains("matmul_nn/flops"), "{stdout}");
+
+    let _ = std::fs::remove_file(report);
+    let _ = std::fs::remove_file(tampered);
 }
 
 #[test]
