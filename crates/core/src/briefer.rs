@@ -7,7 +7,7 @@ use crate::{ModelConfig, TrainConfig};
 use wb_corpus::{AttrKind, Dataset, Example, TopicId};
 use wb_eval::bio_to_spans;
 use wb_html::parse_document;
-use wb_text::{split_sentences, WordPiece, CLS};
+use wb_text::{split_sentences, ChunkConfig, WordPiece, CLS};
 
 /// One extracted key attribute.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -105,10 +105,84 @@ pub fn encode_text(sentences: &[String], wp: &WordPiece) -> Example {
     }
 }
 
+/// Splits raw sentences into 512-token-style sub-document [`Example`]s,
+/// mirroring the training-time preprocessing in [`wb_text::EncodedDoc`]
+/// (§IV-A3): sub-documents hold whole sentences where possible, a sentence
+/// longer than `cfg.sub_len` is cut at the sub-document boundary, and the
+/// page is truncated at `cfg.doc_len` real tokens overall. Unlike training,
+/// no `[PAD]` is appended — each sub-document is encoded on its own, so
+/// padding would only shift the LSTM states away from the unchunked path.
+///
+/// A page that fits inside one sub-document yields a single [`Example`]
+/// identical to [`encode_text`]'s output, which keeps chunked inference
+/// byte-equivalent to the unchunked path for short pages.
+pub fn encode_chunked(sentences: &[String], wp: &WordPiece, cfg: ChunkConfig) -> Vec<Example> {
+    assert!(
+        cfg.sub_len >= 2 && cfg.doc_len.is_multiple_of(cfg.sub_len),
+        "sub_len must be >= 2 and divide doc_len"
+    );
+    let mut chunks: Vec<Example> = Vec::new();
+    let mut tokens: Vec<u32> = Vec::new();
+    let mut cls_positions: Vec<usize> = Vec::new();
+    let mut sentence_of: Vec<usize> = Vec::new();
+    let mut total = 0usize;
+    let close = |tokens: &mut Vec<u32>,
+                 cls_positions: &mut Vec<usize>,
+                 sentence_of: &mut Vec<usize>,
+                 chunks: &mut Vec<Example>| {
+        if tokens.is_empty() {
+            return;
+        }
+        let n = tokens.len();
+        let m = cls_positions.len();
+        chunks.push(Example {
+            topic: TopicId(0),
+            tokens: std::mem::take(tokens),
+            cls_positions: std::mem::take(cls_positions),
+            sentence_of: std::mem::take(sentence_of),
+            bio: vec![0; n],
+            informative: vec![false; m],
+            topic_target: vec![wb_text::EOS],
+            attr_spans: Vec::new(),
+        });
+    };
+    for sent in sentences {
+        // Like EncodedDoc: never start a sentence whose [CLS] would be the
+        // document's final token slot.
+        if total + 1 >= cfg.doc_len {
+            break;
+        }
+        let ids = wp.encode(sent);
+        // Whole sentences go into one sub-document when they fit; close the
+        // current chunk when this sentence would straddle its boundary.
+        if !tokens.is_empty() && tokens.len() + 1 + ids.len() > cfg.sub_len {
+            close(&mut tokens, &mut cls_positions, &mut sentence_of, &mut chunks);
+        }
+        // Sentence indices are chunk-local (0-based per Example) so each
+        // sub-document is a self-consistent model input; callers that need
+        // document-global sentence numbers offset by the preceding chunks'
+        // sentence counts.
+        let s_idx = cls_positions.len();
+        let room = (cfg.sub_len - tokens.len()).min(cfg.doc_len - total);
+        cls_positions.push(tokens.len());
+        tokens.push(CLS);
+        sentence_of.push(s_idx);
+        total += 1;
+        for &id in ids.iter().take(room - 1) {
+            tokens.push(id);
+            sentence_of.push(s_idx);
+            total += 1;
+        }
+    }
+    close(&mut tokens, &mut cls_positions, &mut sentence_of, &mut chunks);
+    chunks
+}
+
 /// A trained briefing pipeline: tokenizer + Joint-WB model.
 pub struct Briefer {
     model: JointModel,
     tokenizer: WordPiece,
+    chunk: ChunkConfig,
 }
 
 impl Briefer {
@@ -128,12 +202,32 @@ impl Briefer {
         let mut model = JointModel::new(JointVariant::JointWb, model_cfg, seed);
         let split = dataset.split(train_cfg.seed);
         crate::trainer::train(&mut model, &dataset.examples, &split.train, train_cfg);
-        Briefer { model, tokenizer: dataset.tokenizer.clone() }
+        Self::from_model(model, dataset.tokenizer.clone())
     }
 
-    /// Wraps an already-trained joint model.
+    /// Wraps an already-trained joint model. Inference chunking defaults to
+    /// the training-time shape — `max_len`-token sub-documents, four per
+    /// document (the paper's 512 × 4) — so served pages match the training
+    /// distribution.
     pub fn from_model(model: JointModel, tokenizer: WordPiece) -> Briefer {
-        Briefer { model, tokenizer }
+        let max_len = model.config().max_len;
+        let chunk = ChunkConfig { doc_len: 4 * max_len, sub_len: max_len };
+        Briefer { model, tokenizer, chunk }
+    }
+
+    /// Overrides the inference-time chunking shape.
+    pub fn with_chunk_config(mut self, chunk: ChunkConfig) -> Briefer {
+        assert!(
+            chunk.sub_len >= 2 && chunk.doc_len.is_multiple_of(chunk.sub_len),
+            "sub_len must be >= 2 and divide doc_len"
+        );
+        self.chunk = chunk;
+        self
+    }
+
+    /// The inference-time chunking shape.
+    pub fn chunk_config(&self) -> ChunkConfig {
+        self.chunk
     }
 
     /// The underlying model.
@@ -162,12 +256,13 @@ impl Briefer {
             wb_obs::debug!("page rejected: no visible text");
             return Err(BriefError::EmptyPage);
         }
-        let ex = {
+        let chunks = {
             let _s = wb_obs::span!("brief.wordpiece");
-            encode_text(&sentences, &self.tokenizer)
+            encode_chunked(&sentences, &self.tokenizer, self.chunk)
         };
         wb_obs::counter!("brief.pages");
-        Ok(self.brief_example(&ex))
+        wb_obs::counter!("brief.chunks", chunks.len());
+        Ok(self.brief_chunks(&chunks))
     }
 
     /// Briefs a batch of HTML pages, fanning pages over the rayon pool.
@@ -190,33 +285,63 @@ impl Briefer {
         out
     }
 
-    /// Briefs an already-encoded example.
+    /// Briefs an already-encoded example (a single sub-document).
     pub fn brief_example(&self, ex: &Example) -> Brief {
+        self.brief_chunks(std::slice::from_ref(ex))
+    }
+
+    /// Briefs a page given its sub-documents in document order (the output
+    /// of [`encode_chunked`]): the broad topic is generated from the first
+    /// sub-document — the page head, where the paper's corpus carries the
+    /// topical signal — while extraction runs over every sub-document and
+    /// the attributes are unioned in document order. For a single chunk
+    /// this is exactly the unchunked pipeline.
+    pub fn brief_chunks(&self, chunks: &[Example]) -> Brief {
+        let Some(first) = chunks.first() else {
+            return Brief {
+                topic: String::new(),
+                category: None,
+                attributes: Vec::new(),
+                informative_sentences: Vec::new(),
+            };
+        };
         let topic = {
             let _s = wb_obs::span!("brief.generate");
-            let topic_ids = self.model.generate(ex);
+            let topic_ids = self.model.generate(first);
             self.tokenizer.decode_ids(&topic_ids).join(" ")
         };
         let _extract = wb_obs::span!("brief.extract");
-        let tags = self.model.predict_tags(ex);
         let mut category = None;
         let mut attributes: Vec<BriefAttribute> = Vec::new();
-        for (s, e) in bio_to_spans(&tags) {
-            let value = self.tokenizer.decode_ids(&ex.tokens[s..e]).join(" ");
-            let name = infer_attribute_name(&self.tokenizer, ex, s);
-            // The category attribute is promoted to its own hierarchy level
-            // (the paper's "high-level key attribute").
-            if name == "category" && category.is_none() {
-                category = Some(value);
-            } else {
-                attributes.push(BriefAttribute { name, value });
+        let mut informative_sentences: Vec<usize> = Vec::new();
+        let mut sentence_base = 0usize;
+        for ex in chunks {
+            let tags = self.model.predict_tags(ex);
+            for (s, e) in bio_to_spans(&tags) {
+                let value = self.tokenizer.decode_ids(&ex.tokens[s..e]).join(" ");
+                let name = infer_attribute_name(&self.tokenizer, ex, s);
+                // The category attribute is promoted to its own hierarchy
+                // level (the paper's "high-level key attribute"); the first
+                // one in document order wins.
+                if name == "category" && category.is_none() {
+                    category = Some(value);
+                } else {
+                    attributes.push(BriefAttribute { name, value });
+                }
             }
+            // Sentence flags are chunk-local; shift them to document-global
+            // sentence numbers.
+            if let Some(flags) = self.model.predict_sections(ex) {
+                informative_sentences.extend(
+                    flags
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &f)| f)
+                        .map(|(i, _)| sentence_base + i),
+                );
+            }
+            sentence_base += ex.num_sentences();
         }
-        let informative_sentences = self
-            .model
-            .predict_sections(ex)
-            .map(|flags| flags.iter().enumerate().filter(|(_, &f)| f).map(|(i, _)| i).collect())
-            .unwrap_or_default();
         Brief { topic, category, attributes, informative_sentences }
     }
 }
@@ -318,6 +443,94 @@ mod tests {
             briefer.brief_html("<html><head><title>x</title></head></html>"),
             Err(BriefError::EmptyPage)
         ));
+    }
+
+    #[test]
+    fn short_pages_chunked_equals_unchunked() {
+        let d = Dataset::generate(&DatasetConfig::tiny());
+        let cfg = ModelConfig::scaled(d.tokenizer.vocab().len());
+        let model = JointModel::new(JointVariant::JointWb, cfg, 3);
+        let briefer = Briefer::from_model(model, d.tokenizer.clone());
+        let html = "<html><body><section><p>Great velcro books, price : $ 40.13 today.</p>\
+                    <p>A second sentence about fiction goods.</p></section></body></html>";
+        // The page fits inside one sub-document, so the chunked pipeline
+        // must reduce to exactly the historical unchunked one.
+        let sentences = split_sentences(&wb_html::visible_text(&parse_document(html).unwrap()));
+        let chunks = encode_chunked(&sentences, &d.tokenizer, briefer.chunk_config());
+        assert_eq!(chunks.len(), 1, "short page must be a single chunk");
+        let unchunked = encode_text(&sentences, &d.tokenizer);
+        assert_eq!(chunks[0].tokens, unchunked.tokens);
+        assert_eq!(chunks[0].cls_positions, unchunked.cls_positions);
+        assert_eq!(chunks[0].sentence_of, unchunked.sentence_of);
+        let via_html = briefer.brief_html(html).unwrap();
+        let via_example = briefer.brief_example(&encode_text(&sentences, &d.tokenizer));
+        assert_eq!(via_html, via_example);
+    }
+
+    #[test]
+    fn encode_chunked_splits_on_sentence_boundaries() {
+        let d = Dataset::generate(&DatasetConfig::tiny());
+        let sentences: Vec<String> =
+            (0..8).map(|i| format!("great velcro books number {i} today .")).collect();
+        let one = encode_text(&sentences, &d.tokenizer);
+        let per_sent = one.tokens.len() / 8;
+        // Pick a sub_len that holds two-ish sentences.
+        let sub = (2 * per_sent + 2).max(4);
+        let cfg = ChunkConfig { doc_len: sub * 8, sub_len: sub };
+        let chunks = encode_chunked(&sentences, &d.tokenizer, cfg);
+        assert!(chunks.len() > 1, "long page must chunk");
+        for ex in &chunks {
+            assert!(ex.tokens.len() <= sub);
+            assert_eq!(ex.tokens[0], CLS);
+            assert_eq!(ex.tokens.len(), ex.sentence_of.len());
+            assert_eq!(ex.tokens.len(), ex.bio.len());
+            assert_eq!(ex.cls_positions.len(), ex.informative.len());
+            // Chunk-local sentence numbering starts at 0.
+            assert_eq!(ex.sentence_of[0], 0);
+        }
+        // No sentence was split across a chunk boundary (each fits), so the
+        // concatenation reproduces the unchunked token stream.
+        let rejoined: Vec<u32> = chunks.iter().flat_map(|e| e.tokens.clone()).collect();
+        assert_eq!(rejoined, one.tokens);
+        let total_sentences: usize = chunks.iter().map(|e| e.num_sentences()).sum();
+        assert_eq!(total_sentences, 8);
+    }
+
+    #[test]
+    fn encode_chunked_caps_adversarially_long_pages() {
+        let d = Dataset::generate(&DatasetConfig::tiny());
+        let sentences: Vec<String> =
+            (0..500).map(|_| "great velcro books today .".to_string()).collect();
+        let cfg = ChunkConfig { doc_len: 64, sub_len: 16 };
+        let chunks = encode_chunked(&sentences, &d.tokenizer, cfg);
+        let total: usize = chunks.iter().map(|e| e.tokens.len()).sum();
+        assert!(total <= 64, "doc budget exceeded: {total}");
+        assert!(chunks.iter().all(|e| e.tokens.len() <= 16), "sub-document budget exceeded");
+        // A single overlong sentence is cut at the sub-document boundary.
+        let monster = vec!["great velcro books today . ".repeat(50)];
+        let chunks = encode_chunked(&monster, &d.tokenizer, cfg);
+        assert_eq!(chunks[0].tokens.len(), 16);
+        assert_eq!(chunks[0].num_sentences(), 1);
+    }
+
+    #[test]
+    fn chunked_brief_unions_attributes_in_document_order() {
+        let d = Dataset::generate(&DatasetConfig::tiny());
+        let cfg = ModelConfig::scaled(d.tokenizer.vocab().len());
+        let model = JointModel::new(JointVariant::JointWb, cfg, 3);
+        let briefer = Briefer::from_model(model, d.tokenizer.clone())
+            .with_chunk_config(ChunkConfig { doc_len: 128, sub_len: 32 });
+        // An adversarially long page still briefs (bounded work) and the
+        // brief is well-formed.
+        let body: String = (0..200)
+            .map(|i| format!("<p>great velcro books {i} , price : $ {i}.99 .</p>"))
+            .collect();
+        let html = format!("<html><body><section>{body}</section></body></html>");
+        let brief = briefer.brief_html(&html).unwrap();
+        assert!(brief.topic.split(' ').count() <= cfg.max_topic_len);
+        // Informative sentence ids are document-global and strictly
+        // increasing across chunks.
+        assert!(brief.informative_sentences.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

@@ -66,9 +66,30 @@ pub enum Checkpoint {
 
 impl Checkpoint {
     /// Writes the checkpoint as JSON.
+    ///
+    /// The write is atomic with respect to crashes: the JSON goes to a
+    /// sibling temporary file first and is renamed over `path` only once
+    /// fully written, so a crash mid-save can never leave a truncated
+    /// checkpoint that poisons the next `wb brief`/`wb serve` start —
+    /// `path` either holds the previous complete checkpoint or the new
+    /// one. The temporary name embeds the process id so concurrent savers
+    /// targeting the same path cannot trample each other's staging file.
     pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
         let json = serde_json::to_string(self).map_err(io::Error::other)?;
-        std::fs::write(path, json)
+        let path = path.as_ref();
+        let mut tmp_name = path.file_name().map(|n| n.to_os_string()).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("checkpoint path {} has no file name", path.display()),
+            )
+        })?;
+        tmp_name.push(format!(".{}.tmp", std::process::id()));
+        let tmp = path.with_file_name(tmp_name);
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, path).inspect_err(|_| {
+            // Leave no staging litter behind a failed rename.
+            let _ = std::fs::remove_file(&tmp);
+        })
     }
 
     /// Reads a checkpoint from JSON.
@@ -251,6 +272,62 @@ mod tests {
         let ckpt = m.checkpoint(EmbedderKind::Static, false);
         assert!(JointModel::from_checkpoint(&ckpt).is_err());
         assert!(Extractor::from_checkpoint(&ckpt).is_err());
+    }
+
+    #[test]
+    fn truncated_checkpoint_yields_clean_load_error() {
+        let d = tiny();
+        let mc = ModelConfig::scaled(d.tokenizer.vocab().len());
+        let m = JointModel::new(JointVariant::JointWb, mc, 5);
+        let path = std::env::temp_dir().join("wb_ckpt_truncated.json");
+        m.checkpoint().save(&path).unwrap();
+        // Simulate a crash mid-write under the old non-atomic scheme: the
+        // file exists but holds only a prefix of the JSON.
+        let full = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        let err = match Checkpoint::load(&path) {
+            Ok(_) => panic!("truncated checkpoint must not load"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::Other, "load must fail cleanly: {err}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn save_is_atomic_and_leaves_no_staging_file() {
+        let d = tiny();
+        let mc = ModelConfig::scaled(d.tokenizer.vocab().len());
+        let m = JointModel::new(JointVariant::JointWb, mc, 5);
+        let dir = std::env::temp_dir().join("wb_ckpt_atomic_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        m.checkpoint().save(&path).unwrap();
+        // Saving over an existing checkpoint replaces it wholesale…
+        let first = std::fs::read_to_string(&path).unwrap();
+        m.checkpoint().save(&path).unwrap();
+        assert_eq!(first, std::fs::read_to_string(&path).unwrap());
+        // …and the staging file never outlives a successful save.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|n| n.ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "staging litter: {leftovers:?}");
+        assert!(Checkpoint::load(&path).is_ok());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn save_to_pathless_target_is_invalid_input() {
+        let d = tiny();
+        let mc = ModelConfig::scaled(d.tokenizer.vocab().len());
+        let m = JointModel::new(JointVariant::JointWb, mc, 5);
+        let err = match m.checkpoint().save("/") {
+            Ok(()) => panic!("no file name to save to"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
     }
 
     #[test]

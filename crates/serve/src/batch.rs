@@ -1,0 +1,183 @@
+//! Micro-batching: concurrent `/brief` requests queue here and a single
+//! executor drains the whole queue into [`Briefer::brief_corpus`], so
+//! simultaneous requests share one rayon fan-out instead of contending for
+//! the pool one page at a time. While a batch runs, newly arriving
+//! requests accumulate and form the next batch.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+use wb_core::Briefer;
+
+/// The outcome of briefing one queued page.
+#[derive(Debug, Clone)]
+pub enum BriefOutcome {
+    /// The pretty-printed `Brief` JSON (shared, so a batch of identical
+    /// pages serialises once).
+    Ok(Arc<String>),
+    /// The page itself cannot be briefed (unparseable, no visible text)
+    /// → 422 for this request, the batch is unaffected.
+    Unbriefable(String),
+    /// The model panicked or the executor is gone → 500.
+    Internal(String),
+}
+
+/// One queued request: the page and the channel its outcome goes back on.
+pub struct Job {
+    /// Raw page HTML.
+    pub html: String,
+    /// Completion channel back to the waiting worker. Send failures are
+    /// ignored — the worker may have timed out and gone away.
+    pub tx: Sender<BriefOutcome>,
+}
+
+struct Queue {
+    jobs: Vec<Job>,
+    closed: bool,
+}
+
+/// The shared job queue between request workers and the batch executor.
+pub struct Batcher {
+    queue: Mutex<Queue>,
+    cv: Condvar,
+}
+
+impl Batcher {
+    /// Creates an empty, open batcher.
+    pub fn new() -> Self {
+        Batcher {
+            queue: Mutex::new(Queue { jobs: Vec::new(), closed: false }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Enqueues a job for the next batch. Returns `false` (and drops the
+    /// job) once the batcher is closed.
+    pub fn submit(&self, job: Job) -> bool {
+        let mut q = self.queue.lock().unwrap();
+        if q.closed {
+            return false;
+        }
+        q.jobs.push(job);
+        self.cv.notify_all();
+        true
+    }
+
+    /// Closes the queue: pending jobs still run, new submissions fail and
+    /// the executor exits once drained.
+    pub fn close(&self) {
+        self.queue.lock().unwrap().closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Blocks until jobs are available (or the batcher closes) and takes
+    /// the entire pending queue. `None` means closed-and-drained.
+    fn next_batch(&self) -> Option<Vec<Job>> {
+        let mut q = self.queue.lock().unwrap();
+        loop {
+            if !q.jobs.is_empty() {
+                return Some(std::mem::take(&mut q.jobs));
+            }
+            if q.closed {
+                return None;
+            }
+            q = self.cv.wait(q).unwrap();
+        }
+    }
+
+    /// The batch-executor loop: drain → brief → respond, until closed.
+    /// `handler_delay` stalls each batch before the model runs — a load-
+    /// testing knob (`--handler-delay-ms`) that makes overload behaviour
+    /// reproducible; zero in production.
+    ///
+    /// Identical pages within a batch are coalesced: the model runs once
+    /// per distinct page and every requester shares the one serialised
+    /// response. A panic anywhere in the model fails the batch's requests
+    /// with [`BriefOutcome::Internal`] but never kills the server.
+    pub fn run_executor(&self, briefer: &Briefer, handler_delay: Duration) {
+        while let Some(jobs) = self.next_batch() {
+            let _span = wb_obs::span!("serve.batch");
+            wb_obs::histogram!("serve.batch.size", jobs.len());
+            if !handler_delay.is_zero() {
+                std::thread::sleep(handler_delay);
+            }
+            // Coalesce duplicate pages (first-occurrence order keeps the
+            // batch deterministic regardless of arrival interleaving).
+            let mut uniq: Vec<&str> = Vec::new();
+            let mut index_of: Vec<usize> = Vec::with_capacity(jobs.len());
+            for job in &jobs {
+                match uniq.iter().position(|u| *u == job.html) {
+                    Some(i) => index_of.push(i),
+                    None => {
+                        uniq.push(&job.html);
+                        index_of.push(uniq.len() - 1);
+                    }
+                }
+            }
+            wb_obs::counter!("serve.batch.pages", uniq.len());
+            let htmls: Vec<String> = uniq.iter().map(|s| s.to_string()).collect();
+            let outcomes: Vec<BriefOutcome> = match catch_unwind(AssertUnwindSafe(|| {
+                briefer.brief_corpus(&htmls)
+            })) {
+                Ok(results) => results
+                    .into_iter()
+                    .map(|r| match r {
+                        Ok(brief) => match serde_json::to_string_pretty(&brief) {
+                            Ok(json) => BriefOutcome::Ok(Arc::new(json)),
+                            Err(e) => {
+                                BriefOutcome::Internal(format!("brief serialisation: {e}"))
+                            }
+                        },
+                        Err(e) => BriefOutcome::Unbriefable(e.to_string()),
+                    })
+                    .collect(),
+                Err(_) => {
+                    wb_obs::error!("briefing batch panicked; failing {} requests", jobs.len());
+                    wb_obs::counter!("serve.batch.panics");
+                    vec![
+                        BriefOutcome::Internal("briefing failed internally".to_string());
+                        uniq.len()
+                    ]
+                }
+            };
+            for (job, &uniq_idx) in jobs.iter().zip(&index_of) {
+                let _ = job.tx.send(outcomes[uniq_idx].clone());
+            }
+        }
+    }
+}
+
+impl Default for Batcher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+
+    #[test]
+    fn close_rejects_new_jobs_and_wakes_executor() {
+        let b = Batcher::new();
+        b.close();
+        let (tx, _rx) = channel();
+        assert!(!b.submit(Job { html: "<html/>".into(), tx }));
+        assert!(b.next_batch().is_none());
+    }
+
+    #[test]
+    fn next_batch_takes_everything_pending() {
+        let b = Batcher::new();
+        for i in 0..5 {
+            let (tx, _rx) = channel();
+            assert!(b.submit(Job { html: format!("<p>{i}</p>"), tx }));
+        }
+        let batch = b.next_batch().unwrap();
+        assert_eq!(batch.len(), 5);
+        b.close();
+        assert!(b.next_batch().is_none());
+    }
+}

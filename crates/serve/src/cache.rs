@@ -1,0 +1,229 @@
+//! A fixed-capacity LRU map keyed by page-content hash. Briefing is a pure
+//! function of (model, page), so a cached response is byte-identical to a
+//! recomputed one; the cache only changes *when* the model runs, never what
+//! the server returns.
+
+use std::collections::HashMap;
+
+/// 64-bit FNV-1a — a deterministic, dependency-free content hash for cache
+/// keys (not cryptographic; collisions are astronomically unlikely at any
+/// realistic cache size and at worst serve a stale-but-valid brief for a
+/// different page).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+const NIL: usize = usize::MAX;
+
+struct Slot<V> {
+    key: u64,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A doubly-linked-list LRU over a slab of slots: `get` and `insert` are
+/// O(1), eviction removes the least-recently-used entry.
+pub struct LruCache<V> {
+    capacity: usize,
+    map: HashMap<u64, usize>,
+    slots: Vec<Slot<V>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+}
+
+impl<V> LruCache<V> {
+    /// Creates a cache holding at most `capacity` entries. A capacity of 0
+    /// disables caching: every `get` misses and `insert` is a no-op.
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(1 << 16)),
+            slots: Vec::with_capacity(capacity.min(1 << 16)),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up `key`, marking the entry most-recently-used on a hit.
+    pub fn get(&mut self, key: u64) -> Option<&V> {
+        let &idx = self.map.get(&key)?;
+        self.unlink(idx);
+        self.push_front(idx);
+        Some(&self.slots[idx].value)
+    }
+
+    /// Inserts or refreshes `key`, evicting the least-recently-used entry
+    /// when at capacity.
+    pub fn insert(&mut self, key: u64, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&idx) = self.map.get(&key) {
+            self.slots[idx].value = value;
+            self.unlink(idx);
+            self.push_front(idx);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL);
+            self.unlink(lru);
+            self.map.remove(&self.slots[lru].key);
+            self.free.push(lru);
+        }
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = Slot { key, value, prev: NIL, next: NIL };
+                i
+            }
+            None => {
+                self.slots.push(Slot { key, value, prev: NIL, next: NIL });
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slots[idx].prev, self.slots[idx].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+        self.slots[idx].prev = NIL;
+        self.slots[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slots[idx].prev = NIL;
+        self.slots[idx].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Keys from most- to least-recently-used, by walking the list.
+    fn order<V>(c: &LruCache<V>) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut idx = c.head;
+        while idx != NIL {
+            out.push(c.slots[idx].key);
+            idx = c.slots[idx].next;
+        }
+        out
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert(1, "a");
+        c.insert(2, "b");
+        c.insert(3, "c"); // evicts 1
+        assert_eq!(c.get(1), None);
+        assert_eq!(c.get(2), Some(&"b"));
+        assert_eq!(c.get(3), Some(&"c"));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn get_refreshes_recency() {
+        let mut c = LruCache::new(2);
+        c.insert(1, "a");
+        c.insert(2, "b");
+        assert!(c.get(1).is_some()); // 1 is now MRU
+        c.insert(3, "c"); // evicts 2, not 1
+        assert_eq!(c.get(2), None);
+        assert_eq!(c.get(1), Some(&"a"));
+        assert_eq!(order(&c), vec![1, 3]);
+    }
+
+    #[test]
+    fn insert_updates_existing_without_eviction() {
+        let mut c = LruCache::new(2);
+        c.insert(1, "a");
+        c.insert(2, "b");
+        c.insert(1, "a2");
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(1), Some(&"a2"));
+        assert_eq!(c.get(2), Some(&"b"));
+    }
+
+    #[test]
+    fn capacity_one_and_zero() {
+        let mut c = LruCache::new(1);
+        c.insert(1, "a");
+        c.insert(2, "b");
+        assert_eq!(c.get(1), None);
+        assert_eq!(c.get(2), Some(&"b"));
+
+        let mut off: LruCache<&str> = LruCache::new(0);
+        off.insert(1, "a");
+        assert!(off.is_empty());
+        assert_eq!(off.get(1), None);
+    }
+
+    #[test]
+    fn slab_reuse_keeps_list_consistent() {
+        let mut c = LruCache::new(3);
+        for k in 0..50u64 {
+            c.insert(k, k * 10);
+            if k >= 2 {
+                // Touch an older key so evictions interleave with refreshes.
+                let _ = c.get(k - 1);
+            }
+        }
+        assert_eq!(c.len(), 3);
+        let keys = order(&c);
+        assert_eq!(keys.len(), 3);
+        for k in keys {
+            assert_eq!(c.get(k), Some(&(k * 10)));
+        }
+        assert!(c.slots.len() <= 3, "slab must not grow past capacity");
+    }
+
+    #[test]
+    fn fnv1a_is_stable_and_content_sensitive() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"page"), fnv1a(b"page"));
+        assert_ne!(fnv1a(b"page"), fnv1a(b"Page"));
+    }
+}

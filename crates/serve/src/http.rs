@@ -1,0 +1,373 @@
+//! Minimal HTTP/1.1 request parsing and response writing over a
+//! [`TcpStream`] — hand-rolled like the vendor stand-ins (the build
+//! environment has no registry access), covering exactly the subset the
+//! briefing server speaks: one request per connection, `Content-Length`
+//! bodies, `Connection: close` responses.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request line + headers, generous for any real client.
+const MAX_HEAD_BYTES: usize = 32 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, …), upper-case as sent.
+    pub method: String,
+    /// Request path without query string.
+    pub path: String,
+    /// Raw body bytes (empty when the request carries none).
+    pub body: Vec<u8>,
+}
+
+/// A request that could not be read; each variant maps to one status code.
+#[derive(Debug, PartialEq, Eq)]
+pub enum HttpError {
+    /// The socket timed out before a full request arrived → 408.
+    Timeout,
+    /// The declared `Content-Length` exceeds the configured limit → 413.
+    BodyTooLarge {
+        /// The declared body size.
+        declared: usize,
+        /// The configured limit it exceeded.
+        limit: usize,
+    },
+    /// The head exceeded [`MAX_HEAD_BYTES`] → 431.
+    HeadTooLarge,
+    /// `Transfer-Encoding: chunked` (or any transfer coding) → 501.
+    UnsupportedTransferEncoding,
+    /// Anything else malformed (bad request line, bad `Content-Length`,
+    /// early EOF) → 400.
+    Malformed(String),
+    /// The client connected and closed without sending a byte; no response
+    /// is owed (health probes from load balancers do this).
+    Empty,
+}
+
+impl HttpError {
+    /// The HTTP status code this error is reported as.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::Timeout => 408,
+            HttpError::BodyTooLarge { .. } => 413,
+            HttpError::HeadTooLarge => 431,
+            HttpError::UnsupportedTransferEncoding => 501,
+            HttpError::Malformed(_) => 400,
+            HttpError::Empty => 0,
+        }
+    }
+
+    /// Human-readable detail for the error body.
+    pub fn detail(&self) -> String {
+        match self {
+            HttpError::Timeout => "timed out reading the request".to_string(),
+            HttpError::BodyTooLarge { declared, limit } => {
+                format!("request body of {declared} bytes exceeds the {limit}-byte limit")
+            }
+            HttpError::HeadTooLarge => {
+                format!("request head exceeds {MAX_HEAD_BYTES} bytes")
+            }
+            HttpError::UnsupportedTransferEncoding => {
+                "transfer codings are not supported; send a Content-Length body".to_string()
+            }
+            HttpError::Malformed(m) => m.clone(),
+            HttpError::Empty => "empty request".to_string(),
+        }
+    }
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
+}
+
+/// Reads and parses one request from `stream`. The caller is expected to
+/// have set a read timeout; timeouts surface as [`HttpError::Timeout`].
+/// Bodies larger than `max_body_bytes` are rejected from the
+/// `Content-Length` header alone, before any body byte is read.
+pub fn read_request(
+    stream: &mut TcpStream,
+    max_body_bytes: usize,
+) -> Result<Request, HttpError> {
+    // Read until the blank line that ends the head.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut scratch = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::HeadTooLarge);
+        }
+        match stream.read(&mut scratch) {
+            Ok(0) => {
+                if buf.is_empty() {
+                    return Err(HttpError::Empty);
+                }
+                return Err(HttpError::Malformed("connection closed mid-request".to_string()));
+            }
+            Ok(n) => buf.extend_from_slice(&scratch[..n]),
+            Err(e) if is_timeout(&e) => return Err(HttpError::Timeout),
+            Err(e) => return Err(HttpError::Malformed(format!("read failed: {e}"))),
+        }
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_ascii_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m, t, v),
+        _ => return Err(HttpError::Malformed(format!("bad request line `{request_line}`"))),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!("unsupported protocol `{version}`")));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut content_length = 0usize;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else { continue };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        if name == "transfer-encoding" && !value.eq_ignore_ascii_case("identity") {
+            return Err(HttpError::UnsupportedTransferEncoding);
+        }
+        if name == "content-length" {
+            content_length = value
+                .parse()
+                .map_err(|_| HttpError::Malformed(format!("bad Content-Length `{value}`")))?;
+        }
+    }
+    if content_length > max_body_bytes {
+        return Err(HttpError::BodyTooLarge {
+            declared: content_length,
+            limit: max_body_bytes,
+        });
+    }
+
+    let mut body = buf[head_end + 4..].to_vec();
+    if body.len() > content_length {
+        // Pipelined extra bytes are ignored: one request per connection.
+        body.truncate(content_length);
+    }
+    while body.len() < content_length {
+        match stream.read(&mut scratch) {
+            Ok(0) => {
+                return Err(HttpError::Malformed("connection closed mid-body".to_string()));
+            }
+            Ok(n) => {
+                let take = n.min(content_length - body.len());
+                body.extend_from_slice(&scratch[..take]);
+            }
+            Err(e) if is_timeout(&e) => return Err(HttpError::Timeout),
+            Err(e) => return Err(HttpError::Malformed(format!("read failed: {e}"))),
+        }
+    }
+    Ok(Request { method: method.to_string(), path, body })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// The canonical reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete `Connection: close` response. Write failures are
+/// returned so callers can count them, but the connection is torn down
+/// either way.
+pub fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    extra_headers: &[(&str, &str)],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        reason(status),
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Reads and discards up to `limit` pending request bytes with a short
+/// timeout. Early-reject paths (413, 400, the acceptor's 503) answer
+/// without consuming the request; closing a socket with unread data makes
+/// the kernel send RST, which can destroy the client's copy of the
+/// response before it is read. A bounded drain turns the close into a
+/// clean FIN for any well-behaved client while still capping the bytes a
+/// hostile one can make us read.
+pub fn drain(stream: &mut TcpStream, limit: usize) {
+    let mut scratch = [0u8; 4096];
+    let mut total = 0usize;
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(250)));
+    while total < limit {
+        match stream.read(&mut scratch) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => total += n,
+        }
+    }
+}
+
+/// Builds the `{"error": …}` JSON body used by every non-200 response.
+pub fn error_body(detail: &str) -> Vec<u8> {
+    let mut out = String::with_capacity(detail.len() + 16);
+    out.push_str("{\"error\":\"");
+    for c in detail.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push_str("\"}");
+    out.into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Duration;
+
+    /// Runs `read_request` against raw bytes sent over a real socket pair.
+    fn parse_raw(raw: &[u8], max_body: usize) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(raw).unwrap();
+        drop(client); // EOF after the payload
+        let (mut server_side, _) = listener.accept().unwrap();
+        server_side.set_read_timeout(Some(Duration::from_millis(2000))).unwrap();
+        read_request(&mut server_side, max_body)
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse_raw(
+            b"POST /brief?x=1 HTTP/1.1\r\nHost: a\r\nContent-Length: 5\r\n\r\nhello",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/brief");
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = parse_raw(b"GET /healthz HTTP/1.1\r\n\r\n", 1024).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_oversized_body_from_header_alone() {
+        let err = parse_raw(b"POST /brief HTTP/1.1\r\nContent-Length: 99999\r\n\r\n", 1024)
+            .unwrap_err();
+        assert_eq!(err.status(), 413);
+        assert!(err.detail().contains("99999"), "{}", err.detail());
+    }
+
+    #[test]
+    fn rejects_chunked_transfer_encoding() {
+        let err =
+            parse_raw(b"POST /brief HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", 1024)
+                .unwrap_err();
+        assert_eq!(err, HttpError::UnsupportedTransferEncoding);
+        assert_eq!(err.status(), 501);
+    }
+
+    #[test]
+    fn rejects_garbage_and_bad_content_length() {
+        assert_eq!(parse_raw(b"NONSENSE\r\n\r\n", 1024).unwrap_err().status(), 400);
+        let err =
+            parse_raw(b"POST / HTTP/1.1\r\nContent-Length: ten\r\n\r\n", 1024).unwrap_err();
+        assert_eq!(err.status(), 400);
+    }
+
+    #[test]
+    fn truncated_body_is_malformed_not_a_hang() {
+        let err = parse_raw(b"POST /brief HTTP/1.1\r\nContent-Length: 10\r\n\r\nhi", 1024)
+            .unwrap_err();
+        assert_eq!(err.status(), 400);
+        assert!(err.detail().contains("mid-body"));
+    }
+
+    #[test]
+    fn slow_client_times_out_with_408() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        // Send only a partial head, then stall (keep the socket open).
+        client.write_all(b"POST /brief HTTP/1.1\r\nContent-").unwrap();
+        let (mut server_side, _) = listener.accept().unwrap();
+        server_side.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+        let err = read_request(&mut server_side, 1024).unwrap_err();
+        assert_eq!(err, HttpError::Timeout);
+        assert_eq!(err.status(), 408);
+        drop(client);
+    }
+
+    #[test]
+    fn empty_connection_owes_no_response() {
+        let err = parse_raw(b"", 1024).unwrap_err();
+        assert_eq!(err, HttpError::Empty);
+    }
+
+    #[test]
+    fn respond_writes_well_formed_response() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (mut server_side, _) = listener.accept().unwrap();
+        respond(&mut server_side, 503, "application/json", b"{}", &[("Retry-After", "1")])
+            .unwrap();
+        drop(server_side);
+        let mut text = String::new();
+        let mut client = client;
+        client.read_to_string(&mut text).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"), "{text}");
+        assert!(text.contains("Retry-After: 1\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 2\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{}"), "{text}");
+    }
+
+    #[test]
+    fn error_body_escapes_json() {
+        let b = String::from_utf8(error_body("a \"quoted\"\npath\\x")).unwrap();
+        assert_eq!(b, "{\"error\":\"a \\\"quoted\\\"\\npath\\\\x\"}");
+        let v: serde_json::Value = serde_json::from_str(&b).unwrap();
+        assert!(v.get("error").is_some());
+    }
+}

@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+//! # wb-serve
+//!
+//! A dependency-free HTTP/1.1 briefing server — the serving shape the
+//! paper's system is meant to run in: long-lived, ingesting arbitrary real
+//! pages, under concurrent load. Exposed on the command line as
+//! `wb serve --model FILE`.
+//!
+//! ## Request path
+//!
+//! ```text
+//! accept ──► bounded queue ──► worker pool ──► LRU cache ──► micro-batcher ──► Briefer::brief_corpus
+//!    │ full?                       │ hit?                        (one rayon fan-out per batch)
+//!    └─► 503 + Retry-After         └─► cached JSON (no model run)
+//! ```
+//!
+//! * **Bounded accept queue** — accepted connections wait in a
+//!   fixed-capacity queue for a worker; when it is full, new arrivals are
+//!   shed immediately with `503` and a `Retry-After` header. An accepted
+//!   request is never silently dropped.
+//! * **Micro-batching** — concurrent `/brief` requests are drained into a
+//!   single [`wb_core::Briefer::brief_corpus`] call so they share one
+//!   rayon fan-out; identical pages in a batch run the model once.
+//! * **Response cache** — an LRU keyed by page-content hash serves repeat
+//!   pages without re-running the model. Briefing is pure, so cached and
+//!   recomputed responses are byte-identical.
+//! * **Bounded everything** — oversized bodies get `413` (from the
+//!   `Content-Length` header alone), slow clients `408`, and a request
+//!   whose batch cannot finish inside the timeout `503`; a model panic
+//!   returns `500` to the affected requests and the server keeps serving.
+//!
+//! ## Routes
+//!
+//! | Route            | Behaviour                                          |
+//! |------------------|----------------------------------------------------|
+//! | `POST /brief`    | HTML body in → pretty-printed `Brief` JSON out (byte-identical to `wb brief --json`) |
+//! | `GET /healthz`   | `{"status":"ok"}`                                  |
+//! | `GET /metrics`   | the `wb-obs` metrics snapshot JSON                 |
+//! | `POST /shutdown` | acknowledge, then shut down gracefully             |
+//!
+//! ## Shutdown
+//!
+//! [`ServerHandle::shutdown`] (or `POST /shutdown`) stops accepting,
+//! serves everything already accepted, drains the batch queue and joins
+//! every thread; the `wb serve` command then flushes `--metrics-out` /
+//! `--trace-out`. Every stage is instrumented under `serve.*` (see
+//! `docs/OBSERVABILITY.md`).
+
+pub mod batch;
+pub mod cache;
+pub mod http;
+pub mod server;
+
+pub use batch::{Batcher, BriefOutcome, Job};
+pub use cache::{fnv1a, LruCache};
+pub use server::{start, ServeConfig, ServerHandle};

@@ -1,0 +1,553 @@
+//! The briefing server: a bounded accept queue feeding a fixed worker
+//! pool, with briefing fan-out delegated to the batch executor and an LRU
+//! response cache in front of the model.
+//!
+//! Load-shedding contract: an accepted connection is always answered —
+//! queued-and-served, or `503 + Retry-After` when the queue is full — and
+//! no handler can hang: socket reads, socket writes and the wait for the
+//! batch executor are all bounded by the request timeout. A model panic
+//! fails the affected requests with 500 and the server keeps serving.
+
+use crate::batch::{Batcher, BriefOutcome, Job};
+use crate::cache::{fnv1a, LruCache};
+use crate::http::{self, HttpError};
+use std::io;
+use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use wb_core::Briefer;
+
+/// Server tuning knobs, exposed one-to-one as `wb serve` flags.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, `HOST:PORT` (port 0 picks a free port — used by tests).
+    pub addr: String,
+    /// Request worker threads (the model fan-out has its own rayon pool).
+    pub workers: usize,
+    /// Accepted connections allowed to wait for a worker before new
+    /// arrivals are shed with 503.
+    pub queue_capacity: usize,
+    /// LRU response-cache entries; 0 disables caching.
+    pub cache_capacity: usize,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+    /// Bound on socket reads/writes and on waiting for the batch executor.
+    pub request_timeout_ms: u64,
+    /// Artificial per-batch stall before the model runs — a load-testing
+    /// knob that makes overload reproducible; 0 (the default) in
+    /// production.
+    pub handler_delay_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:8660".to_string(),
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8),
+            queue_capacity: 256,
+            cache_capacity: 1024,
+            max_body_bytes: 2 * 1024 * 1024,
+            request_timeout_ms: 30_000,
+            handler_delay_ms: 0,
+        }
+    }
+}
+
+struct Shared {
+    briefer: Briefer,
+    cfg: ServeConfig,
+    cache: Mutex<LruCache<Arc<String>>>,
+    batcher: Batcher,
+    stopping: AtomicBool,
+    queue_depth: AtomicUsize,
+    shutdown_tx: Mutex<mpsc::Sender<()>>,
+}
+
+/// The running server. Dropping the handle shuts the server down
+/// gracefully (finish queued and in-flight requests, then stop).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    executor: Option<JoinHandle<()>>,
+    shutdown_rx: Receiver<()>,
+}
+
+/// Starts the briefing server; returns once the listener is bound and the
+/// worker pool is running.
+pub fn start(briefer: Briefer, cfg: ServeConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let workers = cfg.workers.max(1);
+    let queue_capacity = cfg.queue_capacity.max(1);
+    let (shutdown_tx, shutdown_rx) = mpsc::channel();
+    let shared = Arc::new(Shared {
+        cache: Mutex::new(LruCache::new(cfg.cache_capacity)),
+        batcher: Batcher::new(),
+        stopping: AtomicBool::new(false),
+        queue_depth: AtomicUsize::new(0),
+        shutdown_tx: Mutex::new(shutdown_tx),
+        briefer,
+        cfg,
+    });
+    wb_obs::info!(
+        "wb serve listening on {addr} ({workers} workers, queue {queue_capacity}, cache {})",
+        shared.cfg.cache_capacity
+    );
+    wb_obs::gauge!("serve.workers", workers as f64);
+
+    let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(queue_capacity);
+    let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("wb-serve-accept".to_string())
+            .spawn(move || acceptor_loop(&shared, listener, conn_tx))?
+    };
+    let mut worker_handles = Vec::with_capacity(workers);
+    for i in 0..workers {
+        let shared = Arc::clone(&shared);
+        let rx = Arc::clone(&conn_rx);
+        worker_handles.push(
+            std::thread::Builder::new()
+                .name(format!("wb-serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared, &rx))?,
+        );
+    }
+    let executor = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new().name("wb-serve-batch".to_string()).spawn(move || {
+            let delay = Duration::from_millis(shared.cfg.handler_delay_ms);
+            shared.batcher.run_executor(&shared.briefer, delay);
+        })?
+    };
+    Ok(ServerHandle {
+        addr,
+        shared,
+        acceptor: Some(acceptor),
+        workers: worker_handles,
+        executor: Some(executor),
+        shutdown_rx,
+    })
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until a client posts `/shutdown`.
+    pub fn wait_for_shutdown_request(&self) {
+        let _ = self.shutdown_rx.recv();
+    }
+
+    /// Gracefully stops the server: stop accepting, serve everything
+    /// already accepted, drain the batch queue, join every thread.
+    pub fn shutdown(mut self) {
+        self.do_shutdown();
+    }
+
+    fn do_shutdown(&mut self) {
+        if self.acceptor.is_none() {
+            return;
+        }
+        wb_obs::info!("wb serve shutting down (draining in-flight requests)");
+        self.shared.stopping.store(true, Ordering::SeqCst);
+        // Wake the acceptor out of its blocking accept with a no-op
+        // connection; it sees `stopping` and exits, dropping the queue
+        // sender so the workers drain what is left and stop.
+        let wake = wake_addr(self.addr);
+        for _ in 0..3 {
+            if TcpStream::connect_timeout(&wake, Duration::from_millis(500)).is_ok() {
+                break;
+            }
+        }
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        // All workers are done, so no further job can arrive: close the
+        // batcher and let the executor finish its final batch.
+        self.shared.batcher.close();
+        if let Some(e) = self.executor.take() {
+            let _ = e.join();
+        }
+        wb_obs::info!("wb serve stopped");
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.do_shutdown();
+    }
+}
+
+/// Where to connect to wake the acceptor: the bind address, with
+/// unspecified hosts (0.0.0.0 / ::) rewritten to loopback.
+fn wake_addr(addr: SocketAddr) -> SocketAddr {
+    let ip = match addr.ip() {
+        ip if ip.is_unspecified() => IpAddr::V4(Ipv4Addr::LOCALHOST),
+        ip => ip,
+    };
+    SocketAddr::new(ip, addr.port())
+}
+
+fn acceptor_loop(shared: &Shared, listener: TcpListener, conn_tx: SyncSender<TcpStream>) {
+    for conn in listener.incoming() {
+        if shared.stopping.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match conn {
+            Ok(s) => s,
+            Err(e) => {
+                wb_obs::warn!("accept failed: {e}");
+                continue;
+            }
+        };
+        let depth = shared.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        wb_obs::gauge!("serve.queue.depth", depth as f64);
+        wb_obs::gauge_max!("serve.queue.depth.peak", depth as f64);
+        match conn_tx.try_send(stream) {
+            Ok(()) => {}
+            Err(TrySendError::Full(stream)) => {
+                shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                wb_obs::counter!("serve.requests");
+                wb_obs::counter!("serve.rejected.queue_full");
+                wb_obs::counter!("serve.responses.5xx");
+                // Answer the shed connection off-thread so one slow client
+                // cannot stall the accept loop mid-overload.
+                let spawned = std::thread::Builder::new()
+                    .name("wb-serve-shed".to_string())
+                    .spawn(move || shed_overloaded(stream));
+                if spawned.is_err() {
+                    wb_obs::warn!("could not spawn shed thread; dropping connection");
+                }
+            }
+            Err(TrySendError::Disconnected(_)) => break,
+        }
+    }
+}
+
+/// Tells one over-capacity client to back off: `503 + Retry-After`, then a
+/// bounded drain so the close is a clean FIN.
+fn shed_overloaded(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(1000)));
+    let _ = http::respond(
+        &mut stream,
+        503,
+        "application/json",
+        &http::error_body("server overloaded; retry shortly"),
+        &[("Retry-After", "1")],
+    );
+    http::drain(&mut stream, 64 * 1024);
+}
+
+fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>) {
+    loop {
+        // Holding the lock while blocked in recv is the hand-off point for
+        // the whole pool: whichever worker holds it takes the next
+        // connection, the rest queue on the mutex.
+        let stream = match rx.lock().unwrap().recv() {
+            Ok(s) => s,
+            Err(_) => return, // acceptor gone and queue drained
+        };
+        let depth = shared.queue_depth.fetch_sub(1, Ordering::Relaxed) - 1;
+        wb_obs::gauge!("serve.queue.depth", depth as f64);
+        handle_connection(shared, stream);
+    }
+}
+
+fn bump_status(status: u16) {
+    match status / 100 {
+        2 => wb_obs::counter!("serve.responses.2xx"),
+        4 => wb_obs::counter!("serve.responses.4xx"),
+        5 => wb_obs::counter!("serve.responses.5xx"),
+        _ => {}
+    }
+}
+
+/// Writes a response and records its status-class counter.
+fn send(stream: &mut TcpStream, status: u16, body: &[u8], extra_headers: &[(&str, &str)]) {
+    bump_status(status);
+    if let Err(e) = http::respond(stream, status, "application/json", body, extra_headers) {
+        wb_obs::counter!("serve.responses.write_failed");
+        wb_obs::debug!("response write failed: {e}");
+    }
+}
+
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    let t0 = Instant::now();
+    let _span = wb_obs::span!("serve.request");
+    let _ = stream.set_nodelay(true);
+    let timeout = Duration::from_millis(shared.cfg.request_timeout_ms.max(1));
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+    let req = match http::read_request(&mut stream, shared.cfg.max_body_bytes) {
+        Ok(r) => r,
+        Err(HttpError::Empty) => return, // port probe; nothing to answer
+        Err(e) => {
+            wb_obs::counter!("serve.requests");
+            let status = e.status();
+            match status {
+                408 => wb_obs::counter!("serve.rejected.timeout"),
+                413 => wb_obs::counter!("serve.rejected.too_large"),
+                _ => {}
+            }
+            send(&mut stream, status, &http::error_body(&e.detail()), &[]);
+            // The request was rejected without being consumed; drain a
+            // bounded amount so closing sends FIN, not RST (see
+            // http::drain).
+            http::drain(&mut stream, 256 * 1024);
+            wb_obs::histogram!("serve.request.latency_us", t0.elapsed().as_micros());
+            return;
+        }
+    };
+    wb_obs::counter!("serve.requests");
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/brief") => handle_brief(shared, &mut stream, &req.body),
+        ("GET", "/healthz") => send(&mut stream, 200, b"{\"status\":\"ok\"}", &[]),
+        ("GET", "/metrics") => {
+            let body = wb_obs::metrics::snapshot().to_json();
+            send(&mut stream, 200, body.as_bytes(), &[]);
+        }
+        ("POST", "/shutdown") => {
+            send(&mut stream, 200, b"{\"status\":\"shutting down\"}", &[]);
+            let _ = shared.shutdown_tx.lock().unwrap().send(());
+        }
+        (_, "/brief") | (_, "/shutdown") => {
+            send(
+                &mut stream,
+                405,
+                &http::error_body("method not allowed"),
+                &[("Allow", "POST")],
+            );
+        }
+        (_, "/healthz") | (_, "/metrics") => {
+            send(
+                &mut stream,
+                405,
+                &http::error_body("method not allowed"),
+                &[("Allow", "GET")],
+            );
+        }
+        (_, path) => {
+            send(&mut stream, 404, &http::error_body(&format!("no route for {path}")), &[]);
+        }
+    }
+    wb_obs::histogram!("serve.request.latency_us", t0.elapsed().as_micros());
+}
+
+fn handle_brief(shared: &Shared, stream: &mut TcpStream, body: &[u8]) {
+    if body.is_empty() {
+        send(stream, 400, &http::error_body("POST /brief expects an HTML body"), &[]);
+        return;
+    }
+    let key = fnv1a(body);
+    if shared.cfg.cache_capacity > 0 {
+        let cached = shared.cache.lock().unwrap().get(key).cloned();
+        if let Some(json) = cached {
+            wb_obs::counter!("serve.cache.hit");
+            send(stream, 200, json.as_bytes(), &[("X-Cache", "hit")]);
+            return;
+        }
+        wb_obs::counter!("serve.cache.miss");
+    }
+    let html = String::from_utf8_lossy(body).into_owned();
+    let (tx, rx) = mpsc::channel();
+    if !shared.batcher.submit(Job { html, tx }) {
+        send(
+            stream,
+            503,
+            &http::error_body("server is shutting down"),
+            &[("Retry-After", "1")],
+        );
+        return;
+    }
+    let timeout = Duration::from_millis(shared.cfg.request_timeout_ms.max(1));
+    match rx.recv_timeout(timeout) {
+        Ok(BriefOutcome::Ok(json)) => {
+            if shared.cfg.cache_capacity > 0 {
+                let mut cache = shared.cache.lock().unwrap();
+                cache.insert(key, Arc::clone(&json));
+                wb_obs::gauge!("serve.cache.size", cache.len() as f64);
+            }
+            send(stream, 200, json.as_bytes(), &[("X-Cache", "miss")]);
+        }
+        Ok(BriefOutcome::Unbriefable(detail)) => {
+            wb_obs::counter!("serve.unbriefable");
+            send(stream, 422, &http::error_body(&detail), &[]);
+        }
+        Ok(BriefOutcome::Internal(detail)) => {
+            send(stream, 500, &http::error_body(&detail), &[]);
+        }
+        Err(RecvTimeoutError::Timeout) => {
+            wb_obs::counter!("serve.rejected.timeout");
+            send(
+                stream,
+                503,
+                &http::error_body("briefing did not finish within the request timeout"),
+                &[("Retry-After", "1")],
+            );
+        }
+        Err(RecvTimeoutError::Disconnected) => {
+            send(stream, 500, &http::error_body("batch executor is gone"), &[]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use wb_core::{JointModel, JointVariant, ModelConfig};
+    use wb_corpus::{Dataset, DatasetConfig};
+
+    fn tiny_briefer() -> Briefer {
+        let d = Dataset::generate(&DatasetConfig::tiny());
+        let cfg = ModelConfig::scaled(d.tokenizer.vocab().len());
+        Briefer::from_model(
+            JointModel::new(JointVariant::JointWb, cfg, 11),
+            d.tokenizer.clone(),
+        )
+    }
+
+    fn test_config() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 16,
+            cache_capacity: 16,
+            max_body_bytes: 64 * 1024,
+            request_timeout_ms: 10_000,
+            handler_delay_ms: 0,
+        }
+    }
+
+    /// Sends one raw HTTP request and returns (status, body). Write errors
+    /// are tolerated (the server may respond-and-close before consuming a
+    /// rejected request); the response read is what matters.
+    fn roundtrip(addr: SocketAddr, raw: &[u8]) -> (u16, String) {
+        let mut s = TcpStream::connect(addr).unwrap();
+        let _ = s.write_all(raw);
+        let _ = s.flush();
+        let mut text = String::new();
+        let mut buf = [0u8; 4096];
+        loop {
+            match s.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => text.push_str(&String::from_utf8_lossy(&buf[..n])),
+                Err(_) if !text.is_empty() => break,
+                Err(e) => panic!("no response from server: {e}"),
+            }
+        }
+        let status: u16 =
+            text.split_ascii_whitespace().nth(1).expect("status code").parse().unwrap();
+        let body = text.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+        (status, body)
+    }
+
+    fn post_brief(addr: SocketAddr, html: &str) -> (u16, String) {
+        let raw = format!(
+            "POST /brief HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{html}",
+            html.len()
+        );
+        roundtrip(addr, raw.as_bytes())
+    }
+
+    const PAGE: &str = "<html><body><section><p>great velcro books , price : $ 9.99 .\
+                        </p></section></body></html>";
+
+    #[test]
+    fn routes_brief_healthz_metrics_and_errors() {
+        let briefer = tiny_briefer();
+        let expected =
+            serde_json::to_string_pretty(&briefer.brief_html(PAGE).unwrap()).unwrap();
+        let h = start(briefer, test_config()).unwrap();
+        let addr = h.addr();
+
+        let (status, body) = post_brief(addr, PAGE);
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(body, expected, "served brief must equal the library brief byte-for-byte");
+        // Second request: cached, still byte-identical.
+        let (status, body2) = post_brief(addr, PAGE);
+        assert_eq!(status, 200);
+        assert_eq!(body2, expected);
+
+        let (status, body) = roundtrip(addr, b"GET /healthz HTTP/1.1\r\n\r\n");
+        assert_eq!((status, body.as_str()), (200, "{\"status\":\"ok\"}"));
+
+        let (status, body) = roundtrip(addr, b"GET /metrics HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"counters\""), "metrics body not a snapshot: {body}");
+
+        let (status, _) = roundtrip(addr, b"GET /nope HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 404);
+        let (status, _) = roundtrip(addr, b"GET /brief HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 405);
+        let (status, _) = post_brief(addr, "");
+        assert_eq!(status, 400);
+        // A page with no visible text is unbriefable, not a server error.
+        let (status, body) = post_brief(addr, "<html><head><title>x</title></head></html>");
+        assert_eq!(status, 422, "{body}");
+        assert!(body.contains("error"), "{body}");
+
+        h.shutdown();
+        assert!(
+            TcpStream::connect_timeout(&addr, Duration::from_millis(300)).is_err(),
+            "listener must be closed after shutdown"
+        );
+    }
+
+    #[test]
+    fn oversized_body_is_413() {
+        let mut cfg = test_config();
+        cfg.max_body_bytes = 128;
+        let h = start(tiny_briefer(), cfg).unwrap();
+        let big = "x".repeat(4096);
+        let (status, body) = post_brief(h.addr(), &big);
+        assert_eq!(status, 413, "{body}");
+        h.shutdown();
+    }
+
+    #[test]
+    fn overload_sheds_with_503_and_never_hangs() {
+        let mut cfg = test_config();
+        cfg.workers = 1;
+        cfg.queue_capacity = 1;
+        cfg.handler_delay_ms = 400; // every batch stalls; the queue backs up
+        cfg.request_timeout_ms = 5_000;
+        let h = start(tiny_briefer(), cfg).unwrap();
+        let addr = h.addr();
+        let threads: Vec<_> =
+            (0..8).map(|_| std::thread::spawn(move || post_brief(addr, PAGE))).collect();
+        let results: Vec<(u16, String)> =
+            threads.into_iter().map(|t| t.join().expect("request thread")).collect();
+        let ok = results.iter().filter(|(s, _)| *s == 200).count();
+        let shed = results.iter().filter(|(s, _)| *s == 503).count();
+        assert_eq!(ok + shed, 8, "every request must be answered: {results:?}");
+        assert!(ok >= 1, "at least the first request must be served");
+        assert!(shed >= 1, "with 1 worker + queue of 1, overflow must shed: {results:?}");
+        h.shutdown();
+    }
+
+    #[test]
+    fn shutdown_endpoint_signals_the_run_loop() {
+        let h = start(tiny_briefer(), test_config()).unwrap();
+        let addr = h.addr();
+        let poster =
+            std::thread::spawn(move || roundtrip(addr, b"POST /shutdown HTTP/1.1\r\n\r\n"));
+        h.wait_for_shutdown_request();
+        let (status, body) = poster.join().unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("shutting down"), "{body}");
+        h.shutdown();
+    }
+}

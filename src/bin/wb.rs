@@ -31,6 +31,9 @@ USAGE:
     wb generate [--out DIR] [--subjects N] [--pages N] [--seed N]
     wb train    [--out FILE] [--epochs N] [--subjects N] [--pages N] [--seed N]
     wb brief    [--model FILE] [--json] FILES...
+    wb serve    [--model FILE] [--addr HOST:PORT] [--workers N]
+                [--queue-capacity N] [--cache-capacity N]
+                [--max-body-bytes N] [--request-timeout-ms N]
     wb stats    [--subjects N] [--pages N]
     wb report   FILE
     wb bench    [--quick] [--label NAME] [--out FILE]
@@ -40,10 +43,15 @@ SUBCOMMANDS:
     generate    Generate a synthetic labelled corpus and export HTML + JSON
     train       Train a Joint-WB briefer and save a checkpoint
     brief       Brief one or more HTML files with a trained checkpoint
+    serve       Serve briefs over HTTP: POST /brief (HTML in, JSON out),
+                GET /healthz, GET /metrics, POST /shutdown for a graceful
+                stop that flushes --metrics-out/--trace-out
     stats       Print statistics of a synthetic corpus
     report      Pretty-print a metrics snapshot written by --metrics-out
     bench       Run the perf-trajectory workloads, write BENCH_<label>.json
                 and (with --baseline) fail on hard-metric regressions
+
+Options take either `--flag value` or `--flag=value`.
 
 GLOBAL OPTIONS (accepted by every subcommand):
     --log-level LEVEL    Stderr log verbosity: off, error, warn, info,
@@ -84,15 +92,30 @@ impl Args {
         let mut i = 0;
         while i < raw.len() {
             let a = &raw[i];
-            if let Some(name) = a.strip_prefix("--") {
+            if let Some(body) = a.strip_prefix("--") {
+                // Both `--flag value` and `--flag=value` are accepted; the
+                // flag name is validated either way.
+                let (name, inline) = match body.split_once('=') {
+                    Some((n, v)) => (n, Some(v)),
+                    None => (body, None),
+                };
                 if switch_names.contains(&name) {
+                    if inline.is_some() {
+                        return Err(format!("switch --{name} takes no value"));
+                    }
                     args.switches.push(name.to_string());
                 } else if option_names.contains(&name) || GLOBAL_OPTS.contains(&name) {
-                    let value = raw
-                        .get(i + 1)
-                        .ok_or_else(|| format!("option --{name} expects a value"))?;
-                    args.options.push((name.to_string(), value.clone()));
-                    i += 1;
+                    let value = match inline {
+                        Some(v) => v.to_string(),
+                        None => raw
+                            .get(i + 1)
+                            .ok_or_else(|| format!("option --{name} expects a value"))?
+                            .clone(),
+                    };
+                    args.options.push((name.to_string(), value));
+                    if inline.is_none() {
+                        i += 1;
+                    }
                 } else {
                     let known: Vec<&str> = option_names
                         .iter()
@@ -224,6 +247,7 @@ fn main() {
         "generate" => cmd_generate(&raw[1..]),
         "train" => cmd_train(&raw[1..]),
         "brief" => cmd_brief(&raw[1..]),
+        "serve" => cmd_serve(&raw[1..]),
         "stats" => cmd_stats(&raw[1..]),
         "report" => cmd_report(&raw[1..]),
         "bench" => cmd_bench(&raw[1..]),
@@ -313,9 +337,12 @@ fn cmd_brief(raw: &[String]) -> Result<(), String> {
         })
         .collect::<Result<_, _>>()?;
     // Pages fan out over the rayon pool; output order matches input order.
+    let mut briefed = 0usize;
+    let mut failed = 0usize;
     for (file, result) in files.iter().zip(briefer.brief_corpus(&htmls)) {
         match result {
             Ok(b) => {
+                briefed += 1;
                 println!("=== {file} ===");
                 if json {
                     println!("{}", serde_json::to_string_pretty(&b).expect("brief serialises"));
@@ -323,9 +350,70 @@ fn cmd_brief(raw: &[String]) -> Result<(), String> {
                     print!("{}", b.render());
                 }
             }
-            Err(e) => eprintln!("=== {file} ===\ncould not brief: {e}"),
+            Err(e) => {
+                failed += 1;
+                eprintln!("=== {file} ===\ncould not brief: {e}");
+            }
         }
     }
+    write_outputs(&globals)?;
+    if briefed == 0 {
+        // Every page failed: that is a diagnosed runtime failure, not a
+        // usage error — exit 1 (like a bench regression), after the
+        // observability outputs have been flushed.
+        eprintln!("error: no page briefed successfully ({failed} failed)");
+        std::process::exit(1);
+    }
+    Ok(())
+}
+
+fn cmd_serve(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(
+        raw,
+        &[
+            "model",
+            "addr",
+            "workers",
+            "queue-capacity",
+            "cache-capacity",
+            "max-body-bytes",
+            "request-timeout-ms",
+            // Load-testing knob: stalls each briefing batch so overload
+            // behaviour (503 shedding) is reproducible. Deliberately not
+            // in the USAGE synopsis.
+            "handler-delay-ms",
+        ],
+        &[],
+    )?;
+    let globals = apply_globals(&args)?;
+    if let Some(extra) = args.positional.first() {
+        return Err(format!("serve takes no positional arguments (got `{extra}`)"));
+    }
+    let model = args.get_str("model", "./wb-model.json");
+    let defaults = wb_serve::ServeConfig::default();
+    let cfg = wb_serve::ServeConfig {
+        addr: args.get_str("addr", &defaults.addr),
+        workers: args.get_num("workers", defaults.workers)?,
+        queue_capacity: args.get_num("queue-capacity", defaults.queue_capacity)?,
+        cache_capacity: args.get_num("cache-capacity", defaults.cache_capacity)?,
+        max_body_bytes: args.get_num("max-body-bytes", defaults.max_body_bytes)?,
+        request_timeout_ms: args.get_num("request-timeout-ms", defaults.request_timeout_ms)?,
+        handler_delay_ms: args.get_num("handler-delay-ms", 0)?,
+    };
+
+    let ckpt =
+        Checkpoint::load(&model).map_err(|e| format!("cannot load checkpoint {model}: {e}"))?;
+    let briefer = Briefer::from_checkpoint(&ckpt)
+        .map_err(|e| format!("checkpoint holds no briefer: {e}"))?;
+    let handle =
+        wb_serve::start(briefer, cfg).map_err(|e| format!("cannot start server: {e}"))?;
+    println!("wb serve listening on http://{}", handle.addr());
+    println!("POST /brief · GET /healthz · GET /metrics · POST /shutdown");
+    // Block until a client posts /shutdown, then drain in-flight requests
+    // and flush the observability outputs. (There is no signal handling in
+    // a std-only binary: a hard kill skips the flush, /shutdown does not.)
+    handle.wait_for_shutdown_request();
+    handle.shutdown();
     write_outputs(&globals)
 }
 
@@ -438,6 +526,33 @@ mod tests {
         // A trailing typo must not degrade into an `expects a value` error.
         let err = Args::parse(&s(&["--epoch"]), &["epochs"], &[]).unwrap_err();
         assert!(err.contains("unknown option --epoch"), "{err}");
+    }
+
+    #[test]
+    fn equals_form_parses_options() {
+        let args =
+            Args::parse(&s(&["--out=x.json", "--epochs=5", "p.html"]), &["out", "epochs"], &[])
+                .unwrap();
+        assert_eq!(args.get("out"), Some("x.json"));
+        assert_eq!(args.get("epochs"), Some("5"));
+        assert_eq!(args.positional, vec!["p.html".to_string()]);
+        // The value may itself contain `=` (split on the first one only).
+        let args = Args::parse(&s(&["--log-level=warn,wb_tensor=trace"]), &[], &[]).unwrap();
+        assert_eq!(args.get("log-level"), Some("warn,wb_tensor=trace"));
+        // An empty value is allowed syntactically (validated downstream).
+        let args = Args::parse(&s(&["--out="]), &["out"], &[]).unwrap();
+        assert_eq!(args.get("out"), Some(""));
+    }
+
+    #[test]
+    fn equals_form_validates_names() {
+        // Unknown flags are still caught in the `=` form, with suggestions.
+        let err = Args::parse(&s(&["--epoch=5"]), &["epochs"], &[]).unwrap_err();
+        assert!(err.contains("unknown option --epoch"), "{err}");
+        assert!(err.contains("did you mean --epochs?"), "{err}");
+        // Switches take no value in either spelling.
+        let err = Args::parse(&s(&["--json=yes"]), &[], &["json"]).unwrap_err();
+        assert!(err.contains("switch --json takes no value"), "{err}");
     }
 
     #[test]

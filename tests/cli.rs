@@ -396,6 +396,73 @@ fn unknown_flag_suggests_near_miss() {
 }
 
 #[test]
+fn flag_equals_form_is_accepted() {
+    let out = wb()
+        .args(["stats", "--subjects=1", "--pages=2"])
+        .output()
+        .expect("run wb stats with = flags");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("pages:"), "{stdout}");
+}
+
+#[test]
+fn brief_exits_nonzero_when_all_pages_fail() {
+    let model = std::env::temp_dir().join("wb_cli_fail_model.json");
+    let empty = std::env::temp_dir().join("wb_cli_fail_empty.html");
+    let good = std::env::temp_dir().join("wb_cli_fail_good.html");
+    let _ = std::fs::remove_file(&model);
+    let out = wb()
+        .args([
+            "train",
+            "--out",
+            model.to_str().unwrap(),
+            "--epochs",
+            "1",
+            "--subjects",
+            "1",
+            "--pages",
+            "2",
+        ])
+        .output()
+        .expect("run wb train");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // A page with no visible text cannot be briefed; when *every* page
+    // fails, the exit code must be non-zero so pipelines notice.
+    std::fs::write(&empty, "<html><head><title>x</title></head></html>").unwrap();
+    let out = wb()
+        .args(["brief", "--model", model.to_str().unwrap(), empty.to_str().unwrap()])
+        .output()
+        .expect("run wb brief on unbriefable page");
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no page briefed successfully"), "{stderr}");
+
+    // One success among failures keeps exit 0 (partial output is output).
+    std::fs::write(
+        &good,
+        "<html><body><section><p>great velcro books , price : $ 9.99 .</p></section></body></html>",
+    )
+    .unwrap();
+    let out = wb()
+        .args([
+            "brief",
+            "--model",
+            model.to_str().unwrap(),
+            empty.to_str().unwrap(),
+            good.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run wb brief mixed");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let _ = std::fs::remove_file(model);
+    let _ = std::fs::remove_file(empty);
+    let _ = std::fs::remove_file(good);
+}
+
+#[test]
 fn stats_prints_corpus_summary() {
     let out =
         wb().args(["stats", "--subjects", "1", "--pages", "2"]).output().expect("run wb stats");

@@ -1,0 +1,337 @@
+//! End-to-end tests of `wb serve`: each test spawns the real binary on an
+//! ephemeral port and speaks HTTP/1.1 to it over raw sockets, so every
+//! process has its own metrics registry and the assertions on `serve.*` /
+//! `brief.*` counters are exact.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+fn wb() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_wb"))
+}
+
+const PAGE: &str = "<html><body><section><p>great velcro books , price : $ 9.99 .\
+                    </p></section></body></html>";
+
+/// Trains one tiny checkpoint, shared by every test in this binary.
+fn model_path() -> &'static PathBuf {
+    static MODEL: OnceLock<PathBuf> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        let path = std::env::temp_dir().join("wb_serve_test_model.json");
+        let _ = std::fs::remove_file(&path);
+        let out = wb()
+            .args([
+                "train",
+                "--out",
+                path.to_str().unwrap(),
+                "--epochs",
+                "1",
+                "--subjects",
+                "1",
+                "--pages",
+                "2",
+            ])
+            .output()
+            .expect("run wb train");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        path
+    })
+}
+
+/// A running `wb serve` child; killed on drop so failed tests don't leak
+/// listeners.
+struct ServerProc {
+    child: Child,
+    addr: SocketAddr,
+    // Keeps the stdout pipe open: dropping it would make the server's own
+    // progress prints die with a broken pipe.
+    _stdout: BufReader<std::process::ChildStdout>,
+}
+
+impl Drop for ServerProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Spawns `wb serve` on port 0 and reads the bound address off its stdout.
+fn spawn_server(extra_args: &[&str]) -> ServerProc {
+    let mut cmd = wb();
+    cmd.args(["serve", "--model", model_path().to_str().unwrap(), "--addr", "127.0.0.1:0"])
+        .args(extra_args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    let mut child = cmd.spawn().expect("spawn wb serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut first = String::new();
+    reader.read_line(&mut first).expect("read banner");
+    let addr: SocketAddr = first
+        .rsplit_once("http://")
+        .map(|(_, a)| a.trim().parse().expect("bound address"))
+        .unwrap_or_else(|| panic!("unexpected banner: {first}"));
+    ServerProc { child, addr, _stdout: reader }
+}
+
+/// One raw HTTP exchange; returns (status, headers, body).
+fn exchange(addr: SocketAddr, raw: &[u8]) -> (u16, String, String) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+    let _ = s.write_all(raw);
+    let _ = s.flush();
+    let mut bytes = Vec::new();
+    let mut buf = [0u8; 8192];
+    loop {
+        match s.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => bytes.extend_from_slice(&buf[..n]),
+            Err(_) if !bytes.is_empty() => break,
+            Err(e) => panic!("no response: {e}"),
+        }
+    }
+    let text = String::from_utf8_lossy(&bytes).into_owned();
+    let status = text
+        .split_ascii_whitespace()
+        .nth(1)
+        .unwrap_or_else(|| panic!("no status line in {text:?}"))
+        .parse()
+        .expect("numeric status");
+    let (head, body) = text.split_once("\r\n\r\n").unwrap_or((text.as_str(), ""));
+    (status, head.to_string(), body.to_string())
+}
+
+fn post_brief(addr: SocketAddr, html: &str) -> (u16, String, String) {
+    let raw = format!(
+        "POST /brief HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{html}",
+        html.len()
+    );
+    exchange(addr, raw.as_bytes())
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String, String) {
+    exchange(addr, format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+}
+
+/// Posts /shutdown and waits for a clean exit.
+fn shutdown(mut server: ServerProc) {
+    let (status, _, _) = exchange(server.addr, b"POST /shutdown HTTP/1.1\r\n\r\n");
+    assert_eq!(status, 200);
+    let exit = server.child.wait().expect("server exit");
+    assert!(exit.success(), "server exited with {exit:?}");
+}
+
+/// Reads a counter out of a metrics snapshot JSON value.
+fn counter(v: &serde_json::Value, name: &str) -> f64 {
+    v.get("counters").and_then(|c| c.get(name)).and_then(|x| x.as_f64()).unwrap_or(0.0)
+}
+
+#[test]
+fn brief_is_byte_identical_to_cli_and_cache_skips_the_model() {
+    let metrics_out = std::env::temp_dir().join("wb_serve_test_metrics.json");
+    let trace_out = std::env::temp_dir().join("wb_serve_test_trace.json");
+    let _ = std::fs::remove_file(&metrics_out);
+    let _ = std::fs::remove_file(&trace_out);
+    let server = spawn_server(&[
+        "--metrics-out",
+        metrics_out.to_str().unwrap(),
+        "--trace-out",
+        trace_out.to_str().unwrap(),
+    ]);
+    let addr = server.addr;
+
+    let (status, _, health) = get(addr, "/healthz");
+    assert_eq!((status, health.as_str()), (200, "{\"status\":\"ok\"}"));
+
+    // The served brief must match `wb brief --json` byte-for-byte.
+    let page_file = std::env::temp_dir().join("wb_serve_test_page.html");
+    std::fs::write(&page_file, PAGE).unwrap();
+    let out = wb()
+        .args([
+            "brief",
+            "--model",
+            model_path().to_str().unwrap(),
+            "--json",
+            page_file.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run wb brief");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let cli_json = stdout.split_once("===\n").map(|(_, rest)| rest).unwrap_or(&stdout).trim();
+
+    let (status, headers, body) = post_brief(addr, PAGE);
+    assert_eq!(status, 200, "{body}");
+    assert!(headers.contains("X-Cache: miss"), "{headers}");
+    assert_eq!(body, cli_json, "server and CLI briefs must be byte-identical");
+
+    // Same page again: served from cache, byte-identical, no model re-run.
+    let (status, headers, body2) = post_brief(addr, PAGE);
+    assert_eq!(status, 200);
+    assert!(headers.contains("X-Cache: hit"), "{headers}");
+    assert_eq!(body2, cli_json);
+
+    let (status, _, metrics) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    let v: serde_json::Value = serde_json::from_str(&metrics).expect("metrics JSON");
+    assert_eq!(counter(&v, "brief.pages"), 1.0, "cache hit must not re-run the model");
+    assert_eq!(counter(&v, "serve.cache.hit"), 1.0);
+    assert_eq!(counter(&v, "serve.cache.miss"), 1.0);
+    assert!(counter(&v, "serve.requests") >= 3.0);
+
+    // Graceful shutdown flushes both observability outputs.
+    shutdown(server);
+    let flushed = std::fs::read_to_string(&metrics_out).expect("metrics flushed");
+    for key in ["serve.requests", "serve.cache.hit", "serve.request.latency_us", "brief.pages"]
+    {
+        assert!(flushed.contains(&format!("\"{key}\"")), "flushed snapshot missing {key}");
+    }
+    let trace = std::fs::read_to_string(&trace_out).expect("trace flushed");
+    assert!(trace.contains("\"traceEvents\""), "not a Chrome trace");
+    assert!(trace.contains("serve.request"), "serve spans missing from trace");
+
+    let _ = std::fs::remove_file(&metrics_out);
+    let _ = std::fs::remove_file(&trace_out);
+    let _ = std::fs::remove_file(&page_file);
+}
+
+/// 64 concurrent in-flight requests, every one accepted and answered with
+/// the same bytes — first with the cache disabled (every request exercises
+/// the batcher), then with it enabled.
+#[test]
+fn sustains_64_concurrent_requests_with_identical_briefs() {
+    let pages: Vec<String> = (0..4)
+        .map(|i| {
+            format!(
+                "<html><body><section><p>great velcro books {i} , price : $ {i}.99 .\
+                 </p></section></body></html>"
+            )
+        })
+        .collect();
+    let mut reference: Vec<Option<String>> = vec![None; pages.len()];
+    for cache_capacity in ["0", "64"] {
+        let server = spawn_server(&[
+            "--workers",
+            "4",
+            "--queue-capacity",
+            "128",
+            "--cache-capacity",
+            cache_capacity,
+        ]);
+        let addr = server.addr;
+        let threads: Vec<_> = (0..64)
+            .map(|i| {
+                let page = pages[i % pages.len()].clone();
+                std::thread::spawn(move || (i % 4, post_brief(addr, &page)))
+            })
+            .collect();
+        for t in threads {
+            let (page_idx, (status, _, body)) = t.join().expect("request thread");
+            assert_eq!(status, 200, "dropped or failed request: {body}");
+            match &reference[page_idx] {
+                None => reference[page_idx] = Some(body),
+                Some(expected) => assert_eq!(
+                    &body, expected,
+                    "briefs must be byte-identical across concurrency and cache settings"
+                ),
+            }
+        }
+        let (status, _, metrics) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+        let v: serde_json::Value = serde_json::from_str(&metrics).expect("metrics JSON");
+        assert_eq!(counter(&v, "serve.rejected.queue_full"), 0.0, "no request may be shed");
+        // The snapshot is taken before its own /metrics response is counted.
+        assert_eq!(counter(&v, "serve.responses.2xx"), 64.0);
+        if cache_capacity == "64" {
+            // Every /brief either hit or missed the cache — none bypassed it.
+            let touched = counter(&v, "serve.cache.hit") + counter(&v, "serve.cache.miss");
+            assert_eq!(touched, 64.0);
+        }
+        shutdown(server);
+    }
+}
+
+#[test]
+fn overload_sheds_503_with_retry_after_and_recovers() {
+    let server = spawn_server(&[
+        "--workers",
+        "1",
+        "--queue-capacity",
+        "1",
+        "--handler-delay-ms",
+        "400",
+        "--request-timeout-ms",
+        "15000",
+    ]);
+    let addr = server.addr;
+    let threads: Vec<_> =
+        (0..8).map(|_| std::thread::spawn(move || post_brief(addr, PAGE))).collect();
+    let results: Vec<(u16, String, String)> =
+        threads.into_iter().map(|t| t.join().expect("request thread")).collect();
+    let ok = results.iter().filter(|(s, _, _)| *s == 200).count();
+    let shed: Vec<_> = results.iter().filter(|(s, _, _)| *s == 503).collect();
+    assert_eq!(ok + shed.len(), 8, "every request must get an answer: {results:?}");
+    assert!(ok >= 1, "some requests must be served");
+    assert!(!shed.is_empty(), "1 worker + queue of 1 must shed under an 8-deep burst");
+    for (_, headers, _) in &shed {
+        assert!(headers.contains("Retry-After: 1"), "{headers}");
+    }
+    // Shedding is load protection, not a crash: the server still serves.
+    let (status, _, _) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    shutdown(server);
+}
+
+#[test]
+fn rejects_bad_requests_without_dying() {
+    let server = spawn_server(&["--max-body-bytes", "512", "--request-timeout-ms", "1000"]);
+    let addr = server.addr;
+
+    // Oversized body → 413 from the Content-Length header alone.
+    let big = "x".repeat(8192);
+    let (status, _, body) = post_brief(addr, &big);
+    assert_eq!(status, 413, "{body}");
+    assert!(body.contains("512"), "{body}");
+
+    // Garbage request line → 400.
+    let (status, _, _) = exchange(addr, b"NONSENSE\r\n\r\n");
+    assert_eq!(status, 400);
+
+    // Wrong method → 405 with Allow.
+    let (status, headers, _) = get(addr, "/brief");
+    assert_eq!(status, 405);
+    assert!(headers.contains("Allow: POST"), "{headers}");
+
+    // Unknown route → 404.
+    let (status, _, _) = get(addr, "/nope");
+    assert_eq!(status, 404);
+
+    // Unparseable page → 422, not 500.
+    let (status, _, body) = post_brief(addr, "<html><head><title>x</title></head></html>");
+    assert_eq!(status, 422, "{body}");
+
+    // A stalled client is timed out with 408 rather than holding a worker.
+    let mut slow = TcpStream::connect(addr).unwrap();
+    slow.write_all(b"POST /brief HTTP/1.1\r\nContent-").unwrap();
+    slow.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let mut text = String::new();
+    let mut buf = [0u8; 1024];
+    loop {
+        match slow.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => text.push_str(&String::from_utf8_lossy(&buf[..n])),
+            Err(_) if !text.is_empty() => break,
+            Err(e) => panic!("stalled client got no response: {e}"),
+        }
+    }
+    assert!(text.starts_with("HTTP/1.1 408"), "{text}");
+
+    // After all that abuse, a normal request still works.
+    let (status, _, _) = post_brief(addr, PAGE);
+    assert_eq!(status, 200);
+    shutdown(server);
+}
