@@ -57,5 +57,21 @@ fn bench_macro_costs(c: &mut Criterion) {
     wb_obs::set_enabled(true);
 }
 
-criterion_group!(benches, bench_instrumented, bench_disabled, bench_macro_costs);
+fn bench_fault_point_unarmed(c: &mut Criterion) {
+    // The robustness bar for `wb-chaos`: an unarmed fault point is one
+    // relaxed atomic load and must be free at hot-path granularity. (This
+    // process never arms faults, so the armed branch is dead here.)
+    assert!(!wb_chaos::armed(), "bench process must not arm faults");
+    c.bench_function("fault_point_unarmed", |b| {
+        b.iter(|| black_box(wb_chaos::fault_point!("bench.chaos.unarmed")));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_instrumented,
+    bench_disabled,
+    bench_macro_costs,
+    bench_fault_point_unarmed
+);
 criterion_main!(benches);

@@ -1,0 +1,305 @@
+#![warn(missing_docs)]
+//! # wb-chaos
+//!
+//! Deterministic fault injection for the Webpage Briefing workspace.
+//!
+//! Production code marks interesting failure sites with named fault
+//! points:
+//!
+//! ```
+//! if let Some(fired) = wb_chaos::fault_point!("demo.save") {
+//!     // Only reachable while a fault is armed on this point.
+//!     let _err: std::io::Error = fired.io_error("demo.save");
+//! }
+//! ```
+//!
+//! Nothing happens — and nothing is paid beyond one relaxed atomic load —
+//! until a spec is armed, via the `WB_FAULTS` environment variable or the
+//! CLI's `--faults` flag (see [`spec`] for the grammar):
+//!
+//! ```text
+//! WB_FAULTS='serve.worker.pre_model=panic@nth(3);train.step=delay(50)@every(10)'
+//! ```
+//!
+//! `panic` and `delay(ms)` actions execute inside [`check`] itself; the
+//! `error` and `nan` actions are returned as a [`Fired`] value for the
+//! call site to convert into its own failure type, because only the call
+//! site knows what an error or a poisoned value looks like there. Every
+//! trigger is deterministic (pass counters and seeded streams, never wall
+//! clock or global RNG), so a failing chaos run reproduces byte-for-byte.
+//!
+//! Metrics (`chaos.*`): `chaos.armed` gauge, `chaos.evaluations` counter
+//! (passes through any armed point), `chaos.fired` counter plus
+//! `chaos.fired.<point>` per-point counters.
+
+pub mod spec;
+
+pub use spec::{Action, FaultRule, FaultSpec, SpecError, Trigger};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// A fault that fired and must be applied by the call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fired {
+    /// Fail the surrounding operation with an injected error.
+    Error,
+    /// Poison the surrounding value with NaN.
+    Nan,
+}
+
+impl Fired {
+    /// A ready-made injected [`std::io::Error`] for `error` faults at I/O
+    /// call sites (any [`Fired`] maps to an error when the site has no
+    /// value to poison).
+    pub fn io_error(&self, point: &str) -> std::io::Error {
+        std::io::Error::other(format!("injected fault at {point}"))
+    }
+}
+
+struct RuleRuntime {
+    rule: FaultRule,
+    /// Passes through this rule's point so far (1-based at evaluation).
+    hits: u64,
+    /// SplitMix64 state for `prob` triggers.
+    rng: u64,
+}
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static REGISTRY: Mutex<Vec<RuleRuntime>> = Mutex::new(Vec::new());
+
+fn registry() -> MutexGuard<'static, Vec<RuleRuntime>> {
+    // A panic action unwinding through `check` poisons the mutex; the
+    // state is still consistent (counters were updated before the panic),
+    // so later passes just keep going.
+    REGISTRY.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Whether any fault spec is armed. One relaxed atomic load — this is the
+/// entire hot-path cost of an unarmed [`fault_point!`].
+#[inline(always)]
+pub fn armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Arms a parsed spec, replacing whatever was armed before. Pass counters
+/// and probability streams start fresh.
+pub fn arm(spec: FaultSpec) {
+    let mut reg = registry();
+    *reg = spec
+        .rules
+        .into_iter()
+        .map(|rule| {
+            let seed = match rule.trigger {
+                Trigger::Prob(_, seed) => splitmix_init(seed),
+                _ => 0,
+            };
+            RuleRuntime { rule, hits: 0, rng: seed }
+        })
+        .collect();
+    let n = reg.len();
+    drop(reg);
+    ARMED.store(true, Ordering::SeqCst);
+    wb_obs::gauge!("chaos.armed", 1.0);
+    wb_obs::warn!("chaos: armed {n} fault rule(s)");
+}
+
+/// Parses and arms a spec string.
+pub fn arm_str(s: &str) -> Result<(), SpecError> {
+    FaultSpec::parse(s).map(arm)
+}
+
+/// Arms from the `WB_FAULTS` environment variable. Returns `Ok(false)`
+/// when the variable is unset or empty (nothing armed), `Ok(true)` when a
+/// spec was armed, and the parse error otherwise.
+pub fn arm_from_env() -> Result<bool, SpecError> {
+    match std::env::var("WB_FAULTS") {
+        Ok(s) if !s.trim().is_empty() => arm_str(&s).map(|()| true),
+        _ => Ok(false),
+    }
+}
+
+/// Disarms everything; fault points return to their single-load no-op.
+pub fn disarm() {
+    ARMED.store(false, Ordering::SeqCst);
+    registry().clear();
+    wb_obs::gauge!("chaos.armed", 0.0);
+}
+
+/// How many passes a point has seen since arming (for test assertions).
+pub fn passes(point: &str) -> u64 {
+    registry().iter().filter(|r| r.rule.point == point).map(|r| r.hits).max().unwrap_or(0)
+}
+
+/// Serialises tests that arm process-global fault state (the registry is
+/// shared by every test in a binary; parallel arming would interleave).
+/// The guard tolerates poisoning — a panicking chaos test must not take
+/// the whole suite down with it.
+pub fn test_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn splitmix_init(seed: u64) -> u64 {
+    // Avoid the all-zero fixed point without disturbing other seeds.
+    seed.wrapping_add(0x9E37_79B9_7F4A_7C15)
+}
+
+fn splitmix_next(state: &mut u64) -> f64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Evaluates one pass through a fault point. Called by [`fault_point!`]
+/// only when armed — never call it directly from production code.
+///
+/// `panic` and `delay` actions execute here; `error`/`nan` are returned.
+/// When several armed rules match the same point, the first that fires on
+/// this pass wins.
+#[doc(hidden)]
+pub fn check(point: &str) -> Option<Fired> {
+    wb_obs::counter!("chaos.evaluations");
+    let mut fired_action = None;
+    {
+        let mut reg = registry();
+        for r in reg.iter_mut().filter(|r| r.rule.point == point) {
+            r.hits += 1;
+            let fires = match r.rule.trigger {
+                Trigger::Nth(k) => r.hits == k,
+                Trigger::Every(k) => r.hits % k == 0,
+                Trigger::Prob(p, _) => splitmix_next(&mut r.rng) < p,
+            };
+            if fires && fired_action.is_none() {
+                fired_action = Some((r.rule.action, r.hits));
+            }
+        }
+    } // registry unlocked before any panic/sleep
+    let (action, pass) = fired_action?;
+    wb_obs::counter!("chaos.fired");
+    wb_obs::metrics::registry().counter(&format!("chaos.fired.{point}")).add(1);
+    wb_obs::warn!("chaos: firing {action} at {point} (pass {pass})");
+    match action {
+        Action::Panic => panic!("injected fault: panic at {point} (pass {pass})"),
+        Action::Delay(ms) => {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            None
+        }
+        Action::Error => Some(Fired::Error),
+        Action::Nan => Some(Fired::Nan),
+    }
+}
+
+/// Evaluates a named fault point.
+///
+/// Expands to a single relaxed atomic load when nothing is armed; when a
+/// spec is armed, evaluates the point's rules. `panic`/`delay` actions
+/// happen inside the macro; an `error` or `nan` action is returned as
+/// `Some(Fired)` for the call site to apply.
+#[macro_export]
+macro_rules! fault_point {
+    ($name:expr) => {
+        if $crate::armed() {
+            $crate::check($name)
+        } else {
+            ::core::option::Option::None
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_point_is_a_no_op() {
+        let _guard = test_lock();
+        disarm();
+        assert!(!armed());
+        assert_eq!(fault_point!("chaos.test.noop"), None);
+    }
+
+    #[test]
+    fn nth_fires_exactly_once() {
+        let _guard = test_lock();
+        arm_str("chaos.test.nth=error@nth(3)").unwrap();
+        let fired: Vec<bool> =
+            (0..6).map(|_| fault_point!("chaos.test.nth").is_some()).collect();
+        assert_eq!(fired, [false, false, true, false, false, false]);
+        assert_eq!(passes("chaos.test.nth"), 6);
+        disarm();
+    }
+
+    #[test]
+    fn every_fires_periodically() {
+        let _guard = test_lock();
+        arm_str("chaos.test.every=nan@every(2)").unwrap();
+        let fired: Vec<bool> =
+            (0..6).map(|_| fault_point!("chaos.test.every").is_some()).collect();
+        assert_eq!(fired, [false, true, false, true, false, true]);
+        disarm();
+    }
+
+    #[test]
+    fn prob_stream_is_deterministic_per_seed() {
+        let _guard = test_lock();
+        let run = || -> Vec<bool> {
+            arm_str("chaos.test.prob=error@prob(0.5,1234)").unwrap();
+            (0..64).map(|_| fault_point!("chaos.test.prob").is_some()).collect()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seed must reproduce the same fire pattern");
+        assert!(a.iter().any(|&f| f) && a.iter().any(|&f| !f), "p=0.5 over 64 draws: {a:?}");
+        disarm();
+    }
+
+    #[test]
+    fn panic_action_panics_with_point_name() {
+        let _guard = test_lock();
+        arm_str("chaos.test.panic=panic").unwrap();
+        let result = std::panic::catch_unwind(|| {
+            let _ = fault_point!("chaos.test.panic");
+        });
+        disarm();
+        let msg = *result.expect_err("must panic").downcast::<String>().unwrap();
+        assert!(msg.contains("chaos.test.panic"), "{msg}");
+    }
+
+    #[test]
+    fn delay_action_stalls_then_continues() {
+        let _guard = test_lock();
+        arm_str("chaos.test.delay=delay(30)").unwrap();
+        let t0 = std::time::Instant::now();
+        assert_eq!(fault_point!("chaos.test.delay"), None);
+        assert!(t0.elapsed().as_millis() >= 25, "delay not applied");
+        disarm();
+    }
+
+    #[test]
+    fn unmatched_points_are_untouched() {
+        let _guard = test_lock();
+        arm_str("chaos.test.some.other.point=error").unwrap();
+        assert_eq!(fault_point!("chaos.test.unmatched"), None);
+        disarm();
+    }
+
+    #[test]
+    fn rearming_resets_pass_counters() {
+        let _guard = test_lock();
+        arm_str("chaos.test.rearm=error@nth(1)").unwrap();
+        assert!(fault_point!("chaos.test.rearm").is_some());
+        arm_str("chaos.test.rearm=error@nth(1)").unwrap();
+        assert!(fault_point!("chaos.test.rearm").is_some(), "re-arm must reset counters");
+        disarm();
+    }
+
+    #[test]
+    fn fired_converts_to_io_error() {
+        let e = Fired::Error.io_error("x.y");
+        assert!(e.to_string().contains("injected fault at x.y"));
+    }
+}

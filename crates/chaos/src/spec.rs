@@ -1,0 +1,307 @@
+//! The `WB_FAULTS` grammar: parsing, validation and canonical rendering.
+//!
+//! ```text
+//! spec    := entry (';' entry)*
+//! entry   := point '=' action ['@' trigger]
+//! point   := [A-Za-z0-9_.-]+          (a fault_point! name)
+//! action  := 'panic' | 'error' | 'nan' | 'delay(' MS ')'
+//! trigger := 'nth(' K ')' | 'every(' K ')' | 'prob(' P ',' SEED ')'
+//! ```
+//!
+//! The trigger defaults to `every(1)` (fire on every pass). `nth(k)` fires
+//! exactly once, on the k-th pass through the point (1-based); `every(k)`
+//! fires on every k-th pass; `prob(p, seed)` fires each pass with
+//! probability `p` drawn from a dedicated SplitMix64 stream, so a given
+//! `(p, seed)` pair reproduces the same fire pattern byte-identically on
+//! every run. [`FaultSpec`] round-trips through [`std::fmt::Display`]:
+//! `parse(spec.to_string()) == spec`.
+
+use std::fmt;
+
+/// What happens when a fault point fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Action {
+    /// Panic at the point (`panic!`), simulating a crash/kill.
+    Panic,
+    /// Surface an injected error for the call site to propagate.
+    Error,
+    /// Sleep for the given number of milliseconds, simulating a stall.
+    Delay(u64),
+    /// Surface an injected NaN for the call site to poison a value with.
+    Nan,
+}
+
+/// When a fault point fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Trigger {
+    /// Fire exactly once, on the k-th pass (1-based).
+    Nth(u64),
+    /// Fire on every k-th pass.
+    Every(u64),
+    /// Fire each pass with probability `p`, from a deterministic stream
+    /// seeded by `seed`.
+    Prob(f64, u64),
+}
+
+/// One armed rule: a fault point name plus what/when to inject.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRule {
+    /// The `fault_point!` name this rule matches.
+    pub point: String,
+    /// The injected behaviour.
+    pub action: Action,
+    /// The firing schedule.
+    pub trigger: Trigger,
+}
+
+/// A parsed `WB_FAULTS`/`--faults` spec: an ordered list of rules. When
+/// several rules name the same point, the first one that fires on a given
+/// pass wins.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultSpec {
+    /// The rules, in spec order.
+    pub rules: Vec<FaultRule>,
+}
+
+/// A malformed spec, with enough context to fix it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecError {
+    msg: String,
+}
+
+impl SpecError {
+    fn new(msg: impl Into<String>) -> SpecError {
+        SpecError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+const GRAMMAR_HINT: &str = "expected `point=action[@trigger]` with action one of \
+                            panic, error, nan, delay(MS) and trigger one of \
+                            nth(K), every(K), prob(P,SEED)";
+
+impl FaultSpec {
+    /// Parses a spec string. Entries are `;`-separated; surrounding
+    /// whitespace around entries and tokens is ignored. An empty string
+    /// (or one that is all whitespace) is rejected — "arm nothing" is
+    /// expressed by not arming at all.
+    pub fn parse(s: &str) -> Result<FaultSpec, SpecError> {
+        if s.trim().is_empty() {
+            return Err(SpecError::new(
+                "empty fault spec: to disable injection, unset WB_FAULTS / omit --faults",
+            ));
+        }
+        let mut rules = Vec::new();
+        for raw_entry in s.split(';') {
+            let entry = raw_entry.trim();
+            if entry.is_empty() {
+                return Err(SpecError::new(format!(
+                    "empty entry in fault spec `{s}` (stray `;`?)"
+                )));
+            }
+            rules.push(parse_entry(entry)?);
+        }
+        Ok(FaultSpec { rules })
+    }
+}
+
+fn parse_entry(entry: &str) -> Result<FaultRule, SpecError> {
+    let (point, rest) = entry.split_once('=').ok_or_else(|| {
+        SpecError::new(format!("fault entry `{entry}` has no `=`; {GRAMMAR_HINT}"))
+    })?;
+    let point = point.trim();
+    if point.is_empty() {
+        return Err(SpecError::new(format!("fault entry `{entry}` names no point")));
+    }
+    if !point.chars().all(|c| c.is_ascii_alphanumeric() || ".-_".contains(c)) {
+        return Err(SpecError::new(format!(
+            "fault point `{point}` may only contain letters, digits, `.`, `-` and `_`"
+        )));
+    }
+    let (action_str, trigger_str) = match rest.split_once('@') {
+        Some((a, t)) => (a.trim(), Some(t.trim())),
+        None => (rest.trim(), None),
+    };
+    let action = parse_action(action_str)?;
+    let trigger = match trigger_str {
+        Some(t) => parse_trigger(t)?,
+        None => Trigger::Every(1),
+    };
+    Ok(FaultRule { point: point.to_string(), action, trigger })
+}
+
+/// Splits `name(args)` into its parts; `None` when `s` has no call shape.
+fn call_form(s: &str) -> Option<(&str, &str)> {
+    let open = s.find('(')?;
+    let close = s.strip_suffix(')')?;
+    Some((&s[..open], &close[open + 1..]))
+}
+
+fn parse_action(s: &str) -> Result<Action, SpecError> {
+    match s {
+        "panic" => return Ok(Action::Panic),
+        "error" => return Ok(Action::Error),
+        "nan" => return Ok(Action::Nan),
+        _ => {}
+    }
+    if let Some(("delay", arg)) = call_form(s) {
+        let ms: u64 = arg.trim().parse().map_err(|_| {
+            SpecError::new(format!("delay takes integer milliseconds, got `{arg}`"))
+        })?;
+        return Ok(Action::Delay(ms));
+    }
+    Err(SpecError::new(format!("unknown fault action `{s}`; {GRAMMAR_HINT}")))
+}
+
+fn parse_trigger(s: &str) -> Result<Trigger, SpecError> {
+    let Some((name, arg)) = call_form(s) else {
+        return Err(SpecError::new(format!("unknown fault trigger `{s}`; {GRAMMAR_HINT}")));
+    };
+    match name {
+        "nth" | "every" => {
+            let k: u64 = arg.trim().parse().map_err(|_| {
+                SpecError::new(format!("{name} takes an integer pass count, got `{arg}`"))
+            })?;
+            if k == 0 {
+                return Err(SpecError::new(format!(
+                    "{name}(0) never fires; pass counts are 1-based"
+                )));
+            }
+            Ok(if name == "nth" { Trigger::Nth(k) } else { Trigger::Every(k) })
+        }
+        "prob" => {
+            let (p_str, seed_str) = arg.split_once(',').ok_or_else(|| {
+                SpecError::new(format!(
+                    "prob takes two arguments `prob(P,SEED)`, got `prob({arg})` — \
+                     the seed is mandatory so runs reproduce"
+                ))
+            })?;
+            let p: f64 = p_str.trim().parse().map_err(|_| {
+                SpecError::new(format!("prob probability must be a number, got `{p_str}`"))
+            })?;
+            if !(0.0..=1.0).contains(&p) {
+                return Err(SpecError::new(format!(
+                    "prob probability must be within [0, 1], got {p}"
+                )));
+            }
+            let seed: u64 = seed_str.trim().parse().map_err(|_| {
+                SpecError::new(format!("prob seed must be an integer, got `{seed_str}`"))
+            })?;
+            Ok(Trigger::Prob(p, seed))
+        }
+        other => {
+            Err(SpecError::new(format!("unknown fault trigger `{other}`; {GRAMMAR_HINT}")))
+        }
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Panic => write!(f, "panic"),
+            Action::Error => write!(f, "error"),
+            Action::Nan => write!(f, "nan"),
+            Action::Delay(ms) => write!(f, "delay({ms})"),
+        }
+    }
+}
+
+impl fmt::Display for Trigger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trigger::Nth(k) => write!(f, "nth({k})"),
+            Trigger::Every(k) => write!(f, "every({k})"),
+            Trigger::Prob(p, seed) => write!(f, "prob({p},{seed})"),
+        }
+    }
+}
+
+impl fmt::Display for FaultRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={}@{}", self.point, self.action, self.trigger)
+    }
+}
+
+impl fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, rule) in self.rules.iter().enumerate() {
+            if i > 0 {
+                f.write_str(";")?;
+            }
+            write!(f, "{rule}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_entry_with_default_trigger() {
+        let spec = FaultSpec::parse("serve.worker.pre_model=panic").unwrap();
+        assert_eq!(spec.rules.len(), 1);
+        assert_eq!(spec.rules[0].point, "serve.worker.pre_model");
+        assert_eq!(spec.rules[0].action, Action::Panic);
+        assert_eq!(spec.rules[0].trigger, Trigger::Every(1));
+    }
+
+    #[test]
+    fn parses_all_actions_and_triggers() {
+        let spec = FaultSpec::parse(
+            "a=panic@nth(3); b=error@every(2) ;c=delay(250)@prob(0.5,42);d=nan",
+        )
+        .unwrap();
+        assert_eq!(spec.rules.len(), 4);
+        assert_eq!(spec.rules[0].trigger, Trigger::Nth(3));
+        assert_eq!(spec.rules[1].action, Action::Error);
+        assert_eq!(spec.rules[1].trigger, Trigger::Every(2));
+        assert_eq!(spec.rules[2].action, Action::Delay(250));
+        assert_eq!(spec.rules[2].trigger, Trigger::Prob(0.5, 42));
+        assert_eq!(spec.rules[3].action, Action::Nan);
+    }
+
+    #[test]
+    fn canonical_form_roundtrips() {
+        let text = "a=panic@nth(3);b=error;c=delay(250)@prob(0.25,42)";
+        let spec = FaultSpec::parse(text).unwrap();
+        assert_eq!(
+            spec.to_string(),
+            "a=panic@nth(3);b=error@every(1);c=delay(250)@prob(0.25,42)"
+        );
+        assert_eq!(FaultSpec::parse(&spec.to_string()).unwrap(), spec);
+    }
+
+    #[test]
+    fn malformed_specs_get_actionable_errors() {
+        for (spec, needle) in [
+            ("", "empty fault spec"),
+            ("   ", "empty fault spec"),
+            ("a=panic;;b=error", "stray `;`"),
+            ("justapoint", "has no `=`"),
+            ("=panic", "names no point"),
+            ("bad point=panic", "may only contain"),
+            ("a=explode", "unknown fault action"),
+            ("a=delay(soon)", "integer milliseconds"),
+            ("a=panic@sometimes", "unknown fault trigger"),
+            ("a=panic@nth(0)", "1-based"),
+            ("a=panic@every(0)", "1-based"),
+            ("a=panic@nth(x)", "integer pass count"),
+            ("a=panic@prob(0.5)", "seed is mandatory"),
+            ("a=panic@prob(2,1)", "within [0, 1]"),
+            ("a=panic@prob(p,1)", "must be a number"),
+            ("a=panic@prob(0.5,s)", "seed must be an integer"),
+        ] {
+            let err = FaultSpec::parse(spec).expect_err(spec);
+            assert!(err.to_string().contains(needle), "`{spec}` → {err}");
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests of the `WB_FAULTS` grammar: every representable
+//! spec must round-trip through its canonical rendering, and malformed
+//! input must be rejected with a message, never mis-parsed.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use wb_chaos::{Action, FaultRule, FaultSpec, Trigger};
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    (0u8..4, 0u64..100_000).prop_map(|(pick, ms)| match pick {
+        0 => Action::Panic,
+        1 => Action::Error,
+        2 => Action::Nan,
+        _ => Action::Delay(ms),
+    })
+}
+
+fn trigger_strategy() -> impl Strategy<Value = Trigger> {
+    (0u8..3, 1u64..1_000_000, 0.0f64..1.0, 0u64..1_000_000_000).prop_map(
+        |(pick, k, p, seed)| match pick {
+            0 => Trigger::Nth(k),
+            1 => Trigger::Every(k),
+            _ => Trigger::Prob(p, seed),
+        },
+    )
+}
+
+fn rule_strategy() -> impl Strategy<Value = FaultRule> {
+    ("[a-z][a-z0-9._-]{0,24}", action_strategy(), trigger_strategy())
+        .prop_map(|(point, action, trigger)| FaultRule { point, action, trigger })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Display → parse is the identity for every representable spec,
+    /// including `prob` probabilities (f64 shortest round-trip).
+    #[test]
+    fn canonical_rendering_roundtrips(rules in vec(rule_strategy(), 1..6)) {
+        let spec = FaultSpec { rules };
+        let rendered = spec.to_string();
+        let reparsed = FaultSpec::parse(&rendered)
+            .unwrap_or_else(|e| panic!("canonical `{rendered}` failed to parse: {e}"));
+        prop_assert_eq!(reparsed, spec);
+    }
+
+    /// Canonicalisation is idempotent: rendering a reparsed spec yields
+    /// the same string again.
+    #[test]
+    fn canonical_rendering_is_idempotent(rules in vec(rule_strategy(), 1..6)) {
+        let rendered = FaultSpec { rules }.to_string();
+        let again = FaultSpec::parse(&rendered).unwrap().to_string();
+        prop_assert_eq!(again, rendered);
+    }
+
+    /// Whitespace around entries and tokens never changes the parse.
+    #[test]
+    fn surrounding_whitespace_is_ignored(rules in vec(rule_strategy(), 1..4)) {
+        let spec = FaultSpec { rules };
+        let padded: String = spec
+            .rules
+            .iter()
+            .map(|r| format!("  {} = {}@{} ", r.point, r.action, r.trigger))
+            .collect::<Vec<_>>()
+            .join(";");
+        prop_assert_eq!(FaultSpec::parse(&padded).unwrap(), spec);
+    }
+
+    /// An entry without `=` is always rejected (the generated pattern
+    /// cannot produce one), and the error names the offending entry.
+    #[test]
+    fn entries_without_equals_are_rejected(garbage in "[a-z0-9@().,]{1,30}") {
+        let err = FaultSpec::parse(&garbage).expect_err("no `=` must not parse");
+        prop_assert!(err.to_string().contains("has no `=`"), "{}", err);
+    }
+
+    /// Every parse failure carries a non-empty message: callers can always
+    /// show the user something actionable.
+    #[test]
+    fn rejections_always_carry_a_message(s in ".{0,40}") {
+        if let Err(e) = FaultSpec::parse(&s) {
+            prop_assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -205,6 +205,31 @@ impl Briefer {
         Self::from_model(model, dataset.tokenizer.clone())
     }
 
+    /// [`Briefer::train_with`], crash-safe: snapshots a
+    /// [`crate::TrainState`] per `policy` and can continue a killed run
+    /// from `resume` — the finished model is byte-identical to an
+    /// uninterrupted run (see [`crate::train_resumable`]).
+    pub fn train_resumable_with(
+        dataset: &Dataset,
+        model_cfg: ModelConfig,
+        train_cfg: TrainConfig,
+        seed: u64,
+        policy: Option<&crate::CheckpointPolicy>,
+        resume: Option<crate::TrainState>,
+    ) -> Result<(Briefer, crate::TrainStats), crate::TrainError> {
+        let mut model = JointModel::new(JointVariant::JointWb, model_cfg, seed);
+        let split = dataset.split(train_cfg.seed);
+        let stats = crate::trainer::train_resumable(
+            &mut model,
+            &dataset.examples,
+            &split.train,
+            train_cfg,
+            policy,
+            resume,
+        )?;
+        Ok((Self::from_model(model, dataset.tokenizer.clone()), stats))
+    }
+
     /// Wraps an already-trained joint model. Inference chunking defaults to
     /// the training-time shape — `max_len`-token sub-documents, four per
     /// document (the paper's 512 × 4) — so served pages match the training

@@ -74,21 +74,32 @@ impl Checkpoint {
     /// `path` either holds the previous complete checkpoint or the new
     /// one. The temporary name embeds the process id so concurrent savers
     /// targeting the same path cannot trample each other's staging file.
+    ///
+    /// Transient write failures are retried a few times with jittered
+    /// exponential backoff ([`wb_obs::retry`]); only a persistently
+    /// failing volume surfaces as an error. Chaos site:
+    /// `core.checkpoint.write` (an `error` fault exercises the retries).
     pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
         let json = serde_json::to_string(self).map_err(io::Error::other)?;
         let path = path.as_ref();
-        let mut tmp_name = path.file_name().map(|n| n.to_os_string()).ok_or_else(|| {
-            io::Error::new(
-                io::ErrorKind::InvalidInput,
-                format!("checkpoint path {} has no file name", path.display()),
-            )
-        })?;
-        tmp_name.push(format!(".{}.tmp", std::process::id()));
-        let tmp = path.with_file_name(tmp_name);
-        std::fs::write(&tmp, json)?;
-        std::fs::rename(&tmp, path).inspect_err(|_| {
-            // Leave no staging litter behind a failed rename.
-            let _ = std::fs::remove_file(&tmp);
+        let cfg = wb_obs::retry::BackoffConfig::default();
+        wb_obs::retry::retry("checkpoint save", cfg, || {
+            if let Some(f) = wb_chaos::fault_point!("core.checkpoint.write") {
+                return Err(f.io_error("core.checkpoint.write"));
+            }
+            let mut tmp_name = path.file_name().map(|n| n.to_os_string()).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("checkpoint path {} has no file name", path.display()),
+                )
+            })?;
+            tmp_name.push(format!(".{}.tmp", std::process::id()));
+            let tmp = path.with_file_name(tmp_name);
+            std::fs::write(&tmp, &json)?;
+            std::fs::rename(&tmp, path).inspect_err(|_| {
+                // Leave no staging litter behind a failed rename.
+                let _ = std::fs::remove_file(&tmp);
+            })
         })
     }
 
@@ -316,6 +327,27 @@ mod tests {
         assert!(leftovers.is_empty(), "staging litter: {leftovers:?}");
         assert!(Checkpoint::load(&path).is_ok());
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    /// A transient write failure (injected via the `core.checkpoint.write`
+    /// chaos site) is absorbed by the backoff retries; the checkpoint
+    /// still lands intact.
+    #[test]
+    fn transient_write_failure_is_retried() {
+        let d = tiny();
+        let mc = ModelConfig::scaled(d.tokenizer.vocab().len());
+        let m = JointModel::new(JointVariant::JointWb, mc, 5);
+        let path =
+            std::env::temp_dir().join(format!("wb_ckpt_retry_{}.json", std::process::id()));
+        {
+            let _guard = wb_chaos::test_lock();
+            wb_chaos::arm_str("core.checkpoint.write=error@nth(1)").unwrap();
+            let saved = m.checkpoint().save(&path);
+            wb_chaos::disarm();
+            saved.expect("save must succeed on the retry");
+        }
+        assert!(Checkpoint::load(&path).is_ok());
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

@@ -32,6 +32,7 @@ mod generator;
 mod joint;
 mod multilevel;
 mod pretrain;
+mod resume;
 mod sensitivity;
 mod trainer;
 mod tri;
@@ -51,6 +52,7 @@ pub use multilevel::{attr_level, split_bio_levels, MultiLevelForward, MultiLevel
 pub use pretrain::{
     bert_config, pretrain_contextual, pretrain_static, transfer_embedder, PretrainConfig, MASK,
 };
+pub use resume::{CheckpointPolicy, TrainError, TrainState};
 pub use sensitivity::{build_pairs, content_sensitivity, SensitivityOutcome};
-pub use trainer::{train, TrainStats, TrainableModel};
+pub use trainer::{train, train_resumable, TrainStats, TrainableModel};
 pub use tri::{JointExtractionTeacher, JointGenerationTeacher, JointTeacherCache, TriDistill};

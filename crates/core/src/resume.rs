@@ -1,0 +1,152 @@
+//! Crash-safe training state: everything the trainer needs to continue a
+//! killed run byte-identically.
+//!
+//! A [`TrainState`] freezes the loop position (epoch, completed batches),
+//! the loss accumulators, the parameter values and the full optimizer
+//! state ([`wb_tensor::AdamState`], including the warm-up step counter
+//! and the accumulated per-epoch decay). The shuffle RNG is *not* stored:
+//! the trainer's only RNG consumer is the per-epoch Fisher–Yates shuffle,
+//! whose draws depend only on the seed and the epoch number, so the
+//! resumed run reconstructs the order stream by replaying shuffles from
+//! `TrainConfig::seed` — and per-example dropout seeds are already pure
+//! functions of `(seed, epoch, position)`.
+//!
+//! Saves are atomic (sibling temp file + rename, like
+//! [`crate::Checkpoint::save`]) and wrapped in
+//! [`wb_obs::retry`] so a transiently failing volume — or an injected
+//! `train.state.write` fault — costs a few jittered retries, not the run.
+
+use std::io;
+use std::path::Path;
+use wb_tensor::{AdamState, Params};
+
+/// A serialisable snapshot of a training run, taken between batches.
+///
+/// Positions are normalized: `batches_done` is always strictly less than
+/// the epoch's batch count (end-of-epoch snapshots roll over to
+/// `(epoch + 1, 0)` after applying the epoch close), except that a
+/// completed run holds `epoch == epochs`.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct TrainState {
+    /// `TrainConfig::seed` of the run; a resume with a different seed is
+    /// rejected rather than silently diverging.
+    pub seed: u64,
+    /// Number of selected training examples (shuffle-order length).
+    pub n_examples: usize,
+    /// `TrainConfig::batch_size` of the run (changes the step sequence,
+    /// so it must match on resume).
+    pub batch_size: usize,
+    /// Epoch the next batch belongs to (0-based).
+    pub epoch: usize,
+    /// Batches already applied within `epoch`.
+    pub batches_done: usize,
+    /// Running loss sum over the current epoch.
+    pub epoch_loss: f64,
+    /// Examples consumed in the current epoch.
+    pub seen: usize,
+    /// Mean losses of completed epochs.
+    pub epoch_losses: Vec<f32>,
+    /// NaN-guard rollbacks performed so far (each halves the LR).
+    pub nan_rollbacks: u32,
+    /// Optimizer moments, step counter and accumulated LR scale.
+    pub opt: AdamState,
+    /// Parameter values at this position.
+    pub params: Params,
+}
+
+/// When and where the trainer writes [`TrainState`] snapshots.
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// Path the state is atomically (re)written to.
+    pub state_path: std::path::PathBuf,
+    /// Also snapshot every `k` batches within an epoch (`0` = only at
+    /// epoch boundaries). Epoch boundaries always snapshot.
+    pub every_batches: usize,
+}
+
+impl TrainState {
+    /// Atomically writes the state as JSON (temp file + rename), with
+    /// bounded jittered retries on I/O failure. Chaos site:
+    /// `train.state.write` (an `error` fault exercises the retry path).
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        let json = serde_json::to_string(self).map_err(io::Error::other)?;
+        let cfg = wb_obs::retry::BackoffConfig::default();
+        wb_obs::retry::retry("train state save", cfg, || {
+            if let Some(f) = wb_chaos::fault_point!("train.state.write") {
+                return Err(f.io_error("train.state.write"));
+            }
+            let mut tmp_name = path.file_name().map(|n| n.to_os_string()).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("train state path {} has no file name", path.display()),
+                )
+            })?;
+            tmp_name.push(format!(".{}.tmp", std::process::id()));
+            let tmp = path.with_file_name(tmp_name);
+            std::fs::write(&tmp, &json)?;
+            std::fs::rename(&tmp, path).inspect_err(|_| {
+                let _ = std::fs::remove_file(&tmp);
+            })
+        })?;
+        wb_obs::counter!("train.resume.saves");
+        Ok(())
+    }
+
+    /// Reads a state written by [`TrainState::save`]. A truncated or
+    /// corrupt file yields a clean error naming the path — the run is
+    /// refused rather than resumed from garbage.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<TrainState> {
+        let path = path.as_ref();
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", path.display())))?;
+        serde_json::from_str(&json).map_err(|e| {
+            io::Error::other(format!(
+                "train state {} is corrupt ({e}); delete it to start the run over",
+                path.display()
+            ))
+        })
+    }
+}
+
+/// Why a resumable training run could not run (to completion).
+#[derive(Debug)]
+pub enum TrainError {
+    /// The supplied [`TrainState`] does not belong to this run
+    /// (different seed, example selection, batch size or model shape).
+    StateMismatch(String),
+    /// A state snapshot could not be written even after retries.
+    Io(io::Error),
+    /// The NaN guard exhausted its rollback budget: the loss kept
+    /// blowing up even after repeated LR halving.
+    Diverged {
+        /// Rollbacks performed before giving up.
+        rollbacks: u32,
+        /// Statistics up to the last good position.
+        stats: crate::trainer::TrainStats,
+    },
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::StateMismatch(why) => {
+                write!(f, "train state does not match this run: {why}")
+            }
+            TrainError::Io(e) => write!(f, "failed to write train state: {e}"),
+            TrainError::Diverged { rollbacks, .. } => write!(
+                f,
+                "training diverged: loss stayed non-finite after {rollbacks} \
+                 rollback(s) with halved learning rate"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+impl From<io::Error> for TrainError {
+    fn from(e: io::Error) -> TrainError {
+        TrainError::Io(e)
+    }
+}

@@ -80,6 +80,7 @@ pub mod json;
 pub mod log;
 pub mod metrics;
 pub mod report;
+pub mod retry;
 pub mod span;
 pub mod trace;
 

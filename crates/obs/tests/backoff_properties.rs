@@ -1,0 +1,81 @@
+//! Property-based tests of the decorrelated-jitter backoff schedule: for
+//! every configuration, delays stay within [base, cap], the cap is a hard
+//! monotone ceiling, the attempt budget is exact, and a fixed seed
+//! reproduces the schedule byte-identically.
+
+use proptest::prelude::*;
+use std::time::Duration;
+use wb_obs::retry::{Backoff, BackoffConfig};
+
+fn config_strategy() -> impl Strategy<Value = BackoffConfig> {
+    (1u64..200, 1u64..2_000, 1u32..12, 0u64..1_000_000).prop_map(
+        |(base_ms, extra_ms, max_attempts, seed)| BackoffConfig {
+            base: Duration::from_millis(base_ms),
+            // cap >= base by construction.
+            cap: Duration::from_millis(base_ms + extra_ms),
+            max_attempts,
+            seed,
+        },
+    )
+}
+
+fn schedule(cfg: BackoffConfig) -> Vec<Duration> {
+    let mut b = Backoff::new(cfg);
+    std::iter::from_fn(|| b.next_delay()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every delay the schedule ever yields lies within [base, cap]: the
+    /// jitter never undershoots the base or pierces the cap.
+    #[test]
+    fn delays_stay_within_base_and_cap(cfg in config_strategy()) {
+        for (i, d) in schedule(cfg).iter().enumerate() {
+            prop_assert!(*d >= cfg.base, "delay {i} = {d:?} below base {:?}", cfg.base);
+            prop_assert!(*d <= cfg.cap, "delay {i} = {d:?} above cap {:?}", cfg.cap);
+        }
+    }
+
+    /// The schedule yields exactly `max_attempts - 1` delays — one sleep
+    /// between each pair of attempts, none after the last.
+    #[test]
+    fn attempt_budget_is_exact(cfg in config_strategy()) {
+        prop_assert_eq!(schedule(cfg).len(), cfg.max_attempts as usize - 1);
+    }
+
+    /// A fixed seed reproduces the exact delay sequence; chaos tests rely
+    /// on this to replay failure timings.
+    #[test]
+    fn fixed_seed_is_deterministic(cfg in config_strategy()) {
+        prop_assert_eq!(schedule(cfg), schedule(cfg));
+    }
+
+    /// Different seeds decorrelate: with a wide-enough jitter range and a
+    /// few draws, two seeds should not produce identical schedules.
+    #[test]
+    fn seeds_change_the_jitter(seed_a in 0u64..10_000, seed_b in 10_000u64..20_000) {
+        let mk = |seed| BackoffConfig {
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(100_000),
+            max_attempts: 8,
+            seed,
+        };
+        prop_assert_ne!(schedule(mk(seed_a)), schedule(mk(seed_b)));
+    }
+
+    /// Once a delay has reached the cap it can never grow past it, no
+    /// matter how many more attempts follow (monotone ceiling).
+    #[test]
+    fn cap_is_a_hard_ceiling_forever(seed in 0u64..10_000) {
+        let cfg = BackoffConfig {
+            base: Duration::from_millis(50),
+            cap: Duration::from_millis(120),
+            max_attempts: 64,
+            seed,
+        };
+        let delays = schedule(cfg);
+        prop_assert_eq!(delays.len(), 63);
+        prop_assert!(delays.iter().all(|d| *d <= cfg.cap));
+    }
+}

@@ -7,8 +7,10 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use wb_core::Briefer;
+
+use crate::breaker::CircuitBreaker;
 
 /// The outcome of briefing one queued page.
 #[derive(Debug, Clone)]
@@ -21,12 +23,19 @@ pub enum BriefOutcome {
     Unbriefable(String),
     /// The model panicked or the executor is gone → 500.
     Internal(String),
+    /// The request's deadline passed while it queued → 504. Issued only
+    /// *before* the model runs: once a page enters the batch, its result
+    /// is returned even if it arrives late.
+    Expired,
 }
 
 /// One queued request: the page and the channel its outcome goes back on.
 pub struct Job {
     /// Raw page HTML.
     pub html: String,
+    /// Latest moment this request is still worth answering; checked by the
+    /// executor before the model runs.
+    pub deadline: Instant,
     /// Completion channel back to the waiting worker. Send failures are
     /// ignored — the worker may have timed out and gone away.
     pub tx: Sender<BriefOutcome>,
@@ -94,13 +103,35 @@ impl Batcher {
     /// Identical pages within a batch are coalesced: the model runs once
     /// per distinct page and every requester shares the one serialised
     /// response. A panic anywhere in the model fails the batch's requests
-    /// with [`BriefOutcome::Internal`] but never kills the server.
-    pub fn run_executor(&self, briefer: &Briefer, handler_delay: Duration) {
+    /// with [`BriefOutcome::Internal`], records a failure on `breaker` and
+    /// never kills the server; a clean batch records a success. Jobs whose
+    /// deadline has already passed are answered [`BriefOutcome::Expired`]
+    /// before the model runs and do not occupy it.
+    pub fn run_executor(
+        &self,
+        briefer: &Briefer,
+        handler_delay: Duration,
+        breaker: &CircuitBreaker,
+    ) {
         while let Some(jobs) = self.next_batch() {
             let _span = wb_obs::span!("serve.batch");
             wb_obs::histogram!("serve.batch.size", jobs.len());
             if !handler_delay.is_zero() {
                 std::thread::sleep(handler_delay);
+            }
+            // Deadline gate: anything already expired gets its 504 now,
+            // before the model runs — never after.
+            let now = Instant::now();
+            let (jobs, expired): (Vec<Job>, Vec<Job>) =
+                jobs.into_iter().partition(|j| j.deadline >= now);
+            if !expired.is_empty() {
+                wb_obs::counter!("serve.deadline.expired", expired.len());
+                for job in expired {
+                    let _ = job.tx.send(BriefOutcome::Expired);
+                }
+            }
+            if jobs.is_empty() {
+                continue;
             }
             // Coalesce duplicate pages (first-occurrence order keeps the
             // batch deterministic regardless of arrival interleaving).
@@ -118,21 +149,31 @@ impl Batcher {
             wb_obs::counter!("serve.batch.pages", uniq.len());
             let htmls: Vec<String> = uniq.iter().map(|s| s.to_string()).collect();
             let outcomes: Vec<BriefOutcome> = match catch_unwind(AssertUnwindSafe(|| {
+                if wb_chaos::fault_point!("serve.worker.pre_model").is_some() {
+                    // An injected `error`/`nan` at this point stands in for
+                    // any pre-model failure; it must look like a model
+                    // panic to the batch (and hence to the breaker).
+                    panic!("injected fault: serve.worker.pre_model");
+                }
                 briefer.brief_corpus(&htmls)
             })) {
-                Ok(results) => results
-                    .into_iter()
-                    .map(|r| match r {
-                        Ok(brief) => match serde_json::to_string_pretty(&brief) {
-                            Ok(json) => BriefOutcome::Ok(Arc::new(json)),
-                            Err(e) => {
-                                BriefOutcome::Internal(format!("brief serialisation: {e}"))
-                            }
-                        },
-                        Err(e) => BriefOutcome::Unbriefable(e.to_string()),
-                    })
-                    .collect(),
+                Ok(results) => {
+                    breaker.record_success();
+                    results
+                        .into_iter()
+                        .map(|r| match r {
+                            Ok(brief) => match serde_json::to_string_pretty(&brief) {
+                                Ok(json) => BriefOutcome::Ok(Arc::new(json)),
+                                Err(e) => {
+                                    BriefOutcome::Internal(format!("brief serialisation: {e}"))
+                                }
+                            },
+                            Err(e) => BriefOutcome::Unbriefable(e.to_string()),
+                        })
+                        .collect()
+                }
                 Err(_) => {
+                    breaker.record_failure();
                     wb_obs::error!("briefing batch panicked; failing {} requests", jobs.len());
                     wb_obs::counter!("serve.batch.panics");
                     vec![
@@ -159,12 +200,16 @@ mod tests {
     use super::*;
     use std::sync::mpsc::channel;
 
+    fn far_deadline() -> Instant {
+        Instant::now() + Duration::from_secs(60)
+    }
+
     #[test]
     fn close_rejects_new_jobs_and_wakes_executor() {
         let b = Batcher::new();
         b.close();
         let (tx, _rx) = channel();
-        assert!(!b.submit(Job { html: "<html/>".into(), tx }));
+        assert!(!b.submit(Job { html: "<html/>".into(), deadline: far_deadline(), tx }));
         assert!(b.next_batch().is_none());
     }
 
@@ -173,7 +218,11 @@ mod tests {
         let b = Batcher::new();
         for i in 0..5 {
             let (tx, _rx) = channel();
-            assert!(b.submit(Job { html: format!("<p>{i}</p>"), tx }));
+            assert!(b.submit(Job {
+                html: format!("<p>{i}</p>"),
+                deadline: far_deadline(),
+                tx
+            }));
         }
         let batch = b.next_batch().unwrap();
         assert_eq!(batch.len(), 5);

@@ -6,6 +6,7 @@
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 /// Upper bound on the request line + headers, generous for any real client.
 const MAX_HEAD_BYTES: usize = 32 * 1024;
@@ -17,8 +18,17 @@ pub struct Request {
     pub method: String,
     /// Request path without query string.
     pub path: String,
+    /// Header `(name, value)` pairs, names lower-cased, values trimmed.
+    pub headers: Vec<(String, String)>,
     /// Raw body bytes (empty when the request carries none).
     pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The value of the first header named `name` (give it lower-case).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
 }
 
 /// A request that could not be read; each variant maps to one status code.
@@ -81,14 +91,34 @@ fn is_timeout(e: &std::io::Error) -> bool {
     matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
 }
 
-/// Reads and parses one request from `stream`. The caller is expected to
-/// have set a read timeout; timeouts surface as [`HttpError::Timeout`].
-/// Bodies larger than `max_body_bytes` are rejected from the
-/// `Content-Length` header alone, before any body byte is read.
+/// Re-arms the socket's read timeout to whatever is left until `deadline`.
+///
+/// This is what defeats slow-loris clients: a per-read timeout alone lets a
+/// client hold a worker forever by trickling one byte per interval, since
+/// every read "makes progress". Shrinking the timeout to the *remaining*
+/// total budget before each read bounds the whole request, no matter how
+/// the bytes are paced.
+fn arm_read(stream: &TcpStream, deadline: Instant) -> Result<(), HttpError> {
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    if remaining.is_zero() {
+        return Err(HttpError::Timeout);
+    }
+    stream
+        .set_read_timeout(Some(remaining))
+        .map_err(|e| HttpError::Malformed(format!("cannot set read timeout: {e}")))
+}
+
+/// Reads and parses one request from `stream`, spending at most
+/// `total_timeout` across *all* reads (head and body together); timeouts
+/// surface as [`HttpError::Timeout`]. Bodies larger than `max_body_bytes`
+/// are rejected from the `Content-Length` header alone, before any body
+/// byte is read.
 pub fn read_request(
     stream: &mut TcpStream,
     max_body_bytes: usize,
+    total_timeout: Duration,
 ) -> Result<Request, HttpError> {
+    let deadline = Instant::now() + total_timeout;
     // Read until the blank line that ends the head.
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
     let mut scratch = [0u8; 4096];
@@ -99,6 +129,7 @@ pub fn read_request(
         if buf.len() > MAX_HEAD_BYTES {
             return Err(HttpError::HeadTooLarge);
         }
+        arm_read(stream, deadline)?;
         match stream.read(&mut scratch) {
             Ok(0) => {
                 if buf.is_empty() {
@@ -125,6 +156,7 @@ pub fn read_request(
     let path = target.split('?').next().unwrap_or(target).to_string();
 
     let mut content_length = 0usize;
+    let mut headers: Vec<(String, String)> = Vec::new();
     for line in lines {
         let Some((name, value)) = line.split_once(':') else { continue };
         let name = name.trim().to_ascii_lowercase();
@@ -137,6 +169,7 @@ pub fn read_request(
                 .parse()
                 .map_err(|_| HttpError::Malformed(format!("bad Content-Length `{value}`")))?;
         }
+        headers.push((name, value.to_string()));
     }
     if content_length > max_body_bytes {
         return Err(HttpError::BodyTooLarge {
@@ -151,6 +184,7 @@ pub fn read_request(
         body.truncate(content_length);
     }
     while body.len() < content_length {
+        arm_read(stream, deadline)?;
         match stream.read(&mut scratch) {
             Ok(0) => {
                 return Err(HttpError::Malformed("connection closed mid-body".to_string()));
@@ -163,7 +197,7 @@ pub fn read_request(
             Err(e) => return Err(HttpError::Malformed(format!("read failed: {e}"))),
         }
     }
-    Ok(Request { method: method.to_string(), path, body })
+    Ok(Request { method: method.to_string(), path, headers, body })
 }
 
 fn find_head_end(buf: &[u8]) -> Option<usize> {
@@ -184,6 +218,7 @@ pub fn reason(status: u16) -> &'static str {
         500 => "Internal Server Error",
         501 => "Not Implemented",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Unknown",
     }
 }
@@ -267,8 +302,7 @@ mod tests {
         client.write_all(raw).unwrap();
         drop(client); // EOF after the payload
         let (mut server_side, _) = listener.accept().unwrap();
-        server_side.set_read_timeout(Some(Duration::from_millis(2000))).unwrap();
-        read_request(&mut server_side, max_body)
+        read_request(&mut server_side, max_body, Duration::from_millis(2000))
     }
 
     #[test]
@@ -281,6 +315,18 @@ mod tests {
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/brief");
         assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn headers_are_kept_lowercased_and_trimmed() {
+        let req = parse_raw(
+            b"POST /brief HTTP/1.1\r\nX-Deadline-Ms:  250 \r\nContent-Length: 0\r\n\r\n",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(req.header("x-deadline-ms"), Some("250"));
+        assert_eq!(req.header("content-length"), Some("0"));
+        assert_eq!(req.header("absent"), None);
     }
 
     #[test]
@@ -332,11 +378,39 @@ mod tests {
         // Send only a partial head, then stall (keep the socket open).
         client.write_all(b"POST /brief HTTP/1.1\r\nContent-").unwrap();
         let (mut server_side, _) = listener.accept().unwrap();
-        server_side.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
-        let err = read_request(&mut server_side, 1024).unwrap_err();
+        let err = read_request(&mut server_side, 1024, Duration::from_millis(50)).unwrap_err();
         assert_eq!(err, HttpError::Timeout);
         assert_eq!(err.status(), 408);
         drop(client);
+    }
+
+    #[test]
+    fn slow_loris_client_cannot_outlive_the_total_deadline() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        // Trickle one header byte every 10ms: every individual read makes
+        // progress, so only a *total* deadline can end this request.
+        let dripper = std::thread::spawn(move || {
+            let mut client = client;
+            for b in b"POST /brief HTTP/1.1\r\nX-Padding: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa" {
+                if client.write_all(&[*b]).is_err() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        });
+        let (mut server_side, _) = listener.accept().unwrap();
+        let start = std::time::Instant::now();
+        let err = read_request(&mut server_side, 1024, Duration::from_millis(150)).unwrap_err();
+        assert_eq!(err, HttpError::Timeout, "trickled bytes must still hit the deadline");
+        assert!(
+            start.elapsed() < Duration::from_millis(600),
+            "total deadline must end the request promptly, took {:?}",
+            start.elapsed()
+        );
+        drop(server_side);
+        dripper.join().unwrap();
     }
 
     #[test]

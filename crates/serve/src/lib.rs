@@ -47,10 +47,14 @@
 //! `docs/OBSERVABILITY.md`).
 
 pub mod batch;
+pub mod breaker;
 pub mod cache;
 pub mod http;
 pub mod server;
+pub mod signal;
 
 pub use batch::{Batcher, BriefOutcome, Job};
+pub use breaker::{Admission, BreakerConfig, CircuitBreaker};
 pub use cache::{fnv1a, LruCache};
 pub use server::{start, ServeConfig, ServerHandle};
+pub use signal::{install_handler, shutdown_signalled};

@@ -9,10 +9,11 @@
 //! fails the affected requests with 500 and the server keeps serving.
 
 use crate::batch::{Batcher, BriefOutcome, Job};
+use crate::breaker::{Admission, BreakerConfig, CircuitBreaker};
 use crate::cache::{fnv1a, LruCache};
 use crate::http::{self, HttpError};
 use std::io;
-use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
@@ -40,10 +41,18 @@ pub struct ServeConfig {
     /// knob that makes overload reproducible; 0 (the default) in
     /// production.
     pub handler_delay_ms: u64,
+    /// Model failures (panicked batches) within the breaker window that
+    /// trip the circuit breaker; 0 disables the breaker.
+    pub breaker_threshold: u32,
+    /// Sliding failure window of the circuit breaker.
+    pub breaker_window_ms: u64,
+    /// How long a tripped breaker serves cache-only before probing.
+    pub breaker_cooldown_ms: u64,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
+        let breaker = BreakerConfig::default();
         ServeConfig {
             addr: "127.0.0.1:8660".to_string(),
             workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8),
@@ -52,6 +61,9 @@ impl Default for ServeConfig {
             max_body_bytes: 2 * 1024 * 1024,
             request_timeout_ms: 30_000,
             handler_delay_ms: 0,
+            breaker_threshold: breaker.threshold,
+            breaker_window_ms: breaker.window.as_millis() as u64,
+            breaker_cooldown_ms: breaker.cooldown.as_millis() as u64,
         }
     }
 }
@@ -61,6 +73,7 @@ struct Shared {
     cfg: ServeConfig,
     cache: Mutex<LruCache<Arc<String>>>,
     batcher: Batcher,
+    breaker: CircuitBreaker,
     stopping: AtomicBool,
     queue_depth: AtomicUsize,
     shutdown_tx: Mutex<mpsc::Sender<()>>,
@@ -82,12 +95,21 @@ pub struct ServerHandle {
 pub fn start(briefer: Briefer, cfg: ServeConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
+    // Nonblocking accept + short poll lets the acceptor notice `stopping`
+    // on its own — no wake-up connection needed at shutdown.
+    listener.set_nonblocking(true)?;
     let workers = cfg.workers.max(1);
     let queue_capacity = cfg.queue_capacity.max(1);
     let (shutdown_tx, shutdown_rx) = mpsc::channel();
+    let breaker = CircuitBreaker::new(BreakerConfig {
+        threshold: cfg.breaker_threshold,
+        window: Duration::from_millis(cfg.breaker_window_ms),
+        cooldown: Duration::from_millis(cfg.breaker_cooldown_ms),
+    });
     let shared = Arc::new(Shared {
         cache: Mutex::new(LruCache::new(cfg.cache_capacity)),
         batcher: Batcher::new(),
+        breaker,
         stopping: AtomicBool::new(false),
         queue_depth: AtomicUsize::new(0),
         shutdown_tx: Mutex::new(shutdown_tx),
@@ -123,7 +145,7 @@ pub fn start(briefer: Briefer, cfg: ServeConfig) -> io::Result<ServerHandle> {
         let shared = Arc::clone(&shared);
         std::thread::Builder::new().name("wb-serve-batch".to_string()).spawn(move || {
             let delay = Duration::from_millis(shared.cfg.handler_delay_ms);
-            shared.batcher.run_executor(&shared.briefer, delay);
+            shared.batcher.run_executor(&shared.briefer, delay, &shared.breaker);
         })?
     };
     Ok(ServerHandle {
@@ -147,6 +169,13 @@ impl ServerHandle {
         let _ = self.shutdown_rx.recv();
     }
 
+    /// Waits up to `timeout` for a `/shutdown` request; `true` once one
+    /// has arrived. Lets `wb serve` interleave the wait with polling the
+    /// process signal flag (SIGINT/SIGTERM).
+    pub fn poll_shutdown_request(&self, timeout: Duration) -> bool {
+        self.shutdown_rx.recv_timeout(timeout).is_ok()
+    }
+
     /// Gracefully stops the server: stop accepting, serve everything
     /// already accepted, drain the batch queue, join every thread.
     pub fn shutdown(mut self) {
@@ -158,16 +187,10 @@ impl ServerHandle {
             return;
         }
         wb_obs::info!("wb serve shutting down (draining in-flight requests)");
+        // The acceptor's nonblocking poll loop sees `stopping` within one
+        // poll interval and exits, dropping the queue sender so the
+        // workers drain what is left and stop.
         self.shared.stopping.store(true, Ordering::SeqCst);
-        // Wake the acceptor out of its blocking accept with a no-op
-        // connection; it sees `stopping` and exits, dropping the queue
-        // sender so the workers drain what is left and stop.
-        let wake = wake_addr(self.addr);
-        for _ in 0..3 {
-            if TcpStream::connect_timeout(&wake, Duration::from_millis(500)).is_ok() {
-                break;
-            }
-        }
         if let Some(a) = self.acceptor.take() {
             let _ = a.join();
         }
@@ -190,28 +213,33 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Where to connect to wake the acceptor: the bind address, with
-/// unspecified hosts (0.0.0.0 / ::) rewritten to loopback.
-fn wake_addr(addr: SocketAddr) -> SocketAddr {
-    let ip = match addr.ip() {
-        ip if ip.is_unspecified() => IpAddr::V4(Ipv4Addr::LOCALHOST),
-        ip => ip,
-    };
-    SocketAddr::new(ip, addr.port())
-}
+/// How long the acceptor sleeps when no connection is pending; bounds how
+/// long shutdown waits for it to notice `stopping`.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
 
 fn acceptor_loop(shared: &Shared, listener: TcpListener, conn_tx: SyncSender<TcpStream>) {
-    for conn in listener.incoming() {
+    loop {
         if shared.stopping.load(Ordering::SeqCst) {
             break;
         }
-        let stream = match conn {
-            Ok(s) => s,
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+                continue;
+            }
             Err(e) => {
                 wb_obs::warn!("accept failed: {e}");
+                std::thread::sleep(ACCEPT_POLL);
                 continue;
             }
         };
+        // The listener is nonblocking for the poll loop; each accepted
+        // connection goes back to blocking reads/writes with timeouts.
+        if let Err(e) = stream.set_nonblocking(false) {
+            wb_obs::warn!("cannot make accepted connection blocking: {e}");
+            continue;
+        }
         let depth = shared.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
         wb_obs::gauge!("serve.queue.depth", depth as f64);
         wb_obs::gauge_max!("serve.queue.depth.peak", depth as f64);
@@ -288,9 +316,11 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
     let _span = wb_obs::span!("serve.request");
     let _ = stream.set_nodelay(true);
     let timeout = Duration::from_millis(shared.cfg.request_timeout_ms.max(1));
-    let _ = stream.set_read_timeout(Some(timeout));
     let _ = stream.set_write_timeout(Some(timeout));
-    let req = match http::read_request(&mut stream, shared.cfg.max_body_bytes) {
+    // read_request manages its own read timeouts: `timeout` bounds the
+    // *total* time spent reading the request, however slowly the client
+    // trickles bytes.
+    let req = match http::read_request(&mut stream, shared.cfg.max_body_bytes, timeout) {
         Ok(r) => r,
         Err(HttpError::Empty) => return, // port probe; nothing to answer
         Err(e) => {
@@ -312,7 +342,7 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
     };
     wb_obs::counter!("serve.requests");
     match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/brief") => handle_brief(shared, &mut stream, &req.body),
+        ("POST", "/brief") => handle_brief(shared, &mut stream, &req),
         ("GET", "/healthz") => send(&mut stream, 200, b"{\"status\":\"ok\"}", &[]),
         ("GET", "/metrics") => {
             let body = wb_obs::metrics::snapshot().to_json();
@@ -345,12 +375,15 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
     wb_obs::histogram!("serve.request.latency_us", t0.elapsed().as_micros());
 }
 
-fn handle_brief(shared: &Shared, stream: &mut TcpStream, body: &[u8]) {
+fn handle_brief(shared: &Shared, stream: &mut TcpStream, req: &http::Request) {
+    let body = req.body.as_slice();
     if body.is_empty() {
         send(stream, 400, &http::error_body("POST /brief expects an HTML body"), &[]);
         return;
     }
     let key = fnv1a(body);
+    // Cache first: cached pages keep being served even while the circuit
+    // breaker has the model path disabled.
     if shared.cfg.cache_capacity > 0 {
         let cached = shared.cache.lock().unwrap().get(key).cloned();
         if let Some(json) = cached {
@@ -360,9 +393,45 @@ fn handle_brief(shared: &Shared, stream: &mut TcpStream, body: &[u8]) {
         }
         wb_obs::counter!("serve.cache.miss");
     }
+    // Per-request deadline: `X-Deadline-Ms` can only tighten the server's
+    // request timeout, never extend it.
+    let deadline_ms = match req.header("x-deadline-ms") {
+        None => shared.cfg.request_timeout_ms,
+        Some(v) => match v.parse::<u64>() {
+            Ok(ms) if ms > 0 => ms.min(shared.cfg.request_timeout_ms),
+            _ => {
+                send(
+                    stream,
+                    400,
+                    &http::error_body(&format!(
+                        "bad X-Deadline-Ms `{v}` (expected a positive number of milliseconds)"
+                    )),
+                    &[],
+                );
+                return;
+            }
+        },
+    };
+    match shared.breaker.admit() {
+        Admission::Allow | Admission::Probe => {}
+        Admission::Reject { retry_after_secs } => {
+            let retry = retry_after_secs.to_string();
+            send(
+                stream,
+                503,
+                &http::error_body(
+                    "briefing disabled after repeated model failures; \
+                     cached pages are still served",
+                ),
+                &[("Retry-After", retry.as_str())],
+            );
+            return;
+        }
+    }
     let html = String::from_utf8_lossy(body).into_owned();
+    let deadline = Instant::now() + Duration::from_millis(deadline_ms.max(1));
     let (tx, rx) = mpsc::channel();
-    if !shared.batcher.submit(Job { html, tx }) {
+    if !shared.batcher.submit(Job { html, deadline, tx }) {
         send(
             stream,
             503,
@@ -387,6 +456,14 @@ fn handle_brief(shared: &Shared, stream: &mut TcpStream, body: &[u8]) {
         }
         Ok(BriefOutcome::Internal(detail)) => {
             send(stream, 500, &http::error_body(&detail), &[]);
+        }
+        Ok(BriefOutcome::Expired) => {
+            send(
+                stream,
+                504,
+                &http::error_body("request deadline expired before briefing started"),
+                &[],
+            );
         }
         Err(RecvTimeoutError::Timeout) => {
             wb_obs::counter!("serve.rejected.timeout");
@@ -428,6 +505,7 @@ mod tests {
             max_body_bytes: 64 * 1024,
             request_timeout_ms: 10_000,
             handler_delay_ms: 0,
+            ..ServeConfig::default()
         }
     }
 
@@ -548,6 +626,49 @@ mod tests {
         let (status, body) = poster.join().unwrap();
         assert_eq!(status, 200);
         assert!(body.contains("shutting down"), "{body}");
+        h.shutdown();
+    }
+
+    #[test]
+    fn poll_shutdown_request_times_out_then_fires() {
+        let h = start(tiny_briefer(), test_config()).unwrap();
+        let addr = h.addr();
+        assert!(!h.poll_shutdown_request(Duration::from_millis(20)));
+        let poster =
+            std::thread::spawn(move || roundtrip(addr, b"POST /shutdown HTTP/1.1\r\n\r\n"));
+        assert!(h.poll_shutdown_request(Duration::from_secs(10)));
+        let (status, _) = poster.join().unwrap();
+        assert_eq!(status, 200);
+        h.shutdown();
+    }
+
+    #[test]
+    fn expired_deadline_is_504_before_the_model_runs() {
+        let mut cfg = test_config();
+        cfg.cache_capacity = 0; // force the model path
+        cfg.handler_delay_ms = 300; // the batch stalls past the deadline
+        let h = start(tiny_briefer(), cfg).unwrap();
+        let addr = h.addr();
+        let raw = format!(
+            "POST /brief HTTP/1.1\r\nHost: t\r\nX-Deadline-Ms: 50\r\n\
+             Content-Length: {}\r\n\r\n{PAGE}",
+            PAGE.len()
+        );
+        let (status, body) = roundtrip(addr, raw.as_bytes());
+        assert_eq!(status, 504, "{body}");
+        assert!(body.contains("deadline"), "{body}");
+        // A generous deadline on the same page still gets briefed.
+        let (status, _) = post_brief(addr, PAGE);
+        assert_eq!(status, 200);
+        // And a malformed deadline is a client error, not a hang.
+        let raw = format!(
+            "POST /brief HTTP/1.1\r\nHost: t\r\nX-Deadline-Ms: soon\r\n\
+             Content-Length: {}\r\n\r\n{PAGE}",
+            PAGE.len()
+        );
+        let (status, body) = roundtrip(addr, raw.as_bytes());
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains("X-Deadline-Ms"), "{body}");
         h.shutdown();
     }
 }

@@ -1,0 +1,79 @@
+//! SIGINT/SIGTERM handling without a libc crate: `wb serve` installs a
+//! handler that flips one atomic flag, and its main loop polls the flag so
+//! a Ctrl-C or `kill` gets the same graceful drain + observability flush
+//! as `POST /shutdown`.
+//!
+//! The handler itself only does the one thing that is async-signal-safe in
+//! any language: a relaxed atomic store. Everything interesting (stop
+//! accepting, drain, join, flush) happens on the main thread once it
+//! notices the flag.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN_SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::SHUTDOWN_SIGNALLED;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    // `signal(2)` from the platform libc that std already links; declared
+    // by hand because the container has no registry access for a libc
+    // crate. Pointer-sized handler values cover both SIG_DFL (0) and real
+    // function pointers.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN_SIGNALLED.store(true, Ordering::Relaxed);
+    }
+
+    pub fn install() {
+        let handler = on_signal as *const () as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Routes SIGINT and SIGTERM into [`shutdown_signalled`]. Idempotent; a
+/// no-op on non-unix targets (where a console kill simply skips the
+/// flush, as before).
+pub fn install_handler() {
+    imp::install();
+}
+
+/// Whether a shutdown signal has arrived since [`install_handler`].
+pub fn shutdown_signalled() -> bool {
+    SHUTDOWN_SIGNALLED.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(unix)]
+    fn raised_signal_sets_the_flag() {
+        install_handler();
+        assert!(!shutdown_signalled());
+        // Raise SIGTERM against ourselves via the handler installed above.
+        extern "C" {
+            fn raise(signum: i32) -> i32;
+        }
+        unsafe {
+            raise(15);
+        }
+        assert!(shutdown_signalled());
+    }
+}

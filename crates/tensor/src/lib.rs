@@ -47,6 +47,6 @@ mod tensor;
 
 pub use graph::{Gradients, Graph, GraphStats, Var};
 pub use init::Initializer;
-pub use optim::{Adam, AdamConfig, Sgd};
+pub use optim::{Adam, AdamConfig, AdamState, MomentEntry, Sgd};
 pub use params::{ParamId, Params};
 pub use tensor::{scratch, softmax_slice, Tensor, PAR_MIN_ELEMS, PAR_MIN_MACS, PAR_MIN_ROWS};

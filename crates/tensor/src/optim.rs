@@ -64,6 +64,32 @@ impl Default for AdamConfig {
     }
 }
 
+/// The Adam moments of one parameter, keyed by its index in the
+/// [`Params`] store.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MomentEntry {
+    /// `ParamId::index()` of the parameter these moments belong to.
+    pub index: usize,
+    /// First-moment estimate.
+    pub m: Tensor,
+    /// Second-moment estimate.
+    pub v: Tensor,
+}
+
+/// The complete mutable state of an [`Adam`] optimizer, serialisable for
+/// crash-safe checkpoints. [`Adam::export_state`] and
+/// [`Adam::from_state`] round-trip exactly: a restored optimizer
+/// continues the run with byte-identical updates.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AdamState {
+    /// Moments of every parameter that has received a gradient so far.
+    pub moments: Vec<MomentEntry>,
+    /// Number of `step` calls performed.
+    pub step: usize,
+    /// Accumulated per-epoch decay (and any NaN-rollback LR halving).
+    pub epoch_scale: f32,
+}
+
 /// Adam optimizer over a [`Params`] store.
 #[derive(Debug, Clone)]
 pub struct Adam {
@@ -108,6 +134,53 @@ impl Adam {
         self.step
     }
 
+    /// Permanently scales the learning rate by `factor` (folded into the
+    /// epoch scale, so it survives [`Adam::export_state`] round-trips).
+    /// The NaN-rollback guard uses this to halve the LR after a blow-up.
+    pub fn scale_lr(&mut self, factor: f32) {
+        self.epoch_scale *= factor;
+    }
+
+    /// Snapshots the optimizer's mutable state for a checkpoint.
+    pub fn export_state(&self) -> AdamState {
+        let moments = self
+            .m
+            .iter()
+            .zip(&self.v)
+            .enumerate()
+            .filter_map(|(index, (m, v))| {
+                Some(MomentEntry { index, m: m.clone()?, v: v.clone()? })
+            })
+            .collect();
+        AdamState { moments, step: self.step, epoch_scale: self.epoch_scale }
+    }
+
+    /// Rebuilds an optimizer from a checkpointed state. Moment entries
+    /// whose index falls outside `params` are rejected — that means the
+    /// checkpoint belongs to a different model.
+    pub fn from_state(
+        params: &Params,
+        cfg: AdamConfig,
+        state: &AdamState,
+    ) -> Result<Adam, String> {
+        let mut opt = Adam::new(params, cfg);
+        for entry in &state.moments {
+            if entry.index >= params.len() {
+                return Err(format!(
+                    "optimizer state has moments for parameter index {} but the model \
+                     only has {} parameters (checkpoint from a different model?)",
+                    entry.index,
+                    params.len()
+                ));
+            }
+            opt.m[entry.index] = Some(entry.m.clone());
+            opt.v[entry.index] = Some(entry.v.clone());
+        }
+        opt.step = state.step;
+        opt.epoch_scale = state.epoch_scale;
+        Ok(opt)
+    }
+
     /// Applies one update from `grads` to `params`.
     ///
     /// Emits the pre- and post-clip gradient global norm
@@ -117,6 +190,12 @@ impl Adam {
     /// [`Gradients::clip_global_norm`]; the norm is simply computed once
     /// and reused for both the clip and the metric.
     pub fn step(&mut self, params: &mut Params, mut grads: Gradients) {
+        // Chaos site: `nan`/`error` poison the incoming gradients, which
+        // propagates NaN into the params and trips the trainer's loss
+        // guard on the next batch; `panic`/`delay` act inside the macro.
+        if wb_chaos::fault_point!("tensor.optim.step").is_some() {
+            grads.scale(f32::NAN);
+        }
         let norm = grads.global_norm();
         wb_obs::histogram!("optim.grad_norm", norm as f64);
         let mut clipped = norm;
@@ -220,6 +299,67 @@ mod tests {
         let before = opt.current_lr();
         opt.decay_epoch();
         assert!((opt.current_lr() - before * 0.1).abs() < 1e-7);
+    }
+
+    /// Exporting mid-run state and restoring it into a fresh optimizer
+    /// must continue the trajectory byte-identically.
+    #[test]
+    fn state_roundtrip_continues_byte_identically() {
+        let run_step = |params: &Params, w, target: f32| {
+            let graph_params = params.clone();
+            let mut graph = Graph::new(&graph_params, true, 0);
+            let wv = graph.param(w);
+            let c = graph.input(Tensor::scalar(target));
+            let d = graph.sub(wv, c);
+            let sq = graph.mul(d, d);
+            let loss = graph.sum_all(sq);
+            graph.backward(loss)
+        };
+        let mut params = Params::new();
+        let w = params.add("w", Tensor::scalar(0.0));
+        let mut opt = Adam::new(&params, AdamConfig::scaled(0.2));
+        for _ in 0..10 {
+            let g = run_step(&params, w, 3.0);
+            opt.step(&mut params, g);
+        }
+        opt.decay_epoch();
+
+        // Serialise through JSON like a checkpoint would.
+        let state: AdamState =
+            serde_json::from_str(&serde_json::to_string(&opt.export_state()).unwrap()).unwrap();
+        let mut resumed_params = params.clone();
+        let mut resumed =
+            Adam::from_state(&resumed_params, AdamConfig::scaled(0.2), &state).unwrap();
+        assert_eq!(resumed.steps(), opt.steps());
+
+        for _ in 0..10 {
+            let g = run_step(&params, w, 3.0);
+            opt.step(&mut params, g);
+            let g = run_step(&resumed_params, w, 3.0);
+            resumed.step(&mut resumed_params, g);
+        }
+        assert_eq!(
+            params.get(w).data(),
+            resumed_params.get(w).data(),
+            "restored optimizer diverged from the original"
+        );
+    }
+
+    #[test]
+    fn from_state_rejects_foreign_checkpoint() {
+        let mut params = Params::new();
+        params.add("w", Tensor::scalar(0.0));
+        let state = AdamState {
+            moments: vec![MomentEntry {
+                index: 7,
+                m: Tensor::scalar(0.0),
+                v: Tensor::scalar(0.0),
+            }],
+            step: 3,
+            epoch_scale: 1.0,
+        };
+        let err = Adam::from_state(&params, AdamConfig::default(), &state).unwrap_err();
+        assert!(err.contains("different model"), "{err}");
     }
 
     #[test]

@@ -72,7 +72,11 @@ impl WordPiece {
                 *char_freq.entry(c).or_insert(0) += f;
             }
         }
-        for &c in char_freq.keys() {
+        // Sorted so id assignment is reproducible run-to-run: HashMap
+        // iteration order would otherwise leak into every checkpoint.
+        let mut chars: Vec<char> = char_freq.keys().copied().collect();
+        chars.sort_unstable();
+        for c in chars {
             vocab.add(&c.to_string());
             vocab.add(&format!("##{c}"));
         }
@@ -287,6 +291,13 @@ mod tests {
         for text in ["the quick fox", "bookish dogs", "costs 42 dollars"] {
             assert_eq!(wp.encode(text), restored.encode(text));
         }
+    }
+
+    #[test]
+    fn training_twice_yields_byte_identical_vocabularies() {
+        // Two freshly-trained tokenizers must serialise identically; id
+        // assignment may not depend on hash-map iteration order.
+        assert_eq!(trained().to_json(), trained().to_json());
     }
 
     #[test]

@@ -18,7 +18,9 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use webpage_briefing::core::{Briefer, Checkpoint, ModelConfig, TrainConfig};
+use webpage_briefing::core::{
+    Briefer, Checkpoint, CheckpointPolicy, ModelConfig, TrainConfig, TrainState,
+};
 use webpage_briefing::corpus::{
     export_pages, generate_page, Dataset, DatasetConfig, PageConfig, Taxonomy,
 };
@@ -30,10 +32,13 @@ wb — Automatic Webpage Briefing (ICDE 2021): hierarchical webpage summaries
 USAGE:
     wb generate [--out DIR] [--subjects N] [--pages N] [--seed N]
     wb train    [--out FILE] [--epochs N] [--subjects N] [--pages N] [--seed N]
+                [--state FILE] [--checkpoint-every N] [--resume]
     wb brief    [--model FILE] [--json] FILES...
     wb serve    [--model FILE] [--addr HOST:PORT] [--workers N]
                 [--queue-capacity N] [--cache-capacity N]
                 [--max-body-bytes N] [--request-timeout-ms N]
+                [--breaker-threshold N] [--breaker-window-ms N]
+                [--breaker-cooldown-ms N]
     wb stats    [--subjects N] [--pages N]
     wb report   FILE
     wb bench    [--quick] [--label NAME] [--out FILE]
@@ -41,11 +46,15 @@ USAGE:
 
 SUBCOMMANDS:
     generate    Generate a synthetic labelled corpus and export HTML + JSON
-    train       Train a Joint-WB briefer and save a checkpoint
+    train       Train a Joint-WB briefer and save a checkpoint; with
+                --state it checkpoints training itself, and --resume
+                continues a killed run byte-identically (docs/ROBUSTNESS.md)
     brief       Brief one or more HTML files with a trained checkpoint
     serve       Serve briefs over HTTP: POST /brief (HTML in, JSON out),
                 GET /healthz, GET /metrics, POST /shutdown for a graceful
-                stop that flushes --metrics-out/--trace-out
+                stop that flushes --metrics-out/--trace-out; SIGINT and
+                SIGTERM drain the same way. Repeated model failures trip a
+                circuit breaker into cache-only serving (--breaker-*)
     stats       Print statistics of a synthetic corpus
     report      Pretty-print a metrics snapshot written by --metrics-out
     bench       Run the perf-trajectory workloads, write BENCH_<label>.json
@@ -60,10 +69,14 @@ GLOBAL OPTIONS (accepted by every subcommand):
     --metrics-out FILE   Write a JSON metrics snapshot on exit
     --trace-out FILE     Record span/counter events and write a Chrome
                          trace (chrome://tracing, Perfetto) on exit
+    --faults SPEC        Arm deterministic fault injection, e.g.
+                         `train.step=panic@nth(6);core.checkpoint.write=
+                         error@prob(0.2,42)`; also read from WB_FAULTS
+                         (see docs/ROBUSTNESS.md)
 ";
 
 /// Observability options shared by every subcommand.
-const GLOBAL_OPTS: &[&str] = &["log-level", "metrics-out", "trace-out"];
+const GLOBAL_OPTS: &[&str] = &["log-level", "metrics-out", "trace-out", "faults"];
 
 /// Minimal `--flag value` / `--switch` / positional parser.
 ///
@@ -210,6 +223,11 @@ fn apply_globals(args: &Args) -> Result<Globals, String> {
             ));
         }
     }
+    if let Some(spec) = args.get("faults") {
+        wb_chaos::arm_str(spec).map_err(|e| format!("option --faults: {e}"))?;
+    } else {
+        wb_chaos::arm_from_env().map_err(|e| format!("WB_FAULTS: {e}"))?;
+    }
     let globals = Globals {
         metrics_out: args.get("metrics-out").map(str::to_string),
         trace_out: args.get("trace-out").map(str::to_string),
@@ -221,14 +239,34 @@ fn apply_globals(args: &Args) -> Result<Globals, String> {
 }
 
 /// Writes the metrics snapshot and/or Chrome trace when requested.
+///
+/// Both writes get bounded retry with backoff: losing a whole run's
+/// telemetry to one transient filesystem error is the wrong trade.
 fn write_outputs(globals: &Globals) -> Result<(), String> {
     if let Some(path) = &globals.metrics_out {
-        let json = wb_obs::metrics::snapshot().to_json();
-        std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        wb_obs::retry::retry(
+            "metrics snapshot write",
+            wb_obs::retry::BackoffConfig::default(),
+            || {
+                if let Some(f) = wb_chaos::fault_point!("cli.metrics.write") {
+                    return Err(f.io_error("cli.metrics.write"));
+                }
+                // Snapshot inside the attempt so the written file includes
+                // any retries this very write needed.
+                std::fs::write(path, wb_obs::metrics::snapshot().to_json())
+            },
+        )
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
         wb_obs::info!("wrote metrics snapshot to {path}");
     }
     if let Some(path) = &globals.trace_out {
-        wb_obs::trace::write_chrome(path).map_err(|e| format!("cannot write {path}: {e}"))?;
+        wb_obs::retry::retry("trace write", wb_obs::retry::BackoffConfig::default(), || {
+            if let Some(f) = wb_chaos::fault_point!("cli.trace.write") {
+                return Err(f.io_error("cli.trace.write"));
+            }
+            wb_obs::trace::write_chrome(path)
+        })
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
         wb_obs::info!("wrote Chrome trace to {path} (open in chrome://tracing or Perfetto)");
     }
     Ok(())
@@ -292,13 +330,25 @@ fn cmd_generate(raw: &[String]) -> Result<(), String> {
 }
 
 fn cmd_train(raw: &[String]) -> Result<(), String> {
-    let args = Args::parse(raw, &["out", "epochs", "subjects", "pages", "seed"], &[])?;
+    let args = Args::parse(
+        raw,
+        &["out", "epochs", "subjects", "pages", "seed", "state", "checkpoint-every"],
+        &["resume"],
+    )?;
     let globals = apply_globals(&args)?;
     let out = args.get_str("out", "./wb-model.json");
     let epochs: usize = args.get_num("epochs", 15)?;
     let subjects: usize = args.get_num("subjects", 2)?;
     let pages: usize = args.get_num("pages", 8)?;
     let seed: u64 = args.get_num("seed", 7)?;
+    let state = args.get("state").map(str::to_string);
+    let every: usize = args.get_num("checkpoint-every", 0)?;
+    let resume = args.has("resume");
+    if resume && state.is_none() {
+        return Err(
+            "--resume needs --state FILE (where the run left its training state)".to_string()
+        );
+    }
 
     println!("Generating corpus ({} topics × {pages} pages)…", subjects * 8);
     let dataset = Dataset::generate(&dataset_config(subjects, pages, seed));
@@ -307,7 +357,36 @@ fn cmd_train(raw: &[String]) -> Result<(), String> {
     tc.lr = 0.01;
     tc.decay = 0.98;
     let model_cfg = ModelConfig::scaled(dataset.tokenizer.vocab().len());
-    let briefer = Briefer::train_with(&dataset, model_cfg, tc, seed);
+    let briefer = match &state {
+        None => Briefer::train_with(&dataset, model_cfg, tc, seed),
+        Some(state_path) => {
+            // Crash-safe path: checkpoint training state as we go and, on
+            // --resume, continue exactly where the previous run stopped.
+            let policy =
+                CheckpointPolicy { state_path: state_path.into(), every_batches: every };
+            let resume_state = if resume {
+                let s =
+                    TrainState::load(state_path).map_err(|e| format!("cannot resume: {e}"))?;
+                println!(
+                    "Resuming from {state_path} (epoch {}, batch {})…",
+                    s.epoch, s.batches_done
+                );
+                Some(s)
+            } else {
+                None
+            };
+            let (briefer, _stats) = Briefer::train_resumable_with(
+                &dataset,
+                model_cfg,
+                tc,
+                seed,
+                Some(&policy),
+                resume_state,
+            )
+            .map_err(|e| format!("training failed: {e}"))?;
+            briefer
+        }
+    };
     briefer
         .checkpoint(&dataset.tokenizer)
         .save(&out)
@@ -378,6 +457,9 @@ fn cmd_serve(raw: &[String]) -> Result<(), String> {
             "cache-capacity",
             "max-body-bytes",
             "request-timeout-ms",
+            "breaker-threshold",
+            "breaker-window-ms",
+            "breaker-cooldown-ms",
             // Load-testing knob: stalls each briefing batch so overload
             // behaviour (503 shedding) is reproducible. Deliberately not
             // in the USAGE synopsis.
@@ -399,20 +481,35 @@ fn cmd_serve(raw: &[String]) -> Result<(), String> {
         max_body_bytes: args.get_num("max-body-bytes", defaults.max_body_bytes)?,
         request_timeout_ms: args.get_num("request-timeout-ms", defaults.request_timeout_ms)?,
         handler_delay_ms: args.get_num("handler-delay-ms", 0)?,
+        breaker_threshold: args.get_num("breaker-threshold", defaults.breaker_threshold)?,
+        breaker_window_ms: args.get_num("breaker-window-ms", defaults.breaker_window_ms)?,
+        breaker_cooldown_ms: args
+            .get_num("breaker-cooldown-ms", defaults.breaker_cooldown_ms)?,
     };
 
     let ckpt =
         Checkpoint::load(&model).map_err(|e| format!("cannot load checkpoint {model}: {e}"))?;
     let briefer = Briefer::from_checkpoint(&ckpt)
         .map_err(|e| format!("checkpoint holds no briefer: {e}"))?;
+    // SIGINT/SIGTERM get the same graceful drain + flush as /shutdown;
+    // install the handler before the listener so an early signal is not
+    // lost.
+    wb_serve::install_handler();
     let handle =
         wb_serve::start(briefer, cfg).map_err(|e| format!("cannot start server: {e}"))?;
     println!("wb serve listening on http://{}", handle.addr());
     println!("POST /brief · GET /healthz · GET /metrics · POST /shutdown");
-    // Block until a client posts /shutdown, then drain in-flight requests
-    // and flush the observability outputs. (There is no signal handling in
-    // a std-only binary: a hard kill skips the flush, /shutdown does not.)
-    handle.wait_for_shutdown_request();
+    // Run until a client posts /shutdown or a signal arrives, then drain
+    // in-flight requests and flush the observability outputs.
+    loop {
+        if handle.poll_shutdown_request(std::time::Duration::from_millis(100)) {
+            break;
+        }
+        if wb_serve::shutdown_signalled() {
+            println!("shutdown signal received; draining");
+            break;
+        }
+    }
     handle.shutdown();
     write_outputs(&globals)
 }

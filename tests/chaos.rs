@@ -1,0 +1,168 @@
+//! End-to-end chaos tests of the `wb` binary: faults are armed through the
+//! real `WB_FAULTS` / `--faults` surface and each scenario runs in its own
+//! process, so fault pass-counters are exact and a killed run really dies.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn wb() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_wb"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(name)
+}
+
+/// Common tiny-training flags: 3 epochs over one subject keeps each run in
+/// seconds while still crossing several epoch boundaries.
+fn train_args(model: &Path, state: &Path) -> Vec<String> {
+    [
+        "train",
+        "--out",
+        model.to_str().unwrap(),
+        "--state",
+        state.to_str().unwrap(),
+        "--checkpoint-every",
+        "2",
+        "--epochs",
+        "3",
+        "--subjects",
+        "1",
+        "--pages",
+        "2",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+#[test]
+fn killed_training_resumes_to_a_byte_identical_checkpoint() {
+    let model_a = tmp("wb_chaos_uninterrupted_model.json");
+    let state_a = tmp("wb_chaos_uninterrupted_state.json");
+    let model_b = tmp("wb_chaos_killed_model.json");
+    let state_b = tmp("wb_chaos_killed_state.json");
+    for p in [&model_a, &state_a, &model_b, &state_b] {
+        let _ = std::fs::remove_file(p);
+    }
+
+    // Reference: one uninterrupted run.
+    let out = wb().args(train_args(&model_a, &state_a)).output().expect("run wb train");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let reference = std::fs::read(&model_a).expect("reference checkpoint");
+
+    // Same run, but an injected panic kills the process mid-training.
+    let out = wb()
+        .args(train_args(&model_b, &state_b))
+        .env("WB_FAULTS", "train.step=panic@nth(4)")
+        .output()
+        .expect("run wb train (faulted)");
+    assert!(!out.status.success(), "the injected panic must kill the run");
+    assert!(!model_b.exists(), "the killed run must not have reached the final checkpoint");
+    assert!(state_b.exists(), "the killed run must leave its training state behind");
+
+    // Resume (faults disarmed) and compare the final checkpoints.
+    let out = wb()
+        .args(train_args(&model_b, &state_b))
+        .arg("--resume")
+        .output()
+        .expect("run wb train --resume");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("Resuming from"),
+        "resume must report where it picked up: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let resumed = std::fs::read(&model_b).expect("resumed checkpoint");
+    assert_eq!(
+        reference, resumed,
+        "a killed-and-resumed run must produce a byte-identical checkpoint"
+    );
+
+    for p in [&model_a, &state_a, &model_b, &state_b] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn truncated_training_state_is_a_clean_error() {
+    let model = tmp("wb_chaos_truncated_model.json");
+    let state = tmp("wb_chaos_truncated_state.json");
+    // A state file cut off mid-JSON, as a crash during a non-atomic write
+    // would leave it (our writes are atomic; a user copying files around
+    // can still produce this).
+    std::fs::write(&state, "{\"seed\":7,\"n_examples\":16,\"epo").unwrap();
+    let out = wb()
+        .args(train_args(&model, &state))
+        .arg("--resume")
+        .output()
+        .expect("run wb train --resume");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot resume"), "{stderr}");
+    assert!(
+        stderr.contains(state.to_str().unwrap()),
+        "the error must name the corrupt file: {stderr}"
+    );
+    assert!(
+        stderr.contains("delete it to start the run over"),
+        "the error must say how to recover: {stderr}"
+    );
+    let _ = std::fs::remove_file(&state);
+}
+
+#[test]
+fn malformed_fault_spec_is_rejected_with_guidance() {
+    let out =
+        wb().args(["train", "--faults", "train.step=explode"]).output().expect("run wb train");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--faults"), "{stderr}");
+    assert!(stderr.contains("explode"), "the bad action must be named: {stderr}");
+
+    // The same spec via WB_FAULTS is rejected identically.
+    let out = wb()
+        .args(["stats", "--subjects", "1", "--pages", "2"])
+        .env("WB_FAULTS", "nth(=panic")
+        .output()
+        .expect("run wb stats");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("WB_FAULTS"), "{stderr}");
+}
+
+#[test]
+fn metrics_flush_survives_transient_write_faults() {
+    let metrics = tmp("wb_chaos_metrics_retry.json");
+    let _ = std::fs::remove_file(&metrics);
+    // The first two write attempts fail; retry-with-backoff must land the
+    // third and the command must still succeed.
+    let out = wb()
+        .args([
+            "stats",
+            "--subjects",
+            "1",
+            "--pages",
+            "2",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ])
+        .env("WB_FAULTS", "cli.metrics.write=error@nth(1);cli.metrics.write=error@nth(2)")
+        .output()
+        .expect("run wb stats");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let flushed = std::fs::read_to_string(&metrics).expect("metrics written despite faults");
+    assert!(flushed.contains("\"counters\""), "{flushed}");
+    // The snapshot itself records the injected faults and the retries.
+    let v: serde_json::Value = serde_json::from_str(&flushed).unwrap();
+    let counters = v.get("counters").expect("counters");
+    assert!(
+        counters.get("chaos.fired").and_then(|x| x.as_f64()).unwrap_or(0.0) >= 2.0,
+        "chaos.fired missing from {flushed}"
+    );
+    assert!(
+        counters.get("obs.retry.attempts").and_then(|x| x.as_f64()).unwrap_or(0.0) >= 2.0,
+        "obs.retry.attempts missing from {flushed}"
+    );
+    let _ = std::fs::remove_file(&metrics);
+}

@@ -61,11 +61,21 @@ impl Drop for ServerProc {
 
 /// Spawns `wb serve` on port 0 and reads the bound address off its stdout.
 fn spawn_server(extra_args: &[&str]) -> ServerProc {
+    spawn_server_env(extra_args, &[])
+}
+
+/// Like [`spawn_server`] with extra environment variables (used to arm
+/// `WB_FAULTS` in the child only, keeping each chaos scenario
+/// process-isolated and its fault pass-counters exact).
+fn spawn_server_env(extra_args: &[&str], envs: &[(&str, &str)]) -> ServerProc {
     let mut cmd = wb();
     cmd.args(["serve", "--model", model_path().to_str().unwrap(), "--addr", "127.0.0.1:0"])
         .args(extra_args)
         .stdout(Stdio::piped())
         .stderr(Stdio::null());
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
     let mut child = cmd.spawn().expect("spawn wb serve");
     let stdout = child.stdout.take().expect("piped stdout");
     let mut reader = BufReader::new(stdout);
@@ -332,6 +342,131 @@ fn rejects_bad_requests_without_dying() {
 
     // After all that abuse, a normal request still works.
     let (status, _, _) = post_brief(addr, PAGE);
+    assert_eq!(status, 200);
+    shutdown(server);
+}
+
+/// The full circuit-breaker arc, driven by one deterministically injected
+/// model panic: trip → cache-only degradation with 503 + Retry-After →
+/// cooldown → successful probe → closed again, with the whole sequence
+/// visible in `serve.breaker.*` metrics.
+#[test]
+fn breaker_trips_degrades_to_cache_only_and_recovers() {
+    let page_b = "<html><body><section><p>other fuzzy jackets , price : $ 5.25 .\
+                  </p></section></body></html>";
+    // Model batches run: PAGE (pass 1, fine), page_b (pass 2, injected
+    // panic), page_b probe (pass 3, fine). Cache hits never reach the
+    // fault point, so the pass numbering is exact.
+    let server = spawn_server_env(
+        &["--breaker-threshold", "1", "--breaker-cooldown-ms", "1500"],
+        &[("WB_FAULTS", "serve.worker.pre_model=panic@nth(2)")],
+    );
+    let addr = server.addr;
+
+    // Prime the cache while the model is healthy.
+    let (status, _, _) = post_brief(addr, PAGE);
+    assert_eq!(status, 200);
+
+    // The injected panic fails this request and trips the breaker.
+    let (status, _, body) = post_brief(addr, page_b);
+    assert_eq!(status, 500, "{body}");
+
+    // Degraded mode: cached pages still served…
+    let (status, headers, _) = post_brief(addr, PAGE);
+    assert_eq!(status, 200);
+    assert!(headers.contains("X-Cache: hit"), "{headers}");
+    // …while model-path requests are turned away with Retry-After.
+    let (status, headers, body) = post_brief(addr, page_b);
+    assert_eq!(status, 503, "{body}");
+    assert!(headers.contains("Retry-After:"), "{headers}");
+    assert!(body.contains("cached pages are still served"), "{body}");
+
+    // After the cooldown a probe is admitted; the fault does not fire
+    // again, so the probe succeeds and the circuit closes.
+    std::thread::sleep(Duration::from_millis(1700));
+    let (status, _, body) = post_brief(addr, page_b);
+    assert_eq!(status, 200, "probe request must be served: {body}");
+    let (status, _, _) = post_brief(addr, page_b);
+    assert_eq!(status, 200, "the circuit must be closed again");
+
+    let (status, _, metrics) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    let v: serde_json::Value = serde_json::from_str(&metrics).expect("metrics JSON");
+    assert_eq!(counter(&v, "serve.breaker.opened"), 1.0, "{metrics}");
+    assert_eq!(counter(&v, "serve.breaker.closed"), 1.0, "{metrics}");
+    assert!(counter(&v, "serve.breaker.rejected") >= 1.0, "{metrics}");
+    assert_eq!(counter(&v, "serve.batch.panics"), 1.0, "{metrics}");
+    assert_eq!(counter(&v, "chaos.fired"), 1.0, "{metrics}");
+    shutdown(server);
+}
+
+/// SIGTERM gets the same graceful treatment as POST /shutdown: drain,
+/// flush the observability outputs, exit 0.
+#[test]
+#[cfg(unix)]
+fn sigterm_drains_and_flushes_like_post_shutdown() {
+    let metrics_out = std::env::temp_dir().join("wb_serve_test_sigterm_metrics.json");
+    let _ = std::fs::remove_file(&metrics_out);
+    let mut server = spawn_server(&["--metrics-out", metrics_out.to_str().unwrap()]);
+    let (status, _, _) = post_brief(server.addr, PAGE);
+    assert_eq!(status, 200);
+
+    let kill = Command::new("kill")
+        .args(["-TERM", &server.child.id().to_string()])
+        .status()
+        .expect("run kill");
+    assert!(kill.success());
+    let exit = server.child.wait().expect("server exit");
+    assert!(exit.success(), "SIGTERM must be a graceful exit, got {exit:?}");
+    let mut rest = String::new();
+    server._stdout.read_to_string(&mut rest).expect("read server stdout");
+    assert!(rest.contains("shutdown signal received"), "{rest}");
+
+    let flushed = std::fs::read_to_string(&metrics_out).expect("metrics flushed on SIGTERM");
+    assert!(flushed.contains("\"serve.requests\""), "{flushed}");
+    let _ = std::fs::remove_file(&metrics_out);
+}
+
+/// A slow-loris client trickling bytes forever is cut off with 408 once
+/// the total header-read deadline passes — each byte arrives fast enough
+/// that a per-read timeout alone would never fire.
+#[test]
+fn slow_loris_is_408_within_the_request_timeout() {
+    let server = spawn_server(&["--request-timeout-ms", "500"]);
+    let stream = TcpStream::connect(server.addr).unwrap();
+    let dripper = {
+        let mut writer = stream.try_clone().unwrap();
+        std::thread::spawn(move || {
+            for b in b"GET /healthz HTTP/1.1\r\nX-Slowly: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa" {
+                if writer.write_all(&[*b]).is_err() {
+                    break; // server gave up on us, as it should
+                }
+                std::thread::sleep(Duration::from_millis(40));
+            }
+        })
+    };
+    let start = std::time::Instant::now();
+    let mut reader = stream;
+    reader.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut text = String::new();
+    let mut buf = [0u8; 1024];
+    loop {
+        match reader.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => text.push_str(&String::from_utf8_lossy(&buf[..n])),
+            Err(_) if !text.is_empty() => break,
+            Err(e) => panic!("slow-loris client got no response: {e}"),
+        }
+    }
+    assert!(text.starts_with("HTTP/1.1 408"), "{text}");
+    assert!(
+        start.elapsed() < Duration::from_secs(3),
+        "408 must arrive near the 500ms deadline, took {:?}",
+        start.elapsed()
+    );
+    dripper.join().unwrap();
+    // The server is unharmed and still serving.
+    let (status, _, _) = get(server.addr, "/healthz");
     assert_eq!(status, 200);
     shutdown(server);
 }
