@@ -34,7 +34,7 @@ use wb_core::{Briefer, ModelConfig, TrainConfig};
 use wb_corpus::{generate_page, Dataset, DatasetConfig, PageConfig};
 use wb_obs::json::Json;
 use wb_obs::metrics::{registry, snapshot, HistogramSnapshot, Snapshot};
-use wb_tensor::Tensor;
+use wb_tensor::{Graph, Params, Tensor};
 
 /// Schema tag written into every report (bump on breaking changes).
 pub const SCHEMA: &str = "wb-bench-v1";
@@ -88,7 +88,10 @@ impl Tier {
         match self {
             Tier::Quick => TierSpec {
                 matmul_dim: 96,
-                matmul_reps: 6,
+                // Enough repeats that a ~1 ms matmul product yields a stable
+                // throughput on a busy single-core CI runner; still < 200 ms
+                // per matmul workload.
+                matmul_reps: 40,
                 tok_reps: 8,
                 brief_reps: 2,
                 train_reps: 2,
@@ -275,6 +278,37 @@ impl Measured {
                 true,
             ),
         );
+        // Packed-kernel counters. Pack calls/bytes and executed MACs are
+        // shape-deterministic (hard); tile counts depend on how rayon chunks
+        // rows across threads, so they only warn (soft).
+        m.insert(
+            "pack_calls".into(),
+            Metric::new(self.counter_delta("tensor.matmul.pack.calls") as f64, "calls", true),
+        );
+        m.insert(
+            "pack_bytes".into(),
+            Metric::new(self.counter_delta("tensor.matmul.pack.bytes") as f64, "bytes", true),
+        );
+        m.insert(
+            "kernel_macs".into(),
+            Metric::new(self.counter_delta("tensor.matmul.kernel.macs") as f64, "MAC", true),
+        );
+        m.insert(
+            "kernel_tiles".into(),
+            Metric::new(
+                self.counter_delta("tensor.matmul.kernel.tiles") as f64,
+                "tiles",
+                false,
+            ),
+        );
+        m.insert(
+            "kernel_direct".into(),
+            Metric::new(
+                self.counter_delta("tensor.matmul.kernel.direct") as f64,
+                "calls",
+                true,
+            ),
+        );
     }
 
     /// Peak-memory watermarks accumulated during the workload. Tape and
@@ -358,6 +392,37 @@ fn bench_matmul(spec: &TierSpec, trans_a: bool, trans_b: bool, name: &str) -> Wo
     WorkloadResult { repeats: measured.repeats, metrics }
 }
 
+/// Long-sequence fused attention, forward and backward: the nt/tt-heavy
+/// shape (`softmax((Q Kᵀ)/√d) V` on a sequence twice the matmul dim) that
+/// the packed kernels exist for. Work units are the two forward products'
+/// MFLOPs; the backward's extra matmuls ride along in the time and in the
+/// hard counters.
+fn bench_attention(spec: &TierSpec) -> WorkloadResult {
+    let seq = spec.matmul_dim * 2;
+    let dim = (spec.matmul_dim / 2).max(8);
+    let q = fill_tensor(seq, dim, 3);
+    let k = fill_tensor(seq, dim, 9);
+    let v = fill_tensor(seq, dim, 13);
+    let scale = 1.0 / (dim as f32).sqrt();
+    let mflop_per_rep = (2 * 2 * seq * seq * dim) as u64 / 1_000_000;
+    let params = Params::new();
+    let measured = measure("attention_fused", spec.warmup, spec.matmul_reps, || {
+        let mut g = Graph::new(&params, false, 0);
+        let qv = g.input(q.clone());
+        let kv = g.input(k.clone());
+        let vv = g.input(v.clone());
+        let att = g.softmax_matmul_nt(qv, kv, scale, 1.0);
+        let ctx = g.matmul(att, vv);
+        let loss = g.sum_all(ctx);
+        std::hint::black_box(g.backward(loss));
+        mflop_per_rep.max(1)
+    });
+    let mut metrics = measured.base_metrics("MFLOP");
+    measured.add_tensor_metrics(&mut metrics);
+    measured.add_memory_metrics(&mut metrics);
+    WorkloadResult { repeats: measured.repeats, metrics }
+}
+
 /// WordPiece tokenization over the corpus page texts; throughput in tokens.
 fn bench_wordpiece(spec: &TierSpec, dataset: &Dataset, texts: &[String]) -> WorkloadResult {
     let measured = measure("wordpiece", spec.warmup, spec.tok_reps, || {
@@ -435,6 +500,13 @@ pub fn run(tier: Tier, label: &str) -> BenchReport {
     ] {
         workloads.insert(name.to_string(), bench_matmul(&spec, ta, tb, name));
     }
+
+    eprintln!(
+        "[bench] attention_fused: seq {} × dim {}",
+        spec.matmul_dim * 2,
+        (spec.matmul_dim / 2).max(8)
+    );
+    workloads.insert("attention_fused".into(), bench_attention(&spec));
 
     eprintln!(
         "[bench] corpus: {} subjects × {} pages/topic",

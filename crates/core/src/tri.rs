@@ -186,11 +186,9 @@ impl TrainableModel for TriDistill {
         let w_at = g.param(self.w_at);
         let w_as = g.param(self.w_as);
         let tw = g.matmul(h_t, w_at);
-        let t_scores = g.matmul_nt(tw, r_proj);
-        let a_t = g.softmax_rows(t_scores, 1.0);
+        let a_t = g.softmax_matmul_nt(tw, r_proj, 1.0, 1.0);
         let sw = g.matmul(fwd.shared, w_as);
-        let s_scores = g.matmul_nt(sw, r_proj);
-        let a_s = g.softmax_rows(s_scores, 1.0);
+        let a_s = g.softmax_matmul_nt(sw, r_proj, 1.0, 1.0);
         let id = l1_between(g, a_t, a_s);
         let id_scaled = g.scale(id, self.cfg.kappa * self.cfg.lambda);
         total = g.add(total, id_scaled);

@@ -190,9 +190,7 @@ impl MiniBert {
             let q = g.matmul(x, wq);
             let k = g.matmul(x, wk);
             let v = g.matmul(x, wv);
-            let scores = g.matmul_nt(q, k);
-            let scores = g.scale(scores, scale);
-            let att = g.softmax_rows(scores, 1.0);
+            let att = g.softmax_matmul_nt(q, k, scale, 1.0);
             let att = g.dropout(att, self.cfg.dropout);
             let ctx = g.matmul(att, v);
             let ctx = g.matmul(ctx, wo);

@@ -110,8 +110,7 @@ impl BilinearAttention {
     pub fn forward(&self, g: &mut Graph, h: Var, r_mat: Var) -> Var {
         let w = g.param(self.w);
         let hw = g.matmul(h, w);
-        let scores = g.matmul_nt(hw, r_mat);
-        g.softmax_rows(scores, 1.0)
+        g.softmax_matmul_nt(hw, r_mat, 1.0, 1.0)
     }
 
     /// Raw (pre-softmax) scores — used when a caller applies temperature.

@@ -63,8 +63,7 @@ impl Decoder {
     fn context(&self, g: &mut Graph, h: Var, memory: Var) -> Var {
         assert_eq!(g.value(memory).cols(), self.enc_dim, "memory width mismatch");
         let q = self.query.forward(g, h); // [1, enc_dim]
-        let scores = g.matmul_nt(q, memory); // [1, m]
-        let att = g.softmax_rows(scores, 1.0);
+        let att = g.softmax_matmul_nt(q, memory, 1.0, 1.0); // [1, m]
         g.matmul(att, memory)
     }
 

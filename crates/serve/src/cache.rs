@@ -6,9 +6,9 @@
 use std::collections::HashMap;
 
 /// 64-bit FNV-1a — a deterministic, dependency-free content hash for cache
-/// keys (not cryptographic; collisions are astronomically unlikely at any
-/// realistic cache size and at worst serve a stale-but-valid brief for a
-/// different page).
+/// keys (not cryptographic). A collision must not serve a wrong-page brief
+/// with a 200, so every slot also stores a [`Fingerprint`] of the page bytes
+/// and `get` treats a fingerprint mismatch as a miss.
 pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
@@ -18,10 +18,35 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// A cheap second check against FNV-1a collisions: the page byte length plus
+/// the first and last 8 bytes (zero-padded for short pages). Two pages that
+/// collide on the 64-bit hash *and* agree on length, head and tail are not a
+/// realistic accident — and verifying costs a 24-byte compare, not a rehash.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Fingerprint {
+    len: u64,
+    head: [u8; 8],
+    tail: [u8; 8],
+}
+
+impl Fingerprint {
+    /// Fingerprints a page body.
+    pub fn of(bytes: &[u8]) -> Self {
+        let mut head = [0u8; 8];
+        let mut tail = [0u8; 8];
+        let h = bytes.len().min(8);
+        head[..h].copy_from_slice(&bytes[..h]);
+        let t = bytes.len().saturating_sub(8);
+        tail[..bytes.len() - t].copy_from_slice(&bytes[t..]);
+        Fingerprint { len: bytes.len() as u64, head, tail }
+    }
+}
+
 const NIL: usize = usize::MAX;
 
 struct Slot<V> {
     key: u64,
+    fp: Fingerprint,
     value: V,
     prev: usize,
     next: usize,
@@ -67,22 +92,32 @@ impl<V> LruCache<V> {
         self.capacity
     }
 
-    /// Looks up `key`, marking the entry most-recently-used on a hit.
-    pub fn get(&mut self, key: u64) -> Option<&V> {
+    /// Looks up `key`, marking the entry most-recently-used on a hit. The
+    /// caller passes the [`Fingerprint`] of the page it is asking about; a
+    /// stored entry whose fingerprint disagrees is a hash collision — the
+    /// lookup reports a miss (and bumps `serve.cache.collision`) instead of
+    /// serving another page's brief with a 200.
+    pub fn get(&mut self, key: u64, fp: Fingerprint) -> Option<&V> {
         let &idx = self.map.get(&key)?;
+        if self.slots[idx].fp != fp {
+            wb_obs::counter!("serve.cache.collision");
+            return None;
+        }
         self.unlink(idx);
         self.push_front(idx);
         Some(&self.slots[idx].value)
     }
 
     /// Inserts or refreshes `key`, evicting the least-recently-used entry
-    /// when at capacity.
-    pub fn insert(&mut self, key: u64, value: V) {
+    /// when at capacity. A re-insert under a colliding key overwrites the
+    /// old entry — the fingerprint stored is always the latest page's.
+    pub fn insert(&mut self, key: u64, fp: Fingerprint, value: V) {
         if self.capacity == 0 {
             return;
         }
         if let Some(&idx) = self.map.get(&key) {
             self.slots[idx].value = value;
+            self.slots[idx].fp = fp;
             self.unlink(idx);
             self.push_front(idx);
             return;
@@ -96,11 +131,11 @@ impl<V> LruCache<V> {
         }
         let idx = match self.free.pop() {
             Some(i) => {
-                self.slots[i] = Slot { key, value, prev: NIL, next: NIL };
+                self.slots[i] = Slot { key, fp, value, prev: NIL, next: NIL };
                 i
             }
             None => {
-                self.slots.push(Slot { key, value, prev: NIL, next: NIL });
+                self.slots.push(Slot { key, fp, value, prev: NIL, next: NIL });
                 self.slots.len() - 1
             }
         };
@@ -141,6 +176,13 @@ impl<V> LruCache<V> {
 mod tests {
     use super::*;
 
+    /// In the tests below, small integer keys stand in for page hashes; this
+    /// derives a matching fingerprint so hit/miss behaviour is driven purely
+    /// by the LRU logic under test.
+    fn fp(key: u64) -> Fingerprint {
+        Fingerprint::of(&key.to_le_bytes())
+    }
+
     /// Keys from most- to least-recently-used, by walking the list.
     fn order<V>(c: &LruCache<V>) -> Vec<u64> {
         let mut out = Vec::new();
@@ -155,67 +197,67 @@ mod tests {
     #[test]
     fn evicts_least_recently_used() {
         let mut c = LruCache::new(2);
-        c.insert(1, "a");
-        c.insert(2, "b");
-        c.insert(3, "c"); // evicts 1
-        assert_eq!(c.get(1), None);
-        assert_eq!(c.get(2), Some(&"b"));
-        assert_eq!(c.get(3), Some(&"c"));
+        c.insert(1, fp(1), "a");
+        c.insert(2, fp(2), "b");
+        c.insert(3, fp(3), "c"); // evicts 1
+        assert_eq!(c.get(1, fp(1)), None);
+        assert_eq!(c.get(2, fp(2)), Some(&"b"));
+        assert_eq!(c.get(3, fp(3)), Some(&"c"));
         assert_eq!(c.len(), 2);
     }
 
     #[test]
     fn get_refreshes_recency() {
         let mut c = LruCache::new(2);
-        c.insert(1, "a");
-        c.insert(2, "b");
-        assert!(c.get(1).is_some()); // 1 is now MRU
-        c.insert(3, "c"); // evicts 2, not 1
-        assert_eq!(c.get(2), None);
-        assert_eq!(c.get(1), Some(&"a"));
+        c.insert(1, fp(1), "a");
+        c.insert(2, fp(2), "b");
+        assert!(c.get(1, fp(1)).is_some()); // 1 is now MRU
+        c.insert(3, fp(3), "c"); // evicts 2, not 1
+        assert_eq!(c.get(2, fp(2)), None);
+        assert_eq!(c.get(1, fp(1)), Some(&"a"));
         assert_eq!(order(&c), vec![1, 3]);
     }
 
     #[test]
     fn insert_updates_existing_without_eviction() {
         let mut c = LruCache::new(2);
-        c.insert(1, "a");
-        c.insert(2, "b");
-        c.insert(1, "a2");
+        c.insert(1, fp(1), "a");
+        c.insert(2, fp(2), "b");
+        c.insert(1, fp(1), "a2");
         assert_eq!(c.len(), 2);
-        assert_eq!(c.get(1), Some(&"a2"));
-        assert_eq!(c.get(2), Some(&"b"));
+        assert_eq!(c.get(1, fp(1)), Some(&"a2"));
+        assert_eq!(c.get(2, fp(2)), Some(&"b"));
     }
 
     #[test]
     fn capacity_one_and_zero() {
         let mut c = LruCache::new(1);
-        c.insert(1, "a");
-        c.insert(2, "b");
-        assert_eq!(c.get(1), None);
-        assert_eq!(c.get(2), Some(&"b"));
+        c.insert(1, fp(1), "a");
+        c.insert(2, fp(2), "b");
+        assert_eq!(c.get(1, fp(1)), None);
+        assert_eq!(c.get(2, fp(2)), Some(&"b"));
 
         let mut off: LruCache<&str> = LruCache::new(0);
-        off.insert(1, "a");
+        off.insert(1, fp(1), "a");
         assert!(off.is_empty());
-        assert_eq!(off.get(1), None);
+        assert_eq!(off.get(1, fp(1)), None);
     }
 
     #[test]
     fn slab_reuse_keeps_list_consistent() {
         let mut c = LruCache::new(3);
         for k in 0..50u64 {
-            c.insert(k, k * 10);
+            c.insert(k, fp(k), k * 10);
             if k >= 2 {
                 // Touch an older key so evictions interleave with refreshes.
-                let _ = c.get(k - 1);
+                let _ = c.get(k - 1, fp(k - 1));
             }
         }
         assert_eq!(c.len(), 3);
         let keys = order(&c);
         assert_eq!(keys.len(), 3);
         for k in keys {
-            assert_eq!(c.get(k), Some(&(k * 10)));
+            assert_eq!(c.get(k, fp(k)), Some(&(k * 10)));
         }
         assert!(c.slots.len() <= 3, "slab must not grow past capacity");
     }
@@ -225,5 +267,47 @@ mod tests {
         assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(fnv1a(b"page"), fnv1a(b"page"));
         assert_ne!(fnv1a(b"page"), fnv1a(b"Page"));
+    }
+
+    #[test]
+    fn fingerprint_covers_length_head_and_tail() {
+        assert_eq!(Fingerprint::of(b"page"), Fingerprint::of(b"page"));
+        assert_ne!(Fingerprint::of(b"page"), Fingerprint::of(b"page "));
+        // Differ only in the tail / only in the head / only in the middle
+        // length — all must be distinguished.
+        assert_ne!(
+            Fingerprint::of(b"0123456789abcdef!"),
+            Fingerprint::of(b"0123456789abcdef?")
+        );
+        assert_ne!(
+            Fingerprint::of(b"!0123456789abcdef"),
+            Fingerprint::of(b"?0123456789abcdef")
+        );
+        assert_ne!(Fingerprint::of(b"ab"), Fingerprint::of(b"aXb"));
+        // Short inputs (< 8 bytes) are zero-padded, not out-of-bounds.
+        assert_eq!(Fingerprint::of(b""), Fingerprint::of(b""));
+    }
+
+    #[test]
+    fn forced_collision_is_a_miss_not_a_wrong_page_hit() {
+        // Two different pages forced onto the SAME 64-bit key — exactly what
+        // an FNV-1a collision looks like to the cache. Before fingerprinting,
+        // the second page's lookup returned the first page's brief.
+        let page_a = b"<html>alpha page</html>";
+        let page_b = b"<html>bravo page</html>";
+        let key = 0xdead_beef_u64;
+        let mut c = LruCache::new(4);
+        c.insert(key, Fingerprint::of(page_a), "brief for alpha");
+
+        // The colliding page must MISS, not be served alpha's brief.
+        assert_eq!(c.get(key, Fingerprint::of(page_b)), None);
+        // The real page still hits.
+        assert_eq!(c.get(key, Fingerprint::of(page_a)), Some(&"brief for alpha"));
+
+        // After the miss the server recomputes and re-inserts under the same
+        // key; the slot now answers for bravo and alpha becomes the miss.
+        c.insert(key, Fingerprint::of(page_b), "brief for bravo");
+        assert_eq!(c.get(key, Fingerprint::of(page_b)), Some(&"brief for bravo"));
+        assert_eq!(c.get(key, Fingerprint::of(page_a)), None);
     }
 }

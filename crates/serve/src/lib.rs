@@ -55,6 +55,6 @@ pub mod signal;
 
 pub use batch::{Batcher, BriefOutcome, Job};
 pub use breaker::{Admission, BreakerConfig, CircuitBreaker};
-pub use cache::{fnv1a, LruCache};
+pub use cache::{fnv1a, Fingerprint, LruCache};
 pub use server::{start, ServeConfig, ServerHandle};
 pub use signal::{install_handler, shutdown_signalled};

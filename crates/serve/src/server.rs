@@ -10,7 +10,7 @@
 
 use crate::batch::{Batcher, BriefOutcome, Job};
 use crate::breaker::{Admission, BreakerConfig, CircuitBreaker};
-use crate::cache::{fnv1a, LruCache};
+use crate::cache::{fnv1a, Fingerprint, LruCache};
 use crate::http::{self, HttpError};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -382,10 +382,13 @@ fn handle_brief(shared: &Shared, stream: &mut TcpStream, req: &http::Request) {
         return;
     }
     let key = fnv1a(body);
+    // The fingerprint guards against FNV-1a collisions: a colliding page is
+    // treated as a miss instead of being served another page's brief.
+    let fp = Fingerprint::of(body);
     // Cache first: cached pages keep being served even while the circuit
     // breaker has the model path disabled.
     if shared.cfg.cache_capacity > 0 {
-        let cached = shared.cache.lock().unwrap().get(key).cloned();
+        let cached = shared.cache.lock().unwrap().get(key, fp).cloned();
         if let Some(json) = cached {
             wb_obs::counter!("serve.cache.hit");
             send(stream, 200, json.as_bytes(), &[("X-Cache", "hit")]);
@@ -445,7 +448,7 @@ fn handle_brief(shared: &Shared, stream: &mut TcpStream, req: &http::Request) {
         Ok(BriefOutcome::Ok(json)) => {
             if shared.cfg.cache_capacity > 0 {
                 let mut cache = shared.cache.lock().unwrap();
-                cache.insert(key, Arc::clone(&json));
+                cache.insert(key, fp, Arc::clone(&json));
                 wb_obs::gauge!("serve.cache.size", cache.len() as f64);
             }
             send(stream, 200, json.as_bytes(), &[("X-Cache", "miss")]);

@@ -37,6 +37,15 @@ enum Op {
     MatMul(Var, Var),
     /// `a @ b^T` — used by attention scores against a phrase matrix.
     MatMulNT(Var, Var),
+    /// Fused attention step: `softmax_rows(scale · (a @ bᵀ), temperature)`.
+    /// Only the softmax output lives on the tape — the raw score matrix is
+    /// dropped after the forward pass instead of being materialized twice.
+    SoftmaxMatMulNT {
+        a: Var,
+        b: Var,
+        scale: f32,
+        temperature: f32,
+    },
     ConcatRows(Vec<Var>),
     ConcatCols(Vec<Var>),
     /// `out[i] = table[idx[i]]` — embedding lookup.
@@ -318,6 +327,22 @@ impl<'p> Graph<'p> {
     pub fn matmul_nt(&mut self, a: Var, b: Var) -> Var {
         let v = self.value(a).matmul(self.value(b), false, true);
         self.push(v, Op::MatMulNT(a, b))
+    }
+
+    /// Fused attention scoring: `softmax_rows(scale · (a @ bᵀ), temperature)`
+    /// as a single tape node. Arithmetic is bit-identical to the unfused
+    /// `matmul_nt` → `scale` → `softmax_rows` chain (the `scale` step is
+    /// skipped when `scale == 1.0`, matching call sites that never scaled),
+    /// but the raw score matrix is freed as soon as the row softmax has
+    /// consumed it instead of being pinned on the tape until `backward` —
+    /// attention no longer materializes the score matrix twice.
+    pub fn softmax_matmul_nt(&mut self, a: Var, b: Var, scale: f32, temperature: f32) -> Var {
+        let mut scores = self.value(a).matmul(self.value(b), false, true);
+        if scale != 1.0 {
+            scores = scores.scale(scale);
+        }
+        let v = scores.softmax_rows(temperature);
+        self.push(v, Op::SoftmaxMatMulNT { a, b, scale, temperature })
     }
 
     /// Concatenates along rows.
@@ -603,6 +628,35 @@ impl<'p> Graph<'p> {
                     accumulate(&mut grads, *a, &ga);
                     accumulate(&mut grads, *b, &gb);
                 }
+                Op::SoftmaxMatMulNT { a, b, scale, temperature } => {
+                    // Same math as the unfused SoftmaxRows → Scale → MatMulNT
+                    // chain, replayed in one arm so gradients stay
+                    // bit-identical: dS = (g − Σ g·y) · y / T, then · scale,
+                    // then dA = dS B and dB = dSᵀ A. Only `y` (the softmax
+                    // output, this node's value) is needed — the score matrix
+                    // never has to be rebuilt.
+                    let y = &node.value;
+                    let c = y.cols();
+                    let mut ds = Tensor::zeros(y.shape());
+                    for ((grow, yrow), drow) in g
+                        .data()
+                        .chunks(c)
+                        .zip(y.data().chunks(c))
+                        .zip(ds.data_mut().chunks_mut(c))
+                    {
+                        let dot: f32 = grow.iter().zip(yrow).map(|(&a, &b)| a * b).sum();
+                        for ((o, &gx), &yx) in drow.iter_mut().zip(grow).zip(yrow) {
+                            *o = (gx - dot) * yx / temperature;
+                        }
+                    }
+                    if *scale != 1.0 {
+                        ds = ds.scale(*scale);
+                    }
+                    let ga = ds.matmul(self.value(*b), false, false);
+                    let gb = ds.matmul(self.value(*a), true, false);
+                    accumulate(&mut grads, *a, &ga);
+                    accumulate(&mut grads, *b, &gb);
+                }
                 Op::ConcatRows(parts) => {
                     let mut start = 0;
                     for &p in parts {
@@ -819,12 +873,11 @@ impl Graph<'_> {
             let name = op_name(&node.op);
             *stats.per_op.entry(name).or_insert(0) += 1;
             match &node.op {
-                Op::MatMul(a, b) | Op::MatMulNT(a, b) => {
-                    let av = self.value(*a);
-                    let inner = match &node.op {
-                        Op::MatMul(..) => av.cols(),
-                        _ => av.cols(),
-                    };
+                Op::MatMul(a, b) | Op::MatMulNT(a, b) | Op::SoftmaxMatMulNT { a, b, .. } => {
+                    // The fused attention node's value is the softmax output,
+                    // which has the score matrix's [m, n] shape — the same
+                    // m·n·k MAC count as the matmul it absorbed.
+                    let inner = self.value(*a).cols();
                     stats.matmul_flops += node.value.len() * inner;
                     let _ = b;
                 }
@@ -848,6 +901,7 @@ fn op_name(op: &Op) -> &'static str {
         Op::Scale(..) => "scale",
         Op::MatMul(..) => "matmul",
         Op::MatMulNT(..) => "matmul_nt",
+        Op::SoftmaxMatMulNT { .. } => "softmax_matmul_nt",
         Op::ConcatRows(_) => "concat_rows",
         Op::ConcatCols(_) => "concat_cols",
         Op::GatherRows { .. } => "gather_rows",

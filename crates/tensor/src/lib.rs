@@ -41,6 +41,7 @@
 
 mod graph;
 mod init;
+pub mod kernels;
 mod optim;
 mod params;
 mod tensor;

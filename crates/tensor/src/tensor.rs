@@ -342,11 +342,18 @@ impl Tensor {
     /// Matrix product of rank-2 tensors, with optional transposition of
     /// either operand. `matmul(a, b, false, false)` computes `a @ b`.
     ///
-    /// Large products (≥ [`PAR_MIN_ROWS`] output rows and ≥
-    /// [`PAR_MIN_MACS`] multiply-accumulates) are split by output row
-    /// across the rayon pool; each output element accumulates in the same
-    /// `k` order as the serial path, so the result is bit-for-bit
-    /// identical for any thread count.
+    /// Products above [`crate::kernels::PACK_MIN_MACS`] multiply-accumulates
+    /// take the packed, cache-blocked path (see [`crate::kernels`]): the
+    /// transposed operand is repacked into row-major panels once per call,
+    /// so all four transpose variants hit the same SIMD-friendly inner
+    /// loop. Large products (≥ [`PAR_MIN_ROWS`] output rows and ≥
+    /// [`PAR_MIN_MACS`] multiply-accumulates) are additionally split by
+    /// output row across the rayon pool. Each output element accumulates
+    /// in ascending-`k` order on a single chain on every path and no term
+    /// is ever skipped, so the result is bit-for-bit identical for any
+    /// thread count and variant on every non-NaN output, and NaN/Inf
+    /// inputs poison exactly the same outputs everywhere (only the payload
+    /// of a NaN-vs-NaN sum is codegen-chosen — see [`crate::kernels`]).
     pub fn matmul(&self, other: &Tensor, trans_a: bool, trans_b: bool) -> Tensor {
         let (am, ak, bn) = matmul_check(self, other, trans_a, trans_b);
         let mut out = scratch::zeroed(am * bn);
@@ -380,8 +387,11 @@ impl Tensor {
     }
 
     /// Serial reference matmul: same results as [`Tensor::matmul`]
-    /// (bit-for-bit), but never uses the thread pool. Kept public so tests
-    /// and benchmarks can compare the parallel path against it.
+    /// (bit-for-bit up to NaN payloads — see [`crate::kernels`]'s
+    /// bit-exactness contract), but never uses the thread pool or the packed
+    /// kernels — it always runs the direct per-variant loops. Kept public
+    /// so tests and benchmarks can compare the packed/parallel paths
+    /// against an independent implementation.
     pub fn matmul_serial(&self, other: &Tensor, trans_a: bool, trans_b: bool) -> Tensor {
         let (am, ak, bn) = matmul_check(self, other, trans_a, trans_b);
         let mut out = scratch::zeroed(am * bn);
@@ -584,7 +594,14 @@ fn matmul_check(a: &Tensor, b: &Tensor, trans_a: bool, trans_b: bool) -> (usize,
     (am, ak, bn)
 }
 
-/// Runs a matmul either serially or split by output row over the pool.
+/// Runs a matmul either serially or split by output row over the pool,
+/// routing large products through the packed/tiled [`crate::kernels`] and
+/// small ones through the direct per-variant loops. Both paths accumulate
+/// every output element in ascending-`k` order on a single chain and
+/// never skip a term, so results are bit-identical across paths, thread
+/// counts, and transpose variants — non-finite inputs poison the same
+/// outputs everywhere, with only NaN payloads left codegen-chosen (see
+/// [`crate::kernels`]).
 #[allow(clippy::too_many_arguments)]
 fn matmul_dispatch(
     a: &[f32],
@@ -610,98 +627,50 @@ fn matmul_dispatch(
         (true, true) => wb_obs::counter!("tensor.matmul.calls.tt"),
     }
     wb_obs::counter!("tensor.matmul.flops", (2 * am * ak * bn) as u64);
+    let macs = am * ak * bn;
     let parallel = allow_parallel
         && am >= PAR_MIN_ROWS
-        && am * ak * bn >= PAR_MIN_MACS
+        && macs >= PAR_MIN_MACS
         && rayon::current_num_threads() > 1;
     if parallel {
         wb_obs::counter!("tensor.matmul.dispatch.parallel");
-        let rows_per = par_chunk(am);
-        out.par_chunks_mut(rows_per * bn).enumerate().for_each(|(ci, chunk)| {
-            matmul_rows(a, b, trans_a, trans_b, am, ak, bn, ci * rows_per, chunk);
-        });
     } else {
         wb_obs::counter!("tensor.matmul.dispatch.serial");
-        matmul_rows(a, b, trans_a, trans_b, am, ak, bn, 0, out);
     }
-}
-
-/// Computes output rows `r0..r0 + chunk.len()/bn` of the product into
-/// `chunk` (which must be zeroed). For every transpose combination the
-/// per-element accumulation order is `k` ascending and zero entries of the
-/// stationary operand are skipped, so any row partitioning of the output
-/// yields bit-identical results.
-#[allow(clippy::too_many_arguments)]
-fn matmul_rows(
-    a: &[f32],
-    b: &[f32],
-    trans_a: bool,
-    trans_b: bool,
-    am: usize,
-    ak: usize,
-    bn: usize,
-    r0: usize,
-    chunk: &mut [f32],
-) {
-    match (trans_a, trans_b) {
-        (false, false) => {
-            for (ri, orow) in chunk.chunks_mut(bn).enumerate() {
-                let i = r0 + ri;
-                let arow = &a[i * ak..(i + 1) * ak];
-                for (k, &av) in arow.iter().enumerate() {
-                    if av == 0.0 {
-                        continue;
-                    }
-                    let brow = &b[k * bn..(k + 1) * bn];
-                    for (o, &bv) in orow.iter_mut().zip(brow) {
-                        *o += av * bv;
-                    }
-                }
-            }
-        }
-        (true, false) => {
-            // a is [k, m] stored row-major: column i of a feeds output row i.
-            for (ri, orow) in chunk.chunks_mut(bn).enumerate() {
-                let i = r0 + ri;
-                for k in 0..ak {
-                    let av = a[k * am + i];
-                    if av == 0.0 {
-                        continue;
-                    }
-                    let brow = &b[k * bn..(k + 1) * bn];
-                    for (o, &bv) in orow.iter_mut().zip(brow) {
-                        *o += av * bv;
-                    }
-                }
-            }
-        }
-        (false, true) => {
-            // b is [n, k] stored row-major; dot products of rows.
-            for (ri, orow) in chunk.chunks_mut(bn).enumerate() {
-                let i = r0 + ri;
-                let arow = &a[i * ak..(i + 1) * ak];
-                for (j, o) in orow.iter_mut().enumerate() {
-                    let brow = &b[j * ak..(j + 1) * ak];
-                    let mut acc = 0.0;
-                    for (&x, &y) in arow.iter().zip(brow) {
-                        acc += x * y;
-                    }
-                    *o = acc;
-                }
-            }
-        }
-        (true, true) => {
-            // Rare; explicit indexing.
-            for (ri, orow) in chunk.chunks_mut(bn).enumerate() {
-                let i = r0 + ri;
-                for (j, o) in orow.iter_mut().enumerate() {
-                    let mut acc = 0.0;
-                    for k in 0..ak {
-                        acc += a[k * am + i] * b[j * ak + k];
-                    }
-                    *o = acc;
-                }
-            }
+    // `matmul_serial` (allow_parallel = false) stays on the direct loops:
+    // it is the independent reference the packed path is tested against.
+    if allow_parallel && ak > 0 && macs >= crate::kernels::PACK_MIN_MACS {
+        crate::kernels::matmul_packed(
+            a,
+            b,
+            trans_a,
+            trans_b,
+            am,
+            ak,
+            bn,
+            out,
+            parallel,
+            par_chunk(am),
+        );
+    } else {
+        wb_obs::counter!("tensor.matmul.kernel.direct");
+        if parallel {
+            let rows_per = par_chunk(am);
+            out.par_chunks_mut(rows_per * bn).enumerate().for_each(|(ci, chunk)| {
+                crate::kernels::direct_rows(
+                    a,
+                    b,
+                    trans_a,
+                    trans_b,
+                    am,
+                    ak,
+                    bn,
+                    ci * rows_per,
+                    chunk,
+                );
+            });
+        } else {
+            crate::kernels::direct_rows(a, b, trans_a, trans_b, am, ak, bn, 0, out);
         }
     }
 }
@@ -875,6 +844,78 @@ mod tests {
             let par = a.matmul(&b, ta, tb);
             let ser = a.matmul_serial(&b, ta, tb);
             assert_eq!(par.data(), ser.data(), "variant ({ta}, {tb}) diverged");
+        }
+    }
+
+    #[test]
+    fn zero_times_nan_is_nan_not_zero() {
+        // Regression for the zero-skip bug: `nn`/`tn` once skipped
+        // `av == 0.0` terms, converting `0 × NaN` and `0 × ∞` into `0` and
+        // silently masking NaN poisoning from the NaN-rollback guard.
+        let a = Tensor::from_vec(&[2, 3], vec![0., 0., 0., 1., 2., 3.]);
+        let mut bdata = vec![1.0f32; 6];
+        bdata[1] = f32::NAN; // b[0, 1]
+        bdata[4] = f32::INFINITY; // b[2, 0]
+        let b = Tensor::from_vec(&[3, 2], bdata);
+        let c = a.matmul(&b, false, false);
+        // Row 0 is all zeros, but 0×NaN = NaN and 0×∞ = NaN must leak out.
+        assert!(c.data()[0].is_nan(), "0 × ∞ must be NaN, got {}", c.data()[0]);
+        assert!(c.data()[1].is_nan(), "0 × NaN must be NaN, got {}", c.data()[1]);
+        // The same product through every variant agrees bit-for-bit (NaN
+        // payloads canonicalized — see the kernels bit-exactness contract).
+        let base_bits: Vec<u32> = c.data().iter().map(canon_bits).collect();
+        let ta = a.transpose();
+        let tb = b.transpose();
+        for (t, ser) in [
+            (ta.matmul(&b, true, false), ta.matmul_serial(&b, true, false)),
+            (a.matmul(&tb, false, true), a.matmul_serial(&tb, false, true)),
+            (ta.matmul(&tb, true, true), ta.matmul_serial(&tb, true, true)),
+        ] {
+            let bits: Vec<u32> = t.data().iter().map(canon_bits).collect();
+            assert_eq!(bits, base_bits, "variant disagreed on non-finite inputs");
+            let ser_bits: Vec<u32> = ser.data().iter().map(canon_bits).collect();
+            assert_eq!(bits, ser_bits, "variant disagreed with matmul_serial");
+        }
+    }
+
+    /// Bit pattern with NaN payloads canonicalized: NaN-ness, ±Inf, -0.0
+    /// and all finite values compare exactly; which payload survives a
+    /// NaN + NaN sum is codegen-chosen and deliberately not compared.
+    fn canon_bits(v: &f32) -> u32 {
+        if v.is_nan() {
+            f32::NAN.to_bits()
+        } else {
+            v.to_bits()
+        }
+    }
+
+    #[test]
+    fn packed_path_bit_matches_serial_reference() {
+        // Big enough to cross PACK_MIN_MACS (and the parallel thresholds)
+        // so `matmul` takes the packed kernels while `matmul_serial` stays
+        // on the direct loops — a genuine cross-implementation check, with
+        // non-finite values and zero rows/columns laced in.
+        let n = crate::kernels::KC + 40;
+        let mut adata: Vec<f32> =
+            (0..n * n).map(|i| ((i * 2654435761usize) % 1000) as f32 / 997.0 - 0.5).collect();
+        let mut bdata: Vec<f32> =
+            (0..n * n).map(|i| ((i * 40503usize) % 1000) as f32 / 991.0 - 0.5).collect();
+        for j in 0..n {
+            adata[3 * n + j] = 0.0; // zero row in a
+            bdata[j * n + 5] = 0.0; // zero column in b
+        }
+        adata[7 * n + 11] = f32::NAN;
+        adata[8 * n + 2] = f32::NEG_INFINITY;
+        bdata[4 * n + 9] = f32::INFINITY;
+        bdata[6 * n + 6] = -0.0;
+        let a = Tensor::from_vec(&[n, n], adata);
+        let b = Tensor::from_vec(&[n, n], bdata);
+        for &(ta, tb) in &[(false, false), (true, false), (false, true), (true, true)] {
+            let packed = a.matmul(&b, ta, tb);
+            let ser = a.matmul_serial(&b, ta, tb);
+            let pb: Vec<u32> = packed.data().iter().map(canon_bits).collect();
+            let sb: Vec<u32> = ser.data().iter().map(canon_bits).collect();
+            assert_eq!(pb, sb, "packed variant ({ta}, {tb}) diverged from serial");
         }
     }
 

@@ -183,6 +183,80 @@ fn grad_softmax_with_temperature() {
 }
 
 #[test]
+fn grad_softmax_matmul_nt_fused() {
+    // Left operand (the queries).
+    let b = Tensor::from_vec(&[4, 3], (0..12).map(|i| (i as f32 - 6.0) * 0.2).collect());
+    let weights = Tensor::from_vec(&[2, 4], vec![1., 2., 3., 4., -1., 0., 1., 2.]);
+    let w2 = weights.clone();
+    check(&[2, 3], move |g, w| {
+        let bv = g.input(b.clone());
+        let att = g.softmax_matmul_nt(w, bv, 0.7, 1.3);
+        // Weighted sum so the gradient is non-trivial (softmax rows sum
+        // to 1, so a plain sum has zero gradient).
+        let wv = g.input(w2.clone());
+        let m = g.mul(att, wv);
+        g.sum_all(m)
+    });
+    // Right operand (the keys / phrase matrix).
+    let a = Tensor::from_vec(&[2, 3], vec![0.5, -1.0, 2.0, 0.25, -0.75, 1.5]);
+    check(&[4, 3], move |g, w| {
+        let av = g.input(a.clone());
+        let att = g.softmax_matmul_nt(av, w, 0.7, 1.3);
+        let wv = g.input(weights.clone());
+        let m = g.mul(att, wv);
+        g.sum_all(m)
+    });
+}
+
+/// The fused attention op is bit-identical to the unfused
+/// `matmul_nt` → `scale` → `softmax_rows` chain — forward value AND both
+/// gradients — including with a non-trivial scale and temperature.
+#[test]
+fn fused_softmax_matmul_matches_unfused_bit_for_bit() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let (m, n, d) = (9, 11, 6);
+    let mut params = Params::new();
+    let a = params.add(
+        "a",
+        Tensor::from_vec(&[m, d], (0..m * d).map(|_| rng.gen_range(-2.0..2.0)).collect()),
+    );
+    let b = params.add(
+        "b",
+        Tensor::from_vec(&[n, d], (0..n * d).map(|_| rng.gen_range(-2.0..2.0)).collect()),
+    );
+    let weights =
+        Tensor::from_vec(&[m, n], (0..m * n).map(|_| rng.gen_range(-1.0..1.0)).collect());
+    let bits = |t: &Tensor| -> Vec<u32> { t.data().iter().map(|v| v.to_bits()).collect() };
+    for &(scale, temperature) in &[(1.0f32, 1.0f32), (0.25, 1.0), (0.25, 2.0), (1.0, 0.5)] {
+        let run = |fused: bool| {
+            let mut g = Graph::new(&params, false, 0);
+            let av = g.param(a);
+            let bv = g.param(b);
+            let att = if fused {
+                g.softmax_matmul_nt(av, bv, scale, temperature)
+            } else {
+                let mut s = g.matmul_nt(av, bv);
+                if scale != 1.0 {
+                    s = g.scale(s, scale);
+                }
+                g.softmax_rows(s, temperature)
+            };
+            let forward = bits(g.value(att));
+            let wv = g.input(weights.clone());
+            let weighted = g.mul(att, wv);
+            let loss = g.sum_all(weighted);
+            let grads = g.backward(loss);
+            (forward, bits(grads.get(a).unwrap()), bits(grads.get(b).unwrap()))
+        };
+        assert_eq!(
+            run(true),
+            run(false),
+            "fused op diverged at scale={scale} temperature={temperature}"
+        );
+    }
+}
+
+#[test]
 fn grad_log_softmax_rows() {
     check(&[2, 3], |g, w| {
         let s = g.log_softmax_rows(w, 1.5);

@@ -33,8 +33,15 @@ fn forced_parallel_kernels_match_serial_bit_for_bit() {
         let parallel = run_all(m, k, n, rows, cols);
         assert_eq!(serial.len(), parallel.len(), "result count changed at {forced} threads");
         for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+            // Compare bit patterns (NaN != NaN under `==`; the matmul
+            // results deliberately contain NaN/±Inf/-0.0), with NaN
+            // payloads canonicalized — payload selection in a NaN + NaN
+            // sum is codegen-chosen, not part of the kernel contract.
+            let canon = |v: &f32| if v.is_nan() { f32::NAN.to_bits() } else { v.to_bits() };
+            let sb: Vec<u32> = s.data().iter().map(canon).collect();
+            let pb: Vec<u32> = p.data().iter().map(canon).collect();
             assert!(
-                s.data() == p.data() && s.shape() == p.shape(),
+                sb == pb && s.shape() == p.shape(),
                 "kernel #{i} diverged from serial at {forced} threads"
             );
         }
@@ -46,12 +53,23 @@ fn forced_parallel_kernels_match_serial_bit_for_bit() {
 fn run_all(m: usize, k: usize, n: usize, rows: usize, cols: usize) -> Vec<Tensor> {
     let mut out = Vec::new();
 
-    // All four matmul transpose variants.
+    // All four matmul transpose variants, with NaN/±Inf/-0.0 and a zero
+    // row laced in: the packed kernels must propagate non-finites exactly
+    // like the serial reference at every thread count (the old zero-skip
+    // turned 0 × NaN into 0 on the nn/tn paths).
     for (ta, tb) in [(false, false), (false, true), (true, false), (true, true)] {
         let a_shape = if ta { [k, m] } else { [m, k] };
         let b_shape = if tb { [n, k] } else { [k, n] };
-        let a = Tensor::from_vec(&a_shape, fill(7, m * k));
-        let b = Tensor::from_vec(&b_shape, fill(11, k * n));
+        let mut av = fill(7, m * k);
+        av[0] = f32::NAN;
+        av[m * k / 2] = f32::INFINITY;
+        av[m * k - 1] = -0.0;
+        av[a_shape[1]..2 * a_shape[1]].fill(0.0); // zero row
+        let mut bv = fill(11, k * n);
+        bv[k * n / 3] = f32::NEG_INFINITY;
+        bv[k * n / 5] = f32::NAN;
+        let a = Tensor::from_vec(&a_shape, av);
+        let b = Tensor::from_vec(&b_shape, bv);
         out.push(a.matmul(&b, ta, tb));
         // matmul_into must agree with matmul exactly.
         let mut buf = Tensor::zeros(&[1]);

@@ -15,6 +15,32 @@ fn lcg_fill(seed: u64, n: usize) -> Vec<f32> {
         .collect()
 }
 
+/// Laces a buffer with the values the packed kernels must propagate exactly
+/// like the serial reference: a zero row, a zero column, NaN, ±Inf and -0.0
+/// at seed-dependent positions.
+fn lace_nonfinite(data: &mut [f32], rows: usize, cols: usize, seed: u64) {
+    let s = seed as usize;
+    let zr = s % rows;
+    data[zr * cols..(zr + 1) * cols].fill(0.0);
+    let zc = (s / 7) % cols;
+    for r in 0..rows {
+        data[r * cols + zc] = 0.0;
+    }
+    let n = rows * cols;
+    data[(s.wrapping_mul(31)) % n] = f32::NAN;
+    data[(s.wrapping_mul(53)) % n] = f32::INFINITY;
+    data[(s.wrapping_mul(71)) % n] = f32::NEG_INFINITY;
+    data[(s.wrapping_mul(97)) % n] = -0.0;
+}
+
+/// Bit patterns with NaN payloads canonicalized: NaN-ness, ±Inf, -0.0 and
+/// all finite values compare exactly; which payload survives a NaN + NaN
+/// sum is codegen-chosen (LLVM commutes `fadd`) and not part of the
+/// kernels' bit-exactness contract.
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|v| if v.is_nan() { f32::NAN.to_bits() } else { v.to_bits() }).collect()
+}
+
 fn tensor_2x3() -> impl Strategy<Value = Tensor> {
     proptest::collection::vec(-10.0f32..10.0, 6).prop_map(|v| Tensor::from_vec(&[2, 3], v))
 }
@@ -138,6 +164,83 @@ proptest! {
                 par.data() == ser.data(),
                 "parallel and serial matmul diverged for ta={} tb={}", ta, tb
             );
+        }
+    }
+
+    /// The packed-kernel path propagates NaN/±Inf/-0.0 and zero
+    /// rows/columns *bit-for-bit* like the direct serial reference, for
+    /// every transpose variant. This is the regression property for the
+    /// zero-skip bug: the old nn/tn loops skipped `av == 0.0` terms and
+    /// turned `0 × NaN` into `0`, so the four variants disagreed on exactly
+    /// the inputs the NaN-rollback guard needs to observe.
+    #[test]
+    fn nonfinite_matmul_matches_serial_all_variants(
+        seed in 0u64..1_000_000,
+        extra_m in 0usize..16,
+        extra_k in 0usize..16,
+        extra_n in 0usize..16,
+    ) {
+        let m = wb_tensor::PAR_MIN_ROWS + extra_m;
+        let k = 64 + extra_k;
+        let n = 64 + extra_n;
+        for (ta, tb) in [(false, false), (false, true), (true, false), (true, true)] {
+            let a_shape = if ta { [k, m] } else { [m, k] };
+            let b_shape = if tb { [n, k] } else { [k, n] };
+            let mut av = lcg_fill(seed, m * k);
+            let mut bv = lcg_fill(seed ^ 0x9e37, k * n);
+            lace_nonfinite(&mut av, a_shape[0], a_shape[1], seed);
+            lace_nonfinite(&mut bv, b_shape[0], b_shape[1], seed.wrapping_add(1));
+            let a = Tensor::from_vec(&a_shape, av);
+            let b = Tensor::from_vec(&b_shape, bv);
+            let par = a.matmul(&b, ta, tb);
+            let ser = a.matmul_serial(&b, ta, tb);
+            prop_assert_eq!(par.shape(), ser.shape());
+            prop_assert!(
+                bits(&par) == bits(&ser),
+                "non-finite propagation diverged for ta={} tb={}", ta, tb
+            );
+        }
+    }
+
+    /// `pack_b` is a pure relayout: every element of B (straight or
+    /// transposed) lands at exactly `packed_index(k, j)`, bit-preserved —
+    /// and both orientations of the same logical matrix pack identically.
+    #[test]
+    fn pack_b_round_trip(
+        seed in 0u64..1_000_000,
+        ak in 1usize..2 * wb_tensor::kernels::KC + 4,
+        bn in 1usize..2 * wb_tensor::kernels::NC + 6,
+    ) {
+        use wb_tensor::kernels::{pack_b, packed_index};
+        let mut b = lcg_fill(seed, ak * bn);
+        if ak > 1 && bn > 1 {
+            lace_nonfinite(&mut b, ak, bn, seed);
+        }
+        // The same matrix stored transposed: bt[[j, k]] = b[[k, j]].
+        let mut bt = vec![0.0f32; ak * bn];
+        for k in 0..ak {
+            for j in 0..bn {
+                bt[j * ak + k] = b[k * bn + j];
+            }
+        }
+        let mut straight = Vec::new();
+        let mut transposed = Vec::new();
+        pack_b(&b, false, ak, bn, &mut straight);
+        pack_b(&bt, true, ak, bn, &mut transposed);
+        prop_assert_eq!(straight.len(), ak * bn);
+        prop_assert_eq!(transposed.len(), ak * bn);
+        for k in 0..ak {
+            for j in 0..bn {
+                let idx = packed_index(k, j, ak, bn);
+                prop_assert!(
+                    straight[idx].to_bits() == b[k * bn + j].to_bits(),
+                    "straight pack misplaced ({}, {})", k, j
+                );
+                prop_assert!(
+                    transposed[idx].to_bits() == b[k * bn + j].to_bits(),
+                    "transposed pack misplaced ({}, {})", k, j
+                );
+            }
         }
     }
 
