@@ -50,9 +50,21 @@ fn bench_macro_costs(c: &mut Criterion) {
             let _s = wb_obs::span!("bench.obs.span");
         });
     });
+    // Windowed (sliding 10s/60s) variants: the acceptance bar is within
+    // 2x of the cumulative counter path — one extra tag check plus a
+    // single relaxed add per hit (retired totals fold in at slot recycle).
+    c.bench_function("window_counter_macro_enabled", |b| {
+        b.iter(|| wb_obs::window_counter!("bench.obs.window_counter"));
+    });
+    c.bench_function("window_histogram_macro_enabled", |b| {
+        b.iter(|| wb_obs::window_histogram!("bench.obs.window_histogram", black_box(1.5)));
+    });
     wb_obs::set_enabled(false);
     c.bench_function("counter_macro_disabled", |b| {
         b.iter(|| wb_obs::counter!("bench.obs.counter"));
+    });
+    c.bench_function("window_counter_macro_disabled", |b| {
+        b.iter(|| wb_obs::window_counter!("bench.obs.window_counter"));
     });
     wb_obs::set_enabled(true);
 }

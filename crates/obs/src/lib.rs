@@ -79,10 +79,12 @@
 pub mod json;
 pub mod log;
 pub mod metrics;
+pub mod prometheus;
 pub mod report;
 pub mod retry;
 pub mod span;
 pub mod trace;
+pub mod window;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -148,6 +150,33 @@ macro_rules! gauge_max {
 macro_rules! histogram {
     ($name:expr, $v:expr) => {{
         static __SLOT: $crate::metrics::Cached<$crate::metrics::Histogram> =
+            $crate::metrics::Cached::new();
+        __SLOT.with($name, |__m| __m.observe($v as f64));
+    }};
+}
+
+/// Increments a named sliding-window counter (by 1, or by an explicit
+/// amount). Windowed metrics answer "what is happening *now*" — see
+/// [`window`]; pair with a [`counter!`] when the cumulative total also
+/// matters (the window counter keeps its own total too).
+#[macro_export]
+macro_rules! window_counter {
+    ($name:expr) => {
+        $crate::window_counter!($name, 1)
+    };
+    ($name:expr, $n:expr) => {{
+        static __SLOT: $crate::metrics::Cached<$crate::window::WindowCounter> =
+            $crate::metrics::Cached::new();
+        __SLOT.with($name, |__m| __m.add($n as u64));
+    }};
+}
+
+/// Records an observation into a named sliding-window histogram (10 s and
+/// 60 s views; see [`window`]).
+#[macro_export]
+macro_rules! window_histogram {
+    ($name:expr, $v:expr) => {{
+        static __SLOT: $crate::metrics::Cached<$crate::window::WindowHistogram> =
             $crate::metrics::Cached::new();
         __SLOT.with($name, |__m| __m.observe($v as f64));
     }};

@@ -350,6 +350,17 @@ impl HistogramSnapshot {
     /// an *estimate*, fit for dashboards and regression gates, not exact
     /// order statistics. Returns `None` for an empty histogram.
     pub fn quantile(&self, q: f64) -> Option<f64> {
+        self.quantile_marked(q).map(|(v, _)| v)
+    }
+
+    /// Like [`HistogramSnapshot::quantile`], but also reports whether the
+    /// target rank landed in the open-ended overflow bucket (past the
+    /// last configured bound). There the histogram has no upper edge —
+    /// the estimate interpolates toward the recorded maximum, which under
+    /// saturation is itself only a lower bound on the tail — so callers
+    /// should present a `true` flag as an open-ended "at least" estimate
+    /// (`wb report` renders it with a `>` marker).
+    pub fn quantile_marked(&self, q: f64) -> Option<(f64, bool)> {
         if self.count == 0 {
             return None;
         }
@@ -358,15 +369,17 @@ impl HistogramSnapshot {
         let mut cum = 0u64;
         let mut lower = min;
         for &(le, n) in &self.buckets {
-            let upper = if le == f64::MAX { max } else { le.clamp(min, max) };
+            let open_ended = le == f64::MAX;
+            let upper = if open_ended { max } else { le.clamp(min, max) };
             if (cum + n) as f64 >= target {
                 let frac = if n == 0 { 0.0 } else { (target - cum as f64) / n as f64 };
-                return Some((lower + frac * (upper - lower)).clamp(min, max));
+                return Some(((lower + frac * (upper - lower)).clamp(min, max), open_ended));
             }
             cum += n;
             lower = upper;
         }
-        Some(max)
+        let open_ended = self.buckets.last().is_some_and(|&(le, _)| le == f64::MAX);
+        Some((max, open_ended))
     }
 }
 
@@ -384,6 +397,11 @@ pub struct SpanSnapshot {
 /// Everything in the registry at one moment, with deterministic ordering.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Snapshot {
+    /// Milliseconds since the process observability epoch (see
+    /// [`crate::window::epoch`]) at the moment the snapshot was taken.
+    /// `wb report --diff` divides counter deltas by the uptime delta to
+    /// derive rates. Zero in snapshots written before this field existed.
+    pub uptime_ms: f64,
     /// Counter values by name.
     pub counters: BTreeMap<String, u64>,
     /// Gauge values by name.
@@ -397,7 +415,10 @@ pub struct Snapshot {
 /// Freezes the global registry.
 pub fn snapshot() -> Snapshot {
     let r = registry();
-    let mut s = Snapshot::default();
+    let mut s = Snapshot {
+        uptime_ms: crate::window::epoch().elapsed().as_secs_f64() * 1e3,
+        ..Snapshot::default()
+    };
     for (name, c) in r.counters.read().unwrap().iter() {
         s.counters.insert(name.clone(), c.get());
     }
@@ -429,6 +450,7 @@ impl Snapshot {
 
     fn to_value(&self) -> Json {
         let mut root = BTreeMap::new();
+        root.insert("uptime_ms".to_string(), Json::Num(self.uptime_ms));
         root.insert(
             "counters".to_string(),
             Json::Obj(
@@ -488,7 +510,10 @@ impl Snapshot {
     /// Parses a snapshot previously produced by [`Snapshot::to_json`].
     pub fn from_json(text: &str) -> Result<Snapshot, String> {
         let v = Json::parse(text)?;
-        let mut s = Snapshot::default();
+        let mut s = Snapshot {
+            uptime_ms: v.get("uptime_ms").and_then(Json::as_num).unwrap_or(0.0),
+            ..Snapshot::default()
+        };
         if let Some(obj) = v.get("counters").and_then(Json::as_obj) {
             for (k, n) in obj {
                 let n = n.as_num().ok_or_else(|| format!("counter `{k}` is not a number"))?;
@@ -634,6 +659,39 @@ mod tests {
         let s = h.snapshot();
         let p99 = s.quantile(0.99).unwrap();
         assert!(p99 <= 200.0 && p99 > 100.0, "p99 = {p99}");
+    }
+
+    #[test]
+    fn quantile_marked_flags_open_ended_estimates() {
+        let h = registry().histogram_with("test.metrics.quantile_marked", &[1.0]);
+        h.observe(0.5);
+        h.observe(100.0);
+        h.observe(200.0);
+        let s = h.snapshot();
+        // p99 lands in the overflow bucket: the estimate is open-ended.
+        let (p99, open) = s.quantile_marked(0.99).unwrap();
+        assert!(open, "p99 in overflow must be marked open-ended");
+        assert!(p99 > 100.0, "p99 = {p99}");
+        // A low quantile resolved by the bounded bucket is not marked.
+        let (p10, open) = s.quantile_marked(0.1).unwrap();
+        assert!(!open, "p10 = {p10} should resolve in a bounded bucket");
+        // A histogram whose values never overflow is never marked.
+        let h2 = registry().histogram_with("test.metrics.quantile_unmarked", &[10.0, 100.0]);
+        h2.observe(5.0);
+        h2.observe(50.0);
+        let s2 = h2.snapshot();
+        assert!(!s2.quantile_marked(0.99).unwrap().1);
+    }
+
+    #[test]
+    fn snapshot_records_uptime_and_roundtrips_it() {
+        let s = snapshot();
+        assert!(s.uptime_ms >= 0.0);
+        let parsed = Snapshot::from_json(&s.to_json()).unwrap();
+        assert_eq!(parsed.uptime_ms, s.uptime_ms);
+        // Snapshots written before the field existed parse as zero.
+        let old = Snapshot::from_json(r#"{"counters":{},"gauges":{}}"#).unwrap();
+        assert_eq!(old.uptime_ms, 0.0);
     }
 
     #[test]

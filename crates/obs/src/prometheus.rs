@@ -1,0 +1,244 @@
+//! Prometheus text exposition rendering for [`crate::metrics::Snapshot`].
+//!
+//! Dashboards and alerting almost universally speak the Prometheus
+//! text exposition format (version 0.0.4): `# HELP`/`# TYPE` comment
+//! lines followed by `name{labels} value` samples, with histograms
+//! expanded into cumulative `_bucket{le="..."}` series plus `_sum` and
+//! `_count`. [`render`] translates a frozen snapshot into that format so
+//! `GET /metrics?format=prometheus` can be scraped directly — no client
+//! library, no new dependency, just careful string assembly.
+//!
+//! ## Mapping
+//!
+//! | wb-obs            | Prometheus                                        |
+//! |-------------------|---------------------------------------------------|
+//! | counter `a.b.c`   | `wb_a_b_c` (TYPE counter)                         |
+//! | gauge `a.b`       | `wb_a_b` (TYPE gauge)                             |
+//! | histogram `a.b`   | `wb_a_b_bucket{le="..."}` (cumulative) + `_sum` + `_count`; the open-ended overflow bucket folds into `le="+Inf"` |
+//! | span path `a/b`   | `wb_span_count`/`wb_span_total_ns`/`wb_span_self_ns` with a `path` label |
+//! | snapshot uptime   | `wb_uptime_milliseconds` (TYPE gauge)             |
+//!
+//! Metric names are sanitised to `[a-zA-Z0-9_:]` (dots become
+//! underscores) and prefixed `wb_`; label values are escaped per the
+//! exposition spec (`\\`, `\"`, `\n`).
+
+use crate::metrics::Snapshot;
+use std::fmt::Write as _;
+
+/// The Content-Type a scrape endpoint should serve this format under.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Sanitises a wb-obs metric name into a Prometheus metric name:
+/// `wb_` prefix, every character outside `[a-zA-Z0-9_:]` replaced by
+/// `_`.
+pub fn metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 3);
+    out.push_str("wb_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote and newline.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a sample value. Prometheus floats accept Rust's shortest
+/// `Display` form; non-finite values spell as `+Inf`/`-Inf`/`NaN`.
+fn num(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders a snapshot in Prometheus text exposition format (0.0.4).
+/// Output order is deterministic: uptime, counters, gauges, histograms,
+/// spans, each alphabetical (inherited from the snapshot's sorted maps).
+pub fn render(s: &Snapshot) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "# HELP wb_uptime_milliseconds Milliseconds since the process observability epoch.\n",
+    );
+    out.push_str("# TYPE wb_uptime_milliseconds gauge\n");
+    let _ = writeln!(out, "wb_uptime_milliseconds {}", num(s.uptime_ms));
+
+    for (name, &v) in &s.counters {
+        let pname = metric_name(name);
+        let _ = writeln!(out, "# HELP {pname} wb-obs counter `{name}`.");
+        let _ = writeln!(out, "# TYPE {pname} counter");
+        let _ = writeln!(out, "{pname} {v}");
+    }
+
+    for (name, &v) in &s.gauges {
+        let pname = metric_name(name);
+        let _ = writeln!(out, "# HELP {pname} wb-obs gauge `{name}`.");
+        let _ = writeln!(out, "# TYPE {pname} gauge");
+        let _ = writeln!(out, "{pname} {}", num(v));
+    }
+
+    for (name, h) in &s.histograms {
+        let pname = metric_name(name);
+        let _ = writeln!(out, "# HELP {pname} wb-obs histogram `{name}`.");
+        let _ = writeln!(out, "# TYPE {pname} histogram");
+        // wb-obs snapshots keep per-bucket counts for non-empty buckets;
+        // Prometheus wants cumulative counts over every emitted edge. The
+        // overflow bucket (recorded with an f64::MAX edge) folds into the
+        // mandatory +Inf bucket, which always equals the total count.
+        let mut cum = 0u64;
+        for &(le, n) in &h.buckets {
+            cum += n;
+            if le == f64::MAX {
+                break; // folded into +Inf below
+            }
+            let _ = writeln!(out, "{pname}_bucket{{le=\"{}\"}} {cum}", num(le));
+        }
+        let _ = writeln!(out, "{pname}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(out, "{pname}_sum {}", num(h.sum));
+        let _ = writeln!(out, "{pname}_count {}", h.count);
+    }
+
+    if !s.spans.is_empty() {
+        out.push_str("# HELP wb_span_count Completed spans at each nesting path.\n");
+        out.push_str("# TYPE wb_span_count counter\n");
+        for (path, sp) in &s.spans {
+            let _ =
+                writeln!(out, "wb_span_count{{path=\"{}\"}} {}", escape_label(path), sp.count);
+        }
+        out.push_str(
+            "# HELP wb_span_total_ns Total nanoseconds (including children) per span path.\n",
+        );
+        out.push_str("# TYPE wb_span_total_ns counter\n");
+        for (path, sp) in &s.spans {
+            let _ = writeln!(
+                out,
+                "wb_span_total_ns{{path=\"{}\"}} {}",
+                escape_label(path),
+                sp.total_ns
+            );
+        }
+        out.push_str("# HELP wb_span_self_ns Nanoseconds excluding same-thread children per span path.\n");
+        out.push_str("# TYPE wb_span_self_ns counter\n");
+        for (path, sp) in &s.spans {
+            let _ = writeln!(
+                out,
+                "wb_span_self_ns{{path=\"{}\"}} {}",
+                escape_label(path),
+                sp.self_ns
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{HistogramSnapshot, SpanSnapshot};
+
+    fn sample_snapshot() -> Snapshot {
+        let mut s = Snapshot { uptime_ms: 1500.0, ..Snapshot::default() };
+        s.counters.insert("serve.requests".into(), 42);
+        s.gauges.insert("serve.queue.depth".into(), 3.0);
+        s.histograms.insert(
+            "serve.request.latency_us".into(),
+            HistogramSnapshot {
+                count: 6,
+                sum: 1234.0,
+                min: Some(1.0),
+                max: Some(900.0),
+                buckets: vec![(10.0, 2), (100.0, 3), (f64::MAX, 1)],
+            },
+        );
+        s.spans.insert(
+            "serve/brief".into(),
+            SpanSnapshot { count: 4, total_ns: 1000, self_ns: 900 },
+        );
+        s
+    }
+
+    #[test]
+    fn names_are_sanitised_and_prefixed() {
+        assert_eq!(metric_name("serve.request.latency_us"), "wb_serve_request_latency_us");
+        assert_eq!(metric_name("a-b c"), "wb_a_b_c");
+    }
+
+    #[test]
+    fn renders_type_and_help_for_every_family() {
+        let text = render(&sample_snapshot());
+        for family in [
+            "wb_uptime_milliseconds",
+            "wb_serve_requests",
+            "wb_serve_queue_depth",
+            "wb_serve_request_latency_us",
+        ] {
+            assert!(text.contains(&format!("# TYPE {family} ")), "missing TYPE for {family}");
+            assert!(text.contains(&format!("# HELP {family} ")), "missing HELP for {family}");
+        }
+        assert!(text.contains("wb_serve_requests 42\n"));
+        assert!(text.contains("wb_serve_queue_depth 3\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_at_inf() {
+        let text = render(&sample_snapshot());
+        assert!(text.contains("wb_serve_request_latency_us_bucket{le=\"10\"} 2\n"));
+        assert!(text.contains("wb_serve_request_latency_us_bucket{le=\"100\"} 5\n"));
+        // The f64::MAX overflow bucket folds into +Inf == total count.
+        assert!(text.contains("wb_serve_request_latency_us_bucket{le=\"+Inf\"} 6\n"));
+        assert!(!text.contains("179769313486231"), "raw f64::MAX must not leak");
+        assert!(text.contains("wb_serve_request_latency_us_sum 1234\n"));
+        assert!(text.contains("wb_serve_request_latency_us_count 6\n"));
+    }
+
+    #[test]
+    fn bucket_counts_are_monotone_nondecreasing() {
+        let text = render(&sample_snapshot());
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.contains("_bucket{")) {
+            let n: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(n >= last, "bucket counts must be cumulative: {line}");
+            last = n;
+        }
+    }
+
+    #[test]
+    fn span_paths_become_labels() {
+        let text = render(&sample_snapshot());
+        assert!(text.contains("wb_span_count{path=\"serve/brief\"} 4\n"));
+        assert!(text.contains("wb_span_total_ns{path=\"serve/brief\"} 1000\n"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn empty_snapshot_still_renders_uptime() {
+        let text = render(&Snapshot::default());
+        assert!(text.starts_with("# HELP wb_uptime_milliseconds"));
+        assert!(text.contains("wb_uptime_milliseconds 0\n"));
+    }
+}

@@ -31,12 +31,26 @@ pub fn render(snapshot: &Snapshot) -> String {
         section(&mut out, "histograms");
         // p50/p90/p99 are interpolated inside the 1-2-5 ladder buckets —
         // estimates, not exact order statistics (see
-        // `HistogramSnapshot::quantile`).
+        // `HistogramSnapshot::quantile`). A leading `>` marks an
+        // open-ended estimate: the rank fell in the overflow bucket past
+        // the last bound, so the true quantile is at least the shown
+        // value (see `HistogramSnapshot::quantile_marked`).
         let rows: Vec<[String; 8]> = snapshot
             .histograms
             .iter()
             .map(|(name, h)| {
-                let q = |q: f64| h.quantile(q).map(format_f64).unwrap_or_else(|| "-".into());
+                let q = |q: f64| {
+                    h.quantile_marked(q)
+                        .map(|(v, open)| {
+                            let v = format_f64(v);
+                            if open {
+                                format!(">{v}")
+                            } else {
+                                v
+                            }
+                        })
+                        .unwrap_or_else(|| "-".into())
+                };
                 [
                     name.clone(),
                     group_digits(h.count),
@@ -77,6 +91,113 @@ pub fn render(snapshot: &Snapshot) -> String {
         out.push_str("(empty snapshot)\n");
     }
     out
+}
+
+/// Renders the difference between two snapshots — `wb report --diff A B`.
+///
+/// Cumulative counters answer "how many ever"; operators usually want
+/// "how many per second lately". Given two snapshots of the same process
+/// taken at different times, this prints per-name deltas and, when both
+/// snapshots carry an uptime (so the elapsed interval is known), derived
+/// rates `delta / Δuptime`. Histograms show the observations added in
+/// the interval and their interval-local mean; gauges show before → after.
+pub fn render_diff(a: &Snapshot, b: &Snapshot) -> String {
+    let mut out = String::new();
+    let dt_secs = (b.uptime_ms - a.uptime_ms) / 1e3;
+    let rate = |delta: f64| {
+        if dt_secs > 0.0 {
+            format_f64(delta / dt_secs)
+        } else {
+            "-".into()
+        }
+    };
+    let _ = writeln!(
+        out,
+        "interval: {}",
+        if dt_secs > 0.0 {
+            format!("{dt_secs:.3}s (uptime {:.1}ms -> {:.1}ms)", a.uptime_ms, b.uptime_ms)
+        } else {
+            "unknown (snapshots lack comparable uptimes; rates omitted)".into()
+        }
+    );
+
+    let counter_names: Vec<&String> = union_keys(&a.counters, &b.counters);
+    if !counter_names.is_empty() {
+        section(&mut out, "counters");
+        let rows: Vec<[String; 5]> = counter_names
+            .iter()
+            .map(|name| {
+                let (va, vb) = (
+                    a.counters.get(*name).copied().unwrap_or(0),
+                    b.counters.get(*name).copied().unwrap_or(0),
+                );
+                let delta = vb as i128 - va as i128;
+                [
+                    (*name).clone(),
+                    group_digits(va),
+                    group_digits(vb),
+                    format_i128(delta),
+                    rate(delta as f64),
+                ]
+            })
+            .collect();
+        table(&mut out, &["name", "a", "b", "delta", "rate/s"], &rows);
+    }
+
+    let gauge_names: Vec<&String> = union_keys(&a.gauges, &b.gauges);
+    if !gauge_names.is_empty() {
+        section(&mut out, "gauges");
+        let rows: Vec<[String; 4]> = gauge_names
+            .iter()
+            .map(|name| {
+                let (va, vb) = (
+                    a.gauges.get(*name).copied().unwrap_or(0.0),
+                    b.gauges.get(*name).copied().unwrap_or(0.0),
+                );
+                [(*name).clone(), format_f64(va), format_f64(vb), format_f64(vb - va)]
+            })
+            .collect();
+        table(&mut out, &["name", "a", "b", "delta"], &rows);
+    }
+
+    let hist_names: Vec<&String> = union_keys(&a.histograms, &b.histograms);
+    if !hist_names.is_empty() {
+        section(&mut out, "histograms");
+        let rows: Vec<[String; 4]> = hist_names
+            .iter()
+            .map(|name| {
+                let (ca, sa) = a.histograms.get(*name).map_or((0, 0.0), |h| (h.count, h.sum));
+                let (cb, sb) = b.histograms.get(*name).map_or((0, 0.0), |h| (h.count, h.sum));
+                let dcount = cb as i128 - ca as i128;
+                let mean =
+                    if dcount > 0 { format_f64((sb - sa) / dcount as f64) } else { "-".into() };
+                [(*name).clone(), format_i128(dcount), rate(dcount as f64), mean]
+            })
+            .collect();
+        table(&mut out, &["name", "delta count", "rate/s", "interval mean"], &rows);
+    }
+
+    out
+}
+
+/// Sorted union of both maps' keys (each map is already sorted).
+fn union_keys<'a, V>(
+    a: &'a std::collections::BTreeMap<String, V>,
+    b: &'a std::collections::BTreeMap<String, V>,
+) -> Vec<&'a String> {
+    let mut keys: Vec<&String> = a.keys().chain(b.keys()).collect();
+    keys.sort();
+    keys.dedup();
+    keys
+}
+
+/// Signed delta with digit grouping and an explicit `+` on increases.
+fn format_i128(v: i128) -> String {
+    match v {
+        0 => "0".into(),
+        v if v > 0 => format!("+{}", group_digits(v as u64)),
+        v => format!("-{}", group_digits(v.unsigned_abs() as u64)),
+    }
 }
 
 fn section(out: &mut String, title: &str) {
@@ -196,6 +317,83 @@ mod tests {
         // Child span is indented under its parent.
         assert!(text.contains("\n  train.step"), "got:\n{text}");
         assert!(text.contains("2.50ms"));
+    }
+
+    #[test]
+    fn open_ended_quantiles_carry_a_marker() {
+        let mut s = Snapshot::default();
+        s.histograms.insert(
+            "serve.saturated_us".into(),
+            HistogramSnapshot {
+                count: 10,
+                sum: 5000.0,
+                min: Some(0.5),
+                max: Some(2000.0),
+                // 9 of 10 observations blew past the only bound: p90/p99
+                // land in the overflow bucket.
+                buckets: vec![(1.0, 1), (f64::MAX, 9)],
+            },
+        );
+        let text = render(&s);
+        assert!(text.contains(">"), "saturated quantiles must be marked:\n{text}");
+        // The p50 column is open-ended too here (rank 5 of 10 is in
+        // overflow), while min/max stay unmarked numbers.
+        assert!(text.contains(">2,000") || text.contains(">2000") || text.contains(">1"));
+    }
+
+    #[test]
+    fn diff_reports_deltas_and_rates() {
+        let mut a = Snapshot { uptime_ms: 1000.0, ..Snapshot::default() };
+        a.counters.insert("serve.requests".into(), 100);
+        a.gauges.insert("serve.queue.depth".into(), 2.0);
+        a.histograms.insert(
+            "serve.request.latency_us".into(),
+            HistogramSnapshot {
+                count: 100,
+                sum: 1000.0,
+                min: Some(1.0),
+                max: Some(50.0),
+                buckets: vec![(100.0, 100)],
+            },
+        );
+        let mut b = a.clone();
+        b.uptime_ms = 3000.0;
+        b.counters.insert("serve.requests".into(), 300);
+        b.counters.insert("serve.errors".into(), 4);
+        b.gauges.insert("serve.queue.depth".into(), 7.0);
+        b.histograms.insert(
+            "serve.request.latency_us".into(),
+            HistogramSnapshot {
+                count: 300,
+                sum: 5000.0,
+                min: Some(1.0),
+                max: Some(90.0),
+                buckets: vec![(100.0, 300)],
+            },
+        );
+        let text = render_diff(&a, &b);
+        assert!(text.contains("interval: 2.000s"), "got:\n{text}");
+        // 200 more requests over 2s -> 100/s.
+        assert!(text.contains("+200"), "got:\n{text}");
+        assert!(text.contains("100"), "got:\n{text}");
+        // A counter only present in B diffs from zero.
+        assert!(text.contains("serve.errors"));
+        assert!(text.contains("+4"));
+        // Gauge before -> after delta.
+        assert!(text.contains("5"), "queue depth delta:\n{text}");
+        // Histogram interval mean: (5000-1000)/(300-100) = 20.
+        assert!(text.contains("20"), "got:\n{text}");
+    }
+
+    #[test]
+    fn diff_without_uptime_omits_rates() {
+        let mut a = Snapshot::default();
+        a.counters.insert("c".into(), 1);
+        let mut b = Snapshot::default();
+        b.counters.insert("c".into(), 5);
+        let text = render_diff(&a, &b);
+        assert!(text.contains("unknown"), "got:\n{text}");
+        assert!(text.contains("+4"));
     }
 
     #[test]

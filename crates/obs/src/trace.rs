@@ -391,6 +391,44 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_overflow_accounts_every_overwrite_exactly() {
+        let _guard = crate::TEST_FLAG_LOCK.lock().unwrap();
+        start();
+        const THREADS: u64 = 4;
+        const EXTRA: u64 = 100;
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for _ in 0..(MAX_EVENTS_PER_THREAD as u64 + EXTRA) {
+                        sample("test.trace.flood", 1.0);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        stop();
+        // Rings are per-thread, so the drop accounting is exact even under
+        // concurrency: each thread overflowed by exactly EXTRA.
+        let s = summary();
+        assert_eq!(s.overwritten, THREADS * EXTRA);
+        assert_eq!(
+            s.counter_counts.get("test.trace.flood"),
+            Some(&(THREADS * MAX_EVENTS_PER_THREAD as u64)),
+            "every surviving event is still in its ring"
+        );
+        // The flooded export is still one valid JSON document and carries
+        // the loss count so a reader knows the timeline is incomplete.
+        let text = export_chrome();
+        let v = Json::parse(&text).expect("flooded trace still parses");
+        assert_eq!(
+            v.get("otherData").and_then(|o| o.get("overwritten_events")).and_then(Json::as_num),
+            Some((THREADS * EXTRA) as f64)
+        );
+    }
+
+    #[test]
     fn ring_overwrites_oldest_past_capacity() {
         let mut ring = Ring::default();
         for i in 0..(MAX_EVENTS_PER_THREAD as u64 + 10) {

@@ -29,6 +29,36 @@ pub enum BriefOutcome {
     Expired,
 }
 
+/// What the executor sends back for one job: the outcome plus the
+/// executor-side share of the request's stage breakdown. Batch stages
+/// are whole-batch durations attributed to every member — the batch runs
+/// as one unit, so each request really did wait for the whole model run.
+#[derive(Debug, Clone)]
+pub struct Completion {
+    /// The briefing outcome.
+    pub outcome: BriefOutcome,
+    /// Microseconds this job waited between submission and its batch
+    /// being drained by the executor.
+    pub batch_wait_us: u64,
+    /// Microseconds the batch spent in the model (including any
+    /// configured handler delay, which stands in for model cost). Zero
+    /// for jobs that expired before the model ran.
+    pub model_us: u64,
+    /// Microseconds serialising the batch's briefs to JSON.
+    pub serialize_us: u64,
+}
+
+impl Completion {
+    fn expired(batch_wait_us: u64) -> Self {
+        Completion {
+            outcome: BriefOutcome::Expired,
+            batch_wait_us,
+            model_us: 0,
+            serialize_us: 0,
+        }
+    }
+}
+
 /// One queued request: the page and the channel its outcome goes back on.
 pub struct Job {
     /// Raw page HTML.
@@ -36,9 +66,12 @@ pub struct Job {
     /// Latest moment this request is still worth answering; checked by the
     /// executor before the model runs.
     pub deadline: Instant,
+    /// When the worker submitted the job — the start of the `batch_wait`
+    /// stage.
+    pub submitted: Instant,
     /// Completion channel back to the waiting worker. Send failures are
     /// ignored — the worker may have timed out and gone away.
-    pub tx: Sender<BriefOutcome>,
+    pub tx: Sender<Completion>,
 }
 
 struct Queue {
@@ -116,6 +149,14 @@ impl Batcher {
         while let Some(jobs) = self.next_batch() {
             let _span = wb_obs::span!("serve.batch");
             wb_obs::histogram!("serve.batch.size", jobs.len());
+            // Everything from here to the end of brief_corpus is "model"
+            // time for this batch: the handler-delay stall simulates model
+            // cost, and the deadline gate/coalescing are noise next to it.
+            let drained = Instant::now();
+            let batch_wait = |job: &Job| {
+                u64::try_from(drained.saturating_duration_since(job.submitted).as_micros())
+                    .unwrap_or(u64::MAX)
+            };
             if !handler_delay.is_zero() {
                 std::thread::sleep(handler_delay);
             }
@@ -127,7 +168,8 @@ impl Batcher {
             if !expired.is_empty() {
                 wb_obs::counter!("serve.deadline.expired", expired.len());
                 for job in expired {
-                    let _ = job.tx.send(BriefOutcome::Expired);
+                    let wait = batch_wait(&job);
+                    let _ = job.tx.send(Completion::expired(wait));
                 }
             }
             if jobs.is_empty() {
@@ -148,7 +190,7 @@ impl Batcher {
             }
             wb_obs::counter!("serve.batch.pages", uniq.len());
             let htmls: Vec<String> = uniq.iter().map(|s| s.to_string()).collect();
-            let outcomes: Vec<BriefOutcome> = match catch_unwind(AssertUnwindSafe(|| {
+            let briefed = catch_unwind(AssertUnwindSafe(|| {
                 if wb_chaos::fault_point!("serve.worker.pre_model").is_some() {
                     // An injected `error`/`nan` at this point stands in for
                     // any pre-model failure; it must look like a model
@@ -156,7 +198,10 @@ impl Batcher {
                     panic!("injected fault: serve.worker.pre_model");
                 }
                 briefer.brief_corpus(&htmls)
-            })) {
+            }));
+            let model_us = u64::try_from(drained.elapsed().as_micros()).unwrap_or(u64::MAX);
+            let serialize_t0 = Instant::now();
+            let outcomes: Vec<BriefOutcome> = match briefed {
                 Ok(results) => {
                     breaker.record_success();
                     results
@@ -182,8 +227,15 @@ impl Batcher {
                     ]
                 }
             };
+            let serialize_us =
+                u64::try_from(serialize_t0.elapsed().as_micros()).unwrap_or(u64::MAX);
             for (job, &uniq_idx) in jobs.iter().zip(&index_of) {
-                let _ = job.tx.send(outcomes[uniq_idx].clone());
+                let _ = job.tx.send(Completion {
+                    outcome: outcomes[uniq_idx].clone(),
+                    batch_wait_us: batch_wait(job),
+                    model_us,
+                    serialize_us,
+                });
             }
         }
     }
@@ -209,7 +261,12 @@ mod tests {
         let b = Batcher::new();
         b.close();
         let (tx, _rx) = channel();
-        assert!(!b.submit(Job { html: "<html/>".into(), deadline: far_deadline(), tx }));
+        assert!(!b.submit(Job {
+            html: "<html/>".into(),
+            deadline: far_deadline(),
+            submitted: Instant::now(),
+            tx
+        }));
         assert!(b.next_batch().is_none());
     }
 
@@ -221,6 +278,7 @@ mod tests {
             assert!(b.submit(Job {
                 html: format!("<p>{i}</p>"),
                 deadline: far_deadline(),
+                submitted: Instant::now(),
                 tx
             }));
         }

@@ -80,6 +80,18 @@ impl CircuitBreaker {
         CircuitBreaker { cfg, state: Mutex::new(State::Closed { failures: Vec::new() }) }
     }
 
+    /// The current state for dashboards (`/varz`, `wb top`): `"closed"`,
+    /// `"open"` or `"half-open"`. A pure peek — it never transitions the
+    /// state machine, so an elapsed cooldown still reads `"open"` until
+    /// the next [`CircuitBreaker::admit`] turns it into a probe.
+    pub fn state_name(&self) -> &'static str {
+        match &*self.state.lock().unwrap() {
+            State::Closed { .. } => "closed",
+            State::Open { .. } => "open",
+            State::HalfOpen => "half-open",
+        }
+    }
+
     /// Decides whether a model-path request may proceed right now.
     pub fn admit(&self) -> Admission {
         if self.cfg.threshold == 0 {
@@ -229,6 +241,19 @@ mod tests {
         assert!(matches!(b.admit(), Admission::Reject { .. }), "failed probe must re-open");
         std::thread::sleep(Duration::from_millis(30));
         assert_eq!(b.admit(), Admission::Probe, "a fresh cooldown admits another probe");
+    }
+
+    #[test]
+    fn state_name_tracks_transitions() {
+        let b = CircuitBreaker::new(cfg(1, 20));
+        assert_eq!(b.state_name(), "closed");
+        b.record_failure();
+        assert_eq!(b.state_name(), "open");
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(b.admit(), Admission::Probe);
+        assert_eq!(b.state_name(), "half-open");
+        b.record_success();
+        assert_eq!(b.state_name(), "closed");
     }
 
     #[test]

@@ -18,6 +18,8 @@ pub struct Request {
     pub method: String,
     /// Request path without query string.
     pub path: String,
+    /// Raw query string after the `?` (empty when the target has none).
+    pub query: String,
     /// Header `(name, value)` pairs, names lower-cased, values trimmed.
     pub headers: Vec<(String, String)>,
     /// Raw body bytes (empty when the request carries none).
@@ -28,6 +30,15 @@ impl Request {
     /// The value of the first header named `name` (give it lower-case).
     pub fn header(&self, name: &str) -> Option<&str> {
         self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// The value of query parameter `key` (`?key=value&…`), undecoded.
+    /// A bare `?key` yields an empty string.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == key).then_some(v)
+        })
     }
 }
 
@@ -153,7 +164,10 @@ pub fn read_request(
     if !version.starts_with("HTTP/1.") {
         return Err(HttpError::Malformed(format!("unsupported protocol `{version}`")));
     }
-    let path = target.split('?').next().unwrap_or(target).to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
 
     let mut content_length = 0usize;
     let mut headers: Vec<(String, String)> = Vec::new();
@@ -197,7 +211,7 @@ pub fn read_request(
             Err(e) => return Err(HttpError::Malformed(format!("read failed: {e}"))),
         }
     }
-    Ok(Request { method: method.to_string(), path, headers, body })
+    Ok(Request { method: method.to_string(), path, query, headers, body })
 }
 
 fn find_head_end(buf: &[u8]) -> Option<usize> {
@@ -314,7 +328,22 @@ mod tests {
         .unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/brief");
+        assert_eq!(req.query, "x=1");
+        assert_eq!(req.query_param("x"), Some("1"));
+        assert_eq!(req.query_param("y"), None);
         assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn query_params_parse_pairs_and_bare_keys() {
+        let req =
+            parse_raw(b"GET /metrics?format=prometheus&raw HTTP/1.1\r\n\r\n", 1024).unwrap();
+        assert_eq!(req.path, "/metrics");
+        assert_eq!(req.query_param("format"), Some("prometheus"));
+        assert_eq!(req.query_param("raw"), Some(""));
+        let req = parse_raw(b"GET /metrics HTTP/1.1\r\n\r\n", 1024).unwrap();
+        assert_eq!(req.query, "");
+        assert_eq!(req.query_param("format"), None);
     }
 
     #[test]

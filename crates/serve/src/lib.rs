@@ -35,8 +35,22 @@
 //! |------------------|----------------------------------------------------|
 //! | `POST /brief`    | HTML body in → pretty-printed `Brief` JSON out (byte-identical to `wb brief --json`) |
 //! | `GET /healthz`   | `{"status":"ok"}`                                  |
-//! | `GET /metrics`   | the `wb-obs` metrics snapshot JSON                 |
+//! | `GET /metrics`   | the `wb-obs` metrics snapshot JSON; `?format=prometheus` for text exposition |
+//! | `GET /varz`      | the windowed live view (RPS, error rate, windowed percentiles, stage breakdown) — what `wb top` polls |
 //! | `POST /shutdown` | acknowledge, then shut down gracefully             |
+//!
+//! ## Request-scoped telemetry
+//!
+//! Every request carries an id (inbound `X-Request-Id` honoured,
+//! otherwise minted; always echoed back) and a [`telemetry::StageTimings`]
+//! breakdown — `queue_wait → parse → cache → batch_wait → model →
+//! serialize → write` — recorded into the `serve.stage.*_us` histogram
+//! family (cumulative and windowed), echoed as a `Server-Timing` response
+//! header and emitted as a structured JSON access-log line (sampled via
+//! `--access-log-sample`; requests slower than `--slow-request-ms`
+//! always log at WARN). Control-plane routes (`/healthz`, `/metrics`,
+//! `/varz`, `/shutdown`) record `serve.control.latency_us` so scrapes
+//! and health probes never skew serving percentiles.
 //!
 //! ## Shutdown
 //!
@@ -52,8 +66,9 @@ pub mod cache;
 pub mod http;
 pub mod server;
 pub mod signal;
+pub mod telemetry;
 
-pub use batch::{Batcher, BriefOutcome, Job};
+pub use batch::{Batcher, BriefOutcome, Completion, Job};
 pub use breaker::{Admission, BreakerConfig, CircuitBreaker};
 pub use cache::{fnv1a, Fingerprint, LruCache};
 pub use server::{start, ServeConfig, ServerHandle};

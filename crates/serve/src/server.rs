@@ -12,9 +12,10 @@ use crate::batch::{Batcher, BriefOutcome, Job};
 use crate::breaker::{Admission, BreakerConfig, CircuitBreaker};
 use crate::cache::{fnv1a, Fingerprint, LruCache};
 use crate::http::{self, HttpError};
+use crate::telemetry::{self, StageTimings};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -48,6 +49,13 @@ pub struct ServeConfig {
     pub breaker_window_ms: u64,
     /// How long a tripped breaker serves cache-only before probing.
     pub breaker_cooldown_ms: u64,
+    /// Emit a structured JSON access-log line for 1 in N `/brief`
+    /// requests; 0 (the default) disables sampling. Slow requests log
+    /// unconditionally regardless of this setting.
+    pub access_log_sample: u64,
+    /// `/brief` requests slower than this always log their full stage
+    /// breakdown at WARN; 0 disables slow-request logging.
+    pub slow_request_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -64,6 +72,8 @@ impl Default for ServeConfig {
             breaker_threshold: breaker.threshold,
             breaker_window_ms: breaker.window.as_millis() as u64,
             breaker_cooldown_ms: breaker.cooldown.as_millis() as u64,
+            access_log_sample: 0,
+            slow_request_ms: 1000,
         }
     }
 }
@@ -76,6 +86,7 @@ struct Shared {
     breaker: CircuitBreaker,
     stopping: AtomicBool,
     queue_depth: AtomicUsize,
+    access_log_seq: AtomicU64,
     shutdown_tx: Mutex<mpsc::Sender<()>>,
 }
 
@@ -112,17 +123,23 @@ pub fn start(briefer: Briefer, cfg: ServeConfig) -> io::Result<ServerHandle> {
         breaker,
         stopping: AtomicBool::new(false),
         queue_depth: AtomicUsize::new(0),
+        access_log_seq: AtomicU64::new(0),
         shutdown_tx: Mutex::new(shutdown_tx),
         briefer,
         cfg,
     });
+    // Pin the observability epoch so `/varz` and snapshot uptimes count
+    // from server start even if no metric was recorded earlier.
+    let _ = wb_obs::window::epoch();
     wb_obs::info!(
         "wb serve listening on {addr} ({workers} workers, queue {queue_capacity}, cache {})",
         shared.cfg.cache_capacity
     );
     wb_obs::gauge!("serve.workers", workers as f64);
 
-    let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(queue_capacity);
+    // Each queued connection carries its accept instant so the worker can
+    // attribute the time it sat in the queue (`queue_wait` stage).
+    let (conn_tx, conn_rx) = mpsc::sync_channel::<(TcpStream, Instant)>(queue_capacity);
     let conn_rx = Arc::new(Mutex::new(conn_rx));
 
     let acceptor = {
@@ -217,7 +234,11 @@ impl Drop for ServerHandle {
 /// long shutdown waits for it to notice `stopping`.
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
 
-fn acceptor_loop(shared: &Shared, listener: TcpListener, conn_tx: SyncSender<TcpStream>) {
+fn acceptor_loop(
+    shared: &Shared,
+    listener: TcpListener,
+    conn_tx: SyncSender<(TcpStream, Instant)>,
+) {
     loop {
         if shared.stopping.load(Ordering::SeqCst) {
             break;
@@ -243,9 +264,9 @@ fn acceptor_loop(shared: &Shared, listener: TcpListener, conn_tx: SyncSender<Tcp
         let depth = shared.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
         wb_obs::gauge!("serve.queue.depth", depth as f64);
         wb_obs::gauge_max!("serve.queue.depth.peak", depth as f64);
-        match conn_tx.try_send(stream) {
+        match conn_tx.try_send((stream, Instant::now())) {
             Ok(()) => {}
-            Err(TrySendError::Full(stream)) => {
+            Err(TrySendError::Full((stream, _))) => {
                 shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
                 wb_obs::counter!("serve.requests");
                 wb_obs::counter!("serve.rejected.queue_full");
@@ -278,18 +299,18 @@ fn shed_overloaded(mut stream: TcpStream) {
     http::drain(&mut stream, 64 * 1024);
 }
 
-fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>) {
+fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<(TcpStream, Instant)>>) {
     loop {
         // Holding the lock while blocked in recv is the hand-off point for
         // the whole pool: whichever worker holds it takes the next
         // connection, the rest queue on the mutex.
-        let stream = match rx.lock().unwrap().recv() {
+        let (stream, accepted) = match rx.lock().unwrap().recv() {
             Ok(s) => s,
             Err(_) => return, // acceptor gone and queue drained
         };
         let depth = shared.queue_depth.fetch_sub(1, Ordering::Relaxed) - 1;
         wb_obs::gauge!("serve.queue.depth", depth as f64);
-        handle_connection(shared, stream);
+        handle_connection(shared, stream, accepted);
     }
 }
 
@@ -302,18 +323,43 @@ fn bump_status(status: u16) {
     }
 }
 
-/// Writes a response and records its status-class counter.
-fn send(stream: &mut TcpStream, status: u16, body: &[u8], extra_headers: &[(&str, &str)]) {
+/// Writes a response with an explicit content type, records its
+/// status-class counter and returns the microseconds spent writing (the
+/// `write` stage).
+fn send_typed(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    extra_headers: &[(&str, &str)],
+) -> u64 {
     bump_status(status);
-    if let Err(e) = http::respond(stream, status, "application/json", body, extra_headers) {
+    let t0 = Instant::now();
+    if let Err(e) = http::respond(stream, status, content_type, body, extra_headers) {
         wb_obs::counter!("serve.responses.write_failed");
         wb_obs::debug!("response write failed: {e}");
     }
+    telemetry::micros_since(t0)
 }
 
-fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+/// [`send_typed`] with the JSON content type every normal response uses.
+fn send(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &[u8],
+    extra_headers: &[(&str, &str)],
+) -> u64 {
+    send_typed(stream, status, "application/json", body, extra_headers)
+}
+
+fn handle_connection(shared: &Shared, mut stream: TcpStream, accepted: Instant) {
     let t0 = Instant::now();
     let _span = wb_obs::span!("serve.request");
+    let mut timings = StageTimings {
+        queue_wait_us: u64::try_from(t0.saturating_duration_since(accepted).as_micros())
+            .unwrap_or(u64::MAX),
+        ..StageTimings::default()
+    };
     let _ = stream.set_nodelay(true);
     let timeout = Duration::from_millis(shared.cfg.request_timeout_ms.max(1));
     let _ = stream.set_write_timeout(Some(timeout));
@@ -331,56 +377,275 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
                 413 => wb_obs::counter!("serve.rejected.too_large"),
                 _ => {}
             }
-            send(&mut stream, status, &http::error_body(&e.detail()), &[]);
+            // The request never parsed, so no inbound id exists; mint one
+            // anyway so even rejections are correlatable.
+            let id = telemetry::next_request_id();
+            send(
+                &mut stream,
+                status,
+                &http::error_body(&e.detail()),
+                &[("X-Request-Id", id.as_str())],
+            );
             // The request was rejected without being consumed; drain a
             // bounded amount so closing sends FIN, not RST (see
             // http::drain).
             http::drain(&mut stream, 256 * 1024);
             wb_obs::histogram!("serve.request.latency_us", t0.elapsed().as_micros());
+            wb_obs::window_histogram!(
+                "serve.request.latency_us",
+                t0.elapsed().as_micros() as f64
+            );
+            wb_obs::window_counter!("serve.requests");
             return;
         }
     };
+    timings.parse_us = telemetry::micros_since(t0);
+    let id = telemetry::request_id(req.header("x-request-id"));
     wb_obs::counter!("serve.requests");
+    let data_plane = req.method == "POST" && req.path == "/brief";
+    let (status, cache_state) = if data_plane {
+        handle_brief(shared, &mut stream, &req, &id, &mut timings)
+    } else {
+        (handle_control(shared, &mut stream, &req, &id), "-")
+    };
+    let total_us = telemetry::micros_since(t0);
+    if data_plane {
+        // Only model-serving requests feed the request-latency histogram
+        // and the windowed live metrics; control-plane chatter (health
+        // probes, metric scrapes) has its own histogram below so it
+        // cannot skew serving percentiles.
+        wb_obs::histogram!("serve.request.latency_us", total_us);
+        wb_obs::window_histogram!("serve.request.latency_us", total_us);
+        wb_obs::window_counter!("serve.requests");
+        if status >= 500 {
+            wb_obs::window_counter!("serve.errors");
+        }
+        timings.record();
+        let slow = shared.cfg.slow_request_ms > 0
+            && total_us >= shared.cfg.slow_request_ms.saturating_mul(1000);
+        let sampled = shared.cfg.access_log_sample > 0
+            && shared
+                .access_log_seq
+                .fetch_add(1, Ordering::Relaxed)
+                .is_multiple_of(shared.cfg.access_log_sample);
+        if slow || sampled {
+            let line = telemetry::access_log_line(
+                &id,
+                &req.method,
+                &req.path,
+                status,
+                total_us,
+                cache_state,
+                &timings,
+            );
+            if slow {
+                wb_obs::warn!("slow request: {line}");
+            } else {
+                wb_obs::info!("access: {line}");
+            }
+        }
+    } else {
+        wb_obs::histogram!("serve.control.latency_us", total_us);
+    }
+}
+
+/// Handles every non-`/brief` route (the control plane); returns the
+/// response status. These requests are recorded under
+/// `serve.control.latency_us`, never under the serving-path histogram.
+fn handle_control(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    req: &http::Request,
+    id: &str,
+) -> u16 {
+    let id_header = ("X-Request-Id", id);
     match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/brief") => handle_brief(shared, &mut stream, &req),
-        ("GET", "/healthz") => send(&mut stream, 200, b"{\"status\":\"ok\"}", &[]),
-        ("GET", "/metrics") => {
-            let body = wb_obs::metrics::snapshot().to_json();
-            send(&mut stream, 200, body.as_bytes(), &[]);
+        ("GET", "/healthz") => {
+            send(stream, 200, b"{\"status\":\"ok\"}", &[id_header]);
+            200
+        }
+        ("GET", "/metrics") => match req.query_param("format") {
+            None | Some("json") => {
+                let body = wb_obs::metrics::snapshot().to_json();
+                send(stream, 200, body.as_bytes(), &[id_header]);
+                200
+            }
+            Some("prometheus") => {
+                let body = wb_obs::prometheus::render(&wb_obs::metrics::snapshot());
+                send_typed(
+                    stream,
+                    200,
+                    wb_obs::prometheus::CONTENT_TYPE,
+                    body.as_bytes(),
+                    &[id_header],
+                );
+                200
+            }
+            Some(other) => {
+                send(
+                    stream,
+                    400,
+                    &http::error_body(&format!(
+                        "unknown metrics format `{other}` (expected `json` or `prometheus`)"
+                    )),
+                    &[id_header],
+                );
+                400
+            }
+        },
+        ("GET", "/varz") => {
+            let body = varz_body(shared);
+            send(stream, 200, body.as_bytes(), &[id_header]);
+            200
         }
         ("POST", "/shutdown") => {
-            send(&mut stream, 200, b"{\"status\":\"shutting down\"}", &[]);
+            send(stream, 200, b"{\"status\":\"shutting down\"}", &[id_header]);
             let _ = shared.shutdown_tx.lock().unwrap().send(());
+            200
         }
         (_, "/brief") | (_, "/shutdown") => {
             send(
-                &mut stream,
+                stream,
                 405,
                 &http::error_body("method not allowed"),
-                &[("Allow", "POST")],
+                &[("Allow", "POST"), id_header],
             );
+            405
         }
-        (_, "/healthz") | (_, "/metrics") => {
+        (_, "/healthz") | (_, "/metrics") | (_, "/varz") => {
             send(
-                &mut stream,
+                stream,
                 405,
                 &http::error_body("method not allowed"),
-                &[("Allow", "GET")],
+                &[("Allow", "GET"), id_header],
             );
+            405
         }
         (_, path) => {
-            send(&mut stream, 404, &http::error_body(&format!("no route for {path}")), &[]);
+            send(stream, 404, &http::error_body(&format!("no route for {path}")), &[id_header]);
+            404
         }
     }
-    wb_obs::histogram!("serve.request.latency_us", t0.elapsed().as_micros());
 }
 
-fn handle_brief(shared: &Shared, stream: &mut TcpStream, req: &http::Request) {
+/// Builds the `/varz` body: the windowed live view (10 s and 60 s) plus
+/// instantaneous server state — what `wb top` polls.
+fn varz_body(shared: &Shared) -> String {
+    use std::collections::BTreeMap;
+    use wb_obs::json::Json;
+    let ws = wb_obs::window::snapshot();
+    let window_view = |secs: u64| -> Json {
+        let csum = |name: &str| {
+            ws.counters
+                .get(name)
+                .map(|c| if secs == 10 { c.sum_10s } else { c.sum_60s })
+                .unwrap_or(0)
+        };
+        let hist_view = |name: &str| -> Json {
+            let mut o = BTreeMap::new();
+            if let Some(h) = ws.histograms.get(name) {
+                let hs = if secs == 10 { &h.w10s } else { &h.w60s };
+                o.insert("count".to_string(), Json::Num(hs.count as f64));
+                o.insert("mean".to_string(), Json::Num(hs.mean()));
+                for (key, q) in [("p50", 0.50), ("p90", 0.90), ("p99", 0.99)] {
+                    if let Some(v) = hs.quantile(q) {
+                        o.insert(key.to_string(), Json::Num(v));
+                    }
+                }
+            }
+            Json::Obj(o)
+        };
+        let requests = csum("serve.requests");
+        let errors = csum("serve.errors");
+        let (hits, misses) = (csum("serve.cache.hit"), csum("serve.cache.miss"));
+        let mut o = BTreeMap::new();
+        o.insert("requests".to_string(), Json::Num(requests as f64));
+        o.insert("rps".to_string(), Json::Num(requests as f64 / secs as f64));
+        o.insert("errors".to_string(), Json::Num(errors as f64));
+        o.insert(
+            "error_rate".to_string(),
+            Json::Num(if requests > 0 { errors as f64 / requests as f64 } else { 0.0 }),
+        );
+        let mut cache = BTreeMap::new();
+        cache.insert("hits".to_string(), Json::Num(hits as f64));
+        cache.insert("misses".to_string(), Json::Num(misses as f64));
+        cache.insert(
+            "hit_ratio".to_string(),
+            Json::Num(if hits + misses > 0 {
+                hits as f64 / (hits + misses) as f64
+            } else {
+                0.0
+            }),
+        );
+        o.insert("cache".to_string(), Json::Obj(cache));
+        o.insert("latency_us".to_string(), hist_view("serve.request.latency_us"));
+        let stages =
+            ["queue_wait", "parse", "cache", "batch_wait", "model", "serialize", "write"]
+                .iter()
+                .map(|stage| (stage.to_string(), hist_view(&format!("serve.stage.{stage}_us"))))
+                .collect();
+        o.insert("stages_us".to_string(), Json::Obj(stages));
+        Json::Obj(o)
+    };
+    let mut windows = BTreeMap::new();
+    windows.insert("10s".to_string(), window_view(10));
+    windows.insert("60s".to_string(), window_view(60));
+    let mut queue = BTreeMap::new();
+    queue.insert(
+        "depth".to_string(),
+        Json::Num(shared.queue_depth.load(Ordering::Relaxed) as f64),
+    );
+    queue.insert(
+        "peak".to_string(),
+        Json::Num(wb_obs::metrics::registry().gauge("serve.queue.depth.peak").get()),
+    );
+    let mut cache = BTreeMap::new();
+    cache.insert("size".to_string(), Json::Num(shared.cache.lock().unwrap().len() as f64));
+    cache.insert("capacity".to_string(), Json::Num(shared.cfg.cache_capacity as f64));
+    let mut root = BTreeMap::new();
+    root.insert(
+        "uptime_ms".to_string(),
+        Json::Num(wb_obs::window::epoch().elapsed().as_secs_f64() * 1e3),
+    );
+    root.insert("windows".to_string(), Json::Obj(windows));
+    root.insert("queue".to_string(), Json::Obj(queue));
+    root.insert("cache".to_string(), Json::Obj(cache));
+    root.insert("breaker".to_string(), Json::Str(shared.breaker.state_name().to_string()));
+    root.insert("workers".to_string(), Json::Num(shared.cfg.workers.max(1) as f64));
+    Json::Obj(root).render()
+}
+
+/// Serves one `POST /brief`, filling `t` with the stage breakdown as the
+/// request moves through the pipeline. Every response echoes the request
+/// id and carries a `Server-Timing` header with the stages known at send
+/// time (the `write` stage itself lands only in metrics and the access
+/// log). Returns the response status and the cache disposition.
+fn handle_brief(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    req: &http::Request,
+    id: &str,
+    t: &mut StageTimings,
+) -> (u16, &'static str) {
+    // Every exit funnels through here so no response can forget the id or
+    // the timing header, and the write stage is always captured.
+    macro_rules! reply {
+        ($status:expr, $cache:expr, $body:expr, $($extra:expr),*) => {{
+            let st = t.server_timing();
+            t.write_us = send(
+                stream,
+                $status,
+                $body,
+                &[("X-Request-Id", id), ("Server-Timing", st.as_str()), $($extra),*],
+            );
+            return ($status, $cache);
+        }};
+    }
     let body = req.body.as_slice();
     if body.is_empty() {
-        send(stream, 400, &http::error_body("POST /brief expects an HTML body"), &[]);
-        return;
+        reply!(400, "-", &http::error_body("POST /brief expects an HTML body"),);
     }
+    let cache_t0 = Instant::now();
     let key = fnv1a(body);
     // The fingerprint guards against FNV-1a collisions: a colliding page is
     // treated as a miss instead of being served another page's brief.
@@ -391,11 +656,14 @@ fn handle_brief(shared: &Shared, stream: &mut TcpStream, req: &http::Request) {
         let cached = shared.cache.lock().unwrap().get(key, fp).cloned();
         if let Some(json) = cached {
             wb_obs::counter!("serve.cache.hit");
-            send(stream, 200, json.as_bytes(), &[("X-Cache", "hit")]);
-            return;
+            wb_obs::window_counter!("serve.cache.hit");
+            t.cache_us = telemetry::micros_since(cache_t0);
+            reply!(200, "hit", json.as_bytes(), ("X-Cache", "hit"));
         }
         wb_obs::counter!("serve.cache.miss");
+        wb_obs::window_counter!("serve.cache.miss");
     }
+    t.cache_us = telemetry::micros_since(cache_t0);
     // Per-request deadline: `X-Deadline-Ms` can only tighten the server's
     // request timeout, never extend it.
     let deadline_ms = match req.header("x-deadline-ms") {
@@ -403,15 +671,13 @@ fn handle_brief(shared: &Shared, stream: &mut TcpStream, req: &http::Request) {
         Some(v) => match v.parse::<u64>() {
             Ok(ms) if ms > 0 => ms.min(shared.cfg.request_timeout_ms),
             _ => {
-                send(
-                    stream,
+                reply!(
                     400,
+                    "miss",
                     &http::error_body(&format!(
                         "bad X-Deadline-Ms `{v}` (expected a positive number of milliseconds)"
                     )),
-                    &[],
                 );
-                return;
             }
         },
     };
@@ -419,66 +685,67 @@ fn handle_brief(shared: &Shared, stream: &mut TcpStream, req: &http::Request) {
         Admission::Allow | Admission::Probe => {}
         Admission::Reject { retry_after_secs } => {
             let retry = retry_after_secs.to_string();
-            send(
-                stream,
+            reply!(
                 503,
+                "miss",
                 &http::error_body(
                     "briefing disabled after repeated model failures; \
                      cached pages are still served",
                 ),
-                &[("Retry-After", retry.as_str())],
+                ("Retry-After", retry.as_str())
             );
-            return;
         }
     }
     let html = String::from_utf8_lossy(body).into_owned();
     let deadline = Instant::now() + Duration::from_millis(deadline_ms.max(1));
     let (tx, rx) = mpsc::channel();
-    if !shared.batcher.submit(Job { html, deadline, tx }) {
-        send(
-            stream,
-            503,
-            &http::error_body("server is shutting down"),
-            &[("Retry-After", "1")],
-        );
-        return;
+    if !shared.batcher.submit(Job { html, deadline, submitted: Instant::now(), tx }) {
+        reply!(503, "miss", &http::error_body("server is shutting down"), ("Retry-After", "1"));
     }
     let timeout = Duration::from_millis(shared.cfg.request_timeout_ms.max(1));
-    match rx.recv_timeout(timeout) {
-        Ok(BriefOutcome::Ok(json)) => {
-            if shared.cfg.cache_capacity > 0 {
-                let mut cache = shared.cache.lock().unwrap();
-                cache.insert(key, fp, Arc::clone(&json));
-                wb_obs::gauge!("serve.cache.size", cache.len() as f64);
-            }
-            send(stream, 200, json.as_bytes(), &[("X-Cache", "miss")]);
-        }
-        Ok(BriefOutcome::Unbriefable(detail)) => {
-            wb_obs::counter!("serve.unbriefable");
-            send(stream, 422, &http::error_body(&detail), &[]);
-        }
-        Ok(BriefOutcome::Internal(detail)) => {
-            send(stream, 500, &http::error_body(&detail), &[]);
-        }
-        Ok(BriefOutcome::Expired) => {
-            send(
-                stream,
-                504,
-                &http::error_body("request deadline expired before briefing started"),
-                &[],
-            );
-        }
+    let completion = match rx.recv_timeout(timeout) {
+        Ok(c) => c,
         Err(RecvTimeoutError::Timeout) => {
             wb_obs::counter!("serve.rejected.timeout");
-            send(
-                stream,
+            reply!(
                 503,
+                "miss",
                 &http::error_body("briefing did not finish within the request timeout"),
-                &[("Retry-After", "1")],
+                ("Retry-After", "1")
             );
         }
         Err(RecvTimeoutError::Disconnected) => {
-            send(stream, 500, &http::error_body("batch executor is gone"), &[]);
+            reply!(500, "miss", &http::error_body("batch executor is gone"),);
+        }
+    };
+    t.batch_wait_us = completion.batch_wait_us;
+    t.model_us = completion.model_us;
+    t.serialize_us = completion.serialize_us;
+    match completion.outcome {
+        BriefOutcome::Ok(json) => {
+            if shared.cfg.cache_capacity > 0 {
+                let fill_t0 = Instant::now();
+                let mut cache = shared.cache.lock().unwrap();
+                cache.insert(key, fp, Arc::clone(&json));
+                wb_obs::gauge!("serve.cache.size", cache.len() as f64);
+                drop(cache);
+                t.cache_us += telemetry::micros_since(fill_t0);
+            }
+            reply!(200, "miss", json.as_bytes(), ("X-Cache", "miss"));
+        }
+        BriefOutcome::Unbriefable(detail) => {
+            wb_obs::counter!("serve.unbriefable");
+            reply!(422, "miss", &http::error_body(&detail),);
+        }
+        BriefOutcome::Internal(detail) => {
+            reply!(500, "miss", &http::error_body(&detail),);
+        }
+        BriefOutcome::Expired => {
+            reply!(
+                504,
+                "miss",
+                &http::error_body("request deadline expired before briefing started"),
+            );
         }
     }
 }
@@ -543,6 +810,25 @@ mod tests {
         roundtrip(addr, raw.as_bytes())
     }
 
+    /// Like `roundtrip`, but returns the whole response text including the
+    /// status line and headers.
+    fn roundtrip_full(addr: SocketAddr, raw: &[u8]) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        let _ = s.write_all(raw);
+        let _ = s.flush();
+        let mut text = String::new();
+        let mut buf = [0u8; 4096];
+        loop {
+            match s.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => text.push_str(&String::from_utf8_lossy(&buf[..n])),
+                Err(_) if !text.is_empty() => break,
+                Err(e) => panic!("no response from server: {e}"),
+            }
+        }
+        text
+    }
+
     const PAGE: &str = "<html><body><section><p>great velcro books , price : $ 9.99 .\
                         </p></section></body></html>";
 
@@ -585,6 +871,99 @@ mod tests {
             TcpStream::connect_timeout(&addr, Duration::from_millis(300)).is_err(),
             "listener must be closed after shutdown"
         );
+    }
+
+    #[test]
+    fn brief_responses_carry_request_id_and_server_timing() {
+        let h = start(tiny_briefer(), test_config()).unwrap();
+        let addr = h.addr();
+        let raw = format!(
+            "POST /brief HTTP/1.1\r\nHost: t\r\nX-Request-Id: test-rid-7\r\n\
+             Content-Length: {}\r\n\r\n{PAGE}",
+            PAGE.len()
+        );
+        let text = roundtrip_full(addr, raw.as_bytes());
+        assert!(
+            text.contains("X-Request-Id: test-rid-7\r\n"),
+            "inbound id not echoed:\n{text}"
+        );
+        assert!(text.contains("Server-Timing: "), "missing Server-Timing:\n{text}");
+        assert!(text.contains("model;dur="), "miss must attribute model time:\n{text}");
+        // A cache hit has no model stage but still reports cache time.
+        let raw = format!(
+            "POST /brief HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{PAGE}",
+            PAGE.len()
+        );
+        let text = roundtrip_full(addr, raw.as_bytes());
+        assert!(text.contains("X-Cache: hit\r\n"), "{text}");
+        assert!(!text.contains("model;dur="), "cache hit must not claim model time:\n{text}");
+        assert!(text.contains("X-Request-Id: wb-"), "hit must mint an id:\n{text}");
+        // Control-plane responses echo ids too.
+        let text = roundtrip_full(addr, b"GET /healthz HTTP/1.1\r\nX-Request-Id: cp-1\r\n\r\n");
+        assert!(text.contains("X-Request-Id: cp-1\r\n"), "{text}");
+        h.shutdown();
+    }
+
+    #[test]
+    fn varz_and_prometheus_routes_serve_live_views() {
+        let h = start(tiny_briefer(), test_config()).unwrap();
+        let addr = h.addr();
+        let (status, _) = post_brief(addr, PAGE);
+        assert_eq!(status, 200);
+        let text = roundtrip_full(addr, b"GET /varz HTTP/1.1\r\n\r\n");
+        assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+        let body = text.split_once("\r\n\r\n").unwrap().1;
+        let v: serde_json::Value = serde_json::from_str(body).expect("valid varz JSON");
+        assert_eq!(v.get("breaker").and_then(|b| b.as_str()), Some("closed"));
+        let w10 = v.get("windows").and_then(|w| w.get("10s")).expect("10s window");
+        assert!(
+            w10.get("requests").and_then(|r| r.as_f64()).unwrap_or(0.0) >= 1.0,
+            "the brief above must show up in the live window: {body}"
+        );
+        assert!(w10.get("stages_us").is_some());
+        // Prometheus exposition next to the JSON snapshot.
+        let text = roundtrip_full(addr, b"GET /metrics?format=prometheus HTTP/1.1\r\n\r\n");
+        assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+        assert!(text.contains("Content-Type: text/plain; version=0.0.4\r\n"), "{text}");
+        assert!(text.contains("# TYPE wb_serve_requests counter"), "{text}");
+        assert!(text.contains("wb_serve_request_latency_us_bucket{le=\"+Inf\"}"), "{text}");
+        // The JSON view is unchanged, and unknown formats are a 400.
+        let (status, body) = roundtrip(addr, b"GET /metrics?format=json HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"counters\""), "{body}");
+        let (status, body) = roundtrip(addr, b"GET /metrics?format=xml HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 400, "{body}");
+        let (status, _) = roundtrip(addr, b"POST /varz HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 405);
+        h.shutdown();
+    }
+
+    #[test]
+    fn control_plane_does_not_pollute_request_latency() {
+        // A fresh registry view is impossible (global), so measure deltas.
+        let count_of = |name: &str| {
+            wb_obs::metrics::snapshot().histograms.get(name).map(|h| h.count).unwrap_or(0)
+        };
+        let h = start(tiny_briefer(), test_config()).unwrap();
+        let addr = h.addr();
+        let before_req = count_of("serve.request.latency_us");
+        let before_ctl = count_of("serve.control.latency_us");
+        for _ in 0..3 {
+            let (status, _) = roundtrip(addr, b"GET /healthz HTTP/1.1\r\n\r\n");
+            assert_eq!(status, 200);
+        }
+        let (status, _) = roundtrip(addr, b"GET /metrics HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 200);
+        assert_eq!(
+            count_of("serve.request.latency_us"),
+            before_req,
+            "control-plane requests must not feed the serving histogram"
+        );
+        assert!(count_of("serve.control.latency_us") >= before_ctl + 4);
+        let (status, _) = post_brief(addr, PAGE);
+        assert_eq!(status, 200);
+        assert!(count_of("serve.request.latency_us") > before_req);
+        h.shutdown();
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! wb brief --model model.json page.html                 # brief webpages
 //! wb stats                                              # corpus statistics
 //! wb report metrics.json                                # render a snapshot
+//! wb report --diff before.json after.json               # metric deltas
+//! wb top 127.0.0.1:8080                                 # live server view
 //! ```
 //!
 //! Argument parsing is hand-rolled (no external CLI crate): every
@@ -38,9 +40,12 @@ USAGE:
                 [--queue-capacity N] [--cache-capacity N]
                 [--max-body-bytes N] [--request-timeout-ms N]
                 [--breaker-threshold N] [--breaker-window-ms N]
-                [--breaker-cooldown-ms N]
+                [--breaker-cooldown-ms N] [--access-log-sample N]
+                [--slow-request-ms N]
+    wb top      ADDR [--interval-ms N] [--once]
     wb stats    [--subjects N] [--pages N]
     wb report   FILE
+    wb report   --diff BEFORE.json AFTER.json
     wb bench    [--quick] [--label NAME] [--out FILE]
                 [--baseline FILE] [--tolerance PCT] [REPORT.json]
 
@@ -51,12 +56,23 @@ SUBCOMMANDS:
                 continues a killed run byte-identically (docs/ROBUSTNESS.md)
     brief       Brief one or more HTML files with a trained checkpoint
     serve       Serve briefs over HTTP: POST /brief (HTML in, JSON out),
-                GET /healthz, GET /metrics, POST /shutdown for a graceful
-                stop that flushes --metrics-out/--trace-out; SIGINT and
-                SIGTERM drain the same way. Repeated model failures trip a
-                circuit breaker into cache-only serving (--breaker-*)
+                GET /healthz, GET /metrics (JSON or ?format=prometheus),
+                GET /varz (windowed live view), POST /shutdown for a
+                graceful stop that flushes --metrics-out/--trace-out;
+                SIGINT and SIGTERM drain the same way. Repeated model
+                failures trip a circuit breaker into cache-only serving
+                (--breaker-*). --access-log-sample N logs every Nth
+                request as structured JSON; requests slower than
+                --slow-request-ms always log their stage breakdown
+    top         Poll a running server's /varz and render a live terminal
+                dashboard: RPS, windowed percentiles, stage breakdown,
+                queue depth, cache hit ratio and breaker state.
+                --interval-ms sets the refresh (default 1000); --once
+                prints a single frame and exits (scripts, CI smoke)
     stats       Print statistics of a synthetic corpus
-    report      Pretty-print a metrics snapshot written by --metrics-out
+    report      Pretty-print a metrics snapshot written by --metrics-out;
+                with --diff, print deltas and per-second rates between
+                two snapshots of the same process
     bench       Run the perf-trajectory workloads, write BENCH_<label>.json
                 and (with --baseline) fail on hard-metric regressions
 
@@ -286,6 +302,7 @@ fn main() {
         "train" => cmd_train(&raw[1..]),
         "brief" => cmd_brief(&raw[1..]),
         "serve" => cmd_serve(&raw[1..]),
+        "top" => cmd_top(&raw[1..]),
         "stats" => cmd_stats(&raw[1..]),
         "report" => cmd_report(&raw[1..]),
         "bench" => cmd_bench(&raw[1..]),
@@ -460,6 +477,8 @@ fn cmd_serve(raw: &[String]) -> Result<(), String> {
             "breaker-threshold",
             "breaker-window-ms",
             "breaker-cooldown-ms",
+            "access-log-sample",
+            "slow-request-ms",
             // Load-testing knob: stalls each briefing batch so overload
             // behaviour (503 shedding) is reproducible. Deliberately not
             // in the USAGE synopsis.
@@ -485,6 +504,8 @@ fn cmd_serve(raw: &[String]) -> Result<(), String> {
         breaker_window_ms: args.get_num("breaker-window-ms", defaults.breaker_window_ms)?,
         breaker_cooldown_ms: args
             .get_num("breaker-cooldown-ms", defaults.breaker_cooldown_ms)?,
+        access_log_sample: args.get_num("access-log-sample", defaults.access_log_sample)?,
+        slow_request_ms: args.get_num("slow-request-ms", defaults.slow_request_ms)?,
     };
 
     let ckpt =
@@ -498,7 +519,7 @@ fn cmd_serve(raw: &[String]) -> Result<(), String> {
     let handle =
         wb_serve::start(briefer, cfg).map_err(|e| format!("cannot start server: {e}"))?;
     println!("wb serve listening on http://{}", handle.addr());
-    println!("POST /brief · GET /healthz · GET /metrics · POST /shutdown");
+    println!("POST /brief · GET /healthz · GET /metrics · GET /varz · POST /shutdown");
     // Run until a client posts /shutdown or a signal arrives, then drain
     // in-flight requests and flush the observability outputs.
     loop {
@@ -552,18 +573,174 @@ fn cmd_stats(raw: &[String]) -> Result<(), String> {
 }
 
 fn cmd_report(raw: &[String]) -> Result<(), String> {
-    let args = Args::parse(raw, &[], &[])?;
+    let args = Args::parse(raw, &[], &["diff"])?;
     apply_globals(&args)?;
+    let load = |file: &str| -> Result<wb_obs::metrics::Snapshot, String> {
+        let text =
+            std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+        wb_obs::metrics::Snapshot::from_json(&text)
+            .map_err(|e| format!("{file} is not a metrics snapshot: {e}"))
+    };
+    if args.has("diff") {
+        let (a, b) = match args.positional.as_slice() {
+            [a, b] => (a, b),
+            _ => {
+                return Err(
+                    "report --diff expects exactly two metrics JSON files (before, after)"
+                        .to_string(),
+                )
+            }
+        };
+        print!("{}", wb_obs::report::render_diff(&load(a)?, &load(b)?));
+        return Ok(());
+    }
     let file = match args.positional.as_slice() {
         [f] => f,
         [] => return Err("report expects a metrics JSON file".to_string()),
-        _ => return Err("report expects exactly one metrics JSON file".to_string()),
+        _ => {
+            return Err(
+                "report expects exactly one metrics JSON file (or --diff with two)".to_string()
+            )
+        }
     };
-    let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
-    let snapshot = wb_obs::metrics::Snapshot::from_json(&text)
-        .map_err(|e| format!("{file} is not a metrics snapshot: {e}"))?;
-    print!("{}", wb_obs::report::render(&snapshot));
+    print!("{}", wb_obs::report::render(&load(file)?));
     Ok(())
+}
+
+/// One HTTP/1.1 GET against `addr` over a fresh connection (the server is
+/// one-request-per-connection), returning the response body.
+fn http_get(addr: &str, path: &str) -> Result<String, String> {
+    use std::io::{Read, Write};
+    let timeout = std::time::Duration::from_secs(5);
+    let sock_addr: std::net::SocketAddr =
+        addr.parse().map_err(|_| format!("invalid address `{addr}` (expected HOST:PORT)"))?;
+    let mut stream = std::net::TcpStream::connect_timeout(&sock_addr, timeout)
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    stream.set_read_timeout(Some(timeout)).map_err(|e| e.to_string())?;
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\n\r\n").as_bytes())
+        .map_err(|e| format!("cannot send request to {addr}: {e}"))?;
+    let mut text = String::new();
+    let mut buf = [0u8; 8192];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => text.push_str(&String::from_utf8_lossy(&buf[..n])),
+            Err(_) if !text.is_empty() => break,
+            Err(e) => return Err(format!("no response from {addr}: {e}")),
+        }
+    }
+    let (head, body) =
+        text.split_once("\r\n\r\n").ok_or_else(|| format!("malformed response from {addr}"))?;
+    let status = head.split_whitespace().nth(1).unwrap_or("");
+    if status != "200" {
+        return Err(format!("{addr}{path} answered {status}"));
+    }
+    Ok(body.to_string())
+}
+
+/// The live terminal dashboard: polls `/varz` and renders one frame per
+/// interval. Plain ANSI (clear + home) — no terminal library.
+fn cmd_top(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw, &["interval-ms"], &["once"])?;
+    apply_globals(&args)?;
+    let addr = match args.positional.as_slice() {
+        [a] => a.clone(),
+        _ => return Err("top expects exactly one server address (HOST:PORT)".to_string()),
+    };
+    let interval_ms: u64 = args.get_num("interval-ms", 1000)?;
+    let once = args.has("once");
+    loop {
+        let body = http_get(&addr, "/varz")?;
+        let v: serde_json::Value =
+            serde_json::from_str(&body).map_err(|e| format!("{addr}/varz is not JSON: {e}"))?;
+        let frame = render_top_frame(&addr, &v);
+        if once {
+            print!("{frame}");
+            return Ok(());
+        }
+        // Clear screen + cursor home, then the frame — a flicker-free
+        // enough redraw without terminal capabilities.
+        print!("\x1b[2J\x1b[H{frame}");
+        use std::io::Write;
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(100)));
+    }
+}
+
+/// Renders one `wb top` frame from a `/varz` document.
+fn render_top_frame(addr: &str, v: &serde_json::Value) -> String {
+    let num = |path: &[&str]| -> f64 {
+        let mut cur = v;
+        for key in path {
+            match cur.get(key) {
+                Some(next) => cur = next,
+                None => return 0.0,
+            }
+        }
+        cur.as_f64().unwrap_or(0.0)
+    };
+    let opt_num = |path: &[&str]| -> Option<f64> {
+        let mut cur = v;
+        for key in path {
+            cur = cur.get(key)?;
+        }
+        cur.as_f64()
+    };
+    let fmt_us = |us: Option<f64>| match us {
+        Some(us) if us >= 1e6 => format!("{:>8.2}s", us / 1e6),
+        Some(us) if us >= 1e3 => format!("{:>7.1}ms", us / 1e3),
+        Some(us) => format!("{:>7.0}us", us),
+        None => format!("{:>9}", "-"),
+    };
+    let uptime_s = num(&["uptime_ms"]) / 1e3;
+    let breaker = v.get("breaker").and_then(|b| b.as_str()).unwrap_or("?");
+    let mut out = String::new();
+    out.push_str(&format!(
+        "wb top — {addr} · uptime {uptime_s:.0}s · workers {:.0} · breaker {breaker}\n\n",
+        num(&["workers"])
+    ));
+    out.push_str(&format!(
+        "{:<10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+        "window", "rps", "err%", "hit%", "p50", "p90", "p99"
+    ));
+    for w in ["10s", "60s"] {
+        out.push_str(&format!(
+            "{:<10} {:>9.1} {:>8.1}% {:>8.1}% {} {} {}\n",
+            w,
+            num(&["windows", w, "rps"]),
+            num(&["windows", w, "error_rate"]) * 100.0,
+            num(&["windows", w, "cache", "hit_ratio"]) * 100.0,
+            fmt_us(opt_num(&["windows", w, "latency_us", "p50"])),
+            fmt_us(opt_num(&["windows", w, "latency_us", "p90"])),
+            fmt_us(opt_num(&["windows", w, "latency_us", "p99"])),
+        ));
+    }
+    out.push_str(&format!(
+        "\n{:<22} {:>9} {:>9} {:>9}\n",
+        "stages (10s)", "count", "mean", "p99"
+    ));
+    for stage in ["queue_wait", "parse", "cache", "batch_wait", "model", "serialize", "write"] {
+        let base = ["windows", "10s", "stages_us", stage];
+        let count = num(&[&base[..], &["count"]].concat());
+        out.push_str(&format!(
+            "  {:<20} {:>9.0} {} {}\n",
+            stage,
+            count,
+            fmt_us((count > 0.0).then(|| num(&[&base[..], &["mean"]].concat()))),
+            fmt_us(opt_num(&[&base[..], &["p99"]].concat())),
+        ));
+    }
+    out.push_str(&format!(
+        "\nqueue depth {:.0} (peak {:.0}) · cache {:.0}/{:.0} · requests(60s) {:.0} · errors(60s) {:.0}\n",
+        num(&["queue", "depth"]),
+        num(&["queue", "peak"]),
+        num(&["cache", "size"]),
+        num(&["cache", "capacity"]),
+        num(&["windows", "60s", "requests"]),
+        num(&["windows", "60s", "errors"]),
+    ));
+    out
 }
 
 fn cmd_bench(raw: &[String]) -> Result<(), String> {

@@ -50,6 +50,9 @@ struct ServerProc {
     // Keeps the stdout pipe open: dropping it would make the server's own
     // progress prints die with a broken pipe.
     _stdout: BufReader<std::process::ChildStdout>,
+    // Present only for servers spawned with captured stderr (access-log
+    // assertions); read after shutdown, when the pipe has hit EOF.
+    stderr: Option<std::process::ChildStderr>,
 }
 
 impl Drop for ServerProc {
@@ -68,16 +71,32 @@ fn spawn_server(extra_args: &[&str]) -> ServerProc {
 /// `WB_FAULTS` in the child only, keeping each chaos scenario
 /// process-isolated and its fault pass-counters exact).
 fn spawn_server_env(extra_args: &[&str], envs: &[(&str, &str)]) -> ServerProc {
+    spawn_server_full(extra_args, envs, false)
+}
+
+/// Like [`spawn_server`] but with stderr captured, for tests that assert
+/// on access-log lines. The pipe buffer holds the lines until the test
+/// reads them after shutdown — fine for the handful a test produces.
+fn spawn_server_capturing_stderr(extra_args: &[&str]) -> ServerProc {
+    spawn_server_full(extra_args, &[], true)
+}
+
+fn spawn_server_full(
+    extra_args: &[&str],
+    envs: &[(&str, &str)],
+    capture_stderr: bool,
+) -> ServerProc {
     let mut cmd = wb();
     cmd.args(["serve", "--model", model_path().to_str().unwrap(), "--addr", "127.0.0.1:0"])
         .args(extra_args)
         .stdout(Stdio::piped())
-        .stderr(Stdio::null());
+        .stderr(if capture_stderr { Stdio::piped() } else { Stdio::null() });
     for (k, v) in envs {
         cmd.env(k, v);
     }
     let mut child = cmd.spawn().expect("spawn wb serve");
     let stdout = child.stdout.take().expect("piped stdout");
+    let stderr = child.stderr.take();
     let mut reader = BufReader::new(stdout);
     let mut first = String::new();
     reader.read_line(&mut first).expect("read banner");
@@ -85,7 +104,7 @@ fn spawn_server_env(extra_args: &[&str], envs: &[(&str, &str)]) -> ServerProc {
         .rsplit_once("http://")
         .map(|(_, a)| a.trim().parse().expect("bound address"))
         .unwrap_or_else(|| panic!("unexpected banner: {first}"));
-    ServerProc { child, addr, _stdout: reader }
+    ServerProc { child, addr, _stdout: reader, stderr }
 }
 
 /// One raw HTTP exchange; returns (status, headers, body).
@@ -138,6 +157,33 @@ fn shutdown(mut server: ServerProc) {
 /// Reads a counter out of a metrics snapshot JSON value.
 fn counter(v: &serde_json::Value, name: &str) -> f64 {
     v.get("counters").and_then(|c| c.get(name)).and_then(|x| x.as_f64()).unwrap_or(0.0)
+}
+
+/// Extracts one header's value from a raw response head.
+fn header_value(head: &str, name: &str) -> String {
+    head.lines()
+        .find_map(|line| {
+            let (k, v) = line.split_once(':')?;
+            k.eq_ignore_ascii_case(name).then(|| v.trim().to_string())
+        })
+        .unwrap_or_else(|| panic!("missing header {name} in:\n{head}"))
+}
+
+/// The `dur` of one stage in a `Server-Timing` value, in milliseconds.
+fn timing_ms(server_timing: &str, stage: &str) -> Option<f64> {
+    server_timing.split(',').map(str::trim).find_map(|part| {
+        let (name, dur) = part.split_once(";dur=")?;
+        (name == stage).then(|| dur.parse().expect("numeric dur"))
+    })
+}
+
+/// Walks a JSON path of object keys and returns the number at the end.
+fn num_at(v: &serde_json::Value, path: &[&str]) -> f64 {
+    let mut cur = v;
+    for key in path {
+        cur = cur.get(key).unwrap_or_else(|| panic!("missing {key} on the way to {path:?}"));
+    }
+    cur.as_f64().unwrap_or_else(|| panic!("{path:?} is not a number"))
 }
 
 #[test]
@@ -469,4 +515,189 @@ fn slow_loris_is_408_within_the_request_timeout() {
     let (status, _, _) = get(server.addr, "/healthz");
     assert_eq!(status, 200);
     shutdown(server);
+}
+
+/// The acceptance test for request-scoped telemetry: with a known model
+/// stall (`--handler-delay-ms`), the Server-Timing header, the access
+/// log and the windowed `/varz` view must all attribute that latency to
+/// the *model* stage — not to queue wait, parse or write.
+#[test]
+fn stage_timings_attribute_handler_delay_to_the_model() {
+    let delay_ms = 150.0;
+    let mut server = spawn_server_capturing_stderr(&[
+        "--handler-delay-ms",
+        "150",
+        "--cache-capacity",
+        "0", // every request exercises the full model path
+        "--access-log-sample",
+        "1",
+        "--slow-request-ms",
+        "50", // well under the handler delay: every brief logs as slow
+        "--log-level",
+        "warn",
+    ]);
+    let addr = server.addr;
+
+    let raw = format!(
+        "POST /brief HTTP/1.1\r\nHost: t\r\nX-Request-Id: stage-test-1\r\n\
+         Content-Length: {}\r\n\r\n{PAGE}",
+        PAGE.len()
+    );
+    let (status, headers, body) = exchange(addr, raw.as_bytes());
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(header_value(&headers, "X-Request-Id"), "stage-test-1");
+    let st = header_value(&headers, "Server-Timing");
+    let model_ms = timing_ms(&st, "model")
+        .unwrap_or_else(|| panic!("no model stage in Server-Timing: {st}"));
+    assert!(model_ms >= delay_ms, "model stage must absorb the handler delay: {st}");
+    for stage in ["queue_wait", "parse", "cache", "serialize"] {
+        if let Some(ms) = timing_ms(&st, stage) {
+            assert!(ms < delay_ms, "{stage} must not absorb the handler delay: {st}");
+        }
+    }
+
+    // The windowed live view reflects the same attribution: both the
+    // end-to-end p99 and the model-stage p99 sit at or above the delay
+    // (quantiles are bucket upper bounds, so >= holds exactly).
+    let (status, _, varz) = get(addr, "/varz");
+    assert_eq!(status, 200);
+    let v: serde_json::Value = serde_json::from_str(&varz).expect("varz JSON");
+    let delay_us = delay_ms * 1e3;
+    assert!(
+        num_at(&v, &["windows", "10s", "latency_us", "p99"]) >= delay_us,
+        "windowed p99 must reflect the delay: {varz}"
+    );
+    assert!(
+        num_at(&v, &["windows", "10s", "stages_us", "model", "p99"]) >= delay_us,
+        "windowed model-stage p99 must reflect the delay: {varz}"
+    );
+    assert!(
+        num_at(&v, &["windows", "10s", "stages_us", "queue_wait", "p99"]) < delay_us,
+        "queue_wait must stay small: {varz}"
+    );
+
+    // `wb top --once` renders one frame off that same /varz document.
+    let out =
+        wb().args(["top", &addr.to_string(), "--once"]).output().expect("run wb top --once");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let frame = String::from_utf8_lossy(&out.stdout);
+    for needle in ["wb top", "breaker closed", "model", "queue depth"] {
+        assert!(frame.contains(needle), "missing `{needle}` in frame:\n{frame}");
+    }
+
+    // The slow-request log line (always emitted above --slow-request-ms)
+    // carries the request id and the model_us attribution.
+    let mut stderr = server.stderr.take().expect("captured stderr");
+    shutdown(server);
+    let mut log = String::new();
+    stderr.read_to_string(&mut log).expect("read server stderr");
+    let slow_line = log
+        .lines()
+        .find(|l| l.contains("slow request:") && l.contains("stage-test-1"))
+        .unwrap_or_else(|| panic!("no slow-request line for stage-test-1 in:\n{log}"));
+    let json_start = slow_line.find('{').expect("JSON object in slow-request line");
+    let v: serde_json::Value =
+        serde_json::from_str(&slow_line[json_start..]).expect("slow-request line is JSON");
+    assert_eq!(v.get("id").and_then(|x| x.as_str()), Some("stage-test-1"));
+    assert_eq!(v.get("cache").and_then(|x| x.as_str()), Some("miss"));
+    assert!(
+        num_at(&v, &["stages", "model_us"]) >= delay_us,
+        "access log must attribute the delay to the model: {slow_line}"
+    );
+    assert!(num_at(&v, &["total_us"]) >= delay_us);
+}
+
+/// 64 concurrent connections against a traced server: the exported
+/// Chrome trace must remain one valid JSON document with accurate drop
+/// accounting — at this volume nothing overflows the per-thread rings,
+/// so `overwritten_events` must be exactly zero and every request's span
+/// must be present.
+#[test]
+fn trace_export_stays_valid_under_concurrent_load() {
+    let trace_out = std::env::temp_dir().join("wb_serve_test_hammer_trace.json");
+    let _ = std::fs::remove_file(&trace_out);
+    let server = spawn_server(&[
+        "--trace-out",
+        trace_out.to_str().unwrap(),
+        "--workers",
+        "4",
+        "--queue-capacity",
+        "256",
+    ]);
+    let addr = server.addr;
+    let threads: Vec<_> = (0..64)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let page = format!(
+                    "<html><body><section><p>great velcro books {} , price : $ 1.99 .\
+                     </p></section></body></html>",
+                    i % 4
+                );
+                (0..4).map(|_| post_brief(addr, &page).0).collect::<Vec<u16>>()
+            })
+        })
+        .collect();
+    let mut served = 0u64;
+    for t in threads {
+        for status in t.join().expect("request thread") {
+            assert_eq!(status, 200, "hammer request failed");
+            served += 1;
+        }
+    }
+    assert_eq!(served, 256);
+    shutdown(server);
+
+    let text = std::fs::read_to_string(&trace_out).expect("trace flushed");
+    let v: serde_json::Value =
+        serde_json::from_str(&text).expect("hammered trace is still valid JSON");
+    let events = v.get("traceEvents").and_then(|e| e.as_array()).expect("traceEvents array");
+    let request_spans = events
+        .iter()
+        .filter(|e| {
+            e.get("name").and_then(|n| n.as_str()) == Some("serve.request")
+                && e.get("ph").and_then(|p| p.as_str()) == Some("X")
+        })
+        .count();
+    assert!(
+        request_spans >= 256,
+        "every request's span must be in the trace, got {request_spans}"
+    );
+    assert_eq!(
+        num_at(&v, &["otherData", "overwritten_events"]),
+        0.0,
+        "at 256 requests nothing may be reported dropped"
+    );
+    let _ = std::fs::remove_file(&trace_out);
+}
+
+/// `wb report --diff` on two flushed snapshots of the same server prints
+/// deltas and per-second rates for what happened in between.
+#[test]
+fn report_diff_shows_deltas_between_snapshots() {
+    let dir = std::env::temp_dir();
+    let (a_path, b_path) =
+        (dir.join("wb_serve_test_diff_a.json"), dir.join("wb_serve_test_diff_b.json"));
+    for (path, extra_requests) in [(&a_path, 0), (&b_path, 3)] {
+        let _ = std::fs::remove_file(path);
+        let server = spawn_server(&["--metrics-out", path.to_str().unwrap()]);
+        let (status, _, _) = post_brief(server.addr, PAGE);
+        assert_eq!(status, 200);
+        for _ in 0..extra_requests {
+            let (status, _, _) = post_brief(server.addr, PAGE);
+            assert_eq!(status, 200);
+        }
+        shutdown(server);
+    }
+    let out = wb()
+        .args(["report", "--diff", a_path.to_str().unwrap(), b_path.to_str().unwrap()])
+        .output()
+        .expect("run wb report --diff");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    // Separate processes, so the diff is simply B minus A: one baseline
+    // request vs four.
+    assert!(text.contains("serve.requests"), "{text}");
+    assert!(text.contains("+3"), "3 extra requests must show as a +3 delta:\n{text}");
+    let _ = std::fs::remove_file(&a_path);
+    let _ = std::fs::remove_file(&b_path);
 }
