@@ -10,11 +10,42 @@
 //!
 //! A third case benchmarks the raw macro cost in isolation (no matmul),
 //! which is the number that matters for very hot, very small call sites.
+//!
+//! The profiler cases measure the same traced-brief workload with the
+//! sampling profiler disarmed (the steady state: one relaxed load per
+//! span enter/exit) and armed at 99 Hz (shadow-stack mirroring on every
+//! span operation plus the sampler thread); the acceptance bar is < 2%
+//! armed overhead. The allocation cases measure span-level allocation
+//! attribution on/off through the counting global allocator installed
+//! below; the bar there is < 5%.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use wb_bench::{experiment_dataset, model_config, Scale};
+use wb_core::{Briefer, TrainConfig};
+use wb_corpus::{generate_page, PageConfig};
 use wb_tensor::Tensor;
 
+// The bench binary routes allocations through the counting wrapper so the
+// attribution on/off comparison exercises the real production path (the
+// `wb` binary installs the same allocator).
+#[global_allocator]
+static ALLOC: wb_obs::alloc::Counting = wb_obs::alloc::Counting;
+
 const SHAPE: (usize, usize, usize) = (64, 64, 64);
+
+/// Trains a tiny briefer and renders one page, the traced-brief fixture
+/// shared by the profiler and allocation benches.
+fn traced_brief_fixture() -> (Briefer, String) {
+    let dataset = experiment_dataset(Scale::Tiny);
+    let mut tc = TrainConfig::scaled(1);
+    tc.lr = 0.02;
+    let briefer = Briefer::train_with(&dataset, model_config(&dataset), tc, 7);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+    let topic = &dataset.taxonomy.topics()[0];
+    let html = generate_page(topic, PageConfig::default(), &mut rng).dom.to_html();
+    (briefer, html)
+}
 
 fn bench_instrumented(c: &mut Criterion) {
     let (m, k, n) = SHAPE;
@@ -69,6 +100,60 @@ fn bench_macro_costs(c: &mut Criterion) {
     wb_obs::set_enabled(true);
 }
 
+fn bench_profiler_overhead(c: &mut Criterion) {
+    let (briefer, html) = traced_brief_fixture();
+    wb_obs::set_enabled(true);
+
+    // Baseline: the profiler exists but is disarmed — every span enter and
+    // exit pays exactly one relaxed load of the armed flag.
+    c.bench_function("traced_brief_profiler_disarmed", |b| {
+        b.iter(|| black_box(briefer.brief_html(&html).expect("page briefs")));
+    });
+
+    // Armed at the default 99 Hz: span operations mirror the stack into
+    // the seqlock-protected shadow and the sampler thread walks it.
+    let recorder = wb_obs::profile::start(wb_obs::profile::Options {
+        hz: 99,
+        mode: wb_obs::profile::Mode::Wall,
+    })
+    .expect("profiler arms");
+    c.bench_function("traced_brief_profiler_armed_99hz", |b| {
+        b.iter(|| black_box(briefer.brief_html(&html).expect("page briefs")));
+    });
+    c.bench_function("span_macro_profiler_armed", |b| {
+        b.iter(|| {
+            let _s = wb_obs::span!("bench.obs.span.armed");
+        });
+    });
+    let profile = recorder.stop();
+    eprintln!(
+        "[bench] profiler captured {} rounds / {} samples while armed",
+        profile.rounds, profile.total_weight
+    );
+}
+
+fn bench_alloc_attribution(c: &mut Criterion) {
+    let (briefer, html) = traced_brief_fixture();
+    wb_obs::set_enabled(true);
+
+    assert!(!wb_obs::alloc::tracking(), "bench starts with attribution off");
+    c.bench_function("traced_brief_alloc_track_off", |b| {
+        b.iter(|| black_box(briefer.brief_html(&html).expect("page briefs")));
+    });
+
+    wb_obs::alloc::set_tracking(true);
+    c.bench_function("traced_brief_alloc_track_on", |b| {
+        b.iter(|| black_box(briefer.brief_html(&html).expect("page briefs")));
+    });
+    c.bench_function("span_macro_alloc_track_on", |b| {
+        b.iter(|| {
+            let _s = wb_obs::span!("bench.obs.span.alloc");
+            black_box(Vec::<u8>::with_capacity(64));
+        });
+    });
+    wb_obs::alloc::set_tracking(false);
+}
+
 fn bench_fault_point_unarmed(c: &mut Criterion) {
     // The robustness bar for `wb-chaos`: an unarmed fault point is one
     // relaxed atomic load and must be free at hot-path granularity. (This
@@ -84,6 +169,8 @@ criterion_group!(
     bench_instrumented,
     bench_disabled,
     bench_macro_costs,
+    bench_profiler_overhead,
+    bench_alloc_attribution,
     bench_fault_point_unarmed
 );
 criterion_main!(benches);

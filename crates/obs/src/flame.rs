@@ -1,0 +1,274 @@
+//! Hand-rolled flamegraph SVG rendering for collapsed-stack text.
+//!
+//! Input is the canonical collapsed format one line per stack —
+//! `root;child;leaf weight` — as produced by
+//! [`crate::profile::Profile::to_collapsed`] (or any other flamegraph
+//! tooling). Output is a self-contained SVG: an icicle layout (roots on
+//! top), one `<g><title/><rect/><text/></g>` group per frame, widths
+//! proportional to subtree weight, deterministic warm colors hashed
+//! from the frame name. No dependencies, no JavaScript — like the JSON
+//! writer, careful string assembly only.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The Content-Type a capture endpoint should serve this format under.
+pub const CONTENT_TYPE: &str = "image/svg+xml";
+
+const WIDTH: f64 = 1200.0;
+const PAD: f64 = 10.0;
+const FRAME_H: f64 = 16.0;
+const HEADER_H: f64 = 40.0;
+/// Frames narrower than this render as nothing (with their subtrees);
+/// keeps pathological profiles from emitting megabytes of invisible
+/// rects.
+const MIN_W: f64 = 0.3;
+
+#[derive(Default)]
+struct Node {
+    self_weight: u64,
+    total: u64,
+    children: BTreeMap<String, Node>,
+}
+
+/// Parses collapsed-stack text into `(frames, weight)` rows. Empty and
+/// whitespace-only lines are skipped; anything else must end in a
+/// `u64` weight.
+pub fn parse_collapsed(text: &str) -> Result<Vec<(Vec<String>, u64)>, String> {
+    let mut rows = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (path, w) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: expected `stack weight`", i + 1))?;
+        let w: u64 =
+            w.parse().map_err(|_| format!("line {}: weight `{w}` is not a number", i + 1))?;
+        let frames: Vec<String> =
+            path.split(';').filter(|f| !f.is_empty()).map(str::to_string).collect();
+        if frames.is_empty() {
+            return Err(format!("line {}: empty stack", i + 1));
+        }
+        rows.push((frames, w));
+    }
+    Ok(rows)
+}
+
+fn build_tree(rows: &[(Vec<String>, u64)]) -> Node {
+    let mut root = Node::default();
+    for (frames, w) in rows {
+        let mut node = &mut root;
+        for f in frames {
+            node = node.children.entry(f.clone()).or_default();
+        }
+        node.self_weight += w;
+    }
+    fn total(n: &mut Node) -> u64 {
+        let kids: u64 = n.children.values_mut().map(total).sum();
+        n.total = n.self_weight + kids;
+        n.total
+    }
+    total(&mut root);
+    root
+}
+
+fn depth_of(n: &Node) -> usize {
+    1 + n.children.values().map(depth_of).max().unwrap_or(0)
+}
+
+fn escape_xml(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// FNV-1a, the same deterministic hash the rest of the workspace leans
+/// on for seed-stable choices.
+fn fnv(s: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// The classic flamegraph warm palette, chosen deterministically per
+/// name so the same span keeps its color across captures.
+fn color(name: &str) -> String {
+    let h = fnv(name);
+    let r = 205 + (h % 50) as u8;
+    let g = ((h >> 8) % 180) as u8;
+    let b = ((h >> 16) % 55) as u8;
+    format!("rgb({r},{g},{b})")
+}
+
+fn emit_frame(out: &mut String, name: &str, node: &Node, x: f64, y: f64, w: f64, total: u64) {
+    let pct = 100.0 * node.total as f64 / total.max(1) as f64;
+    let esc = escape_xml(name);
+    let _ = writeln!(out, "<g>");
+    let _ = writeln!(out, "<title>{esc} ({} samples, {pct:.2}%)</title>", node.total);
+    let _ = writeln!(
+        out,
+        "<rect x=\"{x:.2}\" y=\"{y:.2}\" width=\"{w:.2}\" height=\"{:.0}\" fill=\"{}\" rx=\"1\"/>",
+        FRAME_H - 1.0,
+        color(name)
+    );
+    // Only label frames wide enough to fit a few characters.
+    if w >= 30.0 {
+        let max_chars = (w / 6.5) as usize;
+        let label: String = if esc.chars().count() > max_chars {
+            let cut: String = name.chars().take(max_chars.saturating_sub(2)).collect();
+            format!("{}..", escape_xml(&cut))
+        } else {
+            esc
+        };
+        let _ = writeln!(
+            out,
+            "<text x=\"{:.2}\" y=\"{:.2}\" font-size=\"11\" font-family=\"monospace\">{label}</text>",
+            x + 2.0,
+            y + FRAME_H - 5.0
+        );
+    }
+    let _ = writeln!(out, "</g>");
+    let mut cx = x;
+    for (cname, child) in &node.children {
+        let cw = w * child.total as f64 / node.total.max(1) as f64;
+        if cw >= MIN_W {
+            emit_frame(out, cname, child, cx, y + FRAME_H, cw, total);
+        }
+        cx += cw;
+    }
+}
+
+/// Renders collapsed-stack text as a flamegraph SVG. An input with no
+/// stacks renders a valid SVG carrying a "no samples" banner; malformed
+/// lines are an error.
+pub fn render_svg(collapsed: &str, title: &str) -> Result<String, String> {
+    let rows = parse_collapsed(collapsed)?;
+    let root = build_tree(&rows);
+    let depth = if root.children.is_empty() { 1 } else { depth_of(&root) };
+    // Root pseudo-frame plus every real level.
+    let height = HEADER_H + depth as f64 * FRAME_H + PAD;
+    let mut out = String::new();
+    out.push_str("<?xml version=\"1.0\" standalone=\"no\"?>\n");
+    let _ = writeln!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{WIDTH:.0}\" height=\"{height:.0}\" \
+         viewBox=\"0 0 {WIDTH:.0} {height:.0}\">"
+    );
+    let _ = writeln!(
+        out,
+        "<rect x=\"0\" y=\"0\" width=\"{WIDTH:.0}\" height=\"{height:.0}\" fill=\"#f8f8f8\"/>"
+    );
+    let _ = writeln!(
+        out,
+        "<text x=\"{:.0}\" y=\"24\" font-size=\"14\" font-family=\"monospace\">{}</text>",
+        PAD,
+        escape_xml(title)
+    );
+    if root.children.is_empty() {
+        let _ = writeln!(
+            out,
+            "<text x=\"{:.0}\" y=\"{:.0}\" font-size=\"12\" font-family=\"monospace\">(no samples)</text>",
+            PAD,
+            HEADER_H + 12.0
+        );
+    } else {
+        let usable = WIDTH - 2.0 * PAD;
+        let mut cx = PAD;
+        for (name, child) in &root.children {
+            let cw = usable * child.total as f64 / root.total.max(1) as f64;
+            if cw >= MIN_W {
+                emit_frame(&mut out, name, child, cx, HEADER_H, cw, root.total);
+            }
+            cx += cw;
+        }
+    }
+    out.push_str("</svg>\n");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "serve.request 40\n\
+                          serve.batch;serve.batch.model 120\n\
+                          serve.batch;serve.batch.model;brief.page 30\n";
+
+    #[test]
+    fn parse_collapsed_accepts_canonical_lines() {
+        let rows = parse_collapsed(SAMPLE).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[1].0, vec!["serve.batch", "serve.batch.model"]);
+        assert_eq!(rows[1].1, 120);
+    }
+
+    #[test]
+    fn parse_collapsed_rejects_malformed_lines() {
+        assert!(parse_collapsed("no-weight-here").is_err());
+        assert!(parse_collapsed("path twelve").is_err());
+        assert!(parse_collapsed(" 5").is_err(), "empty stack must be rejected");
+        // Blank lines are tolerated.
+        assert_eq!(parse_collapsed("\n\n  \n").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn svg_is_well_formed_and_balanced() {
+        let svg = render_svg(SAMPLE, "test profile").unwrap();
+        assert!(svg.starts_with("<?xml"));
+        assert!(svg.contains("<svg "));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // One <g> per emitted frame, each carrying exactly one rect and
+        // one title — the xmllint-free well-formedness check CI uses.
+        let opens = svg.matches("<g>").count();
+        let closes = svg.matches("</g>").count();
+        let titles = svg.matches("<title>").count();
+        assert_eq!(opens, closes, "unbalanced groups");
+        assert_eq!(opens, titles, "every frame needs a hover title");
+        assert_eq!(opens, 4, "sample has 4 distinct frames");
+    }
+
+    #[test]
+    fn frame_widths_are_proportional_to_weight() {
+        let svg = render_svg(SAMPLE, "t").unwrap();
+        // Total weight 190 over usable width 1180: serve.batch subtree
+        // (150) must be wider than serve.request (40).
+        let width_of = |name: &str| -> f64 {
+            let pos = svg.find(&format!("<title>{name} ")).expect(name);
+            let rect = svg[pos..].find("width=\"").unwrap() + pos + 7;
+            svg[rect..].split('"').next().unwrap().parse().unwrap()
+        };
+        assert!(width_of("serve.batch") > width_of("serve.request"));
+        // The child never exceeds its parent.
+        assert!(width_of("serve.batch.model") <= width_of("serve.batch") + 0.01);
+    }
+
+    #[test]
+    fn names_are_xml_escaped() {
+        let svg = render_svg("a<b>&\"c 7\n", "t<&>").unwrap();
+        assert!(svg.contains("a&lt;b&gt;&amp;&quot;c"));
+        assert!(svg.contains("t&lt;&amp;&gt;"));
+        assert!(!svg.contains("<b>"), "raw angle brackets must not survive");
+    }
+
+    #[test]
+    fn empty_profile_renders_a_valid_banner_svg() {
+        let svg = render_svg("", "idle").unwrap();
+        assert!(svg.starts_with("<?xml"));
+        assert!(svg.contains("(no samples)"));
+        assert_eq!(svg.matches("<g>").count(), 0);
+    }
+}

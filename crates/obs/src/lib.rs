@@ -76,9 +76,13 @@
 //! record to a single atomic load; compiling with the `off` feature
 //! removes even that.
 
+pub mod alloc;
+pub mod flame;
 pub mod json;
 pub mod log;
 pub mod metrics;
+pub mod procstat;
+pub mod profile;
 pub mod prometheus;
 pub mod report;
 pub mod retry;

@@ -174,14 +174,26 @@ pub struct SpanStat {
     pub total_ns: AtomicU64,
     /// Nanoseconds excluding time attributed to same-thread child spans.
     pub self_ns: AtomicU64,
+    /// Heap bytes requested while this span (and not a child) was the
+    /// active frame. Zero unless the binary installs
+    /// [`crate::alloc::Counting`] and arms tracking.
+    pub alloc_bytes: AtomicU64,
+    /// Allocation events attributed the same way.
+    pub alloc_count: AtomicU64,
 }
 
 impl SpanStat {
-    /// Records one completed span.
-    pub fn record(&self, total_ns: u64, self_ns: u64) {
+    /// Records one completed span with its self-attributed allocations.
+    pub fn record(&self, total_ns: u64, self_ns: u64, alloc_bytes: u64, alloc_count: u64) {
         self.count.fetch_add(1, Ordering::Relaxed);
         self.total_ns.fetch_add(total_ns, Ordering::Relaxed);
         self.self_ns.fetch_add(self_ns, Ordering::Relaxed);
+        if alloc_bytes > 0 {
+            self.alloc_bytes.fetch_add(alloc_bytes, Ordering::Relaxed);
+        }
+        if alloc_count > 0 {
+            self.alloc_count.fetch_add(alloc_count, Ordering::Relaxed);
+        }
     }
 }
 
@@ -384,7 +396,7 @@ impl HistogramSnapshot {
 }
 
 /// One span path, frozen.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct SpanSnapshot {
     /// Completed spans at this path.
     pub count: u64,
@@ -392,6 +404,11 @@ pub struct SpanSnapshot {
     pub total_ns: u64,
     /// Nanoseconds excluding same-thread children.
     pub self_ns: u64,
+    /// Self-attributed heap bytes (`obs.alloc.*`; zero without the
+    /// counting allocator).
+    pub alloc_bytes: u64,
+    /// Self-attributed allocation events.
+    pub alloc_count: u64,
 }
 
 /// Everything in the registry at one moment, with deterministic ordering.
@@ -428,15 +445,25 @@ pub fn snapshot() -> Snapshot {
     for (name, h) in r.histograms.read().unwrap().iter() {
         s.histograms.insert(name.clone(), h.snapshot());
     }
+    let (mut alloc_bytes_sum, mut alloc_count_sum) = (0u64, 0u64);
     for (path, st) in r.spans.read().unwrap().iter() {
-        s.spans.insert(
-            path.clone(),
-            SpanSnapshot {
-                count: st.count.load(Ordering::Relaxed),
-                total_ns: st.total_ns.load(Ordering::Relaxed),
-                self_ns: st.self_ns.load(Ordering::Relaxed),
-            },
-        );
+        let sp = SpanSnapshot {
+            count: st.count.load(Ordering::Relaxed),
+            total_ns: st.total_ns.load(Ordering::Relaxed),
+            self_ns: st.self_ns.load(Ordering::Relaxed),
+            alloc_bytes: st.alloc_bytes.load(Ordering::Relaxed),
+            alloc_count: st.alloc_count.load(Ordering::Relaxed),
+        };
+        alloc_bytes_sum += sp.alloc_bytes;
+        alloc_count_sum += sp.alloc_count;
+        s.spans.insert(path.clone(), sp);
+    }
+    // Roll the per-span attribution up into process-wide counters so
+    // dashboards see span-attributed allocator pressure without summing
+    // the table themselves. Absent entirely while attribution is off.
+    if alloc_count_sum > 0 {
+        s.counters.insert("obs.alloc.bytes".to_string(), alloc_bytes_sum);
+        s.counters.insert("obs.alloc.count".to_string(), alloc_count_sum);
     }
     s
 }
@@ -500,6 +527,12 @@ impl Snapshot {
                 o.insert("count".to_string(), Json::Num(sp.count as f64));
                 o.insert("total_ns".to_string(), Json::Num(sp.total_ns as f64));
                 o.insert("self_ns".to_string(), Json::Num(sp.self_ns as f64));
+                // Allocation attribution is opt-in; omit the fields when
+                // empty so snapshots stay byte-identical with it off.
+                if sp.alloc_count > 0 || sp.alloc_bytes > 0 {
+                    o.insert("alloc_bytes".to_string(), Json::Num(sp.alloc_bytes as f64));
+                    o.insert("alloc_count".to_string(), Json::Num(sp.alloc_count as f64));
+                }
                 (k.clone(), Json::Obj(o))
             })
             .collect();
@@ -566,12 +599,17 @@ impl Snapshot {
                         .and_then(Json::as_num)
                         .ok_or_else(|| format!("span `{k}` missing `{field}`"))
                 };
+                let opt = |field: &str| {
+                    sp.get(field).and_then(Json::as_num).map(|n| n as u64).unwrap_or(0)
+                };
                 s.spans.insert(
                     k.clone(),
                     SpanSnapshot {
                         count: num("count")? as u64,
                         total_ns: num("total_ns")? as u64,
                         self_ns: num("self_ns")? as u64,
+                        alloc_bytes: opt("alloc_bytes"),
+                        alloc_count: opt("alloc_count"),
                     },
                 );
             }
@@ -745,10 +783,27 @@ mod tests {
         registry().counter("test.metrics.snap_counter").add(7);
         registry().gauge("test.metrics.snap_gauge").set(0.125);
         registry().histogram_with("test.metrics.snap_hist", &[1.0, 2.0]).observe(1.5);
-        registry().span_stat("test.metrics.snap_span").record(1000, 900);
+        registry().span_stat("test.metrics.snap_span").record(1000, 900, 0, 0);
+        registry().span_stat("test.metrics.snap_span_alloc").record(500, 400, 2048, 3);
         let s = snapshot();
         let parsed = Snapshot::from_json(&s.to_json()).unwrap();
         assert_eq!(parsed, s);
+        // Alloc fields round-trip when present and default to zero when
+        // the snapshot predates them.
+        assert_eq!(parsed.spans["test.metrics.snap_span_alloc"].alloc_bytes, 2048);
+        let old =
+            Snapshot::from_json(r#"{"spans":{"a":{"count":1,"total_ns":10,"self_ns":9}}}"#)
+                .unwrap();
+        assert_eq!(old.spans["a"].alloc_bytes, 0);
+        assert_eq!(old.spans["a"].alloc_count, 0);
+    }
+
+    #[test]
+    fn span_alloc_attribution_rolls_up_into_counters() {
+        registry().span_stat("test.metrics.alloc_rollup").record(100, 100, 512, 2);
+        let s = snapshot();
+        assert!(s.counters.get("obs.alloc.bytes").copied().unwrap_or(0) >= 512);
+        assert!(s.counters.get("obs.alloc.count").copied().unwrap_or(0) >= 2);
     }
 
     /// The hand-rolled writer must be real JSON — parse it with the

@@ -1,0 +1,99 @@
+//! Process runtime stats from `/proc/self`, exported as `proc.*`
+//! gauges.
+//!
+//! [`sample_now`] reads resident set size and thread count from
+//! `/proc/self/status` and counts `/proc/self/fd` entries, then sets
+//! the `proc.rss_bytes`, `proc.threads` and `proc.open_fds` gauges so
+//! `/varz`, `wb top` and the Prometheus exposition all see them.
+//! [`spawn_sampler`] keeps them fresh from a background thread.
+//!
+//! Off Linux (or when `/proc` is unreadable) the reads quietly return
+//! `None` and the gauges stay untouched — same graceful degradation as
+//! the rest of the crate.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// One reading of `/proc/self`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcStats {
+    /// Resident set size in bytes (`VmRSS`).
+    pub rss_bytes: u64,
+    /// Kernel thread count (`Threads`).
+    pub threads: u64,
+    /// Open file descriptors (entries in `/proc/self/fd`).
+    pub open_fds: u64,
+}
+
+/// Parses a `Key:   12345 kB`-style line out of `/proc/self/status`.
+fn status_field(status: &str, key: &str) -> Option<u64> {
+    let line = status.lines().find(|l| l.starts_with(key))?;
+    line[key.len()..].split_ascii_whitespace().next()?.parse().ok()
+}
+
+/// Reads `/proc/self`; `None` where procfs is unavailable.
+pub fn read() -> Option<ProcStats> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let rss_kb = status_field(&status, "VmRSS:")?;
+    let threads = status_field(&status, "Threads:")?;
+    let open_fds = std::fs::read_dir("/proc/self/fd").ok()?.count() as u64;
+    Some(ProcStats { rss_bytes: rss_kb * 1024, threads, open_fds })
+}
+
+/// Takes one reading and publishes it to the `proc.*` gauges. Returns
+/// the reading for callers that want the values directly.
+pub fn sample_now() -> Option<ProcStats> {
+    let s = read()?;
+    crate::gauge!("proc.rss_bytes", s.rss_bytes);
+    crate::gauge!("proc.threads", s.threads);
+    crate::gauge!("proc.open_fds", s.open_fds);
+    Some(s)
+}
+
+static SAMPLER_RUNNING: AtomicBool = AtomicBool::new(false);
+
+/// Starts (at most once per process) a background thread that refreshes
+/// the `proc.*` gauges every `interval`. Takes an immediate first
+/// sample so the gauges are populated before the first scrape.
+pub fn spawn_sampler(interval: Duration) {
+    sample_now();
+    if SAMPLER_RUNNING.swap(true, Ordering::AcqRel) {
+        return;
+    }
+    let _ =
+        std::thread::Builder::new().name("wb-obs-procstat".to_string()).spawn(move || loop {
+            std::thread::sleep(interval);
+            sample_now();
+        });
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_field_parses_kb_lines() {
+        let status = "Name:\twb\nVmRSS:\t  123456 kB\nThreads:\t7\n";
+        assert_eq!(status_field(status, "VmRSS:"), Some(123_456));
+        assert_eq!(status_field(status, "Threads:"), Some(7));
+        assert_eq!(status_field(status, "VmSwap:"), None);
+    }
+
+    #[test]
+    fn read_reports_plausible_numbers() {
+        let s = read().expect("/proc/self must be readable on Linux");
+        assert!(s.rss_bytes > 1024 * 1024, "rss {} implausibly small", s.rss_bytes);
+        assert!(s.threads >= 1);
+        assert!(s.open_fds >= 3, "stdin/stdout/stderr alone give 3 fds");
+    }
+
+    #[test]
+    fn sample_now_publishes_gauges() {
+        let _guard = crate::TEST_FLAG_LOCK.lock().unwrap();
+        let s = sample_now().expect("sample");
+        let snap = crate::metrics::snapshot();
+        assert_eq!(snap.gauges.get("proc.threads").copied(), Some(s.threads as f64));
+        assert!(snap.gauges.get("proc.rss_bytes").copied().unwrap_or(0.0) > 0.0);
+        assert!(snap.gauges.contains_key("proc.open_fds"));
+    }
+}

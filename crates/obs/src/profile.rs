@@ -1,0 +1,645 @@
+//! Sampling span-stack profiler.
+//!
+//! The span layer ([`crate::span`]) already maintains a per-thread RAII
+//! nesting stack; this module makes that stack *observable from outside
+//! the thread* so a dedicated sampler can snapshot every thread at a
+//! fixed rate and fold the observations into collapsed-stack form
+//! (`root;child;leaf count` — the input format of every flamegraph
+//! tool, including [`crate::flame`]).
+//!
+//! ## How a thread exposes its stack
+//!
+//! Span names are interned to dense `u32` ids. Each thread that enters
+//! a span while a capture is armed registers a fixed-size *shadow
+//! stack* — a seqlock-guarded array of atomics mirroring the interned
+//! ids of its live span stack. The mirror is rewritten on every span
+//! enter/exit (a handful of relaxed stores), and only while armed:
+//! disarmed, the span hot path pays exactly one relaxed atomic load.
+//! The sampler validates the seqlock around each read and discards torn
+//! snapshots; a stale or torn id can at worst name the wrong span —
+//! ids are bounds-checked against the intern table, so the read is
+//! memory-safe under any interleaving.
+//!
+//! Because the mirror is only maintained while armed, a span entered
+//! *before* the capture started becomes visible at that thread's next
+//! span enter or exit (the mirror is rebuilt from the real stack each
+//! time). Threads that never touch a span during the capture simply do
+//! not appear.
+//!
+//! ## Modes
+//!
+//! * [`Mode::Wall`] — every observed thread with a non-empty stack
+//!   contributes weight 1 per sampling round: the classic wall-clock
+//!   profile (blocked time counts).
+//! * [`Mode::Cpu`] — each round reads `utime+stime` clock ticks from
+//!   `/proc/self/task/<tid>/stat` (dependency-free, like the signal
+//!   handling in wb-serve) and attributes the per-thread delta to the
+//!   stack observed at the sample instant; CPU burned while the stack
+//!   is empty lands in the `(no span)` bucket. Linux-only.
+//!
+//! One capture may run at a time ([`start`] fails with a busy error
+//! otherwise); `GET /pprof` maps that to HTTP 409.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::{Duration, Instant};
+
+/// Deepest mirrored nesting; deeper frames fold into a `(truncated)`
+/// trailing frame. The real span stack is unaffected.
+pub const MAX_FRAMES: usize = 32;
+
+/// Sampling clock source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Weight 1 per thread per round; blocked time counts.
+    Wall,
+    /// Weight = `utime+stime` tick delta per thread per round.
+    Cpu,
+}
+
+impl Mode {
+    /// Parses `"wall"` / `"cpu"`.
+    pub fn parse(s: &str) -> Option<Mode> {
+        match s {
+            "wall" => Some(Mode::Wall),
+            "cpu" => Some(Mode::Cpu),
+            _ => None,
+        }
+    }
+
+    /// The canonical spelling accepted by [`Mode::parse`].
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Mode::Wall => "wall",
+            Mode::Cpu => "cpu",
+        }
+    }
+}
+
+/// Capture configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    /// Sampling rounds per second, clamped to `1..=1000`.
+    pub hz: u32,
+    /// Clock source.
+    pub mode: Mode,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options { hz: 99, mode: Mode::Wall }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Name interning
+// ---------------------------------------------------------------------
+
+#[derive(Default)]
+struct Interner {
+    ids: HashMap<&'static str, u32>,
+    names: Vec<&'static str>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static T: OnceLock<RwLock<Interner>> = OnceLock::new();
+    T.get_or_init(|| RwLock::new(Interner::default()))
+}
+
+fn intern(name: &'static str) -> u32 {
+    if let Some(&id) = interner().read().unwrap().ids.get(name) {
+        return id;
+    }
+    let mut w = interner().write().unwrap();
+    if let Some(&id) = w.ids.get(name) {
+        return id;
+    }
+    let id = w.names.len() as u32;
+    w.names.push(name);
+    w.ids.insert(name, id);
+    id
+}
+
+/// Resolves an interned id; a torn or stale id past the table end reads
+/// as `"?"` rather than anything unsafe.
+fn resolve(id: u32) -> &'static str {
+    interner().read().unwrap().names.get(id as usize).copied().unwrap_or("?")
+}
+
+// ---------------------------------------------------------------------
+// Shadow stacks
+// ---------------------------------------------------------------------
+
+struct ShadowStack {
+    /// Kernel thread id (0 where unavailable); keys the on-CPU reads.
+    tid: u64,
+    /// Seqlock: odd while the owner rewrites the mirror.
+    seq: AtomicU64,
+    /// True nesting depth (may exceed [`MAX_FRAMES`]).
+    depth: AtomicUsize,
+    /// Interned ids of the first [`MAX_FRAMES`] frames, root first.
+    frames: [AtomicU32; MAX_FRAMES],
+    /// Cleared when the owning thread exits; pruned by the sampler.
+    alive: AtomicBool,
+    /// Excluded from sampling (the thread running a capture request).
+    hidden: AtomicBool,
+}
+
+fn stacks() -> &'static Mutex<Vec<Arc<ShadowStack>>> {
+    static S: OnceLock<Mutex<Vec<Arc<ShadowStack>>>> = OnceLock::new();
+    S.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+#[cfg(target_os = "linux")]
+fn current_tid() -> u64 {
+    // Hand-declared like wb-serve's signal(): glibc and musl both export
+    // gettid(); going through libc keeps this dependency-free.
+    extern "C" {
+        fn gettid() -> i32;
+    }
+    unsafe { gettid() as u64 }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn current_tid() -> u64 {
+    0
+}
+
+/// Keeps the registration alive for the thread's lifetime; the `Drop`
+/// marks the mirror dead so the sampler can prune it.
+struct ShadowHandle(Arc<ShadowStack>);
+
+impl Drop for ShadowHandle {
+    fn drop(&mut self) {
+        self.0.alive.store(false, Ordering::Relaxed);
+    }
+}
+
+thread_local! {
+    static SHADOW: std::cell::RefCell<Option<ShadowHandle>> = const { std::cell::RefCell::new(None) };
+}
+
+fn register_current_thread() -> ShadowHandle {
+    let s = Arc::new(ShadowStack {
+        tid: current_tid(),
+        seq: AtomicU64::new(0),
+        depth: AtomicUsize::new(0),
+        frames: std::array::from_fn(|_| AtomicU32::new(0)),
+        alive: AtomicBool::new(true),
+        hidden: AtomicBool::new(false),
+    });
+    stacks().lock().unwrap().push(Arc::clone(&s));
+    ShadowHandle(s)
+}
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+/// Whether a capture is armed. The span hot path checks this (one
+/// relaxed load) and skips all mirror maintenance when disarmed.
+#[inline(always)]
+pub(crate) fn armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Rebuilds the current thread's shadow mirror from its real span stack
+/// (called by the span layer on every enter/exit while armed).
+pub(crate) fn sync_stack<I>(names: I)
+where
+    I: Iterator<Item = &'static str> + ExactSizeIterator,
+{
+    let _ = SHADOW.try_with(|cell| {
+        let mut slot = cell.borrow_mut();
+        let handle = slot.get_or_insert_with(register_current_thread);
+        let s = &handle.0;
+        let depth = names.len();
+        s.seq.fetch_add(1, Ordering::Release);
+        for (i, name) in names.enumerate().take(MAX_FRAMES) {
+            s.frames[i].store(intern(name), Ordering::Relaxed);
+        }
+        s.depth.store(depth, Ordering::Relaxed);
+        s.seq.fetch_add(1, Ordering::Release);
+    });
+}
+
+/// Hides the calling thread from the sampler while the guard lives.
+/// The `/pprof` handler uses this so the capture request's own
+/// long-lived `serve.request` span does not pollute every profile.
+pub fn hide_current_thread() -> HiddenGuard {
+    let arc = SHADOW.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        Arc::clone(&slot.get_or_insert_with(register_current_thread).0)
+    });
+    arc.hidden.store(true, Ordering::Relaxed);
+    HiddenGuard(arc)
+}
+
+/// Re-exposes the thread to the sampler when dropped.
+pub struct HiddenGuard(Arc<ShadowStack>);
+
+impl Drop for HiddenGuard {
+    fn drop(&mut self) {
+        self.0.hidden.store(false, Ordering::Relaxed);
+    }
+}
+
+/// Seqlock-validated read of one mirror; `None` after repeated tears.
+fn read_stack(s: &ShadowStack) -> Option<(Vec<u32>, usize)> {
+    for _ in 0..4 {
+        let s1 = s.seq.load(Ordering::Acquire);
+        if s1 & 1 == 1 {
+            std::hint::spin_loop();
+            continue;
+        }
+        let depth = s.depth.load(Ordering::Relaxed);
+        let shown = depth.min(MAX_FRAMES);
+        let mut ids = Vec::with_capacity(shown);
+        for f in s.frames.iter().take(shown) {
+            ids.push(f.load(Ordering::Relaxed));
+        }
+        std::sync::atomic::fence(Ordering::Acquire);
+        if s.seq.load(Ordering::Relaxed) == s1 {
+            return Some((ids, depth));
+        }
+    }
+    None
+}
+
+/// `utime+stime` clock ticks for one thread of this process.
+fn cpu_ticks(tid: u64) -> Option<u64> {
+    let text = std::fs::read_to_string(format!("/proc/self/task/{tid}/stat")).ok()?;
+    // The comm field may contain spaces and parentheses; fields after
+    // the *last* `)` are whitespace-separated. utime and stime are
+    // fields 14 and 15 of the full line, i.e. 11 and 12 past the comm.
+    let (_, rest) = text.rsplit_once(')')?;
+    let mut it = rest.split_ascii_whitespace();
+    let utime: u64 = it.nth(11)?.parse().ok()?;
+    let stime: u64 = it.next()?.parse().ok()?;
+    Some(utime + stime)
+}
+
+fn sanitize_frame(name: &str) -> String {
+    name.chars().map(|c| if c == ';' || c.is_whitespace() { '_' } else { c }).collect()
+}
+
+// ---------------------------------------------------------------------
+// Capture
+// ---------------------------------------------------------------------
+
+static CAPTURING: AtomicBool = AtomicBool::new(false);
+
+/// A finished capture.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// Clock source the capture ran with.
+    pub mode: Mode,
+    /// Effective sampling rate.
+    pub hz: u32,
+    /// Wall time the capture was armed for.
+    pub duration: Duration,
+    /// Sampling rounds performed.
+    pub rounds: u64,
+    /// Sum of all folded weights.
+    pub total_weight: u64,
+    /// Collapsed stacks: `root;child;leaf` → weight.
+    pub folded: BTreeMap<String, u64>,
+}
+
+impl Profile {
+    /// Renders the canonical collapsed-stack text: one
+    /// `path weight` line per folded stack, sorted by path.
+    pub fn to_collapsed(&self) -> String {
+        let mut out = String::new();
+        for (path, w) in &self.folded {
+            out.push_str(path);
+            out.push(' ');
+            out.push_str(&w.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A running capture; [`Recorder::stop`] disarms and returns the
+/// profile.
+pub struct Recorder {
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<(u64, u64, BTreeMap<String, u64>)>,
+    opts: Options,
+    started: Instant,
+}
+
+impl Recorder {
+    /// Stops sampling, disarms the span mirrors and returns the folded
+    /// profile.
+    pub fn stop(self) -> Profile {
+        self.stop.store(true, Ordering::Release);
+        let (rounds, total_weight, folded) = self.handle.join().unwrap_or_default();
+        ARMED.store(false, Ordering::Relaxed);
+        CAPTURING.store(false, Ordering::Release);
+        Profile {
+            mode: self.opts.mode,
+            hz: self.opts.hz,
+            duration: self.started.elapsed(),
+            rounds,
+            total_weight,
+            folded,
+        }
+    }
+}
+
+/// Arms the profiler and starts the sampler thread. Fails when a
+/// capture is already running, when observability is compiled out, or
+/// when [`Mode::Cpu`] is requested off Linux.
+pub fn start(opts: Options) -> Result<Recorder, String> {
+    if cfg!(feature = "off") {
+        return Err("profiler unavailable: wb-obs compiled with the `off` feature".to_string());
+    }
+    if opts.mode == Mode::Cpu && !cfg!(target_os = "linux") {
+        return Err("on-CPU mode reads /proc and requires Linux".to_string());
+    }
+    if CAPTURING.compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed).is_err() {
+        return Err("a profile capture is already in progress".to_string());
+    }
+    let opts = Options { hz: opts.hz.clamp(1, 1000), ..opts };
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    ARMED.store(true, Ordering::Relaxed);
+    let handle = std::thread::Builder::new()
+        .name("wb-obs-profiler".to_string())
+        .spawn(move || sampler_loop(opts, stop_flag))
+        .map_err(|e| {
+            ARMED.store(false, Ordering::Relaxed);
+            CAPTURING.store(false, Ordering::Release);
+            format!("spawning sampler thread: {e}")
+        })?;
+    Ok(Recorder { stop, handle, opts, started: Instant::now() })
+}
+
+/// Runs a timed capture: [`start`], sleep, [`Recorder::stop`]. The
+/// calling thread blocks for the full duration.
+pub fn capture(duration: Duration, opts: Options) -> Result<Profile, String> {
+    let rec = start(opts)?;
+    std::thread::sleep(duration);
+    Ok(rec.stop())
+}
+
+fn sampler_loop(opts: Options, stop: Arc<AtomicBool>) -> (u64, u64, BTreeMap<String, u64>) {
+    let period = Duration::from_secs_f64(1.0 / opts.hz as f64);
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    let mut rounds = 0u64;
+    let mut total_weight = 0u64;
+    // On-CPU baseline: tick counts at capture start, so only CPU burned
+    // during the window is attributed.
+    let mut cpu_last: HashMap<u64, u64> = HashMap::new();
+    if opts.mode == Mode::Cpu {
+        for s in stacks().lock().unwrap().iter() {
+            if let Some(t) = cpu_ticks(s.tid) {
+                cpu_last.insert(s.tid, t);
+            }
+        }
+    }
+    while !stop.load(Ordering::Acquire) {
+        let tick = Instant::now();
+        rounds += 1;
+        let snapshot: Vec<Arc<ShadowStack>> = {
+            let mut g = stacks().lock().unwrap();
+            g.retain(|s| s.alive.load(Ordering::Relaxed));
+            g.iter().map(Arc::clone).collect()
+        };
+        for s in &snapshot {
+            let weight = match opts.mode {
+                Mode::Wall => 1,
+                Mode::Cpu => {
+                    let Some(now) = cpu_ticks(s.tid) else { continue };
+                    let last = *cpu_last.get(&s.tid).unwrap_or(&now);
+                    cpu_last.insert(s.tid, now);
+                    now.saturating_sub(last)
+                }
+            };
+            if weight == 0 || s.hidden.load(Ordering::Relaxed) {
+                continue;
+            }
+            let Some((ids, depth)) = read_stack(s) else { continue };
+            let path = if ids.is_empty() {
+                if opts.mode == Mode::Wall {
+                    continue; // idle thread: wall profiles show only live spans
+                }
+                "(no span)".to_string()
+            } else {
+                let mut p = String::new();
+                for (i, id) in ids.iter().enumerate() {
+                    if i > 0 {
+                        p.push(';');
+                    }
+                    p.push_str(&sanitize_frame(resolve(*id)));
+                }
+                if depth > MAX_FRAMES {
+                    p.push_str(";(truncated)");
+                }
+                p
+            };
+            *folded.entry(path).or_insert(0) += weight;
+            total_weight += weight;
+        }
+        let elapsed = tick.elapsed();
+        if elapsed < period {
+            std::thread::sleep(period - elapsed);
+        }
+    }
+    (rounds, total_weight, folded)
+}
+
+#[cfg(all(test, not(feature = "off")))]
+mod tests {
+    use super::*;
+    use crate::span;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    // Every test arms the one global profiler, so serialise on the
+    // shared flag lock like the other wb-obs flag-touching tests.
+
+    #[test]
+    fn interning_is_stable_and_resolve_is_bounds_checked() {
+        let a = intern("test.prof.intern.a");
+        let b = intern("test.prof.intern.b");
+        assert_ne!(a, b);
+        assert_eq!(intern("test.prof.intern.a"), a);
+        assert_eq!(resolve(a), "test.prof.intern.a");
+        assert_eq!(resolve(u32::MAX), "?", "wild ids must resolve safely");
+    }
+
+    #[test]
+    fn collapsed_paths_sanitise_separators() {
+        assert_eq!(sanitize_frame("a b;c\td"), "a_b_c_d");
+    }
+
+    #[test]
+    fn wall_capture_folds_nested_worker_spans() {
+        let _guard = crate::TEST_FLAG_LOCK.lock().unwrap();
+        let rec = start(Options::default()).expect("start");
+        let worker = std::thread::spawn(|| {
+            let _a = span::enter("test.prof.wall_outer");
+            let _b = span::enter("test.prof.wall_inner");
+            std::thread::sleep(Duration::from_millis(200));
+        });
+        std::thread::sleep(Duration::from_millis(150));
+        worker.join().unwrap();
+        let p = rec.stop();
+        assert!(p.rounds >= 5, "sampler barely ran: {} rounds", p.rounds);
+        let nested = p.folded.get("test.prof.wall_outer;test.prof.wall_inner").copied();
+        assert!(nested.unwrap_or(0) >= 1, "missing nested path in {:?}", p.folded);
+        // Collapsed text parses back: every line is `path weight`.
+        for line in p.to_collapsed().lines() {
+            let (path, w) = line.rsplit_once(' ').expect("line shape");
+            assert!(!path.is_empty());
+            w.parse::<u64>().expect("weight is a number");
+        }
+    }
+
+    #[test]
+    fn only_one_capture_at_a_time() {
+        let _guard = crate::TEST_FLAG_LOCK.lock().unwrap();
+        let rec = start(Options::default()).expect("first capture");
+        let err = match start(Options::default()) {
+            Ok(r) => {
+                let _ = r.stop();
+                panic!("second capture unexpectedly started");
+            }
+            Err(e) => e,
+        };
+        assert!(err.contains("already in progress"), "unexpected error: {err}");
+        let _ = rec.stop();
+        // The slot frees on stop.
+        let rec2 = start(Options::default()).expect("slot must free");
+        let _ = rec2.stop();
+    }
+
+    #[test]
+    fn hidden_threads_are_excluded() {
+        let _guard = crate::TEST_FLAG_LOCK.lock().unwrap();
+        let rec = start(Options::default()).expect("start");
+        std::thread::spawn(|| {
+            let _hide = hide_current_thread();
+            let _s = span::enter("test.prof.hidden_span");
+            std::thread::sleep(Duration::from_millis(120));
+        })
+        .join()
+        .unwrap();
+        let p = rec.stop();
+        assert!(
+            !p.folded.keys().any(|k| k.contains("test.prof.hidden_span")),
+            "hidden thread leaked into {:?}",
+            p.folded
+        );
+    }
+
+    #[test]
+    fn deep_stacks_truncate_without_losing_the_root() {
+        let _guard = crate::TEST_FLAG_LOCK.lock().unwrap();
+        let rec = start(Options::default()).expect("start");
+        std::thread::spawn(|| {
+            fn rec_spans(depth: usize) {
+                let _s = span::enter("test.prof.deep");
+                if depth > 0 {
+                    rec_spans(depth - 1);
+                } else {
+                    std::thread::sleep(Duration::from_millis(150));
+                }
+            }
+            rec_spans(MAX_FRAMES + 8);
+        })
+        .join()
+        .unwrap();
+        let p = rec.stop();
+        let truncated: u64 =
+            p.folded.iter().filter(|(k, _)| k.ends_with("(truncated)")).map(|(_, w)| w).sum();
+        assert!(truncated >= 1, "deep stack must fold into (truncated): {:?}", p.folded);
+    }
+
+    /// Satellite: a `catch_unwind` inside a nested span must leave the
+    /// sampler seeing a consistent stack — the panicked span's frame is
+    /// popped by its guard during unwinding, never orphaned.
+    fn panic_consistency(threads: usize) {
+        let rec = start(Options::default()).expect("start");
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    let _outer = span::enter("test.prof.panic_outer");
+                    for _ in 0..3 {
+                        let r = catch_unwind(AssertUnwindSafe(|| {
+                            let _inner = span::enter("test.prof.panic_inner");
+                            panic!("intentional test panic");
+                        }));
+                        assert!(r.is_err());
+                    }
+                    // The real stack healed: only the outer frame lives.
+                    assert_eq!(span::depth(), 1);
+                    // Hold the outer span where the sampler can see it.
+                    std::thread::sleep(Duration::from_millis(200));
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        let p = rec.stop();
+        let outer = p.folded.get("test.prof.panic_outer").copied().unwrap_or(0);
+        let orphaned = p.folded.get("test.prof.panic_outer;test.prof.panic_inner").copied();
+        assert!(outer >= 3, "outer span undersampled: {:?}", p.folded);
+        // The inner span lives only microseconds before panicking; an
+        // orphaned frame would instead dominate the 200 ms sleep.
+        assert!(
+            orphaned.unwrap_or(0) < outer,
+            "orphaned inner frame after catch_unwind: {:?}",
+            p.folded
+        );
+    }
+
+    #[test]
+    fn catch_unwind_leaves_consistent_stack_single_thread() {
+        let _guard = crate::TEST_FLAG_LOCK.lock().unwrap();
+        panic_consistency(1);
+    }
+
+    #[test]
+    fn catch_unwind_leaves_consistent_stack_four_threads() {
+        let _guard = crate::TEST_FLAG_LOCK.lock().unwrap();
+        panic_consistency(4);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn cpu_capture_attributes_ticks_to_spinning_span() {
+        let _guard = crate::TEST_FLAG_LOCK.lock().unwrap();
+        let rec = start(Options { hz: 99, mode: Mode::Cpu }).expect("start");
+        std::thread::spawn(|| {
+            let _s = span::enter("test.prof.cpu_spin");
+            let t0 = Instant::now();
+            let mut x = 0u64;
+            while t0.elapsed() < Duration::from_millis(400) {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                std::hint::black_box(x);
+            }
+        })
+        .join()
+        .unwrap();
+        let p = rec.stop();
+        let spin: u64 = p
+            .folded
+            .iter()
+            .filter(|(k, _)| k.contains("test.prof.cpu_spin"))
+            .map(|(_, w)| w)
+            .sum();
+        // 400 ms of spin is ≥ 40 clock ticks at 100 Hz; allow heavy
+        // scheduling noise but require the span to show up at all.
+        assert!(spin >= 1, "spinning span earned no CPU ticks: {:?}", p.folded);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn cpu_ticks_parses_own_thread() {
+        let t = cpu_ticks(current_tid());
+        assert!(t.is_some(), "/proc/self/task/<tid>/stat must parse");
+    }
+}

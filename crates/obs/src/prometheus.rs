@@ -23,6 +23,7 @@
 //! exposition spec (`\\`, `\"`, `\n`).
 
 use crate::metrics::Snapshot;
+use crate::window::WindowSnapshot;
 use std::fmt::Write as _;
 
 /// The Content-Type a scrape endpoint should serve this format under.
@@ -152,10 +153,60 @@ pub fn render(s: &Snapshot) -> String {
     out
 }
 
+/// Sanitises a windowed metric name: `wb_window_` prefix plus the same
+/// character rules as [`metric_name`].
+pub fn window_metric_name(name: &str) -> String {
+    format!("wb_window_{}", &metric_name(name)[3..])
+}
+
+/// Renders a windowed snapshot ([`crate::window::snapshot`]) as
+/// `wb_window_*` gauges, so a Prometheus scrape sees the same live view
+/// `/varz` serves: per-window sums and per-second rates for every
+/// windowed counter, and count plus p50/p90/p99 for every windowed
+/// histogram. All families are gauges — window contents rise *and*
+/// fall — with a `window="10s"|"60s"` label, mirroring the `10s`/`60s`
+/// objects in `/varz`.
+pub fn render_window(w: &WindowSnapshot) -> String {
+    let mut out = String::new();
+    for (name, c) in &w.counters {
+        let pname = window_metric_name(name);
+        let _ = writeln!(out, "# HELP {pname}_sum Events in the trailing window (`{name}`).");
+        let _ = writeln!(out, "# TYPE {pname}_sum gauge");
+        let _ = writeln!(out, "{pname}_sum{{window=\"10s\"}} {}", c.sum_10s);
+        let _ = writeln!(out, "{pname}_sum{{window=\"60s\"}} {}", c.sum_60s);
+        let _ = writeln!(out, "# HELP {pname}_per_sec Windowed per-second rate (`{name}`).");
+        let _ = writeln!(out, "# TYPE {pname}_per_sec gauge");
+        let _ = writeln!(out, "{pname}_per_sec{{window=\"10s\"}} {}", num(c.rate_10s));
+        let _ = writeln!(out, "{pname}_per_sec{{window=\"60s\"}} {}", num(c.rate_60s));
+    }
+    for (name, h) in &w.histograms {
+        let pname = window_metric_name(name);
+        let _ = writeln!(out, "# HELP {pname} Windowed quantile estimates (`{name}`).");
+        let _ = writeln!(out, "# TYPE {pname} gauge");
+        for (label, hs) in [("10s", &h.w10s), ("60s", &h.w60s)] {
+            for (q, qs) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+                if let Some(v) = hs.quantile(q) {
+                    let _ = writeln!(
+                        out,
+                        "{pname}{{window=\"{label}\",quantile=\"{qs}\"}} {}",
+                        num(v)
+                    );
+                }
+            }
+        }
+        let _ = writeln!(out, "# HELP {pname}_count Observations in the trailing window.");
+        let _ = writeln!(out, "# TYPE {pname}_count gauge");
+        let _ = writeln!(out, "{pname}_count{{window=\"10s\"}} {}", h.w10s.count);
+        let _ = writeln!(out, "{pname}_count{{window=\"60s\"}} {}", h.w60s.count);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::metrics::{HistogramSnapshot, SpanSnapshot};
+    use crate::window::{WindowCounterSnapshot, WindowHistogramSnapshot};
 
     fn sample_snapshot() -> Snapshot {
         let mut s = Snapshot { uptime_ms: 1500.0, ..Snapshot::default() };
@@ -173,7 +224,7 @@ mod tests {
         );
         s.spans.insert(
             "serve/brief".into(),
-            SpanSnapshot { count: 4, total_ns: 1000, self_ns: 900 },
+            SpanSnapshot { count: 4, total_ns: 1000, self_ns: 900, ..SpanSnapshot::default() },
         );
         s
     }
@@ -240,5 +291,72 @@ mod tests {
         let text = render(&Snapshot::default());
         assert!(text.starts_with("# HELP wb_uptime_milliseconds"));
         assert!(text.contains("wb_uptime_milliseconds 0\n"));
+    }
+
+    fn sample_window() -> WindowSnapshot {
+        let mut w = WindowSnapshot::default();
+        w.counters.insert(
+            "serve.requests".into(),
+            WindowCounterSnapshot {
+                sum_10s: 50,
+                sum_60s: 240,
+                rate_10s: 5.0,
+                rate_60s: 4.0,
+                total: 10_000,
+            },
+        );
+        w.histograms.insert(
+            "serve.request.latency_us".into(),
+            WindowHistogramSnapshot {
+                w10s: HistogramSnapshot {
+                    count: 50,
+                    sum: 500.0,
+                    min: Some(1.0),
+                    max: Some(40.0),
+                    buckets: vec![(10.0, 40), (100.0, 10)],
+                },
+                w60s: HistogramSnapshot {
+                    count: 0,
+                    sum: 0.0,
+                    min: None,
+                    max: None,
+                    buckets: vec![],
+                },
+            },
+        );
+        w
+    }
+
+    #[test]
+    fn window_counters_render_sums_and_rates_per_window() {
+        let text = render_window(&sample_window());
+        assert!(text.contains("# TYPE wb_window_serve_requests_sum gauge"));
+        assert!(text.contains("wb_window_serve_requests_sum{window=\"10s\"} 50\n"));
+        assert!(text.contains("wb_window_serve_requests_sum{window=\"60s\"} 240\n"));
+        assert!(text.contains("wb_window_serve_requests_per_sec{window=\"10s\"} 5\n"));
+        assert!(text.contains("wb_window_serve_requests_per_sec{window=\"60s\"} 4\n"));
+    }
+
+    #[test]
+    fn window_histograms_render_quantiles_and_counts() {
+        let text = render_window(&sample_window());
+        let p = "wb_window_serve_request_latency_us";
+        assert!(text.contains(&format!("# TYPE {p} gauge")));
+        for q in ["0.5", "0.9", "0.99"] {
+            assert!(
+                text.contains(&format!("{p}{{window=\"10s\",quantile=\"{q}\"}}")),
+                "missing {q} quantile:\n{text}"
+            );
+        }
+        assert!(text.contains(&format!("{p}_count{{window=\"10s\"}} 50\n")));
+        // The empty 60 s window emits its count but no quantiles.
+        assert!(text.contains(&format!("{p}_count{{window=\"60s\"}} 0\n")));
+        assert!(!text.contains("window=\"60s\",quantile"));
+    }
+
+    #[test]
+    fn window_names_use_the_window_prefix() {
+        assert_eq!(window_metric_name("serve.requests"), "wb_window_serve_requests");
+        assert_eq!(window_metric_name("a-b c"), "wb_window_a_b_c");
     }
 }

@@ -70,21 +70,33 @@ pub fn render(snapshot: &Snapshot) -> String {
         section(&mut out, "spans");
         // Span paths sort lexicographically, which places children right
         // after their parents; indent by depth for the flamegraph shape.
-        let rows: Vec<[String; 4]> = snapshot
+        // The `obs.alloc.*` columns show self-attributed allocator
+        // pressure; they render `-` unless the binary armed the counting
+        // allocator (see `wb_obs::alloc`).
+        let rows: Vec<[String; 6]> = snapshot
             .spans
             .iter()
             .map(|(path, sp)| {
                 let depth = path.matches('/').count();
                 let leaf = path.rsplit('/').next().unwrap_or(path);
+                let alloc = |v: u64, fmt: fn(u64) -> String| {
+                    if v == 0 {
+                        "-".into()
+                    } else {
+                        fmt(v)
+                    }
+                };
                 [
                     format!("{}{leaf}", "  ".repeat(depth)),
                     group_digits(sp.count),
                     format_ns(sp.total_ns),
                     format_ns(sp.self_ns),
+                    alloc(sp.alloc_bytes, format_bytes),
+                    alloc(sp.alloc_count, group_digits),
                 ]
             })
             .collect();
-        table(&mut out, &["span", "count", "total", "self"], &rows);
+        table(&mut out, &["span", "count", "total", "self", "alloc", "allocs"], &rows);
     }
 
     if out.is_empty() {
@@ -132,13 +144,27 @@ pub fn render_diff(a: &Snapshot, b: &Snapshot) -> String {
                     b.counters.get(*name).copied().unwrap_or(0),
                 );
                 let delta = vb as i128 - va as i128;
-                [
-                    (*name).clone(),
-                    group_digits(va),
-                    group_digits(vb),
-                    format_i128(delta),
-                    rate(delta as f64),
-                ]
+                // Counters are monotone, so a negative delta means the
+                // process restarted (or the registry was reset) between
+                // snapshots. A "rate" computed from it would be a
+                // misleading negative number; flag the row instead.
+                if delta < 0 {
+                    [
+                        (*name).clone(),
+                        group_digits(va),
+                        group_digits(vb),
+                        format!("{} (reset)", format_i128(delta)),
+                        "-".into(),
+                    ]
+                } else {
+                    [
+                        (*name).clone(),
+                        group_digits(va),
+                        group_digits(vb),
+                        format_i128(delta),
+                        rate(delta as f64),
+                    ]
+                }
             })
             .collect();
         table(&mut out, &["name", "a", "b", "delta", "rate/s"], &rows);
@@ -171,7 +197,18 @@ pub fn render_diff(a: &Snapshot, b: &Snapshot) -> String {
                 let dcount = cb as i128 - ca as i128;
                 let mean =
                     if dcount > 0 { format_f64((sb - sa) / dcount as f64) } else { "-".into() };
-                [(*name).clone(), format_i128(dcount), rate(dcount as f64), mean]
+                // Same counter-reset flagging as above: observation
+                // counts only shrink across a restart.
+                if dcount < 0 {
+                    [
+                        (*name).clone(),
+                        format!("{} (reset)", format_i128(dcount)),
+                        "-".into(),
+                        "-".into(),
+                    ]
+                } else {
+                    [(*name).clone(), format_i128(dcount), rate(dcount as f64), mean]
+                }
             })
             .collect();
         table(&mut out, &["name", "delta count", "rate/s", "interval mean"], &rows);
@@ -263,6 +300,20 @@ fn format_f64(v: f64) -> String {
     }
 }
 
+/// Bytes as an adaptive human unit (binary multiples).
+fn format_bytes(b: u64) -> String {
+    let b = b as f64;
+    if b >= 1024.0 * 1024.0 * 1024.0 {
+        format!("{:.2}GiB", b / (1024.0 * 1024.0 * 1024.0))
+    } else if b >= 1024.0 * 1024.0 {
+        format!("{:.2}MiB", b / (1024.0 * 1024.0))
+    } else if b >= 1024.0 {
+        format!("{:.2}KiB", b / 1024.0)
+    } else {
+        format!("{b}B")
+    }
+}
+
 /// Nanoseconds as an adaptive human unit.
 fn format_ns(ns: u64) -> String {
     let ns = ns as f64;
@@ -299,11 +350,22 @@ mod tests {
         );
         s.spans.insert(
             "train.epoch".into(),
-            SpanSnapshot { count: 2, total_ns: 2_500_000, self_ns: 400_000 },
+            SpanSnapshot {
+                count: 2,
+                total_ns: 2_500_000,
+                self_ns: 400_000,
+                ..SpanSnapshot::default()
+            },
         );
         s.spans.insert(
             "train.epoch/train.step".into(),
-            SpanSnapshot { count: 20, total_ns: 2_100_000, self_ns: 2_100_000 },
+            SpanSnapshot {
+                count: 20,
+                total_ns: 2_100_000,
+                self_ns: 2_100_000,
+                alloc_bytes: 3 * 1024 * 1024,
+                alloc_count: 4_200,
+            },
         );
         let text = render(&s);
         assert!(text.contains("== counters =="));
@@ -317,6 +379,47 @@ mod tests {
         // Child span is indented under its parent.
         assert!(text.contains("\n  train.step"), "got:\n{text}");
         assert!(text.contains("2.50ms"));
+        // Alloc attribution columns: populated rows show human units,
+        // unattributed rows show `-`.
+        assert!(text.contains("alloc"), "missing alloc column:\n{text}");
+        assert!(text.contains("3.00MiB"), "got:\n{text}");
+        assert!(text.contains("4,200"), "got:\n{text}");
+    }
+
+    #[test]
+    fn diff_flags_counter_resets_instead_of_negative_rates() {
+        let mut a = Snapshot { uptime_ms: 1000.0, ..Snapshot::default() };
+        a.counters.insert("serve.requests".into(), 500);
+        a.histograms.insert(
+            "serve.request.latency_us".into(),
+            HistogramSnapshot {
+                count: 500,
+                sum: 100.0,
+                min: Some(1.0),
+                max: Some(2.0),
+                buckets: vec![(10.0, 500)],
+            },
+        );
+        // B was taken after a process restart: everything went backwards.
+        let mut b = Snapshot { uptime_ms: 4000.0, ..Snapshot::default() };
+        b.counters.insert("serve.requests".into(), 30);
+        b.histograms.insert(
+            "serve.request.latency_us".into(),
+            HistogramSnapshot {
+                count: 30,
+                sum: 10.0,
+                min: Some(1.0),
+                max: Some(2.0),
+                buckets: vec![(10.0, 30)],
+            },
+        );
+        let text = render_diff(&a, &b);
+        assert!(text.contains("(reset)"), "reset must be flagged:\n{text}");
+        // No negative per-second rate may be derived from a reset.
+        assert!(!text.contains("-156"), "misleading negative rate:\n{text}");
+        for line in text.lines().filter(|l| l.contains("(reset)")) {
+            assert!(line.trim_end().ends_with('-'), "reset row must omit rates: {line}");
+        }
     }
 
     #[test]

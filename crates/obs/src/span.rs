@@ -25,12 +25,27 @@ use std::time::Instant;
 struct Frame {
     /// `/`-joined nesting path ending in this span's name.
     path: String,
+    /// Leaf name, kept so the profiler can rebuild its shadow mirror
+    /// from the real stack at any enter/exit.
+    name: &'static str,
     /// Nanoseconds accumulated by completed same-thread child spans.
     child_ns: u64,
+    /// Thread-cumulative allocation totals at entry (see
+    /// [`crate::alloc::thread_totals`]).
+    base_alloc: (u64, u64),
+    /// Allocation `(bytes, count)` attributed to completed same-thread
+    /// child spans.
+    child_alloc: (u64, u64),
 }
 
 thread_local! {
     static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The number of open spans on the current thread. Exposed so tests can
+/// assert stack integrity (e.g. after a `catch_unwind`).
+pub fn depth() -> usize {
+    STACK.try_with(|s| s.borrow().len()).unwrap_or(0)
 }
 
 /// An open span; records itself when dropped.
@@ -47,13 +62,19 @@ pub fn enter(name: &'static str) -> SpanGuard {
     if !crate::enabled() {
         return SpanGuard { start: None, name };
     }
+    let base_alloc = crate::alloc::thread_totals();
     STACK.with(|stack| {
         let mut stack = stack.borrow_mut();
         let path = match stack.last() {
             Some(parent) => format!("{}/{name}", parent.path),
             None => name.to_string(),
         };
-        stack.push(Frame { path, child_ns: 0 });
+        stack.push(Frame { path, name, child_ns: 0, base_alloc, child_alloc: (0, 0) });
+        // One relaxed load when no capture is armed; while armed, the
+        // profiler's shadow mirror is rebuilt from the real stack.
+        if crate::profile::armed() {
+            crate::profile::sync_stack(stack.iter().map(|f| f.name));
+        }
     });
     SpanGuard { start: Some(Instant::now()), name }
 }
@@ -62,11 +83,23 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         let Some(start) = self.start else { return };
         let total_ns = start.elapsed().as_nanos() as u64;
+        let now_alloc = crate::alloc::thread_totals();
         let frame = STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
             let frame = stack.pop();
-            if let Some(parent) = stack.last_mut() {
-                parent.child_ns += total_ns;
+            if let Some(f) = &frame {
+                let total_alloc = (
+                    now_alloc.0.wrapping_sub(f.base_alloc.0),
+                    now_alloc.1.wrapping_sub(f.base_alloc.1),
+                );
+                if let Some(parent) = stack.last_mut() {
+                    parent.child_ns += total_ns;
+                    parent.child_alloc.0 += total_alloc.0;
+                    parent.child_alloc.1 += total_alloc.1;
+                }
+            }
+            if crate::profile::armed() {
+                crate::profile::sync_stack(stack.iter().map(|f| f.name));
             }
             frame
         });
@@ -74,7 +107,13 @@ impl Drop for SpanGuard {
         // this span's own (enter/drop always pair on one thread).
         let Some(frame) = frame else { return };
         let self_ns = total_ns.saturating_sub(frame.child_ns);
-        registry().span_stat(&frame.path).record(total_ns, self_ns);
+        // Allocation attributed to this span alone: the thread's delta
+        // over the span's lifetime minus what completed children claimed.
+        let total_bytes = now_alloc.0.wrapping_sub(frame.base_alloc.0);
+        let total_allocs = now_alloc.1.wrapping_sub(frame.base_alloc.1);
+        let self_bytes = total_bytes.saturating_sub(frame.child_alloc.0);
+        let self_allocs = total_allocs.saturating_sub(frame.child_alloc.1);
+        registry().span_stat(&frame.path).record(total_ns, self_ns, self_bytes, self_allocs);
         registry().histogram(self.name).observe(total_ns as f64 / 1_000.0);
         // Every aggregated span also lands on the event timeline when
         // trace collection is armed (one relaxed load when it is not).

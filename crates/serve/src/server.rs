@@ -131,6 +131,9 @@ pub fn start(briefer: Briefer, cfg: ServeConfig) -> io::Result<ServerHandle> {
     // Pin the observability epoch so `/varz` and snapshot uptimes count
     // from server start even if no metric was recorded earlier.
     let _ = wb_obs::window::epoch();
+    // Keep the `proc.*` runtime gauges (RSS, threads, open fds) fresh
+    // for `/varz`, `wb top` and Prometheus scrapes.
+    wb_obs::procstat::spawn_sampler(Duration::from_secs(1));
     wb_obs::info!(
         "wb serve listening on {addr} ({workers} workers, queue {queue_capacity}, cache {})",
         shared.cfg.cache_capacity
@@ -471,7 +474,13 @@ fn handle_control(
                 200
             }
             Some("prometheus") => {
-                let body = wb_obs::prometheus::render(&wb_obs::metrics::snapshot());
+                // Cumulative families, then the windowed live view plus
+                // the derived gauges `/varz` computes, so both endpoints
+                // agree on "what is happening now".
+                let mut body = wb_obs::prometheus::render(&wb_obs::metrics::snapshot());
+                let ws = wb_obs::window::snapshot();
+                body.push_str(&wb_obs::prometheus::render_window(&ws));
+                body.push_str(&prometheus_window_derived(&ws));
                 send_typed(
                     stream,
                     200,
@@ -498,6 +507,7 @@ fn handle_control(
             send(stream, 200, body.as_bytes(), &[id_header]);
             200
         }
+        ("GET", "/pprof") => handle_pprof(stream, req, id),
         ("POST", "/shutdown") => {
             send(stream, 200, b"{\"status\":\"shutting down\"}", &[id_header]);
             let _ = shared.shutdown_tx.lock().unwrap().send(());
@@ -512,7 +522,7 @@ fn handle_control(
             );
             405
         }
-        (_, "/healthz") | (_, "/metrics") | (_, "/varz") => {
+        (_, "/healthz") | (_, "/metrics") | (_, "/varz") | (_, "/pprof") => {
             send(
                 stream,
                 405,
@@ -526,6 +536,128 @@ fn handle_control(
             404
         }
     }
+}
+
+/// Serves `GET /pprof?seconds=N&hz=N&mode=wall|cpu&format=collapsed|svg`:
+/// runs a timed span-stack capture on the calling worker thread and
+/// streams the folded result (or a rendered flamegraph). The worker is
+/// hidden from the sampler for the duration — otherwise its own
+/// `serve.request` span, open for the whole capture, would dominate
+/// every profile. One capture runs at a time; concurrent requests get
+/// 409 with a Retry-After hint.
+fn handle_pprof(stream: &mut TcpStream, req: &http::Request, id: &str) -> u16 {
+    let id_header = ("X-Request-Id", id);
+    let bad = |stream: &mut TcpStream, msg: String| -> u16 {
+        send(stream, 400, &http::error_body(&msg), &[id_header]);
+        400
+    };
+    let seconds = match req.query_param("seconds").unwrap_or("2").parse::<f64>() {
+        Ok(s) if s > 0.0 && s <= 60.0 => s,
+        _ => return bad(stream, "seconds must be a number in (0, 60]".to_string()),
+    };
+    let hz = match req.query_param("hz").unwrap_or("99").parse::<u32>() {
+        Ok(h) if (1..=1000).contains(&h) => h,
+        _ => return bad(stream, "hz must be an integer in 1..=1000".to_string()),
+    };
+    let mode = req.query_param("mode").unwrap_or("wall");
+    let Some(mode) = wb_obs::profile::Mode::parse(mode) else {
+        return bad(stream, format!("unknown mode `{mode}` (expected `wall` or `cpu`)"));
+    };
+    let format = req.query_param("format").unwrap_or("collapsed");
+    if format != "collapsed" && format != "svg" {
+        return bad(
+            stream,
+            format!("unknown format `{format}` (expected `collapsed` or `svg`)"),
+        );
+    }
+    let _hidden = wb_obs::profile::hide_current_thread();
+    let opts = wb_obs::profile::Options { hz, mode };
+    match wb_obs::profile::capture(Duration::from_secs_f64(seconds), opts) {
+        Ok(profile) => {
+            let collapsed = profile.to_collapsed();
+            if format == "svg" {
+                let title = format!(
+                    "wb serve {} profile — {:.1}s at {} hz, {} samples",
+                    profile.mode.as_str(),
+                    profile.duration.as_secs_f64(),
+                    profile.hz,
+                    profile.total_weight
+                );
+                match wb_obs::flame::render_svg(&collapsed, &title) {
+                    Ok(svg) => {
+                        send_typed(
+                            stream,
+                            200,
+                            wb_obs::flame::CONTENT_TYPE,
+                            svg.as_bytes(),
+                            &[id_header],
+                        );
+                        200
+                    }
+                    Err(e) => {
+                        send(
+                            stream,
+                            500,
+                            &http::error_body(&format!("flamegraph: {e}")),
+                            &[id_header],
+                        );
+                        500
+                    }
+                }
+            } else {
+                send_typed(
+                    stream,
+                    200,
+                    "text/plain; charset=utf-8",
+                    collapsed.as_bytes(),
+                    &[id_header],
+                );
+                200
+            }
+        }
+        Err(e) => {
+            // The single-capture guard is the only runtime failure mode.
+            let retry = format!("{}", seconds.ceil() as u64);
+            send(
+                stream,
+                409,
+                &http::error_body(&e),
+                &[("Retry-After", retry.as_str()), id_header],
+            );
+            409
+        }
+    }
+}
+
+/// The derived live gauges `/varz` computes (rps and error rate per
+/// window), rendered for the Prometheus exposition so both endpoints
+/// tell one story.
+fn prometheus_window_derived(ws: &wb_obs::window::WindowSnapshot) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let sum = |name: &str, secs: u64| {
+        ws.counters
+            .get(name)
+            .map(|c| if secs == 10 { c.sum_10s } else { c.sum_60s })
+            .unwrap_or(0)
+    };
+    out.push_str("# HELP wb_window_rps Live requests per second over the trailing window.\n");
+    out.push_str("# TYPE wb_window_rps gauge\n");
+    for secs in [10u64, 60] {
+        let _ = writeln!(
+            out,
+            "wb_window_rps{{window=\"{secs}s\"}} {}",
+            sum("serve.requests", secs) as f64 / secs as f64
+        );
+    }
+    out.push_str("# HELP wb_window_error_rate Errors per request over the trailing window.\n");
+    out.push_str("# TYPE wb_window_error_rate gauge\n");
+    for secs in [10u64, 60] {
+        let (req, err) = (sum("serve.requests", secs), sum("serve.errors", secs));
+        let rate = if req > 0 { err as f64 / req as f64 } else { 0.0 };
+        let _ = writeln!(out, "wb_window_error_rate{{window=\"{secs}s\"}} {rate}");
+    }
+    out
 }
 
 /// Builds the `/varz` body: the windowed live view (10 s and 60 s) plus
@@ -610,6 +742,18 @@ fn varz_body(shared: &Shared) -> String {
     root.insert("windows".to_string(), Json::Obj(windows));
     root.insert("queue".to_string(), Json::Obj(queue));
     root.insert("cache".to_string(), Json::Obj(cache));
+    // Runtime stats from the background procstat sampler; read through
+    // the gauges (not /proc directly) so /varz never blocks on procfs
+    // and `wb top` sees exactly what Prometheus scrapes. Empty object
+    // where procfs is unavailable.
+    let mut proc = BTreeMap::new();
+    let g = |name: &str| wb_obs::metrics::registry().gauge(name).get();
+    if g("proc.threads") > 0.0 {
+        proc.insert("rss_bytes".to_string(), Json::Num(g("proc.rss_bytes")));
+        proc.insert("threads".to_string(), Json::Num(g("proc.threads")));
+        proc.insert("open_fds".to_string(), Json::Num(g("proc.open_fds")));
+    }
+    root.insert("proc".to_string(), Json::Obj(proc));
     root.insert("breaker".to_string(), Json::Str(shared.breaker.state_name().to_string()));
     root.insert("workers".to_string(), Json::Num(shared.cfg.workers.max(1) as f64));
     Json::Obj(root).render()
@@ -921,12 +1065,28 @@ mod tests {
             "the brief above must show up in the live window: {body}"
         );
         assert!(w10.get("stages_us").is_some());
+        // The proc.* runtime stats section rides along on /varz.
+        let proc = v.get("proc").expect("proc section");
+        #[cfg(target_os = "linux")]
+        assert!(
+            proc.get("threads").and_then(|t| t.as_f64()).unwrap_or(0.0) >= 1.0,
+            "procstat sampler must populate threads: {proc:?}"
+        );
         // Prometheus exposition next to the JSON snapshot.
         let text = roundtrip_full(addr, b"GET /metrics?format=prometheus HTTP/1.1\r\n\r\n");
         assert!(text.starts_with("HTTP/1.1 200"), "{text}");
         assert!(text.contains("Content-Type: text/plain; version=0.0.4\r\n"), "{text}");
         assert!(text.contains("# TYPE wb_serve_requests counter"), "{text}");
         assert!(text.contains("wb_serve_request_latency_us_bucket{le=\"+Inf\"}"), "{text}");
+        // The windowed live view rides along so Prometheus and /varz
+        // agree: generic wb_window_* families plus the derived gauges.
+        assert!(text.contains("# TYPE wb_window_rps gauge"), "{text}");
+        assert!(text.contains("wb_window_rps{window=\"10s\"}"), "{text}");
+        assert!(text.contains("wb_window_error_rate{window=\"60s\"}"), "{text}");
+        assert!(text.contains("wb_window_serve_requests_sum{window=\"10s\"}"), "{text}");
+        // And the procstat sampler's runtime gauges are scrapable too.
+        #[cfg(target_os = "linux")]
+        assert!(text.contains("wb_proc_threads"), "{text}");
         // The JSON view is unchanged, and unknown formats are a 400.
         let (status, body) = roundtrip(addr, b"GET /metrics?format=json HTTP/1.1\r\n\r\n");
         assert_eq!(status, 200);
@@ -935,6 +1095,81 @@ mod tests {
         assert_eq!(status, 400, "{body}");
         let (status, _) = roundtrip(addr, b"POST /varz HTTP/1.1\r\n\r\n");
         assert_eq!(status, 405);
+        h.shutdown();
+    }
+
+    // The profiler's single-capture guard is process-global, so the
+    // pprof tests must not overlap in the parallel test runner.
+    static PPROF_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn pprof_route_streams_collapsed_and_svg_captures() {
+        let _serial = PPROF_LOCK.lock().unwrap();
+        let h = start(tiny_briefer(), test_config()).unwrap();
+        let addr = h.addr();
+        // Background load so the capture has spans to see.
+        let stop = Arc::new(AtomicBool::new(false));
+        let load = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    i += 1;
+                    let page = format!(
+                        "<html><body><section><p>load page {i} with words .</p></section>\
+                         </body></html>"
+                    );
+                    let _ = post_brief(addr, &page);
+                }
+            })
+        };
+        let (status, body) =
+            roundtrip(addr, b"GET /pprof?seconds=1&format=collapsed HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 200, "{body}");
+        // Every line of the body is canonical collapsed-stack form.
+        wb_obs::flame::parse_collapsed(&body).expect("collapsed output parses");
+        assert!(
+            body.lines().any(|l| l.contains("serve.")),
+            "capture under load must see server spans:\n{body}"
+        );
+        let text = roundtrip_full(addr, b"GET /pprof?seconds=1&format=svg HTTP/1.1\r\n\r\n");
+        stop.store(true, Ordering::Relaxed);
+        load.join().unwrap();
+        assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+        assert!(text.contains("Content-Type: image/svg+xml\r\n"), "{text}");
+        let svg = text.split_once("\r\n\r\n").unwrap().1;
+        assert!(svg.starts_with("<?xml"), "{svg}");
+        assert_eq!(svg.matches("<g>").count(), svg.matches("</g>").count());
+        h.shutdown();
+    }
+
+    #[test]
+    fn pprof_rejects_bad_params_and_concurrent_captures() {
+        let _serial = PPROF_LOCK.lock().unwrap();
+        let h = start(tiny_briefer(), test_config()).unwrap();
+        let addr = h.addr();
+        for bad in [
+            "GET /pprof?seconds=0 HTTP/1.1\r\n\r\n".as_bytes(),
+            b"GET /pprof?seconds=61 HTTP/1.1\r\n\r\n",
+            b"GET /pprof?hz=0 HTTP/1.1\r\n\r\n",
+            b"GET /pprof?mode=flux HTTP/1.1\r\n\r\n",
+            b"GET /pprof?format=pdf HTTP/1.1\r\n\r\n",
+        ] {
+            let (status, body) = roundtrip(addr, bad);
+            assert_eq!(status, 400, "{body}");
+        }
+        let (status, _) = roundtrip(addr, b"POST /pprof HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 405);
+        // A second capture while one runs is refused with Retry-After.
+        let first = std::thread::spawn(move || {
+            roundtrip(addr, b"GET /pprof?seconds=1 HTTP/1.1\r\n\r\n")
+        });
+        std::thread::sleep(Duration::from_millis(300));
+        let text = roundtrip_full(addr, b"GET /pprof?seconds=1 HTTP/1.1\r\n\r\n");
+        assert!(text.starts_with("HTTP/1.1 409"), "{text}");
+        assert!(text.contains("Retry-After:"), "{text}");
+        let (status, _) = first.join().unwrap();
+        assert_eq!(status, 200);
         h.shutdown();
     }
 

@@ -28,6 +28,15 @@ use webpage_briefing::corpus::{
 };
 use webpage_briefing::text::{coverage, FrequencyTable};
 
+/// Every allocation in the binary flows through the counting wrapper so
+/// span-level allocation attribution (`--alloc-track on`, the
+/// `obs.alloc.*` columns in `wb report`) can see it. With tracking off —
+/// the default — the wrapper adds one relaxed atomic load per allocation,
+/// and under the `off` feature it forwards straight to the system
+/// allocator.
+#[global_allocator]
+static ALLOC: wb_obs::alloc::Counting = wb_obs::alloc::Counting;
+
 const USAGE: &str = "\
 wb — Automatic Webpage Briefing (ICDE 2021): hierarchical webpage summaries
 
@@ -43,6 +52,9 @@ USAGE:
                 [--breaker-cooldown-ms N] [--access-log-sample N]
                 [--slow-request-ms N]
     wb top      ADDR [--interval-ms N] [--once]
+    wb profile  ADDR [--seconds N] [--hz N] [--mode wall|cpu]
+                [--format collapsed|svg] [--out FILE]
+    wb flame    IN.collapsed [--out FILE] [--title NAME]
     wb stats    [--subjects N] [--pages N]
     wb report   FILE
     wb report   --diff BEFORE.json AFTER.json
@@ -69,6 +81,11 @@ SUBCOMMANDS:
                 queue depth, cache hit ratio and breaker state.
                 --interval-ms sets the refresh (default 1000); --once
                 prints a single frame and exits (scripts, CI smoke)
+    profile     Capture a sampling profile from a running server's /pprof
+                endpoint (wall-clock or on-CPU) and print or save it as
+                collapsed stacks or a flamegraph SVG
+    flame       Render a collapsed-stack file (from `wb profile` or
+                /pprof?format=collapsed) into a standalone flamegraph SVG
     stats       Print statistics of a synthetic corpus
     report      Pretty-print a metrics snapshot written by --metrics-out;
                 with --diff, print deltas and per-second rates between
@@ -89,10 +106,14 @@ GLOBAL OPTIONS (accepted by every subcommand):
                          `train.step=panic@nth(6);core.checkpoint.write=
                          error@prob(0.2,42)`; also read from WB_FAULTS
                          (see docs/ROBUSTNESS.md)
+    --alloc-track MODE   `on` attributes allocation bytes/counts to the
+                         enclosing span (the obs.alloc.* columns in
+                         `wb report`); default `off`
 ";
 
 /// Observability options shared by every subcommand.
-const GLOBAL_OPTS: &[&str] = &["log-level", "metrics-out", "trace-out", "faults"];
+const GLOBAL_OPTS: &[&str] =
+    &["log-level", "metrics-out", "trace-out", "faults", "alloc-track"];
 
 /// Minimal `--flag value` / `--switch` / positional parser.
 ///
@@ -244,6 +265,15 @@ fn apply_globals(args: &Args) -> Result<Globals, String> {
     } else {
         wb_chaos::arm_from_env().map_err(|e| format!("WB_FAULTS: {e}"))?;
     }
+    match args.get("alloc-track") {
+        None | Some("off") => {}
+        Some("on") => wb_obs::alloc::set_tracking(true),
+        Some(v) => {
+            return Err(format!(
+                "option --alloc-track has invalid value `{v}` (expected on or off)"
+            ))
+        }
+    }
     let globals = Globals {
         metrics_out: args.get("metrics-out").map(str::to_string),
         trace_out: args.get("trace-out").map(str::to_string),
@@ -303,6 +333,8 @@ fn main() {
         "brief" => cmd_brief(&raw[1..]),
         "serve" => cmd_serve(&raw[1..]),
         "top" => cmd_top(&raw[1..]),
+        "profile" => cmd_profile(&raw[1..]),
+        "flame" => cmd_flame(&raw[1..]),
         "stats" => cmd_stats(&raw[1..]),
         "report" => cmd_report(&raw[1..]),
         "bench" => cmd_bench(&raw[1..]),
@@ -610,8 +642,18 @@ fn cmd_report(raw: &[String]) -> Result<(), String> {
 /// One HTTP/1.1 GET against `addr` over a fresh connection (the server is
 /// one-request-per-connection), returning the response body.
 fn http_get(addr: &str, path: &str) -> Result<String, String> {
+    http_get_timeout(addr, path, std::time::Duration::from_secs(5))
+}
+
+/// [`http_get`] with an explicit timeout — `wb profile` holds the
+/// connection open for the whole capture, so its read deadline must scale
+/// with `--seconds` rather than the interactive 5 s default.
+fn http_get_timeout(
+    addr: &str,
+    path: &str,
+    timeout: std::time::Duration,
+) -> Result<String, String> {
     use std::io::{Read, Write};
-    let timeout = std::time::Duration::from_secs(5);
     let sock_addr: std::net::SocketAddr =
         addr.parse().map_err(|_| format!("invalid address `{addr}` (expected HOST:PORT)"))?;
     let mut stream = std::net::TcpStream::connect_timeout(&sock_addr, timeout)
@@ -634,7 +676,11 @@ fn http_get(addr: &str, path: &str) -> Result<String, String> {
         text.split_once("\r\n\r\n").ok_or_else(|| format!("malformed response from {addr}"))?;
     let status = head.split_whitespace().nth(1).unwrap_or("");
     if status != "200" {
-        return Err(format!("{addr}{path} answered {status}"));
+        // Surface the server's own diagnosis (e.g. a 409 "capture already
+        // in progress") instead of just the status code.
+        let detail = body.lines().next().unwrap_or("").trim();
+        let detail = if detail.is_empty() { String::new() } else { format!(": {detail}") };
+        return Err(format!("{addr}{path} answered {status}{detail}"));
     }
     Ok(body.to_string())
 }
@@ -740,7 +786,83 @@ fn render_top_frame(addr: &str, v: &serde_json::Value) -> String {
         num(&["windows", "60s", "requests"]),
         num(&["windows", "60s", "errors"]),
     ));
+    // The process gauges come from /proc/self and are absent off-Linux;
+    // only render the line when the sampler has populated them.
+    if num(&["proc", "threads"]) > 0.0 {
+        out.push_str(&format!(
+            "rss {:.1}MiB · threads {:.0} · open fds {:.0}\n",
+            num(&["proc", "rss_bytes"]) / (1024.0 * 1024.0),
+            num(&["proc", "threads"]),
+            num(&["proc", "open_fds"]),
+        ));
+    }
     out
+}
+
+/// `wb profile` — capture a sampling profile from a live server over its
+/// `/pprof` endpoint and print it (or write it with `--out`).
+fn cmd_profile(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw, &["seconds", "hz", "mode", "format", "out"], &[])?;
+    let globals = apply_globals(&args)?;
+    let addr = match args.positional.as_slice() {
+        [a] => a.clone(),
+        _ => return Err("profile expects exactly one server address (HOST:PORT)".to_string()),
+    };
+    let seconds: f64 = args.get_num("seconds", 2.0)?;
+    if !(seconds > 0.0 && seconds <= 60.0) {
+        return Err("option --seconds must be greater than 0 and at most 60".to_string());
+    }
+    let hz: u32 = args.get_num("hz", 99)?;
+    if !(1..=1000).contains(&hz) {
+        return Err("option --hz must be between 1 and 1000".to_string());
+    }
+    let mode = args.get_str("mode", "wall");
+    if wb_obs::profile::Mode::parse(&mode).is_none() {
+        return Err(format!("option --mode has invalid value `{mode}` (expected wall or cpu)"));
+    }
+    let format = args.get_str("format", "collapsed");
+    if format != "collapsed" && format != "svg" {
+        return Err(format!(
+            "option --format has invalid value `{format}` (expected collapsed or svg)"
+        ));
+    }
+    let path = format!("/pprof?seconds={seconds}&hz={hz}&mode={mode}&format={format}");
+    // The server holds the response until the capture finishes; allow the
+    // whole capture plus a generous margin before timing out the read.
+    let timeout =
+        std::time::Duration::from_secs_f64(seconds) + std::time::Duration::from_secs(10);
+    eprintln!("profiling {addr} for {seconds}s at {hz} Hz ({mode} mode)…");
+    let body = http_get_timeout(&addr, &path, timeout)?;
+    match args.get("out") {
+        Some(out) => {
+            std::fs::write(out, &body).map_err(|e| format!("cannot write {out}: {e}"))?;
+            println!("Wrote {format} profile to {out}");
+        }
+        None => print!("{body}"),
+    }
+    write_outputs(&globals)
+}
+
+/// `wb flame` — render a collapsed-stack capture into a flamegraph SVG.
+fn cmd_flame(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw, &["out", "title"], &[])?;
+    let globals = apply_globals(&args)?;
+    let input = match args.positional.as_slice() {
+        [f] => f.clone(),
+        _ => {
+            return Err("flame expects exactly one collapsed-stack file (from `wb profile`)"
+                .to_string())
+        }
+    };
+    let text =
+        std::fs::read_to_string(&input).map_err(|e| format!("cannot read {input}: {e}"))?;
+    let title = args.get_str("title", &input);
+    let svg = wb_obs::flame::render_svg(&text, &title).map_err(|e| format!("{input}: {e}"))?;
+    let default_out = format!("{}.svg", input.trim_end_matches(".collapsed"));
+    let out = args.get_str("out", &default_out);
+    std::fs::write(&out, &svg).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("Wrote flamegraph to {out}");
+    write_outputs(&globals)
 }
 
 fn cmd_bench(raw: &[String]) -> Result<(), String> {
