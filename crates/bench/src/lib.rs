@@ -6,6 +6,7 @@
 //! scales, the seen/unseen distillation setting, evaluation drivers and
 //! result persistence.
 
+pub mod loadgen;
 pub mod perf;
 
 use rayon::prelude::*;

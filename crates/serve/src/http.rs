@@ -1,8 +1,17 @@
-//! Minimal HTTP/1.1 request parsing and response writing over a
-//! [`TcpStream`] — hand-rolled like the vendor stand-ins (the build
-//! environment has no registry access), covering exactly the subset the
-//! briefing server speaks: one request per connection, `Content-Length`
-//! bodies, `Connection: close` responses.
+//! Minimal HTTP/1.1 request parsing and response rendering — hand-rolled
+//! like the vendor stand-ins (the build environment has no registry
+//! access), covering exactly the subset the briefing server speaks:
+//! `Content-Length` bodies, keep-alive and pipelined connections.
+//!
+//! The core is [`RequestParser`], an incremental state machine the event
+//! loop drives over a persistent per-connection read buffer: feed it the
+//! buffer after every read, get back [`Parsed::NeedMore`] or a complete
+//! request plus the exact number of bytes it consumed. Bytes beyond
+//! `consumed` stay in the connection buffer — that is what makes
+//! pipelined requests servable instead of silently discarded. Framing
+//! errors are terminal: the caller answers 400-class and closes, never
+//! resynchronizes (resyncing on a smuggling-shaped request is how
+//! request-smuggling attacks work).
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -24,6 +33,8 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// Raw body bytes (empty when the request carries none).
     pub body: Vec<u8>,
+    /// Whether the request line declared `HTTP/1.1` (vs `HTTP/1.0`).
+    pub http11: bool,
 }
 
 impl Request {
@@ -39,6 +50,29 @@ impl Request {
             let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
             (k == key).then_some(v)
         })
+    }
+
+    /// HTTP/1.1 keep-alive semantics: 1.1 persists unless the client says
+    /// `Connection: close`; 1.0 closes unless it says
+    /// `Connection: keep-alive`. The header is a comma-separated token
+    /// list and `close` wins over anything else in it.
+    pub fn wants_keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) => {
+                let mut keep = None;
+                for token in v.split(',') {
+                    let token = token.trim();
+                    if token.eq_ignore_ascii_case("close") {
+                        return false;
+                    }
+                    if token.eq_ignore_ascii_case("keep-alive") {
+                        keep = Some(true);
+                    }
+                }
+                keep.unwrap_or(self.http11)
+            }
+            None => self.http11,
+        }
     }
 }
 
@@ -98,6 +132,201 @@ impl HttpError {
     }
 }
 
+/// Result of one [`RequestParser::step`] over the connection buffer.
+#[derive(Debug)]
+pub enum Parsed {
+    /// The buffer does not yet hold a complete request; read more.
+    NeedMore,
+    /// A complete request. Exactly `consumed` bytes of the buffer belong
+    /// to it; the caller must drain them (bytes beyond `consumed` are the
+    /// start of the next pipelined request) before stepping again.
+    Request {
+        /// The parsed request.
+        req: Request,
+        /// How many buffer bytes the request occupied (head + body).
+        consumed: usize,
+    },
+}
+
+/// The head fields, parsed once when the blank line arrives and cached so
+/// body-trickle steps do not re-parse headers.
+struct ParsedHead {
+    method: String,
+    path: String,
+    query: String,
+    headers: Vec<(String, String)>,
+    content_length: usize,
+    http11: bool,
+}
+
+/// Incremental request parser over an externally owned read buffer.
+///
+/// Stateless about I/O: the caller appends whatever bytes arrive and calls
+/// [`step`](Self::step). The parser remembers how far it has scanned for
+/// the head terminator (so trickled heads cost O(n), not O(n²) — each byte
+/// is scanned once) and caches the parsed head while the body fills in.
+/// After a completed request it resets itself for the next one.
+pub struct RequestParser {
+    /// Next unscanned offset in the head-terminator search; rewound 3
+    /// bytes per step so a `\r\n\r\n` split across reads is still found.
+    scan_from: usize,
+    /// Byte offset of `\r\n\r\n` once found.
+    head_end: Option<usize>,
+    head: Option<ParsedHead>,
+}
+
+impl Default for RequestParser {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RequestParser {
+    /// A parser positioned at the start of a request.
+    pub fn new() -> Self {
+        RequestParser { scan_from: 0, head_end: None, head: None }
+    }
+
+    /// Forgets all progress (used when the caller discards the buffer).
+    pub fn reset(&mut self) {
+        *self = RequestParser::new();
+    }
+
+    /// Whether the head has been fully received and parsed (the request
+    /// is mid-body). Lets callers distinguish "closed mid-request" from
+    /// "closed mid-body" on EOF.
+    pub fn head_complete(&self) -> bool {
+        self.head_end.is_some()
+    }
+
+    /// Whether any bytes of the current request have been examined.
+    pub fn started(&self) -> bool {
+        self.scan_from > 0 || self.head_end.is_some()
+    }
+
+    /// Advances over `buf` (the connection's accumulated unconsumed
+    /// bytes). Errors are terminal: answer with `err.status()` and close.
+    /// On `Parsed::Request` the parser has already reset itself; drain
+    /// `consumed` bytes from the buffer before the next step.
+    pub fn step(&mut self, buf: &[u8], max_body_bytes: usize) -> Result<Parsed, HttpError> {
+        let head_end = match self.head_end {
+            Some(h) => h,
+            None => {
+                let start = self.scan_from.min(buf.len());
+                match buf[start..].windows(4).position(|w| w == b"\r\n\r\n") {
+                    Some(pos) => {
+                        let h = start + pos;
+                        self.head_end = Some(h);
+                        h
+                    }
+                    None => {
+                        // Resume next step just before the tail, in case
+                        // the terminator straddles this read boundary.
+                        self.scan_from = buf.len().saturating_sub(3);
+                        if buf.len() > MAX_HEAD_BYTES {
+                            return Err(HttpError::HeadTooLarge);
+                        }
+                        return Ok(Parsed::NeedMore);
+                    }
+                }
+            }
+        };
+        if self.head.is_none() {
+            self.head = Some(parse_head(&buf[..head_end])?);
+        }
+        let head = self.head.as_ref().expect("head cached above");
+        if head.content_length > max_body_bytes {
+            return Err(HttpError::BodyTooLarge {
+                declared: head.content_length,
+                limit: max_body_bytes,
+            });
+        }
+        let total = head_end + 4 + head.content_length;
+        if buf.len() < total {
+            return Ok(Parsed::NeedMore);
+        }
+        let head = self.head.take().expect("head cached above");
+        let req = Request {
+            method: head.method,
+            path: head.path,
+            query: head.query,
+            headers: head.headers,
+            body: buf[head_end + 4..total].to_vec(),
+            http11: head.http11,
+        };
+        self.reset();
+        Ok(Parsed::Request { req, consumed: total })
+    }
+}
+
+/// Strict `Content-Length` syntax: one or more ASCII digits, nothing else.
+/// `str::parse::<usize>` alone would accept `+5` — a classic smuggling
+/// vector, since intermediaries disagree on what it means.
+fn parse_content_length(value: &str) -> Result<usize, HttpError> {
+    if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(HttpError::Malformed(format!("bad Content-Length `{value}`")));
+    }
+    value
+        .parse()
+        .map_err(|_| HttpError::Malformed(format!("Content-Length `{value}` overflows")))
+}
+
+fn parse_head(head: &[u8]) -> Result<ParsedHead, HttpError> {
+    let head = String::from_utf8_lossy(head);
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_ascii_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m, t, v),
+        _ => return Err(HttpError::Malformed(format!("bad request line `{request_line}`"))),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!("unsupported protocol `{version}`")));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+
+    let mut content_length: Option<usize> = None;
+    let mut headers: Vec<(String, String)> = Vec::new();
+    for line in lines {
+        // A header line without a colon is not a header; skipping it
+        // (the old behavior) means client and server disagree about what
+        // was sent — reject the request instead.
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed(format!("header line without a colon `{line}`")));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        if name == "transfer-encoding" && !value.eq_ignore_ascii_case("identity") {
+            return Err(HttpError::UnsupportedTransferEncoding);
+        }
+        if name == "content-length" {
+            let parsed = parse_content_length(value)?;
+            match content_length {
+                // Duplicate headers that agree are harmless repetition;
+                // ones that disagree are a framing attack.
+                Some(prev) if prev != parsed => {
+                    return Err(HttpError::Malformed(format!(
+                        "conflicting Content-Length headers ({prev} vs {parsed})"
+                    )));
+                }
+                _ => content_length = Some(parsed),
+            }
+        }
+        headers.push((name, value.to_string()));
+    }
+    Ok(ParsedHead {
+        method: method.to_string(),
+        path,
+        query,
+        headers,
+        content_length: content_length.unwrap_or(0),
+        http11: version == "HTTP/1.1",
+    })
+}
+
 fn is_timeout(e: &std::io::Error) -> bool {
     matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
 }
@@ -122,23 +351,26 @@ fn arm_read(stream: &TcpStream, deadline: Instant) -> Result<(), HttpError> {
 /// Reads and parses one request from `stream`, spending at most
 /// `total_timeout` across *all* reads (head and body together); timeouts
 /// surface as [`HttpError::Timeout`]. Bodies larger than `max_body_bytes`
-/// are rejected from the `Content-Length` header alone, before any body
-/// byte is read.
+/// are rejected from the `Content-Length` header alone, before the body
+/// is waited for.
+///
+/// This is the blocking convenience wrapper over [`RequestParser`] for
+/// tools and tests; the server's event loop drives the parser directly so
+/// pipelined bytes survive in the connection buffer. Here any bytes after
+/// the first request are dropped with the stream.
 pub fn read_request(
     stream: &mut TcpStream,
     max_body_bytes: usize,
     total_timeout: Duration,
 ) -> Result<Request, HttpError> {
     let deadline = Instant::now() + total_timeout;
-    // Read until the blank line that ends the head.
+    let mut parser = RequestParser::new();
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
     let mut scratch = [0u8; 4096];
-    let head_end = loop {
-        if let Some(pos) = find_head_end(&buf) {
-            break pos;
-        }
-        if buf.len() > MAX_HEAD_BYTES {
-            return Err(HttpError::HeadTooLarge);
+    loop {
+        match parser.step(&buf, max_body_bytes)? {
+            Parsed::Request { req, .. } => return Ok(req),
+            Parsed::NeedMore => {}
         }
         arm_read(stream, deadline)?;
         match stream.read(&mut scratch) {
@@ -146,76 +378,14 @@ pub fn read_request(
                 if buf.is_empty() {
                     return Err(HttpError::Empty);
                 }
-                return Err(HttpError::Malformed("connection closed mid-request".to_string()));
+                let at = if parser.head_complete() { "mid-body" } else { "mid-request" };
+                return Err(HttpError::Malformed(format!("connection closed {at}")));
             }
             Ok(n) => buf.extend_from_slice(&scratch[..n]),
             Err(e) if is_timeout(&e) => return Err(HttpError::Timeout),
             Err(e) => return Err(HttpError::Malformed(format!("read failed: {e}"))),
         }
-    };
-    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
-    let mut lines = head.split("\r\n");
-    let request_line = lines.next().unwrap_or("");
-    let mut parts = request_line.split_ascii_whitespace();
-    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
-        (Some(m), Some(t), Some(v)) => (m, t, v),
-        _ => return Err(HttpError::Malformed(format!("bad request line `{request_line}`"))),
-    };
-    if !version.starts_with("HTTP/1.") {
-        return Err(HttpError::Malformed(format!("unsupported protocol `{version}`")));
     }
-    let (path, query) = match target.split_once('?') {
-        Some((p, q)) => (p.to_string(), q.to_string()),
-        None => (target.to_string(), String::new()),
-    };
-
-    let mut content_length = 0usize;
-    let mut headers: Vec<(String, String)> = Vec::new();
-    for line in lines {
-        let Some((name, value)) = line.split_once(':') else { continue };
-        let name = name.trim().to_ascii_lowercase();
-        let value = value.trim();
-        if name == "transfer-encoding" && !value.eq_ignore_ascii_case("identity") {
-            return Err(HttpError::UnsupportedTransferEncoding);
-        }
-        if name == "content-length" {
-            content_length = value
-                .parse()
-                .map_err(|_| HttpError::Malformed(format!("bad Content-Length `{value}`")))?;
-        }
-        headers.push((name, value.to_string()));
-    }
-    if content_length > max_body_bytes {
-        return Err(HttpError::BodyTooLarge {
-            declared: content_length,
-            limit: max_body_bytes,
-        });
-    }
-
-    let mut body = buf[head_end + 4..].to_vec();
-    if body.len() > content_length {
-        // Pipelined extra bytes are ignored: one request per connection.
-        body.truncate(content_length);
-    }
-    while body.len() < content_length {
-        arm_read(stream, deadline)?;
-        match stream.read(&mut scratch) {
-            Ok(0) => {
-                return Err(HttpError::Malformed("connection closed mid-body".to_string()));
-            }
-            Ok(n) => {
-                let take = n.min(content_length - body.len());
-                body.extend_from_slice(&scratch[..take]);
-            }
-            Err(e) if is_timeout(&e) => return Err(HttpError::Timeout),
-            Err(e) => return Err(HttpError::Malformed(format!("read failed: {e}"))),
-        }
-    }
-    Ok(Request { method: method.to_string(), path, query, headers, body })
-}
-
-fn find_head_end(buf: &[u8]) -> Option<usize> {
-    buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
 /// The canonical reason phrase for the status codes this server emits.
@@ -237,6 +407,34 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
+/// Renders a complete response into bytes. `keep_alive` controls the
+/// `Connection:` header; the body always carries an exact
+/// `Content-Length` so clients can frame it either way.
+pub fn render_response(
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    extra_headers: &[(&str, &str)],
+    keep_alive: bool,
+) -> Vec<u8> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let mut out = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
+        reason(status),
+        body.len()
+    )
+    .into_bytes();
+    for (name, value) in extra_headers {
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(b": ");
+        out.extend_from_slice(value.as_bytes());
+        out.extend_from_slice(b"\r\n");
+    }
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(body);
+    out
+}
+
 /// Writes a complete `Connection: close` response. Write failures are
 /// returned so callers can count them, but the connection is torn down
 /// either way.
@@ -247,20 +445,7 @@ pub fn respond(
     body: &[u8],
     extra_headers: &[(&str, &str)],
 ) -> std::io::Result<()> {
-    let mut head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
-        reason(status),
-        body.len()
-    );
-    for (name, value) in extra_headers {
-        head.push_str(name);
-        head.push_str(": ");
-        head.push_str(value);
-        head.push_str("\r\n");
-    }
-    head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body)?;
+    stream.write_all(&render_response(status, content_type, body, extra_headers, false))?;
     stream.flush()
 }
 
@@ -319,6 +504,28 @@ mod tests {
         read_request(&mut server_side, max_body, Duration::from_millis(2000))
     }
 
+    /// Steps the incremental parser over `raw` split into `chunk`-byte
+    /// pieces, collecting every completed request.
+    fn parse_chunked(raw: &[u8], chunk: usize, max_body: usize) -> Vec<Request> {
+        let mut parser = RequestParser::new();
+        let mut buf: Vec<u8> = Vec::new();
+        let mut out = Vec::new();
+        for piece in raw.chunks(chunk.max(1)) {
+            buf.extend_from_slice(piece);
+            loop {
+                match parser.step(&buf, max_body).expect("framing") {
+                    Parsed::NeedMore => break,
+                    Parsed::Request { req, consumed } => {
+                        buf.drain(..consumed);
+                        out.push(req);
+                    }
+                }
+            }
+        }
+        assert!(buf.is_empty(), "unconsumed trailing bytes: {buf:?}");
+        out
+    }
+
     #[test]
     fn parses_post_with_body() {
         let req = parse_raw(
@@ -332,6 +539,7 @@ mod tests {
         assert_eq!(req.query_param("x"), Some("1"));
         assert_eq!(req.query_param("y"), None);
         assert_eq!(req.body, b"hello");
+        assert!(req.http11);
     }
 
     #[test]
@@ -392,11 +600,131 @@ mod tests {
     }
 
     #[test]
+    fn rejects_signed_and_decorated_content_length() {
+        // `str::parse::<usize>` accepts a leading `+`; the framing layer
+        // must not (smuggling vector: intermediaries disagree on `+5`).
+        for bad in ["+5", "-5", " 5 x", "5 5", "0x5", "5.0", ""] {
+            let raw = format!("POST /brief HTTP/1.1\r\nContent-Length: {bad}\r\n\r\nhello");
+            let err = parse_raw(raw.as_bytes(), 1024).unwrap_err();
+            assert_eq!(err.status(), 400, "Content-Length `{bad}` must be rejected");
+        }
+        // Plain digits with leading zeros are fine (still unambiguous).
+        let req = parse_raw(b"POST /brief HTTP/1.1\r\nContent-Length: 05\r\n\r\nhello", 1024)
+            .unwrap();
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn rejects_conflicting_duplicate_content_length() {
+        let err = parse_raw(
+            b"POST /brief HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 6\r\n\r\nhello!",
+            1024,
+        )
+        .unwrap_err();
+        assert_eq!(err.status(), 400);
+        assert!(err.detail().contains("conflicting"), "{}", err.detail());
+        // Agreeing duplicates are harmless repetition.
+        let req = parse_raw(
+            b"POST /brief HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nhello",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn rejects_header_line_without_colon() {
+        let err = parse_raw(
+            b"GET /healthz HTTP/1.1\r\nHost: a\r\nthis-is-not-a-header\r\n\r\n",
+            1024,
+        )
+        .unwrap_err();
+        assert_eq!(err.status(), 400);
+        assert!(err.detail().contains("colon"), "{}", err.detail());
+    }
+
+    #[test]
     fn truncated_body_is_malformed_not_a_hang() {
         let err = parse_raw(b"POST /brief HTTP/1.1\r\nContent-Length: 10\r\n\r\nhi", 1024)
             .unwrap_err();
         assert_eq!(err.status(), 400);
         assert!(err.detail().contains("mid-body"));
+    }
+
+    #[test]
+    fn incremental_parser_handles_any_split() {
+        // Two pipelined requests, fed at every chunk size from 1 byte up:
+        // the parser must produce both, with identical content, at every
+        // split — including splits inside `\r\n\r\n` and inside the body.
+        let raw = b"POST /brief HTTP/1.1\r\nContent-Length: 5\r\n\r\nhelloGET /healthz?q=1 HTTP/1.1\r\nHost: t\r\n\r\n";
+        for chunk in 1..=raw.len() {
+            let reqs = parse_chunked(raw, chunk, 1024);
+            assert_eq!(reqs.len(), 2, "chunk={chunk}");
+            assert_eq!(reqs[0].method, "POST", "chunk={chunk}");
+            assert_eq!(reqs[0].body, b"hello", "chunk={chunk}");
+            assert_eq!(reqs[1].method, "GET", "chunk={chunk}");
+            assert_eq!(reqs[1].path, "/healthz", "chunk={chunk}");
+            assert!(reqs[1].body.is_empty(), "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn pipelined_bytes_are_preserved_not_discarded() {
+        let raw = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let mut parser = RequestParser::new();
+        let mut buf = raw.to_vec();
+        let Parsed::Request { req, consumed } = parser.step(&buf, 1024).unwrap() else {
+            panic!("first request must parse");
+        };
+        assert_eq!(req.path, "/a");
+        buf.drain(..consumed);
+        assert_eq!(buf, b"GET /b HTTP/1.1\r\n\r\n", "second request must survive");
+        let Parsed::Request { req, consumed } = parser.step(&buf, 1024).unwrap() else {
+            panic!("second request must parse");
+        };
+        assert_eq!(req.path, "/b");
+        assert_eq!(consumed, buf.len());
+    }
+
+    #[test]
+    fn head_scan_resumes_instead_of_rescanning() {
+        // Feed a long header value one byte at a time; scan_from must
+        // track the tail (minus the 3-byte overlap), proving each byte is
+        // examined a bounded number of times rather than once per read.
+        let mut parser = RequestParser::new();
+        let raw = b"GET / HTTP/1.1\r\nX-Pad: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n\r\n";
+        let mut buf = Vec::new();
+        for (i, b) in raw.iter().enumerate() {
+            buf.push(*b);
+            let step = parser.step(&buf, 1024).unwrap();
+            if i + 1 < raw.len() {
+                assert!(matches!(step, Parsed::NeedMore));
+                assert_eq!(parser.scan_from, buf.len().saturating_sub(3));
+            } else {
+                assert!(matches!(step, Parsed::Request { .. }));
+            }
+        }
+    }
+
+    #[test]
+    fn keep_alive_semantics_follow_version_and_connection_header() {
+        let req = |extra: &str, v: &str| {
+            let raw = format!("GET / {v}\r\nHost: a\r\n{extra}\r\n");
+            let mut parser = RequestParser::new();
+            match parser.step(raw.as_bytes(), 1024).unwrap() {
+                Parsed::Request { req, .. } => req,
+                Parsed::NeedMore => panic!("complete request expected"),
+            }
+        };
+        assert!(req("", "HTTP/1.1").wants_keep_alive(), "1.1 defaults to keep-alive");
+        assert!(!req("Connection: close\r\n", "HTTP/1.1").wants_keep_alive());
+        assert!(!req("Connection: Close\r\n", "HTTP/1.1").wants_keep_alive());
+        assert!(!req("", "HTTP/1.0").wants_keep_alive(), "1.0 defaults to close");
+        assert!(req("Connection: keep-alive\r\n", "HTTP/1.0").wants_keep_alive());
+        assert!(
+            !req("Connection: keep-alive, close\r\n", "HTTP/1.1").wants_keep_alive(),
+            "close wins over other tokens"
+        );
     }
 
     #[test]
@@ -463,7 +791,16 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"), "{text}");
         assert!(text.contains("Retry-After: 1\r\n"), "{text}");
         assert!(text.contains("Content-Length: 2\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n"), "{text}");
         assert!(text.ends_with("\r\n\r\n{}"), "{text}");
+    }
+
+    #[test]
+    fn render_response_marks_keep_alive() {
+        let bytes = render_response(200, "application/json", b"{}", &[], true);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 2\r\n"), "{text}");
     }
 
     #[test]

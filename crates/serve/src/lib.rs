@@ -9,21 +9,44 @@
 //! ## Request path
 //!
 //! ```text
-//! accept ──► bounded queue ──► worker pool ──► LRU cache ──► micro-batcher ──► Briefer::brief_corpus
-//!    │ full?                       │ hit?                        (one rayon fan-out per batch)
-//!    └─► 503 + Retry-After         └─► cached JSON (no model run)
+//!             ┌────────────── event loop (one thread, poll(2)) ──────────────┐
+//! accept ──►  │ nonblocking reads ─► incremental parser ─► inline cache hit? │
+//!             │        (per-conn buffer, keep-alive, pipelining)   │ yes ─► reply
+//!             └────────────────────────────┬─────────────────────────────────┘
+//!                                          │ miss / control route
+//!                                bounded work queue ──► worker pool
+//!                                          │ full?          │
+//!                                          └─► 503          ├─► replica ring (consistent hash)
+//!                                                           │     ├─ LRU cache ─► micro-batcher
+//!                                                           │     └─ circuit breaker
+//!                                                           └─► Briefer::brief_corpus
 //! ```
 //!
-//! * **Bounded accept queue** — accepted connections wait in a
-//!   fixed-capacity queue for a worker; when it is full, new arrivals are
-//!   shed immediately with `503` and a `Retry-After` header. An accepted
+//! * **Event-loop I/O** — one thread multiplexes every connection with
+//!   `poll(2)` ([`sys`]); reads and writes are nonblocking and
+//!   readiness-driven, so concurrency is bounded by `--max-conns`, not by
+//!   worker count. Parsed requests cross a fixed-capacity work queue to
+//!   the worker pool; when the queue is full, new requests are shed
+//!   immediately with `503` and a `Retry-After` header. An accepted
 //!   request is never silently dropped.
-//! * **Micro-batching** — concurrent `/brief` requests are drained into a
-//!   single [`wb_core::Briefer::brief_corpus`] call so they share one
-//!   rayon fan-out; identical pages in a batch run the model once.
+//! * **Keep-alive + pipelining** — connections persist per HTTP/1.1
+//!   semantics (`Connection:` headers honoured, `--max-requests-per-conn`
+//!   and `--idle-timeout-ms` bound each connection's tenure); bytes
+//!   beyond the current request stay in the connection buffer and are
+//!   served in order. Framing errors always close the connection.
+//! * **Replica sharding** — briefing fans out over `--replicas`
+//!   independent lanes ([`replica`]): each owns an LRU cache, a
+//!   micro-batcher with its own executor, and a circuit breaker, routed
+//!   by a consistent-hash ring over the page-content hash so repeat pages
+//!   hit the same hot cache and one lane's failures trip only its own
+//!   breaker.
+//! * **Micro-batching** — concurrent `/brief` requests on a replica drain
+//!   into a single [`wb_core::Briefer::brief_corpus`] call so they share
+//!   one rayon fan-out; identical pages in a batch run the model once.
 //! * **Response cache** — an LRU keyed by page-content hash serves repeat
-//!   pages without re-running the model. Briefing is pure, so cached and
-//!   recomputed responses are byte-identical.
+//!   pages without re-running the model — hot hits answer inline on the
+//!   event-loop thread without a worker handoff. Briefing is pure, so
+//!   cached and recomputed responses are byte-identical.
 //! * **Bounded everything** — oversized bodies get `413` (from the
 //!   `Content-Length` header alone), slow clients `408`, and a request
 //!   whose batch cannot finish inside the timeout `503`; a model panic
@@ -63,13 +86,17 @@
 pub mod batch;
 pub mod breaker;
 pub mod cache;
+mod event;
 pub mod http;
+pub mod replica;
 pub mod server;
 pub mod signal;
+pub mod sys;
 pub mod telemetry;
 
 pub use batch::{Batcher, BriefOutcome, Completion, Job};
 pub use breaker::{Admission, BreakerConfig, CircuitBreaker};
 pub use cache::{fnv1a, Fingerprint, LruCache};
+pub use replica::{Replica, ReplicaSet};
 pub use server::{start, ServeConfig, ServerHandle};
 pub use signal::{install_handler, shutdown_signalled};

@@ -1,22 +1,32 @@
-//! The briefing server: a bounded accept queue feeding a fixed worker
-//! pool, with briefing fan-out delegated to the batch executor and an LRU
-//! response cache in front of the model.
+//! The briefing server: a poll-based event loop ([`crate::event`]) feeds
+//! parsed requests through a bounded work queue into a fixed worker pool,
+//! with briefing fan-out sharded across model replicas
+//! ([`crate::replica`]) — each with its own batch executor, LRU response
+//! cache and circuit breaker, consistent-hashed by page content.
 //!
 //! Load-shedding contract: an accepted connection is always answered —
-//! queued-and-served, or `503 + Retry-After` when the queue is full — and
-//! no handler can hang: socket reads, socket writes and the wait for the
-//! batch executor are all bounded by the request timeout. A model panic
-//! fails the affected requests with 500 and the server keeps serving.
+//! queued-and-served, or `503 + Retry-After` when the work queue is full —
+//! and no request can hang: socket reads, socket writes and the wait for
+//! a batch executor are all bounded by the request timeout. A model panic
+//! fails the affected requests with 500, trips only that replica's
+//! breaker, and the server keeps serving.
+//!
+//! Connections are HTTP/1.1 keep-alive by default (bounded by
+//! `max_requests_per_conn` and `idle_timeout_ms`); framing errors always
+//! close. Concurrency is bounded by `max_conns`, not by worker count —
+//! idle keep-alive connections cost a slab slot, not a thread.
 
-use crate::batch::{Batcher, BriefOutcome, Job};
-use crate::breaker::{Admission, BreakerConfig, CircuitBreaker};
-use crate::cache::{fnv1a, Fingerprint, LruCache};
-use crate::http::{self, HttpError};
+use crate::batch::{BriefOutcome, Job};
+use crate::breaker::{Admission, BreakerConfig};
+use crate::cache::{fnv1a, Fingerprint};
+use crate::event::{self, Completions, Done, WorkItem};
+use crate::http;
+use crate::replica::ReplicaSet;
 use crate::telemetry::{self, StageTimings};
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -29,10 +39,10 @@ pub struct ServeConfig {
     pub addr: String,
     /// Request worker threads (the model fan-out has its own rayon pool).
     pub workers: usize,
-    /// Accepted connections allowed to wait for a worker before new
-    /// arrivals are shed with 503.
+    /// Parsed requests allowed to wait for a worker before new arrivals
+    /// are shed with 503.
     pub queue_capacity: usize,
-    /// LRU response-cache entries; 0 disables caching.
+    /// LRU response-cache entries *per replica*; 0 disables caching.
     pub cache_capacity: usize,
     /// Largest accepted request body.
     pub max_body_bytes: usize,
@@ -43,9 +53,9 @@ pub struct ServeConfig {
     /// production.
     pub handler_delay_ms: u64,
     /// Model failures (panicked batches) within the breaker window that
-    /// trip the circuit breaker; 0 disables the breaker.
+    /// trip a replica's circuit breaker; 0 disables the breakers.
     pub breaker_threshold: u32,
-    /// Sliding failure window of the circuit breaker.
+    /// Sliding failure window of the circuit breakers.
     pub breaker_window_ms: u64,
     /// How long a tripped breaker serves cache-only before probing.
     pub breaker_cooldown_ms: u64,
@@ -56,6 +66,17 @@ pub struct ServeConfig {
     /// `/brief` requests slower than this always log their full stage
     /// breakdown at WARN; 0 disables slow-request logging.
     pub slow_request_ms: u64,
+    /// Model replicas: independent serving lanes (batcher + cache +
+    /// breaker each) over the shared model weights.
+    pub replicas: usize,
+    /// Requests served on one connection before the server closes it
+    /// (bounds how long one client can monopolize a slot); 0 = unlimited.
+    pub max_requests_per_conn: u64,
+    /// Idle keep-alive connections are closed after this long; 0 = never.
+    pub idle_timeout_ms: u64,
+    /// Most concurrent connections the event loop will hold open; beyond
+    /// this, accepts wait in the listen backlog.
+    pub max_conns: usize,
 }
 
 impl Default for ServeConfig {
@@ -74,20 +95,23 @@ impl Default for ServeConfig {
             breaker_cooldown_ms: breaker.cooldown.as_millis() as u64,
             access_log_sample: 0,
             slow_request_ms: 1000,
+            replicas: 1,
+            max_requests_per_conn: 10_000,
+            idle_timeout_ms: 30_000,
+            max_conns: 4096,
         }
     }
 }
 
-struct Shared {
-    briefer: Briefer,
-    cfg: ServeConfig,
-    cache: Mutex<LruCache<Arc<String>>>,
-    batcher: Batcher,
-    breaker: CircuitBreaker,
-    stopping: AtomicBool,
-    queue_depth: AtomicUsize,
-    access_log_seq: AtomicU64,
-    shutdown_tx: Mutex<mpsc::Sender<()>>,
+pub(crate) struct Shared {
+    pub(crate) briefer: Briefer,
+    pub(crate) cfg: ServeConfig,
+    pub(crate) replicas: ReplicaSet,
+    pub(crate) completions: Completions,
+    pub(crate) stopping: AtomicBool,
+    pub(crate) queue_depth: AtomicUsize,
+    pub(crate) access_log_seq: AtomicU64,
+    pub(crate) shutdown_tx: Mutex<mpsc::Sender<()>>,
 }
 
 /// The running server. Dropping the handle shuts the server down
@@ -95,32 +119,36 @@ struct Shared {
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    acceptor: Option<JoinHandle<()>>,
+    io: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
-    executor: Option<JoinHandle<()>>,
+    executors: Vec<JoinHandle<()>>,
     shutdown_rx: Receiver<()>,
 }
 
 /// Starts the briefing server; returns once the listener is bound and the
-/// worker pool is running.
+/// event loop and worker pool are running.
 pub fn start(briefer: Briefer, cfg: ServeConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
-    // Nonblocking accept + short poll lets the acceptor notice `stopping`
-    // on its own — no wake-up connection needed at shutdown.
+    // The event loop drives everything off poll readiness.
     listener.set_nonblocking(true)?;
     let workers = cfg.workers.max(1);
     let queue_capacity = cfg.queue_capacity.max(1);
+    let replica_count = cfg.replicas.max(1);
     let (shutdown_tx, shutdown_rx) = mpsc::channel();
-    let breaker = CircuitBreaker::new(BreakerConfig {
-        threshold: cfg.breaker_threshold,
-        window: Duration::from_millis(cfg.breaker_window_ms),
-        cooldown: Duration::from_millis(cfg.breaker_cooldown_ms),
-    });
+    let replicas = ReplicaSet::new(
+        replica_count,
+        cfg.cache_capacity,
+        BreakerConfig {
+            threshold: cfg.breaker_threshold,
+            window: Duration::from_millis(cfg.breaker_window_ms),
+            cooldown: Duration::from_millis(cfg.breaker_cooldown_ms),
+        },
+    );
+    let completions = Completions::new()?;
     let shared = Arc::new(Shared {
-        cache: Mutex::new(LruCache::new(cfg.cache_capacity)),
-        batcher: Batcher::new(),
-        breaker,
+        replicas,
+        completions,
         stopping: AtomicBool::new(false),
         queue_depth: AtomicUsize::new(0),
         access_log_seq: AtomicU64::new(0),
@@ -135,45 +163,48 @@ pub fn start(briefer: Briefer, cfg: ServeConfig) -> io::Result<ServerHandle> {
     // for `/varz`, `wb top` and Prometheus scrapes.
     wb_obs::procstat::spawn_sampler(Duration::from_secs(1));
     wb_obs::info!(
-        "wb serve listening on {addr} ({workers} workers, queue {queue_capacity}, cache {})",
+        "wb serve listening on {addr} ({workers} workers, {replica_count} replicas, \
+         queue {queue_capacity}, cache {})",
         shared.cfg.cache_capacity
     );
     wb_obs::gauge!("serve.workers", workers as f64);
 
-    // Each queued connection carries its accept instant so the worker can
-    // attribute the time it sat in the queue (`queue_wait` stage).
-    let (conn_tx, conn_rx) = mpsc::sync_channel::<(TcpStream, Instant)>(queue_capacity);
-    let conn_rx = Arc::new(Mutex::new(conn_rx));
+    let (work_tx, work_rx) = mpsc::sync_channel::<WorkItem>(queue_capacity);
+    let work_rx = Arc::new(Mutex::new(work_rx));
 
-    let acceptor = {
+    let io = {
         let shared = Arc::clone(&shared);
         std::thread::Builder::new()
-            .name("wb-serve-accept".to_string())
-            .spawn(move || acceptor_loop(&shared, listener, conn_tx))?
+            .name("wb-serve-io".to_string())
+            .spawn(move || event::run(shared, listener, work_tx))?
     };
     let mut worker_handles = Vec::with_capacity(workers);
     for i in 0..workers {
         let shared = Arc::clone(&shared);
-        let rx = Arc::clone(&conn_rx);
+        let rx = Arc::clone(&work_rx);
         worker_handles.push(
             std::thread::Builder::new()
                 .name(format!("wb-serve-worker-{i}"))
                 .spawn(move || worker_loop(&shared, &rx))?,
         );
     }
-    let executor = {
+    let mut executors = Vec::with_capacity(replica_count);
+    for r in 0..replica_count {
         let shared = Arc::clone(&shared);
-        std::thread::Builder::new().name("wb-serve-batch".to_string()).spawn(move || {
-            let delay = Duration::from_millis(shared.cfg.handler_delay_ms);
-            shared.batcher.run_executor(&shared.briefer, delay, &shared.breaker);
-        })?
-    };
+        executors.push(std::thread::Builder::new().name(format!("wb-serve-batch-{r}")).spawn(
+            move || {
+                let delay = Duration::from_millis(shared.cfg.handler_delay_ms);
+                let replica = &shared.replicas.all()[r];
+                replica.batcher.run_executor(&shared.briefer, delay, &replica.breaker);
+            },
+        )?);
+    }
     Ok(ServerHandle {
         addr,
         shared,
-        acceptor: Some(acceptor),
+        io: Some(io),
         workers: worker_handles,
-        executor: Some(executor),
+        executors,
         shutdown_rx,
     })
 }
@@ -197,30 +228,32 @@ impl ServerHandle {
     }
 
     /// Gracefully stops the server: stop accepting, serve everything
-    /// already accepted, drain the batch queue, join every thread.
+    /// already accepted, drain the batch queues, join every thread.
     pub fn shutdown(mut self) {
         self.do_shutdown();
     }
 
     fn do_shutdown(&mut self) {
-        if self.acceptor.is_none() {
+        if self.io.is_none() {
             return;
         }
         wb_obs::info!("wb serve shutting down (draining in-flight requests)");
-        // The acceptor's nonblocking poll loop sees `stopping` within one
-        // poll interval and exits, dropping the queue sender so the
+        // The event loop sees `stopping` (the wake pipe interrupts its
+        // poll), closes idle connections, finishes in-flight ones under
+        // their deadlines, and exits — dropping the work sender so the
         // workers drain what is left and stop.
         self.shared.stopping.store(true, Ordering::SeqCst);
-        if let Some(a) = self.acceptor.take() {
-            let _ = a.join();
+        self.shared.completions.wake();
+        if let Some(io) = self.io.take() {
+            let _ = io.join();
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
         // All workers are done, so no further job can arrive: close the
-        // batcher and let the executor finish its final batch.
-        self.shared.batcher.close();
-        if let Some(e) = self.executor.take() {
+        // batchers and let each executor finish its final batch.
+        self.shared.replicas.close_all();
+        for e in self.executors.drain(..) {
             let _ = e.join();
         }
         wb_obs::info!("wb serve stopped");
@@ -233,87 +266,19 @@ impl Drop for ServerHandle {
     }
 }
 
-/// How long the acceptor sleeps when no connection is pending; bounds how
-/// long shutdown waits for it to notice `stopping`.
-const ACCEPT_POLL: Duration = Duration::from_millis(5);
-
-fn acceptor_loop(
-    shared: &Shared,
-    listener: TcpListener,
-    conn_tx: SyncSender<(TcpStream, Instant)>,
-) {
-    loop {
-        if shared.stopping.load(Ordering::SeqCst) {
-            break;
-        }
-        let stream = match listener.accept() {
-            Ok((s, _)) => s,
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(ACCEPT_POLL);
-                continue;
-            }
-            Err(e) => {
-                wb_obs::warn!("accept failed: {e}");
-                std::thread::sleep(ACCEPT_POLL);
-                continue;
-            }
-        };
-        // The listener is nonblocking for the poll loop; each accepted
-        // connection goes back to blocking reads/writes with timeouts.
-        if let Err(e) = stream.set_nonblocking(false) {
-            wb_obs::warn!("cannot make accepted connection blocking: {e}");
-            continue;
-        }
-        let depth = shared.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
-        wb_obs::gauge!("serve.queue.depth", depth as f64);
-        wb_obs::gauge_max!("serve.queue.depth.peak", depth as f64);
-        match conn_tx.try_send((stream, Instant::now())) {
-            Ok(()) => {}
-            Err(TrySendError::Full((stream, _))) => {
-                shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
-                wb_obs::counter!("serve.requests");
-                wb_obs::counter!("serve.rejected.queue_full");
-                wb_obs::counter!("serve.responses.5xx");
-                // Answer the shed connection off-thread so one slow client
-                // cannot stall the accept loop mid-overload.
-                let spawned = std::thread::Builder::new()
-                    .name("wb-serve-shed".to_string())
-                    .spawn(move || shed_overloaded(stream));
-                if spawned.is_err() {
-                    wb_obs::warn!("could not spawn shed thread; dropping connection");
-                }
-            }
-            Err(TrySendError::Disconnected(_)) => break,
-        }
-    }
-}
-
-/// Tells one over-capacity client to back off: `503 + Retry-After`, then a
-/// bounded drain so the close is a clean FIN.
-fn shed_overloaded(mut stream: TcpStream) {
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(1000)));
-    let _ = http::respond(
-        &mut stream,
-        503,
-        "application/json",
-        &http::error_body("server overloaded; retry shortly"),
-        &[("Retry-After", "1")],
-    );
-    http::drain(&mut stream, 64 * 1024);
-}
-
-fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<(TcpStream, Instant)>>) {
+fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<WorkItem>>) {
     loop {
         // Holding the lock while blocked in recv is the hand-off point for
         // the whole pool: whichever worker holds it takes the next
-        // connection, the rest queue on the mutex.
-        let (stream, accepted) = match rx.lock().unwrap().recv() {
-            Ok(s) => s,
-            Err(_) => return, // acceptor gone and queue drained
+        // request, the rest queue on the mutex.
+        let item = match rx.lock().unwrap().recv() {
+            Ok(item) => item,
+            Err(_) => return, // event loop gone and queue drained
         };
-        let depth = shared.queue_depth.fetch_sub(1, Ordering::Relaxed) - 1;
+        let depth = shared.queue_depth.fetch_sub(1, Ordering::Relaxed).saturating_sub(1);
         wb_obs::gauge!("serve.queue.depth", depth as f64);
-        handle_connection(shared, stream, accepted);
+        let done = handle_request(shared, item);
+        shared.completions.push(done);
     }
 }
 
@@ -326,152 +291,163 @@ fn bump_status(status: u16) {
     }
 }
 
-/// Writes a response with an explicit content type, records its
-/// status-class counter and returns the microseconds spent writing (the
-/// `write` stage).
-fn send_typed(
-    stream: &mut TcpStream,
+/// Renders a complete response and records its status-class counter —
+/// the single choke point for every response the server produces.
+pub(crate) fn render_counted(
     status: u16,
     content_type: &str,
     body: &[u8],
     extra_headers: &[(&str, &str)],
-) -> u64 {
+    keep_alive: bool,
+) -> Vec<u8> {
     bump_status(status);
-    let t0 = Instant::now();
-    if let Err(e) = http::respond(stream, status, content_type, body, extra_headers) {
-        wb_obs::counter!("serve.responses.write_failed");
-        wb_obs::debug!("response write failed: {e}");
-    }
-    telemetry::micros_since(t0)
+    http::render_response(status, content_type, body, extra_headers, keep_alive)
 }
 
-/// [`send_typed`] with the JSON content type every normal response uses.
-fn send(
-    stream: &mut TcpStream,
+/// Data-plane completion telemetry shared by the worker path and the
+/// event loop's inline cache-hit path: latency histograms, live windows,
+/// stage recording and the (sampled or slow) access log.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn finish_data_plane(
+    shared: &Shared,
+    id: &str,
+    method: &str,
+    path: &str,
     status: u16,
-    body: &[u8],
-    extra_headers: &[(&str, &str)],
-) -> u64 {
-    send_typed(stream, status, "application/json", body, extra_headers)
+    total_us: u64,
+    cache_state: &str,
+    timings: &StageTimings,
+) {
+    wb_obs::histogram!("serve.request.latency_us", total_us);
+    wb_obs::window_histogram!("serve.request.latency_us", total_us as f64);
+    wb_obs::window_counter!("serve.requests");
+    if status >= 500 {
+        wb_obs::window_counter!("serve.errors");
+    }
+    timings.record();
+    let slow = shared.cfg.slow_request_ms > 0
+        && total_us >= shared.cfg.slow_request_ms.saturating_mul(1000);
+    let sampled = shared.cfg.access_log_sample > 0
+        && shared
+            .access_log_seq
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(shared.cfg.access_log_sample);
+    if slow || sampled {
+        let line = telemetry::access_log_line(
+            id,
+            method,
+            path,
+            status,
+            total_us,
+            cache_state,
+            timings,
+        );
+        if slow {
+            wb_obs::warn!("slow request: {line}");
+        } else {
+            wb_obs::info!("access: {line}");
+        }
+    }
 }
 
-fn handle_connection(shared: &Shared, mut stream: TcpStream, accepted: Instant) {
-    let t0 = Instant::now();
+/// A handler's response before rendering: the worker attaches the request
+/// id, `Server-Timing` and keep-alive framing, then renders to bytes.
+struct Reply {
+    status: u16,
+    content_type: &'static str,
+    body: Vec<u8>,
+    extra: Vec<(&'static str, String)>,
+    /// Cache disposition for the access log (`hit` / `miss` / `-`).
+    cache_state: &'static str,
+}
+
+impl Reply {
+    fn json(status: u16, body: Vec<u8>, cache_state: &'static str) -> Reply {
+        Reply { status, content_type: "application/json", body, extra: Vec::new(), cache_state }
+    }
+
+    fn typed(status: u16, content_type: &'static str, body: Vec<u8>) -> Reply {
+        Reply { status, content_type, body, extra: Vec::new(), cache_state: "-" }
+    }
+
+    fn header(mut self, name: &'static str, value: impl Into<String>) -> Reply {
+        self.extra.push((name, value.into()));
+        self
+    }
+}
+
+/// Serves one parsed request on a worker thread and returns the rendered
+/// response for the event loop to flush.
+fn handle_request(shared: &Shared, item: WorkItem) -> Done {
     let _span = wb_obs::span!("serve.request");
+    let WorkItem {
+        conn,
+        generation,
+        req,
+        queued,
+        started,
+        parse_us,
+        allow_keep_alive,
+        key_fp,
+        cache_probed,
+    } = item;
     let mut timings = StageTimings {
-        queue_wait_us: u64::try_from(t0.saturating_duration_since(accepted).as_micros())
-            .unwrap_or(u64::MAX),
+        queue_wait_us: telemetry::micros_since(queued),
+        parse_us,
         ..StageTimings::default()
     };
-    let _ = stream.set_nodelay(true);
-    let timeout = Duration::from_millis(shared.cfg.request_timeout_ms.max(1));
-    let _ = stream.set_write_timeout(Some(timeout));
-    // read_request manages its own read timeouts: `timeout` bounds the
-    // *total* time spent reading the request, however slowly the client
-    // trickles bytes.
-    let req = match http::read_request(&mut stream, shared.cfg.max_body_bytes, timeout) {
-        Ok(r) => r,
-        Err(HttpError::Empty) => return, // port probe; nothing to answer
-        Err(e) => {
-            wb_obs::counter!("serve.requests");
-            let status = e.status();
-            match status {
-                408 => wb_obs::counter!("serve.rejected.timeout"),
-                413 => wb_obs::counter!("serve.rejected.too_large"),
-                _ => {}
-            }
-            // The request never parsed, so no inbound id exists; mint one
-            // anyway so even rejections are correlatable.
-            let id = telemetry::next_request_id();
-            send(
-                &mut stream,
-                status,
-                &http::error_body(&e.detail()),
-                &[("X-Request-Id", id.as_str())],
-            );
-            // The request was rejected without being consumed; drain a
-            // bounded amount so closing sends FIN, not RST (see
-            // http::drain).
-            http::drain(&mut stream, 256 * 1024);
-            wb_obs::histogram!("serve.request.latency_us", t0.elapsed().as_micros());
-            wb_obs::window_histogram!(
-                "serve.request.latency_us",
-                t0.elapsed().as_micros() as f64
-            );
-            wb_obs::window_counter!("serve.requests");
-            return;
-        }
-    };
-    timings.parse_us = telemetry::micros_since(t0);
     let id = telemetry::request_id(req.header("x-request-id"));
-    wb_obs::counter!("serve.requests");
     let data_plane = req.method == "POST" && req.path == "/brief";
-    let (status, cache_state) = if data_plane {
-        handle_brief(shared, &mut stream, &req, &id, &mut timings)
+    let reply = if data_plane {
+        handle_brief(shared, &req, &mut timings, key_fp, cache_probed)
     } else {
-        (handle_control(shared, &mut stream, &req, &id), "-")
+        handle_control(shared, &req)
     };
-    let total_us = telemetry::micros_since(t0);
+    let keep_alive =
+        allow_keep_alive && req.wants_keep_alive() && !shared.stopping.load(Ordering::Relaxed);
+    let server_timing = timings.server_timing();
+    let mut headers: Vec<(&str, &str)> = vec![("X-Request-Id", id.as_str())];
+    if data_plane {
+        headers.push(("Server-Timing", server_timing.as_str()));
+    }
+    for (name, value) in &reply.extra {
+        headers.push((name, value.as_str()));
+    }
+    let bytes =
+        render_counted(reply.status, reply.content_type, &reply.body, &headers, keep_alive);
+    // Total latency excludes the write stage, which only the event loop
+    // knows; the write lands in its own stage histogram at flush time.
+    let total_us = telemetry::micros_since(started);
     if data_plane {
         // Only model-serving requests feed the request-latency histogram
         // and the windowed live metrics; control-plane chatter (health
-        // probes, metric scrapes) has its own histogram below so it
-        // cannot skew serving percentiles.
-        wb_obs::histogram!("serve.request.latency_us", total_us);
-        wb_obs::window_histogram!("serve.request.latency_us", total_us);
-        wb_obs::window_counter!("serve.requests");
-        if status >= 500 {
-            wb_obs::window_counter!("serve.errors");
-        }
-        timings.record();
-        let slow = shared.cfg.slow_request_ms > 0
-            && total_us >= shared.cfg.slow_request_ms.saturating_mul(1000);
-        let sampled = shared.cfg.access_log_sample > 0
-            && shared
-                .access_log_seq
-                .fetch_add(1, Ordering::Relaxed)
-                .is_multiple_of(shared.cfg.access_log_sample);
-        if slow || sampled {
-            let line = telemetry::access_log_line(
-                &id,
-                &req.method,
-                &req.path,
-                status,
-                total_us,
-                cache_state,
-                &timings,
-            );
-            if slow {
-                wb_obs::warn!("slow request: {line}");
-            } else {
-                wb_obs::info!("access: {line}");
-            }
-        }
+        // probes, metric scrapes) has its own histogram so it cannot skew
+        // serving percentiles.
+        finish_data_plane(
+            shared,
+            &id,
+            &req.method,
+            &req.path,
+            reply.status,
+            total_us,
+            reply.cache_state,
+            &timings,
+        );
     } else {
         wb_obs::histogram!("serve.control.latency_us", total_us);
     }
+    Done { conn, generation, bytes, keep_alive, record_write: data_plane }
 }
 
-/// Handles every non-`/brief` route (the control plane); returns the
-/// response status. These requests are recorded under
-/// `serve.control.latency_us`, never under the serving-path histogram.
-fn handle_control(
-    shared: &Shared,
-    stream: &mut TcpStream,
-    req: &http::Request,
-    id: &str,
-) -> u16 {
-    let id_header = ("X-Request-Id", id);
+/// Handles every non-`/brief` route (the control plane). These requests
+/// are recorded under `serve.control.latency_us`, never under the
+/// serving-path histogram.
+fn handle_control(shared: &Shared, req: &http::Request) -> Reply {
     match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => {
-            send(stream, 200, b"{\"status\":\"ok\"}", &[id_header]);
-            200
-        }
+        ("GET", "/healthz") => Reply::json(200, b"{\"status\":\"ok\"}".to_vec(), "-"),
         ("GET", "/metrics") => match req.query_param("format") {
             None | Some("json") => {
-                let body = wb_obs::metrics::snapshot().to_json();
-                send(stream, 200, body.as_bytes(), &[id_header]);
-                200
+                Reply::json(200, wb_obs::metrics::snapshot().to_json().into_bytes(), "-")
             }
             Some("prometheus") => {
                 // Cumulative families, then the windowed live view plus
@@ -481,94 +457,57 @@ fn handle_control(
                 let ws = wb_obs::window::snapshot();
                 body.push_str(&wb_obs::prometheus::render_window(&ws));
                 body.push_str(&prometheus_window_derived(&ws));
-                send_typed(
-                    stream,
-                    200,
-                    wb_obs::prometheus::CONTENT_TYPE,
-                    body.as_bytes(),
-                    &[id_header],
-                );
-                200
+                Reply::typed(200, wb_obs::prometheus::CONTENT_TYPE, body.into_bytes())
             }
-            Some(other) => {
-                send(
-                    stream,
-                    400,
-                    &http::error_body(&format!(
-                        "unknown metrics format `{other}` (expected `json` or `prometheus`)"
-                    )),
-                    &[id_header],
-                );
-                400
-            }
+            Some(other) => Reply::json(
+                400,
+                http::error_body(&format!(
+                    "unknown metrics format `{other}` (expected `json` or `prometheus`)"
+                )),
+                "-",
+            ),
         },
-        ("GET", "/varz") => {
-            let body = varz_body(shared);
-            send(stream, 200, body.as_bytes(), &[id_header]);
-            200
-        }
-        ("GET", "/pprof") => handle_pprof(stream, req, id),
+        ("GET", "/varz") => Reply::json(200, varz_body(shared).into_bytes(), "-"),
+        ("GET", "/pprof") => handle_pprof(req),
         ("POST", "/shutdown") => {
-            send(stream, 200, b"{\"status\":\"shutting down\"}", &[id_header]);
             let _ = shared.shutdown_tx.lock().unwrap().send(());
-            200
+            Reply::json(200, b"{\"status\":\"shutting down\"}".to_vec(), "-")
         }
         (_, "/brief") | (_, "/shutdown") => {
-            send(
-                stream,
-                405,
-                &http::error_body("method not allowed"),
-                &[("Allow", "POST"), id_header],
-            );
-            405
+            Reply::json(405, http::error_body("method not allowed"), "-")
+                .header("Allow", "POST")
         }
         (_, "/healthz") | (_, "/metrics") | (_, "/varz") | (_, "/pprof") => {
-            send(
-                stream,
-                405,
-                &http::error_body("method not allowed"),
-                &[("Allow", "GET"), id_header],
-            );
-            405
+            Reply::json(405, http::error_body("method not allowed"), "-").header("Allow", "GET")
         }
-        (_, path) => {
-            send(stream, 404, &http::error_body(&format!("no route for {path}")), &[id_header]);
-            404
-        }
+        (_, path) => Reply::json(404, http::error_body(&format!("no route for {path}")), "-"),
     }
 }
 
 /// Serves `GET /pprof?seconds=N&hz=N&mode=wall|cpu&format=collapsed|svg`:
 /// runs a timed span-stack capture on the calling worker thread and
-/// streams the folded result (or a rendered flamegraph). The worker is
+/// returns the folded result (or a rendered flamegraph). The worker is
 /// hidden from the sampler for the duration — otherwise its own
 /// `serve.request` span, open for the whole capture, would dominate
 /// every profile. One capture runs at a time; concurrent requests get
 /// 409 with a Retry-After hint.
-fn handle_pprof(stream: &mut TcpStream, req: &http::Request, id: &str) -> u16 {
-    let id_header = ("X-Request-Id", id);
-    let bad = |stream: &mut TcpStream, msg: String| -> u16 {
-        send(stream, 400, &http::error_body(&msg), &[id_header]);
-        400
-    };
+fn handle_pprof(req: &http::Request) -> Reply {
+    let bad = |msg: String| Reply::json(400, http::error_body(&msg), "-");
     let seconds = match req.query_param("seconds").unwrap_or("2").parse::<f64>() {
         Ok(s) if s > 0.0 && s <= 60.0 => s,
-        _ => return bad(stream, "seconds must be a number in (0, 60]".to_string()),
+        _ => return bad("seconds must be a number in (0, 60]".to_string()),
     };
     let hz = match req.query_param("hz").unwrap_or("99").parse::<u32>() {
         Ok(h) if (1..=1000).contains(&h) => h,
-        _ => return bad(stream, "hz must be an integer in 1..=1000".to_string()),
+        _ => return bad("hz must be an integer in 1..=1000".to_string()),
     };
     let mode = req.query_param("mode").unwrap_or("wall");
     let Some(mode) = wb_obs::profile::Mode::parse(mode) else {
-        return bad(stream, format!("unknown mode `{mode}` (expected `wall` or `cpu`)"));
+        return bad(format!("unknown mode `{mode}` (expected `wall` or `cpu`)"));
     };
     let format = req.query_param("format").unwrap_or("collapsed");
     if format != "collapsed" && format != "svg" {
-        return bad(
-            stream,
-            format!("unknown format `{format}` (expected `collapsed` or `svg`)"),
-        );
+        return bad(format!("unknown format `{format}` (expected `collapsed` or `svg`)"));
     }
     let _hidden = wb_obs::profile::hide_current_thread();
     let opts = wb_obs::profile::Options { hz, mode };
@@ -584,47 +523,19 @@ fn handle_pprof(stream: &mut TcpStream, req: &http::Request, id: &str) -> u16 {
                     profile.total_weight
                 );
                 match wb_obs::flame::render_svg(&collapsed, &title) {
-                    Ok(svg) => {
-                        send_typed(
-                            stream,
-                            200,
-                            wb_obs::flame::CONTENT_TYPE,
-                            svg.as_bytes(),
-                            &[id_header],
-                        );
-                        200
-                    }
+                    Ok(svg) => Reply::typed(200, wb_obs::flame::CONTENT_TYPE, svg.into_bytes()),
                     Err(e) => {
-                        send(
-                            stream,
-                            500,
-                            &http::error_body(&format!("flamegraph: {e}")),
-                            &[id_header],
-                        );
-                        500
+                        Reply::json(500, http::error_body(&format!("flamegraph: {e}")), "-")
                     }
                 }
             } else {
-                send_typed(
-                    stream,
-                    200,
-                    "text/plain; charset=utf-8",
-                    collapsed.as_bytes(),
-                    &[id_header],
-                );
-                200
+                Reply::typed(200, "text/plain; charset=utf-8", collapsed.into_bytes())
             }
         }
         Err(e) => {
             // The single-capture guard is the only runtime failure mode.
-            let retry = format!("{}", seconds.ceil() as u64);
-            send(
-                stream,
-                409,
-                &http::error_body(&e),
-                &[("Retry-After", retry.as_str()), id_header],
-            );
-            409
+            Reply::json(409, http::error_body(&e), "-")
+                .header("Retry-After", format!("{}", seconds.ceil() as u64))
         }
     }
 }
@@ -732,8 +643,19 @@ fn varz_body(shared: &Shared) -> String {
         Json::Num(wb_obs::metrics::registry().gauge("serve.queue.depth.peak").get()),
     );
     let mut cache = BTreeMap::new();
-    cache.insert("size".to_string(), Json::Num(shared.cache.lock().unwrap().len() as f64));
-    cache.insert("capacity".to_string(), Json::Num(shared.cfg.cache_capacity as f64));
+    cache.insert("size".to_string(), Json::Num(shared.replicas.cache_len() as f64));
+    cache.insert(
+        "capacity".to_string(),
+        Json::Num((shared.cfg.cache_capacity * shared.replicas.len()) as f64),
+    );
+    let c = |name: &str| wb_obs::metrics::registry().counter(name).get() as f64;
+    let g = |name: &str| wb_obs::metrics::registry().gauge(name).get();
+    let mut conns = BTreeMap::new();
+    conns.insert("active".to_string(), Json::Num(g("serve.conn.active")));
+    conns.insert("accepted".to_string(), Json::Num(c("serve.conn.accepted")));
+    conns.insert("reused".to_string(), Json::Num(c("serve.conn.reused")));
+    conns.insert("idle_closed".to_string(), Json::Num(c("serve.conn.idle_closed")));
+    conns.insert("framing_errors".to_string(), Json::Num(c("serve.conn.framing_errors")));
     let mut root = BTreeMap::new();
     root.insert(
         "uptime_ms".to_string(),
@@ -742,70 +664,66 @@ fn varz_body(shared: &Shared) -> String {
     root.insert("windows".to_string(), Json::Obj(windows));
     root.insert("queue".to_string(), Json::Obj(queue));
     root.insert("cache".to_string(), Json::Obj(cache));
+    root.insert("conns".to_string(), Json::Obj(conns));
     // Runtime stats from the background procstat sampler; read through
     // the gauges (not /proc directly) so /varz never blocks on procfs
     // and `wb top` sees exactly what Prometheus scrapes. Empty object
     // where procfs is unavailable.
     let mut proc = BTreeMap::new();
-    let g = |name: &str| wb_obs::metrics::registry().gauge(name).get();
     if g("proc.threads") > 0.0 {
         proc.insert("rss_bytes".to_string(), Json::Num(g("proc.rss_bytes")));
         proc.insert("threads".to_string(), Json::Num(g("proc.threads")));
         proc.insert("open_fds".to_string(), Json::Num(g("proc.open_fds")));
     }
     root.insert("proc".to_string(), Json::Obj(proc));
-    root.insert("breaker".to_string(), Json::Str(shared.breaker.state_name().to_string()));
+    root.insert(
+        "breaker".to_string(),
+        Json::Str(shared.replicas.breaker_summary().to_string()),
+    );
+    root.insert("replicas".to_string(), Json::Num(shared.replicas.len() as f64));
     root.insert("workers".to_string(), Json::Num(shared.cfg.workers.max(1) as f64));
     Json::Obj(root).render()
 }
 
-/// Serves one `POST /brief`, filling `t` with the stage breakdown as the
-/// request moves through the pipeline. Every response echoes the request
-/// id and carries a `Server-Timing` header with the stages known at send
-/// time (the `write` stage itself lands only in metrics and the access
-/// log). Returns the response status and the cache disposition.
+/// Serves one `POST /brief` on a worker, filling `t` with the stage
+/// breakdown as the request moves through its replica's pipeline. The
+/// event loop may have already routed and cache-probed (`key_fp`,
+/// `cache_probed`); this avoids hashing and probing twice.
 fn handle_brief(
     shared: &Shared,
-    stream: &mut TcpStream,
     req: &http::Request,
-    id: &str,
     t: &mut StageTimings,
-) -> (u16, &'static str) {
-    // Every exit funnels through here so no response can forget the id or
-    // the timing header, and the write stage is always captured.
-    macro_rules! reply {
-        ($status:expr, $cache:expr, $body:expr, $($extra:expr),*) => {{
-            let st = t.server_timing();
-            t.write_us = send(
-                stream,
-                $status,
-                $body,
-                &[("X-Request-Id", id), ("Server-Timing", st.as_str()), $($extra),*],
-            );
-            return ($status, $cache);
-        }};
-    }
+    key_fp: Option<(u64, Fingerprint)>,
+    cache_probed: bool,
+) -> Reply {
     let body = req.body.as_slice();
     if body.is_empty() {
-        reply!(400, "-", &http::error_body("POST /brief expects an HTML body"),);
+        return Reply::json(400, http::error_body("POST /brief expects an HTML body"), "-");
     }
     let cache_t0 = Instant::now();
-    let key = fnv1a(body);
     // The fingerprint guards against FNV-1a collisions: a colliding page is
     // treated as a miss instead of being served another page's brief.
-    let fp = Fingerprint::of(body);
-    // Cache first: cached pages keep being served even while the circuit
+    let (key, fp) = key_fp.unwrap_or_else(|| (fnv1a(body), Fingerprint::of(body)));
+    let replica = shared.replicas.route(key);
+    // Cache first: cached pages keep being served even while a circuit
     // breaker has the model path disabled.
     if shared.cfg.cache_capacity > 0 {
-        let cached = shared.cache.lock().unwrap().get(key, fp).cloned();
-        if let Some(json) = cached {
-            wb_obs::counter!("serve.cache.hit");
-            wb_obs::window_counter!("serve.cache.hit");
-            t.cache_us = telemetry::micros_since(cache_t0);
-            reply!(200, "hit", json.as_bytes(), ("X-Cache", "hit"));
+        if cache_probed {
+            // The event loop probed (and missed) without counting.
+            wb_obs::counter!("serve.cache.miss");
+            wb_obs::window_counter!("serve.cache.miss");
+        } else {
+            let cached = replica.cache.lock().unwrap().get(key, fp).cloned();
+            if let Some(json) = cached {
+                wb_obs::counter!("serve.cache.hit");
+                wb_obs::window_counter!("serve.cache.hit");
+                t.cache_us = telemetry::micros_since(cache_t0);
+                return Reply::json(200, json.as_bytes().to_vec(), "hit")
+                    .header("X-Cache", "hit");
+            }
+            wb_obs::counter!("serve.cache.miss");
+            wb_obs::window_counter!("serve.cache.miss");
         }
-        wb_obs::counter!("serve.cache.miss");
-        wb_obs::window_counter!("serve.cache.miss");
     }
     t.cache_us = telemetry::micros_since(cache_t0);
     // Per-request deadline: `X-Deadline-Ms` can only tighten the server's
@@ -815,51 +733,51 @@ fn handle_brief(
         Some(v) => match v.parse::<u64>() {
             Ok(ms) if ms > 0 => ms.min(shared.cfg.request_timeout_ms),
             _ => {
-                reply!(
+                return Reply::json(
                     400,
-                    "miss",
-                    &http::error_body(&format!(
+                    http::error_body(&format!(
                         "bad X-Deadline-Ms `{v}` (expected a positive number of milliseconds)"
                     )),
+                    "miss",
                 );
             }
         },
     };
-    match shared.breaker.admit() {
+    match replica.breaker.admit() {
         Admission::Allow | Admission::Probe => {}
         Admission::Reject { retry_after_secs } => {
-            let retry = retry_after_secs.to_string();
-            reply!(
+            return Reply::json(
                 503,
-                "miss",
-                &http::error_body(
+                http::error_body(
                     "briefing disabled after repeated model failures; \
                      cached pages are still served",
                 ),
-                ("Retry-After", retry.as_str())
-            );
+                "miss",
+            )
+            .header("Retry-After", retry_after_secs.to_string());
         }
     }
     let html = String::from_utf8_lossy(body).into_owned();
     let deadline = Instant::now() + Duration::from_millis(deadline_ms.max(1));
     let (tx, rx) = mpsc::channel();
-    if !shared.batcher.submit(Job { html, deadline, submitted: Instant::now(), tx }) {
-        reply!(503, "miss", &http::error_body("server is shutting down"), ("Retry-After", "1"));
+    if !replica.batcher.submit(Job { html, deadline, submitted: Instant::now(), tx }) {
+        return Reply::json(503, http::error_body("server is shutting down"), "miss")
+            .header("Retry-After", "1");
     }
     let timeout = Duration::from_millis(shared.cfg.request_timeout_ms.max(1));
     let completion = match rx.recv_timeout(timeout) {
         Ok(c) => c,
         Err(RecvTimeoutError::Timeout) => {
             wb_obs::counter!("serve.rejected.timeout");
-            reply!(
+            return Reply::json(
                 503,
+                http::error_body("briefing did not finish within the request timeout"),
                 "miss",
-                &http::error_body("briefing did not finish within the request timeout"),
-                ("Retry-After", "1")
-            );
+            )
+            .header("Retry-After", "1");
         }
         Err(RecvTimeoutError::Disconnected) => {
-            reply!(500, "miss", &http::error_body("batch executor is gone"),);
+            return Reply::json(500, http::error_body("batch executor is gone"), "miss");
         }
     };
     t.batch_wait_us = completion.batch_wait_us;
@@ -869,28 +787,24 @@ fn handle_brief(
         BriefOutcome::Ok(json) => {
             if shared.cfg.cache_capacity > 0 {
                 let fill_t0 = Instant::now();
-                let mut cache = shared.cache.lock().unwrap();
+                let mut cache = replica.cache.lock().unwrap();
                 cache.insert(key, fp, Arc::clone(&json));
-                wb_obs::gauge!("serve.cache.size", cache.len() as f64);
                 drop(cache);
+                wb_obs::gauge!("serve.cache.size", shared.replicas.cache_len() as f64);
                 t.cache_us += telemetry::micros_since(fill_t0);
             }
-            reply!(200, "miss", json.as_bytes(), ("X-Cache", "miss"));
+            Reply::json(200, json.as_bytes().to_vec(), "miss").header("X-Cache", "miss")
         }
         BriefOutcome::Unbriefable(detail) => {
             wb_obs::counter!("serve.unbriefable");
-            reply!(422, "miss", &http::error_body(&detail),);
+            Reply::json(422, http::error_body(&detail), "miss")
         }
-        BriefOutcome::Internal(detail) => {
-            reply!(500, "miss", &http::error_body(&detail),);
-        }
-        BriefOutcome::Expired => {
-            reply!(
-                504,
-                "miss",
-                &http::error_body("request deadline expired before briefing started"),
-            );
-        }
+        BriefOutcome::Internal(detail) => Reply::json(500, http::error_body(&detail), "miss"),
+        BriefOutcome::Expired => Reply::json(
+            504,
+            http::error_body("request deadline expired before briefing started"),
+            "miss",
+        ),
     }
 }
 
@@ -898,6 +812,7 @@ fn handle_brief(
 mod tests {
     use super::*;
     use std::io::{Read, Write};
+    use std::net::TcpStream;
     use wb_core::{JointModel, JointVariant, ModelConfig};
     use wb_corpus::{Dataset, DatasetConfig};
 
@@ -923,23 +838,72 @@ mod tests {
         }
     }
 
-    /// Sends one raw HTTP request and returns (status, body). Write errors
-    /// are tolerated (the server may respond-and-close before consuming a
+    /// Reads `n` `Content-Length`-framed responses off one connection —
+    /// required now that connections keep alive (EOF never comes after a
+    /// response) and responses to pipelined requests arrive back-to-back
+    /// (one socket read can deliver parts of several responses).
+    fn read_responses(s: &mut TcpStream, n: usize) -> Vec<String> {
+        let _ = s.set_read_timeout(Some(Duration::from_secs(30)));
+        let mut buf: Vec<u8> = Vec::new();
+        let mut tmp = [0u8; 4096];
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            let head_end = loop {
+                if let Some(p) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                    break p + 4;
+                }
+                match s.read(&mut tmp) {
+                    Ok(0) => panic!(
+                        "connection closed before response head: {:?}",
+                        String::from_utf8_lossy(&buf)
+                    ),
+                    Ok(read) => buf.extend_from_slice(&tmp[..read]),
+                    Err(e) => panic!("no response from server: {e}"),
+                }
+            };
+            let head = String::from_utf8_lossy(&buf[..head_end]).to_string();
+            let content_length: usize = head
+                .lines()
+                .find_map(|l| {
+                    let (k, v) = l.split_once(':')?;
+                    if k.eq_ignore_ascii_case("content-length") {
+                        v.trim().parse().ok()
+                    } else {
+                        None
+                    }
+                })
+                .expect("Content-Length header in response");
+            while buf.len() < head_end + content_length {
+                match s.read(&mut tmp) {
+                    Ok(0) => panic!("connection closed mid-body"),
+                    Ok(read) => buf.extend_from_slice(&tmp[..read]),
+                    Err(e) => panic!("read failed mid-body: {e}"),
+                }
+            }
+            out.push(String::from_utf8_lossy(&buf[..head_end + content_length]).to_string());
+            buf.drain(..head_end + content_length);
+        }
+        out
+    }
+
+    fn read_response(s: &mut TcpStream) -> String {
+        read_responses(s, 1).pop().unwrap()
+    }
+
+    /// Sends one raw HTTP request on a fresh connection and returns the
+    /// whole response text (status line, headers, body). Write errors are
+    /// tolerated (the server may respond-and-close before consuming a
     /// rejected request); the response read is what matters.
-    fn roundtrip(addr: SocketAddr, raw: &[u8]) -> (u16, String) {
+    fn roundtrip_full(addr: SocketAddr, raw: &[u8]) -> String {
         let mut s = TcpStream::connect(addr).unwrap();
         let _ = s.write_all(raw);
         let _ = s.flush();
-        let mut text = String::new();
-        let mut buf = [0u8; 4096];
-        loop {
-            match s.read(&mut buf) {
-                Ok(0) => break,
-                Ok(n) => text.push_str(&String::from_utf8_lossy(&buf[..n])),
-                Err(_) if !text.is_empty() => break,
-                Err(e) => panic!("no response from server: {e}"),
-            }
-        }
+        read_response(&mut s)
+    }
+
+    /// Like `roundtrip_full` but parsed into (status, body).
+    fn roundtrip(addr: SocketAddr, raw: &[u8]) -> (u16, String) {
+        let text = roundtrip_full(addr, raw);
         let status: u16 =
             text.split_ascii_whitespace().nth(1).expect("status code").parse().unwrap();
         let body = text.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
@@ -952,25 +916,6 @@ mod tests {
             html.len()
         );
         roundtrip(addr, raw.as_bytes())
-    }
-
-    /// Like `roundtrip`, but returns the whole response text including the
-    /// status line and headers.
-    fn roundtrip_full(addr: SocketAddr, raw: &[u8]) -> String {
-        let mut s = TcpStream::connect(addr).unwrap();
-        let _ = s.write_all(raw);
-        let _ = s.flush();
-        let mut text = String::new();
-        let mut buf = [0u8; 4096];
-        loop {
-            match s.read(&mut buf) {
-                Ok(0) => break,
-                Ok(n) => text.push_str(&String::from_utf8_lossy(&buf[..n])),
-                Err(_) if !text.is_empty() => break,
-                Err(e) => panic!("no response from server: {e}"),
-            }
-        }
-        text
     }
 
     const PAGE: &str = "<html><body><section><p>great velcro books , price : $ 9.99 .\
@@ -1015,6 +960,62 @@ mod tests {
             TcpStream::connect_timeout(&addr, Duration::from_millis(300)).is_err(),
             "listener must be closed after shutdown"
         );
+    }
+
+    #[test]
+    fn keep_alive_reuses_one_connection_for_many_requests() {
+        let h = start(tiny_briefer(), test_config()).unwrap();
+        let mut s = TcpStream::connect(h.addr()).unwrap();
+        let raw = format!(
+            "POST /brief HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{PAGE}",
+            PAGE.len()
+        );
+        let mut bodies = Vec::new();
+        for i in 0..3 {
+            s.write_all(raw.as_bytes()).unwrap();
+            let text = read_response(&mut s);
+            assert!(text.starts_with("HTTP/1.1 200"), "request {i}:\n{text}");
+            assert!(
+                text.contains("Connection: keep-alive\r\n"),
+                "request {i} must keep the connection:\n{text}"
+            );
+            bodies.push(text.split_once("\r\n\r\n").unwrap().1.to_string());
+        }
+        assert!(bodies.windows(2).all(|w| w[0] == w[1]), "reused-connection briefs must agree");
+        // `Connection: close` is honored and ends the connection.
+        s.write_all(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        let text = read_response(&mut s);
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+        let mut tail = Vec::new();
+        s.read_to_end(&mut tail).expect("clean EOF after Connection: close");
+        assert!(tail.is_empty(), "no bytes may follow the final response");
+        h.shutdown();
+    }
+
+    #[test]
+    fn pipelined_requests_are_all_answered_in_order() {
+        let h = start(tiny_briefer(), test_config()).unwrap();
+        let mut s = TcpStream::connect(h.addr()).unwrap();
+        // Two briefs and a health check written back-to-back before any
+        // response is read.
+        let mut raw = Vec::new();
+        for _ in 0..2 {
+            raw.extend_from_slice(
+                format!(
+                    "POST /brief HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{PAGE}",
+                    PAGE.len()
+                )
+                .as_bytes(),
+            );
+        }
+        raw.extend_from_slice(b"GET /healthz HTTP/1.1\r\n\r\n");
+        s.write_all(&raw).unwrap();
+        let responses = read_responses(&mut s, 3);
+        let (first, second, third) = (&responses[0], &responses[1], &responses[2]);
+        assert!(first.starts_with("HTTP/1.1 200"), "{first}");
+        assert!(second.starts_with("HTTP/1.1 200"), "{second}");
+        assert!(third.contains("{\"status\":\"ok\"}"), "{third}");
+        h.shutdown();
     }
 
     #[test]
@@ -1065,6 +1066,13 @@ mod tests {
             "the brief above must show up in the live window: {body}"
         );
         assert!(w10.get("stages_us").is_some());
+        // Connection accounting rides along for `wb top`.
+        let conns = v.get("conns").expect("conns section");
+        assert!(
+            conns.get("accepted").and_then(|a| a.as_f64()).unwrap_or(0.0) >= 1.0,
+            "accepted connections must be counted: {conns:?}"
+        );
+        assert_eq!(v.get("replicas").and_then(|r| r.as_f64()), Some(1.0));
         // The proc.* runtime stats section rides along on /varz.
         let proc = v.get("proc").expect("proc section");
         #[cfg(target_os = "linux")]
@@ -1217,6 +1225,7 @@ mod tests {
         let mut cfg = test_config();
         cfg.workers = 1;
         cfg.queue_capacity = 1;
+        cfg.cache_capacity = 0; // no inline hits: every request needs the model
         cfg.handler_delay_ms = 400; // every batch stalls; the queue backs up
         cfg.request_timeout_ms = 5_000;
         let h = start(tiny_briefer(), cfg).unwrap();
@@ -1230,6 +1239,29 @@ mod tests {
         assert_eq!(ok + shed, 8, "every request must be answered: {results:?}");
         assert!(ok >= 1, "at least the first request must be served");
         assert!(shed >= 1, "with 1 worker + queue of 1, overflow must shed: {results:?}");
+        h.shutdown();
+    }
+
+    #[test]
+    fn concurrent_connections_exceed_worker_count_without_shedding() {
+        let mut cfg = test_config();
+        cfg.workers = 2;
+        cfg.queue_capacity = 64;
+        let h = start(tiny_briefer(), cfg).unwrap();
+        let addr = h.addr();
+        // Warm the cache so requests answer inline and quickly.
+        let (status, _) = post_brief(addr, PAGE);
+        assert_eq!(status, 200);
+        // 24 simultaneous connections against 2 workers: the event loop
+        // holds them all; nobody is shed.
+        let threads: Vec<_> =
+            (0..24).map(|_| std::thread::spawn(move || post_brief(addr, PAGE))).collect();
+        let results: Vec<(u16, String)> =
+            threads.into_iter().map(|t| t.join().expect("request thread")).collect();
+        assert!(
+            results.iter().all(|(s, _)| *s == 200),
+            "no shedding below max_conns: {results:?}"
+        );
         h.shutdown();
     }
 
@@ -1286,6 +1318,46 @@ mod tests {
         let (status, body) = roundtrip(addr, raw.as_bytes());
         assert_eq!(status, 400, "{body}");
         assert!(body.contains("X-Deadline-Ms"), "{body}");
+        h.shutdown();
+    }
+
+    #[test]
+    fn requests_shard_across_replicas_with_per_replica_caches() {
+        let mut cfg = test_config();
+        cfg.replicas = 3;
+        let h = start(tiny_briefer(), cfg).unwrap();
+        let addr = h.addr();
+        // Distinct pages spread over the ring; each brief lands in exactly
+        // one replica's cache.
+        for i in 0..6 {
+            let page = format!(
+                "<html><body><section><p>sharded page {i} with words . price : $ 1.{i}{i} .\
+                 </p></section></body></html>"
+            );
+            let (status, body) = post_brief(addr, &page);
+            assert!(status == 200 || status == 422, "page {i}: {status} {body}");
+        }
+        let total_cached = h.shared.replicas.cache_len();
+        assert!(total_cached >= 1, "briefs must be cached somewhere");
+        let populated = h
+            .shared
+            .replicas
+            .all()
+            .iter()
+            .filter(|r| r.cache.lock().unwrap().len() > 0)
+            .count();
+        assert!(
+            populated >= 2,
+            "6 distinct pages should populate at least 2 of 3 replica caches \
+             (got {populated}; ring badly skewed?)"
+        );
+        // Repeats of a cached page are hits, wherever it was routed.
+        let page = "<html><body><section><p>sharded page 0 with words . price : $ 1.00 .\
+                    </p></section></body></html>";
+        let (s1, b1) = post_brief(addr, page);
+        let (s2, b2) = post_brief(addr, page);
+        assert_eq!((s1, s2), (200, 200));
+        assert_eq!(b1, b2, "replica routing must be stable for a given page");
         h.shutdown();
     }
 }

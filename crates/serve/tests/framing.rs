@@ -1,0 +1,360 @@
+//! Property tests of HTTP/1.1 request framing — the parser alone and a
+//! live keep-alive server.
+//!
+//! The bugs these pin down all came from the same root: treating "one
+//! socket read" as "one request". A read can deliver half a request, one
+//! and a half, or three; headers can lie about the body length in ways
+//! that make two parsers disagree (request smuggling). The parser half of
+//! the suite drives [`wb_serve::http::RequestParser`] over adversarial
+//! chunkings; the server half replays the same shapes against a running
+//! server over reused connections, where a framing slip would surface as
+//! a desynced response stream.
+
+use proptest::prelude::*;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::OnceLock;
+use std::time::Duration;
+use wb_serve::http::{Parsed, Request, RequestParser};
+
+const MAX_BODY: usize = 64 * 1024;
+
+/// Renders a well-formed request with the given body.
+fn render_request(method: &str, path: &str, body: &[u8]) -> Vec<u8> {
+    let mut raw = format!(
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    raw.extend_from_slice(body);
+    raw
+}
+
+/// Parses `raw` by appending it to the buffer in the given chunk sizes,
+/// stepping the parser after every append — the event loop's exact usage.
+/// Returns the requests completed and the bytes left unconsumed.
+fn parse_chunked(raw: &[u8], chunks: &[usize]) -> Result<(Vec<Request>, Vec<u8>), String> {
+    let mut parser = RequestParser::new();
+    let mut buf: Vec<u8> = Vec::new();
+    let mut out = Vec::new();
+    let mut offset = 0;
+    let feed = |buf: &mut Vec<u8>, n: usize, offset: &mut usize| {
+        let end = (*offset + n).min(raw.len());
+        buf.extend_from_slice(&raw[*offset..end]);
+        *offset = end;
+    };
+    for &n in chunks {
+        feed(&mut buf, n.max(1), &mut offset);
+        loop {
+            match parser.step(&buf, MAX_BODY).map_err(|e| e.detail())? {
+                Parsed::NeedMore => break,
+                Parsed::Request { req, consumed } => {
+                    buf.drain(..consumed);
+                    out.push(req);
+                }
+            }
+        }
+    }
+    // Whatever the chunk list did not cover arrives as one final read.
+    if offset < raw.len() {
+        feed(&mut buf, raw.len() - offset, &mut offset);
+        loop {
+            match parser.step(&buf, MAX_BODY).map_err(|e| e.detail())? {
+                Parsed::NeedMore => break,
+                Parsed::Request { req, consumed } => {
+                    buf.drain(..consumed);
+                    out.push(req);
+                }
+            }
+        }
+    }
+    Ok((out, buf))
+}
+
+fn body_strategy() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec((0u16..256).prop_map(|b| b as u8), 0..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// However a request is split across reads — byte-by-byte, straddling
+    /// the `\r\n\r\n`, mid-body — the parse is identical to feeding it
+    /// whole, and no bytes are lost or invented.
+    #[test]
+    fn split_writes_parse_identically(
+        body in body_strategy(),
+        chunks in proptest::collection::vec(1usize..40, 0..24),
+    ) {
+        let raw = render_request("POST", "/brief", &body);
+        let (whole, rest_whole) = parse_chunked(&raw, &[raw.len()]).unwrap();
+        let (split, rest_split) = parse_chunked(&raw, &chunks).unwrap();
+        prop_assert_eq!(whole.len(), 1);
+        prop_assert_eq!(split.len(), 1);
+        prop_assert_eq!(&split[0].body, &whole[0].body);
+        prop_assert_eq!(&split[0].body, &body);
+        prop_assert_eq!(&split[0].method, "POST");
+        prop_assert!(rest_whole.is_empty() && rest_split.is_empty());
+    }
+
+    /// Several requests written back-to-back all parse, in order, with
+    /// their own bodies — bytes beyond one request belong to the next, not
+    /// to the floor. This is the leftover-pipelined-bytes bug.
+    #[test]
+    fn pipelined_requests_all_parse_in_order(
+        bodies in proptest::collection::vec(body_strategy(), 1..5),
+        chunks in proptest::collection::vec(1usize..64, 0..32),
+    ) {
+        let mut raw = Vec::new();
+        for (i, body) in bodies.iter().enumerate() {
+            raw.extend_from_slice(&render_request("POST", &format!("/brief?i={i}"), body));
+        }
+        let (reqs, rest) = parse_chunked(&raw, &chunks).unwrap();
+        prop_assert_eq!(reqs.len(), bodies.len());
+        prop_assert!(rest.is_empty(), "unconsumed bytes after the last request");
+        for (i, (req, body)) in reqs.iter().zip(&bodies).enumerate() {
+            prop_assert_eq!(&req.body, body);
+            let expected = format!("{i}");
+            prop_assert_eq!(req.query_param("i"), Some(expected.as_str()));
+        }
+    }
+
+    /// Duplicate `Content-Length` headers that agree are accepted;
+    /// disagreeing ones are rejected no matter how the request is chunked.
+    #[test]
+    fn duplicate_content_length_only_parses_when_agreeing(
+        len_a in 0usize..50,
+        delta in 1usize..50,
+        agree in 0u8..2,
+        chunks in proptest::collection::vec(1usize..32, 0..16),
+    ) {
+        let agree = agree == 1;
+        let len_b = if agree { len_a } else { len_a + delta };
+        let mut raw = format!(
+            "POST /brief HTTP/1.1\r\nContent-Length: {len_a}\r\nContent-Length: {len_b}\r\n\r\n"
+        )
+        .into_bytes();
+        raw.extend_from_slice(&vec![b'x'; len_a.max(len_b)]);
+        let result = parse_chunked(&raw, &chunks);
+        if agree {
+            let (reqs, _) = result.unwrap();
+            prop_assert_eq!(reqs.len(), 1);
+            prop_assert_eq!(reqs[0].body.len(), len_a);
+        } else {
+            prop_assert!(result.is_err(), "conflicting Content-Length must be rejected");
+        }
+    }
+
+    /// `Content-Length` values that `usize::parse` would tolerate but HTTP
+    /// forbids — sign prefixes, embedded junk, empty — are rejected.
+    #[test]
+    fn non_digit_content_length_is_rejected(
+        junk in "[+x._\\-]{1,3}",
+        digits in "[0-9]{0,4}",
+        prefix in 0u8..2,
+    ) {
+        let value = if prefix == 1 {
+            format!("{junk}{digits}")
+        } else {
+            format!("{digits}{junk}")
+        };
+        let raw =
+            format!("POST /brief HTTP/1.1\r\nContent-Length: {value}\r\n\r\n").into_bytes();
+        let result = parse_chunked(&raw, &[raw.len()]);
+        prop_assert!(result.is_err(), "Content-Length `{}` must be rejected", value);
+    }
+
+    /// A header line without a colon is rejected, not silently skipped —
+    /// skipping means client and server disagree about what was sent.
+    #[test]
+    fn colonless_header_line_is_rejected(garbage in "[a-zA-Z][a-zA-Z0-9 _\\-]{0,29}") {
+        let raw = format!(
+            "GET /healthz HTTP/1.1\r\nHost: t\r\n{garbage}\r\nAccept: */*\r\n\r\n"
+        )
+        .into_bytes();
+        let result = parse_chunked(&raw, &[raw.len()]);
+        prop_assert!(result.is_err(), "colon-less line `{}` must be rejected", garbage);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Live-server half: the same shapes over real sockets with keep-alive.
+// ---------------------------------------------------------------------------
+
+/// One shared server for every live test in this file: briefer
+/// construction dominates startup, and these tests only need an address.
+/// The handle is leaked so the server outlives every test thread.
+fn shared_server() -> SocketAddr {
+    static ADDR: OnceLock<SocketAddr> = OnceLock::new();
+    *ADDR.get_or_init(|| {
+        let d = wb_corpus::Dataset::generate(&wb_corpus::DatasetConfig::tiny());
+        let cfg = wb_core::ModelConfig::scaled(d.tokenizer.vocab().len());
+        let briefer = wb_core::Briefer::from_model(
+            wb_core::JointModel::new(wb_core::JointVariant::JointWb, cfg, 11),
+            d.tokenizer.clone(),
+        );
+        let handle = wb_serve::start(
+            briefer,
+            wb_serve::ServeConfig {
+                addr: "127.0.0.1:0".to_string(),
+                workers: 2,
+                queue_capacity: 32,
+                cache_capacity: 32,
+                max_body_bytes: MAX_BODY,
+                ..wb_serve::ServeConfig::default()
+            },
+        )
+        .expect("start framing test server");
+        let addr = handle.addr();
+        std::mem::forget(handle);
+        addr
+    })
+}
+
+const PAGE: &str = "<html><body><section><p>great velcro books , price : $ 9.99 .\
+                    </p></section></body></html>";
+
+/// Reads `n` `Content-Length`-framed responses off one connection,
+/// carrying leftover bytes between responses.
+fn read_responses(s: &mut TcpStream, n: usize) -> Vec<String> {
+    let _ = s.set_read_timeout(Some(Duration::from_secs(30)));
+    let mut buf: Vec<u8> = Vec::new();
+    let mut tmp = [0u8; 4096];
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let head_end = loop {
+            if let Some(p) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break p + 4;
+            }
+            match s.read(&mut tmp) {
+                Ok(0) => panic!("connection closed early: {:?}", String::from_utf8_lossy(&buf)),
+                Ok(read) => buf.extend_from_slice(&tmp[..read]),
+                Err(e) => panic!("no response: {e}"),
+            }
+        };
+        let head = String::from_utf8_lossy(&buf[..head_end]).to_string();
+        let content_length: usize = head
+            .lines()
+            .find_map(|l| {
+                let (k, v) = l.split_once(':')?;
+                k.eq_ignore_ascii_case("content-length").then(|| v.trim().parse().ok())?
+            })
+            .expect("Content-Length in response");
+        while buf.len() < head_end + content_length {
+            match s.read(&mut tmp) {
+                Ok(0) => panic!("connection closed mid-body"),
+                Ok(read) => buf.extend_from_slice(&tmp[..read]),
+                Err(e) => panic!("read failed mid-body: {e}"),
+            }
+        }
+        out.push(String::from_utf8_lossy(&buf[..head_end + content_length]).to_string());
+        buf.drain(..head_end + content_length);
+    }
+    out
+}
+
+fn status_of(response: &str) -> u16 {
+    response.split_ascii_whitespace().nth(1).unwrap().parse().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A request trickled to the live server in arbitrary chunks gets the
+    /// same 200 and the same body as one sent whole on the same reused
+    /// connection: split writes and keep-alive reuse do not change bytes.
+    #[test]
+    fn live_split_writes_and_reuse_are_byte_identical(
+        chunks in proptest::collection::vec(1usize..30, 1..12),
+    ) {
+        let addr = shared_server();
+        let raw = render_request("POST", "/brief", PAGE.as_bytes());
+        let mut s = TcpStream::connect(addr).unwrap();
+        // First: the request dribbled in `chunks`-sized writes.
+        let mut offset = 0;
+        for &n in &chunks {
+            let end = (offset + n).min(raw.len());
+            s.write_all(&raw[offset..end]).unwrap();
+            s.flush().unwrap();
+            offset = end;
+            if offset == raw.len() {
+                break;
+            }
+        }
+        s.write_all(&raw[offset..]).unwrap();
+        let trickled = read_responses(&mut s, 1).pop().unwrap();
+        prop_assert_eq!(status_of(&trickled), 200);
+        // Then: the same request sent whole on the SAME connection.
+        s.write_all(&raw).unwrap();
+        let whole = read_responses(&mut s, 1).pop().unwrap();
+        prop_assert_eq!(status_of(&whole), 200);
+        let body = |r: &str| r.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap();
+        prop_assert_eq!(body(&trickled), body(&whole));
+    }
+
+    /// Pipelined requests over a live connection are each answered, in
+    /// order, with the same body the request would get alone.
+    #[test]
+    fn live_pipelining_answers_every_request(n in 2usize..5) {
+        let addr = shared_server();
+        let raw = render_request("POST", "/brief", PAGE.as_bytes());
+        let mut s = TcpStream::connect(addr).unwrap();
+        let mut burst = Vec::new();
+        for _ in 0..n {
+            burst.extend_from_slice(&raw);
+        }
+        s.write_all(&burst).unwrap();
+        let responses = read_responses(&mut s, n);
+        let body = |r: &str| r.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap();
+        for r in &responses {
+            prop_assert_eq!(status_of(r), 200);
+            prop_assert_eq!(body(r), body(&responses[0]));
+        }
+    }
+}
+
+/// Smuggling-shaped requests — conflicting duplicate `Content-Length`,
+/// sign-prefixed values, `Transfer-Encoding: chunked`, colon-less header
+/// lines — are rejected (`400`, or `501` for chunked) and the connection
+/// is closed, both on a
+/// fresh connection and after a successful keep-alive request. A parser
+/// that honoured the second CL or skipped the garbage line would instead
+/// desync and answer the smuggled payload.
+#[test]
+fn smuggling_shapes_get_400_on_fresh_and_reused_connections() {
+    let addr = shared_server();
+    let good = render_request("POST", "/brief", PAGE.as_bytes());
+    let shapes: &[(&[u8], u16)] = &[
+        (b"POST /brief HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 11\r\n\r\nGET / HTTP/1.1\r\n\r\n", 400),
+        (b"POST /brief HTTP/1.1\r\nContent-Length: +5\r\n\r\nhello", 400),
+        (b"POST /brief HTTP/1.1\r\nContent-Length: 5, 5\r\n\r\nhello", 400),
+        // Chunked framing is deliberately unimplemented (501) — honouring
+        // only part of it is how smuggling happens.
+        (b"POST /brief HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n", 501),
+        (b"GET /healthz HTTP/1.1\r\nthis line has no colon\r\n\r\n", 400),
+    ];
+    for &(shape, expected) in shapes {
+        // Fresh connection.
+        let mut s = TcpStream::connect(addr).unwrap();
+        let _ = s.write_all(shape);
+        let response = read_responses(&mut s, 1).pop().unwrap();
+        assert_eq!(status_of(&response), expected, "fresh: {response}");
+        // Framing errors must close: the server cannot know where the
+        // next request starts. EOF (Ok(0)) is the only acceptable next read.
+        let mut rest = Vec::new();
+        let closed = matches!(s.read_to_end(&mut rest), Ok(0));
+        assert!(closed && rest.is_empty(), "connection must close after framing error");
+
+        // Reused connection: one good request first, then the attack.
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(&good).unwrap();
+        let first = read_responses(&mut s, 1).pop().unwrap();
+        assert_eq!(status_of(&first), 200);
+        let _ = s.write_all(shape);
+        let response = read_responses(&mut s, 1).pop().unwrap();
+        assert_eq!(status_of(&response), expected, "reused: {response}");
+        let mut rest = Vec::new();
+        let closed = matches!(s.read_to_end(&mut rest), Ok(0));
+        assert!(closed && rest.is_empty(), "connection must close after framing error");
+    }
+}

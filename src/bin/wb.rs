@@ -46,11 +46,16 @@ USAGE:
                 [--state FILE] [--checkpoint-every N] [--resume]
     wb brief    [--model FILE] [--json] FILES...
     wb serve    [--model FILE] [--addr HOST:PORT] [--workers N]
-                [--queue-capacity N] [--cache-capacity N]
+                [--replicas N] [--queue-capacity N] [--cache-capacity N]
                 [--max-body-bytes N] [--request-timeout-ms N]
-                [--breaker-threshold N] [--breaker-window-ms N]
-                [--breaker-cooldown-ms N] [--access-log-sample N]
-                [--slow-request-ms N]
+                [--max-conns N] [--max-requests-per-conn N]
+                [--idle-timeout-ms N] [--breaker-threshold N]
+                [--breaker-window-ms N] [--breaker-cooldown-ms N]
+                [--access-log-sample N] [--slow-request-ms N]
+    wb loadgen  ADDR [--requests N] [--concurrency N] [--rate R]
+                [--pages N] [--slo-ms N] [--close] [--compare]
+                [--no-warmup] [--label NAME] [--out FILE]
+                [--baseline FILE] [--tolerance PCT]
     wb top      ADDR [--interval-ms N] [--once]
     wb profile  ADDR [--seconds N] [--hz N] [--mode wall|cpu]
                 [--format collapsed|svg] [--out FILE]
@@ -75,7 +80,20 @@ SUBCOMMANDS:
                 failures trip a circuit breaker into cache-only serving
                 (--breaker-*). --access-log-sample N logs every Nth
                 request as structured JSON; requests slower than
-                --slow-request-ms always log their stage breakdown
+                --slow-request-ms always log their stage breakdown.
+                Connections are served by a poll(2) event loop with
+                HTTP/1.1 keep-alive and pipelining (--max-conns,
+                --max-requests-per-conn, --idle-timeout-ms); briefing
+                shards over --replicas lanes, each with its own cache,
+                micro-batcher and breaker, consistent-hashed by page
+    loadgen     Drive POST /brief load at a running server: closed loop
+                (--concurrency connections back-to-back) or open loop
+                (--rate req/s, latency from scheduled arrival), report
+                throughput, p50/p90/p99 and --slo-ms attainment.
+                --close disables keep-alive; --compare runs both modes
+                and reports the keep-alive speedup. --out writes a
+                wb-bench-v1 report (BENCH_serve.json) that
+                --baseline/--tolerance diff like `wb bench`
     top         Poll a running server's /varz and render a live terminal
                 dashboard: RPS, windowed percentiles, stage breakdown,
                 queue depth, cache hit ratio and breaker state.
@@ -332,6 +350,7 @@ fn main() {
         "train" => cmd_train(&raw[1..]),
         "brief" => cmd_brief(&raw[1..]),
         "serve" => cmd_serve(&raw[1..]),
+        "loadgen" => cmd_loadgen(&raw[1..]),
         "top" => cmd_top(&raw[1..]),
         "profile" => cmd_profile(&raw[1..]),
         "flame" => cmd_flame(&raw[1..]),
@@ -511,6 +530,10 @@ fn cmd_serve(raw: &[String]) -> Result<(), String> {
             "breaker-cooldown-ms",
             "access-log-sample",
             "slow-request-ms",
+            "replicas",
+            "max-conns",
+            "max-requests-per-conn",
+            "idle-timeout-ms",
             // Load-testing knob: stalls each briefing batch so overload
             // behaviour (503 shedding) is reproducible. Deliberately not
             // in the USAGE synopsis.
@@ -538,6 +561,11 @@ fn cmd_serve(raw: &[String]) -> Result<(), String> {
             .get_num("breaker-cooldown-ms", defaults.breaker_cooldown_ms)?,
         access_log_sample: args.get_num("access-log-sample", defaults.access_log_sample)?,
         slow_request_ms: args.get_num("slow-request-ms", defaults.slow_request_ms)?,
+        replicas: args.get_num("replicas", defaults.replicas)?,
+        max_conns: args.get_num("max-conns", defaults.max_conns)?,
+        max_requests_per_conn: args
+            .get_num("max-requests-per-conn", defaults.max_requests_per_conn)?,
+        idle_timeout_ms: args.get_num("idle-timeout-ms", defaults.idle_timeout_ms)?,
     };
 
     let ckpt =
@@ -639,8 +667,9 @@ fn cmd_report(raw: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// One HTTP/1.1 GET against `addr` over a fresh connection (the server is
-/// one-request-per-connection), returning the response body.
+/// One HTTP/1.1 GET against `addr` over a fresh connection, returning the
+/// response body. Sends `Connection: close` so the keep-alive server ends
+/// the response with EOF and the read-to-EOF below terminates promptly.
 fn http_get(addr: &str, path: &str) -> Result<String, String> {
     http_get_timeout(addr, path, std::time::Duration::from_secs(5))
 }
@@ -660,7 +689,10 @@ fn http_get_timeout(
         .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
     stream.set_read_timeout(Some(timeout)).map_err(|e| e.to_string())?;
     stream
-        .write_all(format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\n\r\n").as_bytes())
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")
+                .as_bytes(),
+        )
         .map_err(|e| format!("cannot send request to {addr}: {e}"))?;
     let mut text = String::new();
     let mut buf = [0u8; 8192];
@@ -881,6 +913,100 @@ fn cmd_bench(raw: &[String]) -> Result<(), String> {
         },
     };
     let code = wb_bench::perf::run_cli(&opts)?;
+    write_outputs(&globals)?;
+    if code != 0 {
+        // A regression is a clean, diagnosed outcome: exit 1 directly
+        // rather than routing through the usage-error path (exit 2).
+        std::process::exit(code);
+    }
+    Ok(())
+}
+
+/// Drives load at a running `wb serve` and reports throughput, latency
+/// percentiles and SLO attainment; with `--out` the run becomes a
+/// `wb-bench-v1` report that `--baseline` diffs like `wb bench`.
+fn cmd_loadgen(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(
+        raw,
+        &[
+            "requests",
+            "concurrency",
+            "rate",
+            "pages",
+            "slo-ms",
+            "timeout-ms",
+            "label",
+            "out",
+            "baseline",
+            "tolerance",
+        ],
+        &["close", "compare", "no-warmup"],
+    )?;
+    let globals = apply_globals(&args)?;
+    let addr = match args.positional.as_slice() {
+        [a] => a.clone(),
+        _ => return Err("loadgen expects exactly one server address (HOST:PORT)".to_string()),
+    };
+    let base = wb_bench::loadgen::LoadConfig {
+        addr,
+        requests: args.get_num("requests", 1000u64)?,
+        concurrency: args.get_num("concurrency", 8usize)?,
+        keep_alive: !args.has("close"),
+        rate: args.get_num("rate", 0.0f64)?,
+        pages: args.get_num("pages", 8usize)?,
+        slo_ms: args.get_num("slo-ms", 50.0f64)?,
+        timeout: std::time::Duration::from_millis(args.get_num("timeout-ms", 10_000u64)?),
+        warmup: !args.has("no-warmup"),
+    };
+    let modes: &[bool] = if args.has("compare") {
+        &[true, false] // keep-alive first, then connect-per-request
+    } else if args.has("close") {
+        &[false]
+    } else {
+        &[true]
+    };
+    let mut summaries = Vec::new();
+    for &keep_alive in modes {
+        let cfg = wb_bench::loadgen::LoadConfig { keep_alive, ..base.clone() };
+        let summary = wb_bench::loadgen::run(&cfg)?;
+        print!("{}", summary.render());
+        summaries.push(summary);
+    }
+    if let [ka, cl] = summaries.as_slice() {
+        if cl.rps() > 0.0 {
+            println!(
+                "keep-alive speedup: {:.2}x over connect-per-request",
+                ka.rps() / cl.rps()
+            );
+        }
+    }
+    let report =
+        wb_bench::loadgen::to_bench_report(&args.get_str("label", "serve"), &summaries);
+    if let Some(out) = args.get("out") {
+        report.save(out)?;
+        println!("wrote {out}");
+    }
+    let mut code = 0;
+    if let Some(baseline_path) = args.get("baseline") {
+        let baseline = wb_bench::perf::BenchReport::load(baseline_path)?;
+        let cmp = wb_bench::perf::compare(&baseline, &report, args.get_num("tolerance", 10.0)?);
+        for w in &cmp.warnings {
+            println!("warn: {w}");
+        }
+        for f in &cmp.failures {
+            println!("FAIL: {f}");
+        }
+        println!(
+            "baseline {}: {} within tolerance, {} warnings, {} failures",
+            baseline.label,
+            cmp.within,
+            cmp.warnings.len(),
+            cmp.failures.len()
+        );
+        if !cmp.failures.is_empty() {
+            code = 1;
+        }
+    }
     write_outputs(&globals)?;
     if code != 0 {
         // A regression is a clean, diagnosed outcome: exit 1 directly

@@ -81,8 +81,10 @@ fn spawn_server(extra_args: &[&str]) -> ServerProc {
 fn post_page(addr: SocketAddr, html: &str) {
     let Ok(mut s) = TcpStream::connect(addr) else { return };
     let _ = s.set_read_timeout(Some(Duration::from_secs(30)));
+    // `Connection: close` makes the keep-alive server end the response
+    // with EOF, so the read_to_end below returns promptly.
     let raw = format!(
-        "POST /brief HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{html}",
+        "POST /brief HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{html}",
         html.len()
     );
     let _ = s.write_all(raw.as_bytes());

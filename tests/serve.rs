@@ -107,7 +107,9 @@ fn spawn_server_full(
     ServerProc { child, addr, _stdout: reader, stderr }
 }
 
-/// One raw HTTP exchange; returns (status, headers, body).
+/// One raw HTTP exchange; returns (status, headers, body). Reads the
+/// response by its `Content-Length` frame rather than to EOF — the server
+/// keeps connections alive, so EOF only comes after the idle timeout.
 fn exchange(addr: SocketAddr, raw: &[u8]) -> (u16, String, String) {
     let mut s = TcpStream::connect(addr).expect("connect");
     s.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
@@ -115,23 +117,42 @@ fn exchange(addr: SocketAddr, raw: &[u8]) -> (u16, String, String) {
     let _ = s.flush();
     let mut bytes = Vec::new();
     let mut buf = [0u8; 8192];
-    loop {
+    let head_end = loop {
+        if let Some(p) = bytes.windows(4).position(|w| w == b"\r\n\r\n") {
+            break p + 4;
+        }
         match s.read(&mut buf) {
-            Ok(0) => break,
+            Ok(0) => {
+                panic!("closed before response head: {:?}", String::from_utf8_lossy(&bytes))
+            }
             Ok(n) => bytes.extend_from_slice(&buf[..n]),
-            Err(_) if !bytes.is_empty() => break,
             Err(e) => panic!("no response: {e}"),
         }
+    };
+    let head = String::from_utf8_lossy(&bytes[..head_end - 4]).into_owned();
+    let content_length: usize = head
+        .lines()
+        .find_map(|line| {
+            let (k, v) = line.split_once(':')?;
+            k.eq_ignore_ascii_case("content-length").then(|| v.trim().parse().ok())?
+        })
+        .unwrap_or(0);
+    while bytes.len() < head_end + content_length {
+        match s.read(&mut buf) {
+            Ok(0) => panic!("closed mid-body"),
+            Ok(n) => bytes.extend_from_slice(&buf[..n]),
+            Err(e) => panic!("read failed mid-body: {e}"),
+        }
     }
-    let text = String::from_utf8_lossy(&bytes).into_owned();
-    let status = text
+    let body =
+        String::from_utf8_lossy(&bytes[head_end..head_end + content_length]).into_owned();
+    let status = head
         .split_ascii_whitespace()
         .nth(1)
-        .unwrap_or_else(|| panic!("no status line in {text:?}"))
+        .unwrap_or_else(|| panic!("no status line in {head:?}"))
         .parse()
         .expect("numeric status");
-    let (head, body) = text.split_once("\r\n\r\n").unwrap_or((text.as_str(), ""));
-    (status, head.to_string(), body.to_string())
+    (status, head, body)
 }
 
 fn post_brief(addr: SocketAddr, html: &str) -> (u16, String, String) {
@@ -700,4 +721,115 @@ fn report_diff_shows_deltas_between_snapshots() {
     assert!(text.contains("+3"), "3 extra requests must show as a +3 delta:\n{text}");
     let _ = std::fs::remove_file(&a_path);
     let _ = std::fs::remove_file(&b_path);
+}
+
+/// `wb loadgen --compare` against a real server: every request answered,
+/// zero framing errors, connections actually reused in keep-alive mode,
+/// and the `--out` report carries both modes plus the speedup — the CI
+/// smoke contract.
+#[test]
+fn loadgen_end_to_end_compares_modes_and_writes_report() {
+    let report_path = std::env::temp_dir().join("wb_serve_test_loadgen_report.json");
+    let _ = std::fs::remove_file(&report_path);
+    // Exercise the new serving knobs at the same time: two replicas, a
+    // per-connection request budget well above the run, bounded conns.
+    let server = spawn_server(&[
+        "--replicas",
+        "2",
+        "--max-conns",
+        "64",
+        "--max-requests-per-conn",
+        "10000",
+        "--idle-timeout-ms",
+        "30000",
+    ]);
+    let out = wb()
+        .args([
+            "loadgen",
+            &server.addr.to_string(),
+            "--requests",
+            "60",
+            "--concurrency",
+            "4",
+            "--pages",
+            "4",
+            "--compare",
+            "--out",
+            report_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run wb loadgen");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("keep-alive speedup:"), "{text}");
+
+    let report: serde_json::Value = serde_json::from_str(
+        &std::fs::read_to_string(&report_path).expect("loadgen report written"),
+    )
+    .expect("report is JSON");
+    let metric = |workload: &str, name: &str| -> f64 {
+        report
+            .get("workloads")
+            .and_then(|w| w.get(workload))
+            .and_then(|w| w.get("metrics"))
+            .and_then(|m| m.get(name))
+            .and_then(|m| m.get("value"))
+            .and_then(|v| v.as_f64())
+            .unwrap_or_else(|| panic!("missing {workload}/{name} in {report:?}"))
+    };
+    for workload in ["serve_keepalive", "serve_close"] {
+        assert_eq!(metric(workload, "framing_errors"), 0.0, "{workload}");
+        assert_eq!(metric(workload, "transport_errors"), 0.0, "{workload}");
+        assert_eq!(metric(workload, "answered"), 60.0, "{workload}");
+    }
+    // Keep-alive mode must actually reuse connections; close mode cannot.
+    assert!(metric("serve_keepalive", "reuse_fraction") > 0.5);
+    assert_eq!(metric("serve_close", "reuse_fraction"), 0.0);
+    assert!(metric("serve_compare", "keepalive_speedup") > 0.0);
+
+    // The server saw the reuse too: its own counters distinguish accepted
+    // connections from requests served on an already-open one.
+    let (status, _, metrics) = get(server.addr, "/metrics");
+    assert_eq!(status, 200);
+    let v: serde_json::Value = serde_json::from_str(&metrics).expect("metrics JSON");
+    assert!(counter(&v, "serve.conn.reused") > 0.0, "{metrics}");
+    assert_eq!(counter(&v, "serve.conn.framing_errors"), 0.0, "{metrics}");
+    shutdown(server);
+    let _ = std::fs::remove_file(&report_path);
+}
+
+/// A keep-alive run is measurably faster than connect-per-request at the
+/// same concurrency: the acceptance bar for the event-loop serving path.
+/// (The committed BENCH_serve.json records the same comparison at larger
+/// scale; this guards the direction, not the magnitude.)
+#[test]
+fn loadgen_keepalive_beats_connection_close() {
+    let server = spawn_server(&[]);
+    let out = wb()
+        .args([
+            "loadgen",
+            &server.addr.to_string(),
+            "--requests",
+            "200",
+            "--concurrency",
+            "4",
+            "--pages",
+            "2",
+            "--compare",
+        ])
+        .output()
+        .expect("run wb loadgen");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    let speedup: f64 = text
+        .lines()
+        .find_map(|l| l.strip_prefix("keep-alive speedup: "))
+        .and_then(|rest| rest.split('x').next())
+        .and_then(|n| n.parse().ok())
+        .unwrap_or_else(|| panic!("no speedup line in:\n{text}"));
+    assert!(
+        speedup > 1.0,
+        "keep-alive must beat connect-per-request at equal concurrency, got {speedup}x:\n{text}"
+    );
+    shutdown(server);
 }
