@@ -260,6 +260,12 @@ impl Briefer {
         &self.model
     }
 
+    /// The tokenizer the model was trained with (streaming pipelines
+    /// encode pages in a separate stage from briefing).
+    pub fn tokenizer(&self) -> &WordPiece {
+        &self.tokenizer
+    }
+
     /// Briefs a raw HTML page.
     ///
     /// Each stage of the pipeline runs under a `wb-obs` span —

@@ -31,6 +31,7 @@ mod extractor;
 mod generator;
 mod joint;
 mod multilevel;
+mod pipeline;
 mod pretrain;
 mod resume;
 mod sensitivity;
@@ -49,6 +50,7 @@ pub use extractor::{Extractor, ExtractorPriors};
 pub use generator::Generator;
 pub use joint::{JointForward, JointModel, JointVariant};
 pub use multilevel::{attr_level, split_bio_levels, MultiLevelForward, MultiLevelWb};
+pub use pipeline::{crawl_brief, PipelineConfig, PipelineError, PipelineReport};
 pub use pretrain::{
     bert_config, pretrain_contextual, pretrain_static, transfer_embedder, PretrainConfig, MASK,
 };

@@ -28,6 +28,7 @@
 
 mod dataset;
 mod export;
+mod hostile;
 mod page;
 mod taxonomy;
 mod website;
@@ -37,6 +38,10 @@ pub use dataset::{
     TAG_O,
 };
 pub use export::{export_pages, import_pages, PageLabels};
+pub use hostile::{
+    boilerplate_page, export_site, generate_site, invisible_page, malformed_page, poison_page,
+    url_to_path, with_hidden_nav, SiteFile, SiteScenario, SiteSpec, SiteSpecConfig,
+};
 pub use page::{generate_page, AttributeMention, PageConfig, PageRecord, SentenceRecord};
 pub use taxonomy::{
     AttrKind, Family, Source, Taxonomy, TopicId, TopicSpec, BOILERPLATE, FAMILIES, FIRST_NAMES,

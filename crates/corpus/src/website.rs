@@ -82,23 +82,27 @@ pub fn generate_website(
 
     let mut content = Vec::with_capacity(cfg.content_pages);
     let mut content_ids = Vec::new();
+    // The indices below come straight from `add_page`, so every edge is in
+    // range; `expect` documents the invariant rather than handling a case
+    // that cannot arise here.
+    let in_range = "edge endpoints come from add_page";
     for i in 0..cfg.content_pages {
         let record = generate_page(topic, cfg.page, rng);
         let idx = site.add_page(&format!("/item/{i}"), record.dom.clone());
-        site.link(root, idx);
+        site.link(root, idx).expect(in_range);
         content_ids.push(idx);
         content.push((idx, record));
     }
     for i in 0..cfg.media_pages {
         let idx = site.add_page(&format!("/media/{i}"), media_page(rng));
-        site.link(root, idx);
+        site.link(root, idx).expect(in_range);
     }
     // Cross-links between content pages ("related items").
     for (a_pos, &a) in content_ids.iter().enumerate() {
         for &b in content_ids.iter().skip(a_pos + 1) {
             if rng.gen_bool(cfg.cross_link_rate) {
-                site.link(a, b);
-                site.link(b, a);
+                site.link(a, b).expect(in_range);
+                site.link(b, a).expect(in_range);
             }
         }
     }

@@ -19,7 +19,10 @@ mod render;
 mod site;
 
 pub use dom::{unescape, Node, Tag};
-pub use parse::{parse_document, ParseError};
+pub use parse::{parse_document, ParseError, MAX_DEPTH};
 pub use query::{descendants, find_all, find_by_attr, find_first, text_content, Descendants};
 pub use render::{classify_page, visible_blocks, visible_text, PageKind, VisibleBlock};
-pub use site::{crawl, CrawlConfig, CrawlResult, SitePage, Website};
+pub use site::{
+    crawl, link_urls, CrawlConfig, CrawlResult, CrawlStep, CrawlStream, LinkError, SitePage,
+    Website,
+};

@@ -9,6 +9,13 @@
 
 use crate::dom::{unescape, Node, Tag};
 
+/// Elements may nest at most this deep. Real documents stay far below
+/// (browsers flatten around a thousand); the cap exists so adversarial
+/// `<div><div><div>…` byte soup becomes a clean [`ParseError::TooDeep`]
+/// instead of exhausting the call stack — recursive descent, visible-text
+/// extraction and even `Drop` on the resulting tree all recurse per level.
+pub const MAX_DEPTH: usize = 128;
+
 /// Errors from [`parse_document`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParseError {
@@ -16,6 +23,8 @@ pub enum ParseError {
     UnexpectedEof,
     /// A tag was malformed beyond recovery (e.g. `<>`).
     MalformedTag(usize),
+    /// Elements nested deeper than [`MAX_DEPTH`].
+    TooDeep(usize),
 }
 
 impl std::fmt::Display for ParseError {
@@ -23,6 +32,9 @@ impl std::fmt::Display for ParseError {
         match self {
             ParseError::UnexpectedEof => write!(f, "unexpected end of input inside a tag"),
             ParseError::MalformedTag(pos) => write!(f, "malformed tag at byte {pos}"),
+            ParseError::TooDeep(pos) => {
+                write!(f, "elements nested deeper than {MAX_DEPTH} at byte {pos}")
+            }
         }
     }
 }
@@ -32,7 +44,7 @@ impl std::error::Error for ParseError {}
 /// Parses an HTML document into a single root node. When the input contains
 /// several top-level nodes they are wrapped in an `<html>` element.
 pub fn parse_document(input: &str) -> Result<Node, ParseError> {
-    let mut parser = Parser { bytes: input.as_bytes(), pos: 0 };
+    let mut parser = Parser { bytes: input.as_bytes(), pos: 0, depth: 0 };
     let mut roots = parser.parse_nodes(None)?;
     Ok(match roots.len() {
         1 => roots.pop().expect("len checked"),
@@ -43,6 +55,8 @@ pub fn parse_document(input: &str) -> Result<Node, ParseError> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Current element-nesting depth, bounded by [`MAX_DEPTH`].
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -188,7 +202,13 @@ impl<'a> Parser<'a> {
                 vec![Node::Text(raw)]
             }
         } else {
-            self.parse_nodes(Some(&tag))?
+            if self.depth >= MAX_DEPTH {
+                return Err(ParseError::TooDeep(tag_start));
+            }
+            self.depth += 1;
+            let children = self.parse_nodes(Some(&tag))?;
+            self.depth -= 1;
+            children
         };
 
         Ok(Node::Element { tag, attrs, children })
@@ -333,5 +353,20 @@ mod tests {
     #[test]
     fn unexpected_eof_is_error() {
         assert_eq!(parse_document("<div"), Err(ParseError::UnexpectedEof));
+    }
+
+    #[test]
+    fn nesting_at_the_cap_parses_and_roundtrips() {
+        let html = format!("{}x{}", "<div>".repeat(MAX_DEPTH), "</div>".repeat(MAX_DEPTH));
+        let n = parse_document(&html).unwrap();
+        assert_eq!(n.count_tag(&Tag::Div), MAX_DEPTH);
+    }
+
+    #[test]
+    fn nesting_beyond_the_cap_is_a_clean_error() {
+        // Without the cap this input — and far deeper byte soup — would
+        // exhaust the call stack instead of returning.
+        let html = "<div>".repeat(100_000);
+        assert!(matches!(parse_document(&html), Err(ParseError::TooDeep(_))));
     }
 }

@@ -1,0 +1,187 @@
+//! Fuzz/property suite for the HTML read path: `parse_document` (and the
+//! functions downstream of it — visible text, classification, link
+//! extraction, re-serialisation) must *never* panic, whatever bytes arrive.
+//! Hostile input may be rejected with a `ParseError`, but rejection is a
+//! value, not a crash.
+//!
+//! The vendored proptest runner treats any panic inside a case body as a
+//! test failure, which is exactly the property under test. Panics found by
+//! earlier fuzzing runs are pinned as explicit regression tests at the
+//! bottom (deep nesting used to blow the recursive-descent stack before
+//! `MAX_DEPTH` existed).
+
+use proptest::prelude::*;
+use wb_html::{classify_page, link_urls, parse_document, visible_text, ParseError, MAX_DEPTH};
+
+/// Exercises everything a crawler does with a parsed page; returns whether
+/// the document parsed. Each call must complete without panicking.
+fn full_read_path(input: &str) -> bool {
+    match parse_document(input) {
+        Ok(dom) => {
+            let _ = visible_text(&dom);
+            let _ = classify_page(&dom);
+            let _ = link_urls(&dom);
+            // Re-serialising and re-parsing must also hold up: the pipeline
+            // round-trips documents through `to_html`.
+            let rendered = dom.to_html();
+            let _ = parse_document(&rendered);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+/// Arbitrary bytes, lossily decoded: pure byte soup.
+fn byte_soup() -> impl Strategy<Value = String> {
+    proptest::collection::vec((0u16..256).prop_map(|b| b as u8), 0..400)
+        .prop_map(|bytes| String::from_utf8_lossy(&bytes).into_owned())
+}
+
+/// Soup biased towards markup metacharacters so tag-handling code paths are
+/// actually reached (uniform bytes rarely form a `<tag>`).
+fn markup_soup() -> impl Strategy<Value = String> {
+    let atoms = [
+        "<", ">", "/", "=", "\"", "'", "!", "-", " ", "a", "div", "p", "<p>", "</p>", "<div",
+        "<a href=", "<!--", "-->", "&amp;", "&#", ";", "x", "\n",
+    ];
+    proptest::collection::vec((0usize..atoms.len()).prop_map(move |i| atoms[i]), 0..120)
+        .prop_map(|parts| parts.concat())
+}
+
+/// A small well-formed document, deterministically derived from a seed.
+fn valid_doc(seed: u64) -> String {
+    let mut s = String::from("<body>");
+    let mut x = seed;
+    for i in 0..(1 + (seed % 6)) {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        match x % 4 {
+            0 => s.push_str(&format!("<p>para {i} with some words</p>")),
+            1 => s.push_str(&format!("<a href=\"/p{i}\">link {i}</a>")),
+            2 => s.push_str(&format!("<div class=\"c{i}\"><span>nested {i}</span></div>")),
+            _ => s.push_str("<!-- comment --><video></video>"),
+        }
+    }
+    s.push_str("</body>");
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Pure byte soup: parse (and everything downstream) never panics.
+    #[test]
+    fn byte_soup_never_panics(input in byte_soup()) {
+        full_read_path(&input);
+    }
+
+    /// Markup-shaped soup: hits tag/attribute/entity code paths hard.
+    #[test]
+    fn markup_soup_never_panics(input in markup_soup()) {
+        full_read_path(&input);
+    }
+
+    /// A valid document with random single-byte mutations (the classic
+    /// bit-flip fuzz): never panics.
+    #[test]
+    fn mutated_documents_never_panic(
+        seed in 0u64..10_000,
+        flips in proptest::collection::vec((0usize..4096, 0u16..256), 1..8),
+    ) {
+        let mut bytes = valid_doc(seed).into_bytes();
+        for (pos, byte) in flips {
+            let len = bytes.len();
+            bytes[pos % len] = byte as u8;
+        }
+        full_read_path(&String::from_utf8_lossy(&bytes));
+    }
+
+    /// A valid document truncated at every possible offset (the paper's
+    /// real-web crawls see half-delivered pages constantly): never panics,
+    /// and mid-tag truncation is reported as an error value.
+    #[test]
+    fn truncated_documents_never_panic(seed in 0u64..10_000, cut in 0usize..4096) {
+        let doc = valid_doc(seed);
+        let cut = cut % (doc.len() + 1);
+        // Truncate on a char boundary (valid_doc is ASCII, but be safe).
+        let mut end = cut;
+        while end > 0 && !doc.is_char_boundary(end) {
+            end -= 1;
+        }
+        full_read_path(&doc[..end]);
+    }
+
+    /// Unclosed and interleaved tags parse leniently rather than panicking
+    /// or erroring: recovery is part of the contract.
+    #[test]
+    fn interleaved_open_tags_parse(seed in 0u64..10_000, n in 1usize..40) {
+        let tags = ["<div>", "<p>", "<span>", "<b>", "</div>", "</p>", "</i>"];
+        let mut s = String::from("<body>");
+        let mut x = seed;
+        for _ in 0..n {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s.push_str(tags[(x % tags.len() as u64) as usize]);
+            s.push_str("txt ");
+        }
+        prop_assert!(parse_document(&s).is_ok(), "lenient recovery must accept: {s:?}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regression cases: inputs that crashed (or would crash) earlier parsers.
+// ---------------------------------------------------------------------------
+
+/// Deep nesting used to overflow the recursive-descent stack (a SIGSEGV,
+/// not even a catchable panic) before the `MAX_DEPTH` cap. Pinned forever.
+#[test]
+fn regression_pathological_nesting_is_a_clean_error() {
+    let bomb = "<div>".repeat(100_000);
+    match parse_document(&bomb) {
+        Err(ParseError::TooDeep(_)) => {}
+        other => panic!("expected TooDeep, got {other:?}"),
+    }
+    // One level under the cap must still parse.
+    let ok = format!("{}{}", "<i>".repeat(MAX_DEPTH - 1), "</i>".repeat(MAX_DEPTH - 1));
+    assert!(parse_document(&ok).is_ok());
+}
+
+/// Truncation inside a tag is an error value, not a panic.
+#[test]
+fn regression_truncated_inside_tag() {
+    for doc in ["<a href=\"/x", "<div", "<", "<!-", "<!doctype htm", "<p>t</p"] {
+        let r = parse_document(doc);
+        assert!(r.is_err() || r.is_ok(), "no panic for {doc:?}");
+    }
+    assert_eq!(parse_document("<a href=\"/x").unwrap_err(), ParseError::UnexpectedEof);
+}
+
+/// Oversized attribute values and attribute floods stay linear and calm.
+#[test]
+fn regression_oversized_attributes_parse() {
+    let big = "x".repeat(300_000);
+    let doc = format!("<div data-a=\"{big}\">t</div>");
+    assert!(parse_document(&doc).is_ok());
+    let flood: String = (0..5_000).map(|i| format!(" a{i}=\"v{i}\"")).collect();
+    assert!(parse_document(&format!("<div{flood}>t</div>")).is_ok());
+}
+
+/// Entity edge cases: bare `&`, unterminated and absurd numeric references.
+#[test]
+fn regression_entity_edge_cases() {
+    for doc in [
+        "<p>a & b</p>",
+        "<p>&amp</p>",
+        "<p>&#99999999999999999999;</p>",
+        "<p>&#xZZ;</p>",
+        "<p>&;</p>",
+        "<p>&#;</p>",
+    ] {
+        let _ = full_read_path(doc);
+    }
+}
+
+/// NUL bytes and other control characters anywhere in the stream.
+#[test]
+fn regression_control_characters() {
+    let _ = full_read_path("<p>a\u{0}b\u{7f}c</p>");
+    let _ = full_read_path("\u{0}<di\u{0}v>\u{1}</div>");
+}

@@ -1344,7 +1344,7 @@ mod tests {
             .replicas
             .all()
             .iter()
-            .filter(|r| r.cache.lock().unwrap().len() > 0)
+            .filter(|r| !r.cache.lock().unwrap().is_empty())
             .count();
         assert!(
             populated >= 2,

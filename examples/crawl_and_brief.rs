@@ -29,12 +29,12 @@ fn main() {
         "/gallery",
         Node::elem(Tag::Body, (0..12).map(|_| Node::elem(Tag::Video, vec![])).collect()),
     );
-    site.link(root, media);
+    site.link(root, media).expect("link media page");
     let mut content_pages = Vec::new();
     for i in 0..5 {
         let page = generate_page(&topic, PageConfig::default(), &mut rng);
         let idx = site.add_page(&format!("/item/{i}"), page.dom.clone());
-        site.link(root, idx);
+        site.link(root, idx).expect("link content page");
         content_pages.push(page);
     }
 

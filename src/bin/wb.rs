@@ -21,10 +21,12 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use webpage_briefing::core::{
-    Briefer, Checkpoint, CheckpointPolicy, ModelConfig, TrainConfig, TrainState,
+    crawl_brief, Briefer, Checkpoint, CheckpointPolicy, ModelConfig, PipelineConfig,
+    PipelineError, TrainConfig, TrainState,
 };
 use webpage_briefing::corpus::{
-    export_pages, generate_page, Dataset, DatasetConfig, PageConfig, Taxonomy,
+    export_pages, export_site, generate_page, generate_site, Dataset, DatasetConfig,
+    PageConfig, SiteScenario, SiteSpecConfig, Taxonomy,
 };
 use webpage_briefing::text::{coverage, FrequencyTable};
 
@@ -42,9 +44,15 @@ wb — Automatic Webpage Briefing (ICDE 2021): hierarchical webpage summaries
 
 USAGE:
     wb generate [--out DIR] [--subjects N] [--pages N] [--seed N]
+                [--site DIR [--scenario NAME] [--site-pages N]]
     wb train    [--out FILE] [--epochs N] [--subjects N] [--pages N] [--seed N]
                 [--state FILE] [--checkpoint-every N] [--resume]
     wb brief    [--model FILE] [--json] FILES...
+    wb crawl-brief --site DIR [--model FILE] [--out FILE]
+                [--dead-letter FILE] [--journal FILE] [--snapshot FILE]
+                [--snapshot-every N] [--queue N] [--batch N]
+                [--max-pages N] [--max-visited N] [--error-budget PCT]
+                [--resume]
     wb serve    [--model FILE] [--addr HOST:PORT] [--workers N]
                 [--replicas N] [--queue-capacity N] [--cache-capacity N]
                 [--max-body-bytes N] [--request-timeout-ms N]
@@ -67,11 +75,23 @@ USAGE:
                 [--baseline FILE] [--tolerance PCT] [REPORT.json]
 
 SUBCOMMANDS:
-    generate    Generate a synthetic labelled corpus and export HTML + JSON
+    generate    Generate a synthetic labelled corpus and export HTML + JSON.
+                With --site DIR it instead exports a crawlable on-disk
+                website for `wb crawl-brief`; --scenario picks the
+                hostility mix (clean, malformed, boilerplate, near-dup,
+                mixed) and --site-pages its size
     train       Train a Joint-WB briefer and save a checkpoint; with
                 --state it checkpoints training itself, and --resume
                 continues a killed run byte-identically (docs/ROBUSTNESS.md)
     brief       Brief one or more HTML files with a trained checkpoint
+    crawl-brief Crawl an on-disk website and stream briefs to a JSONL
+                file through a staged, bounded-queue pipeline: pages
+                that fail to parse, chunk or brief are quarantined to a
+                dead-letter file instead of killing the run; an
+                append-only journal plus periodic snapshots make a
+                killed run `--resume` to byte-identical output; and
+                --error-budget PCT aborts cleanly when too many pages
+                quarantine (docs/ROBUSTNESS.md)
     serve       Serve briefs over HTTP: POST /brief (HTML in, JSON out),
                 GET /healthz, GET /metrics (JSON or ?format=prometheus),
                 GET /varz (windowed live view), POST /shutdown for a
@@ -349,6 +369,7 @@ fn main() {
         "generate" => cmd_generate(&raw[1..]),
         "train" => cmd_train(&raw[1..]),
         "brief" => cmd_brief(&raw[1..]),
+        "crawl-brief" => cmd_crawl_brief(&raw[1..]),
         "serve" => cmd_serve(&raw[1..]),
         "loadgen" => cmd_loadgen(&raw[1..]),
         "top" => cmd_top(&raw[1..]),
@@ -374,12 +395,44 @@ fn dataset_config(subjects: usize, pages: usize, seed: u64) -> DatasetConfig {
 }
 
 fn cmd_generate(raw: &[String]) -> Result<(), String> {
-    let args = Args::parse(raw, &["out", "subjects", "pages", "seed"], &[])?;
+    let args = Args::parse(
+        raw,
+        &["out", "subjects", "pages", "seed", "site", "scenario", "site-pages"],
+        &[],
+    )?;
     let globals = apply_globals(&args)?;
     let out = args.get_str("out", "./wb-corpus");
     let subjects: usize = args.get_num("subjects", 2)?;
     let pages: usize = args.get_num("pages", 6)?;
     let seed: u64 = args.get_num("seed", 7)?;
+
+    // `--site DIR` switches from corpus export to website export: a
+    // crawlable on-disk site for `wb crawl-brief`, optionally hostile.
+    if let Some(site_dir) = args.get("site") {
+        let scenario_name = args.get_str("scenario", "clean");
+        let scenario = SiteScenario::parse(&scenario_name).ok_or_else(|| {
+            format!(
+                "option --scenario has invalid value `{scenario_name}` (expected one of {})",
+                SiteScenario::NAMES.join(", ")
+            )
+        })?;
+        let mut cfg = SiteSpecConfig::default();
+        cfg.pages = args.get_num("site-pages", cfg.pages)?;
+        cfg.scenario = scenario;
+        let taxonomy = Taxonomy::build(seed, subjects.max(1));
+        let topic = taxonomy
+            .topics()
+            .first()
+            .ok_or_else(|| "taxonomy produced no topics".to_string())?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let site = generate_site(topic, cfg, &mut rng);
+        let files = export_site(site_dir, &site).map_err(|e| format!("export site: {e}"))?;
+        println!(
+            "Wrote {files} pages ({} hostile) of a {scenario_name} site to {site_dir}",
+            site.hostile.len()
+        );
+        return write_outputs(&globals);
+    }
 
     let taxonomy = Taxonomy::build(seed, subjects);
     let mut rng = StdRng::seed_from_u64(seed);
@@ -512,6 +565,94 @@ fn cmd_brief(raw: &[String]) -> Result<(), String> {
         std::process::exit(1);
     }
     Ok(())
+}
+
+fn cmd_crawl_brief(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(
+        raw,
+        &[
+            "site",
+            "model",
+            "out",
+            "dead-letter",
+            "journal",
+            "snapshot",
+            "snapshot-every",
+            "queue",
+            "batch",
+            "max-pages",
+            "max-visited",
+            "error-budget",
+        ],
+        &["resume"],
+    )?;
+    let globals = apply_globals(&args)?;
+    if let Some(extra) = args.positional.first() {
+        return Err(format!("crawl-brief takes no positional arguments (got `{extra}`)"));
+    }
+    let site = args.get("site").ok_or_else(|| {
+        "crawl-brief needs --site DIR (an on-disk website, e.g. from \
+         `wb generate --site`)"
+            .to_string()
+    })?;
+    let model = args.get_str("model", "./wb-model.json");
+    let out = args.get_str("out", "./briefs.jsonl");
+    // The journal, snapshot and dead-letter files default to sidecars of
+    // --out so one flag names the whole resumable run.
+    let stem = out.strip_suffix(".jsonl").unwrap_or(&out);
+    let defaults = PipelineConfig::default();
+    let cfg = PipelineConfig {
+        site_dir: site.into(),
+        out_path: out.clone().into(),
+        dead_letter_path: args.get_str("dead-letter", &format!("{stem}.dead.jsonl")).into(),
+        journal_path: args.get_str("journal", &format!("{stem}.journal")).into(),
+        snapshot_path: args.get_str("snapshot", &format!("{stem}.snapshot")).into(),
+        snapshot_every: args.get_num("snapshot-every", defaults.snapshot_every)?,
+        queue_depth: args.get_num("queue", defaults.queue_depth)?,
+        batch: args.get_num("batch", defaults.batch)?,
+        max_pages: args.get_num("max-pages", defaults.max_pages)?,
+        max_visited: args.get_num("max-visited", defaults.max_visited)?,
+        error_budget: args.get_num("error-budget", defaults.error_budget)?,
+        resume: args.has("resume"),
+    };
+
+    let ckpt =
+        Checkpoint::load(&model).map_err(|e| format!("cannot load checkpoint {model}: {e}"))?;
+    let briefer = Briefer::from_checkpoint(&ckpt)
+        .map_err(|e| format!("checkpoint holds no briefer: {e}"))?;
+    match crawl_brief(&briefer, &cfg) {
+        Ok(report) => {
+            println!(
+                "Briefed {} pages to {out} ({} replayed from the journal)",
+                report.briefed, report.replayed
+            );
+            println!(
+                "  visited {} · quarantined {} · skipped {} index / {} media · \
+                 {} broken links",
+                report.visited,
+                report.quarantined,
+                report.skipped_index,
+                report.skipped_media,
+                report.broken_links
+            );
+            write_outputs(&globals)
+        }
+        Err(e) => {
+            // A diagnosed runtime failure (budget blown, site changed
+            // under a resume, ...) is exit 1 — distinct from usage errors
+            // (exit 2) — and still flushes the observability outputs:
+            // the metrics of an aborted run are exactly the interesting
+            // ones. The run stays resumable either way.
+            write_outputs(&globals)?;
+            eprintln!("error: {e}");
+            if matches!(e, PipelineError::BudgetExceeded { .. }) {
+                eprintln!(
+                    "the run is resumable: rerun with --resume (and a higher --error-budget)"
+                );
+            }
+            std::process::exit(1);
+        }
+    }
 }
 
 fn cmd_serve(raw: &[String]) -> Result<(), String> {

@@ -38,7 +38,7 @@ fn crawler_feeds_briefer_compatible_pages() {
             &format!("/{i}"),
             generate_page(topic, PageConfig::default(), &mut rng).dom,
         );
-        site.link(root, p);
+        site.link(root, p).unwrap();
     }
     let result = crawl(&site, CrawlConfig::default());
     assert_eq!(result.content_pages.len(), 4);
